@@ -1,0 +1,58 @@
+"""Shared fixtures and helpers for the benchmark harness.
+
+Every benchmark module regenerates one table or figure from the paper (or
+one of the ablation experiments listed in DESIGN.md).  Benchmarks print the
+series they measure in the same shape the paper reports — e.g. for Figure
+4(a), "time to complete gesture" versus "# of data entries returned" — and
+assert the qualitative properties (monotonicity, approximate linearity,
+who wins) rather than absolute numbers.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.core.kernel import KernelConfig  # noqa: E402
+from repro.core.session import ExplorationSession  # noqa: E402
+from repro.storage.loader import generate_integer_column  # noqa: E402
+from repro.touchio.device import IPAD1_PROTOTYPE  # noqa: E402
+
+#: Number of tuples in the Figure 4 workload column (the paper uses 10^7).
+FIG4_COLUMN_ROWS = 10_000_000
+#: Height of the data object in Figure 4 (the paper uses 10 centimeters).
+FIG4_OBJECT_HEIGHT_CM = 10.0
+#: Interactive summaries configuration used in Figure 4 (10 entries, average).
+FIG4_SUMMARY_K = 10
+
+
+@pytest.fixture(scope="session")
+def fig4_column():
+    """The paper's evaluation column: 10^7 integer values."""
+    return generate_integer_column("fig4", FIG4_COLUMN_ROWS, seed=13)
+
+
+def make_fig4_session(column, config: KernelConfig | None = None) -> ExplorationSession:
+    """Build a session on the iPad-1-prototype profile showing the Figure 4 column."""
+    session = ExplorationSession(profile=IPAD1_PROTOTYPE, config=config)
+    session.load_column(column.name, column)
+    return session
+
+
+def print_series(series) -> None:
+    """Print an ExperimentSeries table under a blank line (benchmark output)."""
+    print()
+    print(series.to_table())
+
+
+def print_comparison(text: str) -> None:
+    """Print a formatted comparison table under a blank line."""
+    print()
+    print(text)

@@ -1,0 +1,82 @@
+"""Figure 2 (qualitative): slide before vs after a zoom-in gesture.
+
+Figure 2 of the paper shows two screenshots of the prototype: a slide over
+the blue column object, and the same slide after a zoom-in gesture on that
+object.  After the zoom-in, "more data results appear compared to the slide
+in the left hand-side screen-shot" and the results are at a finer
+granularity (smaller rowid stride between consecutive results).
+
+This benchmark reproduces the experiment on a three-column table (as in the
+screenshot) and asserts both effects.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.session import ExplorationSession
+from repro.metrics.reporting import format_comparison
+from repro.storage.table import Table
+from repro.touchio.device import IPAD1_PROTOTYPE
+
+from conftest import print_comparison
+
+ROWS = 1_000_000
+#: The finger moves at a constant speed; after zoom-in the object is bigger so
+#: sweeping the whole object takes proportionally longer.
+FINGER_SPEED_CM_PER_S = 8.0
+
+
+def build_three_column_table() -> Table:
+    """The screenshot shows three columns of one table, each its own object."""
+    rng = np.random.default_rng(21)
+    return Table.from_arrays(
+        "trips",
+        {
+            "distance": rng.gamma(2.0, 5.0, size=ROWS),
+            "duration": rng.gamma(3.0, 10.0, size=ROWS),
+            "fare": rng.gamma(2.5, 8.0, size=ROWS),
+        },
+    )
+
+
+def run_before_after_zoom() -> dict[str, dict[str, float]]:
+    """Slide over the 'blue' column before and after a zoom-in gesture."""
+    table = build_three_column_table()
+    session = ExplorationSession(profile=IPAD1_PROTOTYPE)
+    session.load_table("trips", table)
+    # three columns side by side, as in the screenshot; "fare" plays the blue one
+    session.show_column("trips", column_name="distance", x=0.0, height_cm=10.0)
+    session.show_column("trips", column_name="duration", x=3.0, height_cm=10.0)
+    blue = session.show_column("trips", column_name="fare", x=6.0, height_cm=10.0)
+    session.choose_scan(blue)
+
+    before = session.slide(blue, duration=blue.height / FINGER_SPEED_CM_PER_S)
+    stride_before = float(np.median(np.abs(np.diff(before.rowids_touched))))
+
+    session.zoom_in(blue)
+    after = session.slide(blue, duration=blue.height / FINGER_SPEED_CM_PER_S)
+    stride_after = float(np.median(np.abs(np.diff(after.rowids_touched))))
+
+    return {
+        "before zoom-in": {
+            "entries_returned": float(before.entries_returned),
+            "rowid_stride": stride_before,
+        },
+        "after zoom-in": {
+            "entries_returned": float(after.entries_returned),
+            "rowid_stride": stride_after,
+        },
+    }
+
+
+def test_fig2_zoom_in_reveals_more_and_finer_results(benchmark):
+    """After zoom-in, the same slide shows more results at a finer granularity."""
+    comparison = benchmark.pedantic(run_before_after_zoom, rounds=1, iterations=1)
+    print_comparison(format_comparison("Figure 2: slide before/after zoom-in", comparison))
+
+    before = comparison["before zoom-in"]
+    after = comparison["after zoom-in"]
+    assert after["entries_returned"] > before["entries_returned"]
+    assert after["rowid_stride"] < before["rowid_stride"]

@@ -1,0 +1,89 @@
+"""Figure 4(b): effect of varying the data-object size.
+
+Paper setup: the same column and summaries query as Figure 4(a).  This time
+the user applies zoom-in gestures to progressively double the size of the
+data object; for each size the slide gesture is repeated at the *same
+finger speed* (so a twice-as-tall object takes twice as long to traverse),
+and the number of data entries processed is measured.
+
+Paper result (Figure 4b): the bigger the object, the more data entries the
+same gesture speed inspects — again an approximately linear relationship,
+up to ~55 entries for a 25 cm object.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.metrics.reporting import ExperimentSeries
+
+from conftest import FIG4_SUMMARY_K, make_fig4_session, print_series
+
+#: Finger speed in cm/s.  25 cm (the paper's largest object) takes ~4 s, the
+#: right edge of Figure 4(a)'s time axis.
+FINGER_SPEED_CM_PER_S = 6.25
+#: Object heights produced by successive zoom-in gestures (cm).
+OBJECT_HEIGHTS_CM = [1.5625, 3.125, 6.25, 12.5, 25.0]
+#: The initial (pre-zoom) object height; zoom gestures grow it from here.
+INITIAL_HEIGHT_CM = OBJECT_HEIGHTS_CM[0]
+
+
+def run_size_sweep(column) -> ExperimentSeries:
+    """Zoom the object through doubling sizes, sliding at constant finger speed."""
+    series = ExperimentSeries(
+        "Figure 4(b): vary object size",
+        "object_size_cm",
+        ["entries_returned", "slide_duration_s"],
+    )
+    session = make_fig4_session(column)
+    view = session.show_column(column.name, height_cm=INITIAL_HEIGHT_CM)
+    session.choose_summary(view, k=FIG4_SUMMARY_K, aggregate="avg")
+    for target_height in OBJECT_HEIGHTS_CM:
+        if target_height > view.height * 1.001:
+            # apply zoom-in gestures until the object reaches the target size
+            while view.height < target_height * 0.999:
+                session.zoom_in(view)
+                if session.last_outcome().zoom_scale <= 1.0:
+                    break
+            # zoom gestures have device-dependent scale; snap to the exact
+            # doubling the paper describes
+            view.resize(target_height / view.height)
+        duration = view.height / FINGER_SPEED_CM_PER_S
+        outcome = session.slide(view, duration=duration)
+        series.add(
+            view.height,
+            entries_returned=outcome.entries_returned,
+            slide_duration_s=duration,
+        )
+    return series
+
+
+def test_fig4b_bigger_objects_expose_more_entries(fig4_column, benchmark):
+    """Regenerate Figure 4(b) and check its qualitative shape."""
+    series = benchmark.pedantic(run_size_sweep, args=(fig4_column,), rounds=1, iterations=1)
+    print_series(series)
+
+    entries = series.ys("entries_returned")
+    # shape 1: zooming in (a bigger object) never reduces the data observed
+    assert series.is_monotonic_increasing("entries_returned", tolerance=1)
+    # shape 2: entries grow approximately linearly with the object size
+    assert series.linear_correlation("entries_returned") > 0.98
+    # shape 3: doubling the size roughly doubles the entries; 16x size => >8x entries
+    assert series.ratio_last_to_first("entries_returned") > 8.0
+    # sanity: tens of entries at the largest size, as in the paper
+    assert 30 <= entries[-1] <= 120
+
+
+def test_fig4b_zoom_gesture_cost(fig4_column, benchmark):
+    """Time the zoom-in gesture handling itself (view resize + bookkeeping)."""
+    session = make_fig4_session(fig4_column)
+    view = session.show_column(fig4_column.name, height_cm=2.0)
+    session.choose_summary(view, k=FIG4_SUMMARY_K)
+
+    def zoom_once():
+        outcome = session.zoom_in(view)
+        view.resize(2.0 / view.height * 1.0) if view.height > 12.0 else None
+        return outcome
+
+    outcome = benchmark(zoom_once)
+    assert outcome.zoom_scale > 0.0

@@ -1,0 +1,102 @@
+"""E-remote: remote processing with local samples (Section 4 of the paper).
+
+The paper sketches a split deployment: the server stores the base data and
+the big samples, the touch device keeps only small samples.  Shipping every
+single touch to the server "will lead to extensive administration and
+communication costs"; instead dbTouch should answer from local data
+immediately and let the server deliver refined answers.
+
+The benchmark sweeps the network round-trip latency and compares three
+policies — local-only, remote-every-touch and hybrid — on the immediate
+per-touch response time and on the total simulated network time of a
+60-touch slide.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.metrics.reporting import ExperimentSeries
+from repro.remote.client import RemoteExplorationClient, RemotePolicy
+from repro.remote.network import NetworkProfile, SimulatedLink
+from repro.remote.server import RemoteServer
+from repro.storage.column import Column
+
+from conftest import print_series
+
+ROWS = 2_000_000
+TOUCHES = 60
+#: Round-trip latencies swept, in milliseconds (LAN to congested mobile).
+ROUND_TRIPS_MS = [5, 20, 60, 100, 150]
+
+
+def build_server() -> RemoteServer:
+    server = RemoteServer()
+    server.host_column(Column("hosted", np.arange(ROWS, dtype=np.int64)))
+    return server
+
+
+def run_latency_sweep(server: RemoteServer) -> ExperimentSeries:
+    """Measure mean immediate response time per touch for each policy."""
+    series = ExperimentSeries(
+        "E-remote: per-touch response time vs network latency",
+        "round_trip_ms",
+        ["local_only_ms", "remote_every_touch_ms", "hybrid_ms", "hybrid_network_s"],
+    )
+    rowids = list(np.linspace(0, ROWS - 1, TOUCHES, dtype=np.int64))
+    for rtt_ms in ROUND_TRIPS_MS:
+        profile = NetworkProfile(round_trip_s=rtt_ms / 1000.0, bandwidth_bytes_per_s=10e6)
+        clients = {
+            policy: RemoteExplorationClient(
+                server, SimulatedLink(profile), "hosted", policy=policy, local_sample_rows=4096
+            )
+            for policy in RemotePolicy
+        }
+        for policy, client in clients.items():
+            client.slide([int(r) for r in rowids])
+        series.add(
+            rtt_ms,
+            local_only_ms=clients[RemotePolicy.LOCAL_ONLY].stats.mean_response_s * 1000.0,
+            remote_every_touch_ms=clients[RemotePolicy.REMOTE_EVERY_TOUCH].stats.mean_response_s
+            * 1000.0,
+            hybrid_ms=clients[RemotePolicy.HYBRID].stats.mean_response_s * 1000.0,
+            hybrid_network_s=clients[RemotePolicy.HYBRID].network_stats.simulated_seconds,
+        )
+    return series
+
+
+def test_hybrid_policy_keeps_response_times_interactive(benchmark):
+    """Hybrid answers stay flat while ship-every-touch grows with the latency."""
+    server = build_server()
+    series = benchmark.pedantic(run_latency_sweep, args=(server,), rounds=1, iterations=1)
+    print_series(series)
+
+    hybrid = series.ys("hybrid_ms")
+    naive = series.ys("remote_every_touch_ms")
+    local = series.ys("local_only_ms")
+    # the naive policy pays the round trip on every touch: it tracks the
+    # network latency and becomes non-interactive on slow links
+    assert series.is_monotonic_increasing("remote_every_touch_ms")
+    assert naive[-1] > 100.0
+    # the hybrid policy answers immediately from the local sample at any latency
+    assert hybrid.max() < 5.0
+    assert hybrid.max() <= local.max() + 1.0
+    # and the naive policy is at least an order of magnitude slower to respond
+    assert naive[-1] > 20.0 * hybrid[-1]
+
+
+def test_hybrid_refinement_traffic_is_bounded(benchmark):
+    """For a coarse slide the hybrid client sends (almost) no remote requests."""
+    server = build_server()
+
+    def run() -> float:
+        profile = NetworkProfile(round_trip_s=0.06, bandwidth_bytes_per_s=10e6)
+        client = RemoteExplorationClient(
+            server, SimulatedLink(profile), "hosted", policy=RemotePolicy.HYBRID
+        )
+        client.slide(list(np.linspace(0, ROWS - 1, TOUCHES, dtype=np.int64)))
+        return float(client.stats.remote_requests)
+
+    remote_requests = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert remote_requests == 0.0

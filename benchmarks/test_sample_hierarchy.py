@@ -1,0 +1,83 @@
+"""E-sample-storage: sample hierarchies versus direct base-data access.
+
+Section 2.6 of the paper ("Sample-based Storage"): accessing data at a
+coarse granularity directly from the base data loads data that the query
+does not need; storing hierarchies of samples and feeding each gesture from
+the level matching its granularity minimizes the auxiliary reads.
+
+This ablation slides at several granularities (strides) and compares the
+bytes that must be read per returned entry with and without the hierarchy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.metrics.reporting import ExperimentSeries
+from repro.storage.sample import SampleHierarchy
+
+from conftest import print_series
+
+#: Strides between consecutive touches, in base rowids (coarse → fine).
+STRIDES = [1, 16, 256, 4096, 65_536]
+#: How many touches each simulated gesture registers.
+TOUCHES_PER_GESTURE = 50
+
+
+def run_sample_ablation(column) -> ExperimentSeries:
+    """Compare window reads served from the hierarchy vs from base data."""
+    hierarchy = SampleHierarchy(column, factor=4, min_rows=64)
+    series = ExperimentSeries(
+        "E-sample-storage: hierarchy vs base access",
+        "touch_stride_rows",
+        ["hierarchy_values_read", "base_values_read", "hierarchy_level_used"],
+    )
+    half_window = 10
+    n = len(column)
+    for stride in STRIDES:
+        rowids = np.linspace(0, n - 1, TOUCHES_PER_GESTURE, dtype=np.int64)
+        hierarchy_values = 0
+        level_used = 0
+        for rowid in rowids:
+            window, level = hierarchy.read_window(int(rowid), half_window, stride_hint=stride)
+            hierarchy_values += len(window)
+            level_used = level.level
+        # without the hierarchy every touch reads the full window from base data
+        base_values = TOUCHES_PER_GESTURE * (2 * half_window + 1)
+        series.add(
+            stride,
+            hierarchy_values_read=hierarchy_values,
+            base_values_read=base_values,
+            hierarchy_level_used=level_used,
+        )
+    return series
+
+
+def test_hierarchy_reduces_reads_at_coarse_granularity(fig4_column, benchmark):
+    """Coarse gestures read far less through the hierarchy than from base data."""
+    series = benchmark.pedantic(run_sample_ablation, args=(fig4_column,), rounds=1, iterations=1)
+    print_series(series)
+
+    hierarchy_reads = series.ys("hierarchy_values_read")
+    base_reads = series.ys("base_values_read")
+    levels = series.ys("hierarchy_level_used")
+    # at stride 1 the hierarchy serves from the base data: essentially the
+    # same cost (the only difference is window clamping at the column edges)
+    assert hierarchy_reads[0] >= 0.95 * base_reads[0]
+    # the coarser the gesture, the coarser the level used
+    assert list(levels) == sorted(levels)
+    assert levels[-1] > 0
+    # at the coarsest stride the hierarchy reads several times less data
+    assert hierarchy_reads[-1] * 3 <= base_reads[-1]
+    # and hierarchy reads shrink monotonically with coarseness
+    assert series.is_monotonic_decreasing("hierarchy_values_read", tolerance=1)
+
+
+def test_hierarchy_construction_cost(fig4_column, benchmark):
+    """Time building the full sample hierarchy over the 10^7 column."""
+    hierarchy = benchmark(lambda: SampleHierarchy(fig4_column, factor=4, min_rows=64))
+    # the hierarchy trades a bounded amount of extra storage (a geometric
+    # series: ~1/3 of the base column for factor 4)
+    assert hierarchy.total_sample_bytes < 0.5 * fig4_column.size_bytes
+    assert hierarchy.num_levels > 5

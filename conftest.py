@@ -1,0 +1,15 @@
+"""Pytest bootstrap: make the in-tree package importable without installing.
+
+``pip install -e .`` (or ``python setup.py develop``) is the supported way
+to work on the project, but offline environments sometimes lack the
+``wheel`` package that editable installs require.  Putting ``src/`` on
+``sys.path`` here keeps ``pytest tests/`` and ``pytest benchmarks/``
+working either way.
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

@@ -1,0 +1,98 @@
+"""Quickstart: touch a column of data with gestures.
+
+This example walks through the core dbTouch loop on synthetic data:
+
+1. load a column into the catalog;
+2. place it on the (simulated) screen as a column-shaped data object;
+3. pick a query action (plain scan, running average, interactive summary);
+4. slide, tap, zoom and rotate — and look at what comes back.
+
+Run it with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import ExplorationSession, IPAD1
+from repro.viz import assign_colors, render_results, render_screen, shape_from_view
+
+
+def main() -> None:
+    rng = np.random.default_rng(42)
+    # one year of hourly sensor readings with a daily cycle and some noise
+    hours = np.arange(24 * 365)
+    readings = 20.0 + 8.0 * np.sin(2 * np.pi * hours / 24.0) + rng.normal(0, 1.5, len(hours))
+
+    session = ExplorationSession(profile=IPAD1)
+    session.load_column("sensor_readings", readings)
+
+    # ---------------------------------------------------------------- #
+    # glance at the screen: object metadata, no data values yet
+    # ---------------------------------------------------------------- #
+    view = session.show_column("sensor_readings", height_cm=10.0, width_cm=2.0)
+    for info in session.glance():
+        print(f"data object: {info.name} ({info.num_rows:,} tuples, {info.dtype_names[0]})")
+
+    colors = assign_colors(["sensor_readings"])
+    print()
+    print(render_screen([shape_from_view(view, colors["sensor_readings"])]))
+
+    # ---------------------------------------------------------------- #
+    # tap to reveal a single value (schema-less querying)
+    # ---------------------------------------------------------------- #
+    session.choose_scan(view)
+    tap = session.tap(view, fraction=0.5)
+    print(f"\nsingle tap mid-object reveals value: {tap.results[0].value:.2f}")
+
+    # ---------------------------------------------------------------- #
+    # slide to scan: results appear (and fade) as the gesture progresses
+    # ---------------------------------------------------------------- #
+    scan = session.slide(view, duration=2.0)
+    print(f"\nslide-to-scan for 2.0 s returned {scan.entries_returned} entries")
+    stream = session.kernel.state_of(view.name).results
+    print(render_results(shape_from_view(view, "blue"), stream, now=session.device.now, max_rows=12))
+
+    # ---------------------------------------------------------------- #
+    # slide to aggregate: a running average, continuously refined
+    # ---------------------------------------------------------------- #
+    session.choose_aggregate(view, "avg")
+    agg = session.slide(view, duration=2.0)
+    print(f"\nrunning average after the slide: {agg.final_aggregate:.2f}")
+    print(f"(true mean of the column: {readings.mean():.2f})")
+
+    # ---------------------------------------------------------------- #
+    # interactive summaries: one average per touch over 21 entries
+    # ---------------------------------------------------------------- #
+    session.choose_summary(view, k=10, aggregate="avg")
+    summary = session.slide(view, duration=2.0)
+    print(
+        f"\ninteractive-summary slide returned {summary.entries_returned} summaries, "
+        f"examining {summary.tuples_examined} stored values"
+    )
+
+    # ---------------------------------------------------------------- #
+    # zoom in for more detail, then slide again
+    # ---------------------------------------------------------------- #
+    session.zoom_in(view)
+    finer = session.slide(view, duration=2.0)
+    print(
+        f"after zoom-in the object is {view.height:.1f} cm tall and the same slide "
+        f"returns {finer.entries_returned} summaries"
+    )
+
+    # ---------------------------------------------------------------- #
+    # session report
+    # ---------------------------------------------------------------- #
+    report = session.summary()
+    print(
+        f"\nsession total: {report.gestures} gestures, {report.entries_returned} entries shown, "
+        f"{report.tuples_examined:,} of {len(readings):,} stored values examined, "
+        f"worst per-touch latency {report.max_touch_latency_s * 1000:.2f} ms"
+    )
+
+
+if __name__ == "__main__":
+    main()

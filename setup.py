@@ -1,0 +1,21 @@
+"""Setup shim for environments without the ``wheel`` package installed.
+
+The project metadata lives in ``pyproject.toml``; this file only enables
+legacy ``pip install -e .`` (setup.py develop) in offline environments
+where PEP 660 editable builds are unavailable.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="0.1.0",
+    description=(
+        "dbTouch: Analytics at your Fingertips — a Python reproduction of the "
+        "CIDR 2013 touch-driven database kernel"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24"],
+)

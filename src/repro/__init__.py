@@ -1,0 +1,93 @@
+"""repro — a Python reproduction of *dbTouch: Analytics at your Fingertips*.
+
+dbTouch (Idreos & Liarou, CIDR 2013) proposes database kernels tailored for
+touch-based data exploration: data objects are drawn as shapes, gestures
+are the query language, the user controls the data flow, and the system
+processes only the data the gesture points at while staying interactive.
+
+The public API centres on :class:`repro.ExplorationSession`:
+
+>>> from repro import ExplorationSession
+>>> session = ExplorationSession()
+>>> _ = session.load_column("measurements", range(1_000_000))
+>>> view = session.show_column("measurements", height_cm=10.0)
+>>> session.choose_summary(view, k=10, aggregate="avg")
+>>> outcome = session.slide(view, duration=2.0)
+>>> outcome.entries_returned > 0
+True
+
+Subpackages
+-----------
+``repro.core``
+    The dbTouch kernel (touch mapping, gestures, summaries, adaptivity).
+``repro.storage``
+    Fixed-width numpy columns, tables, layouts, sample hierarchies.
+``repro.touchio``
+    The simulated touch OS: views, devices, gesture synthesis/recognition.
+``repro.engine``
+    Touch-driven operators: scans, aggregates, filters, joins, group-by.
+``repro.indexing``
+    Zone maps, per-sample-level indexes and touch-driven cracking.
+``repro.baseline``
+    The monolithic "traditional DBMS" comparison engine.
+``repro.remote``
+    Simulated client/server split for remote processing.
+``repro.workloads``
+    Synthetic data generators, scenarios and the exploration contest.
+``repro.viz``
+    Data-object shapes and text rendering of the screen.
+``repro.metrics``
+    Collectors and reporters used by the benchmark harness.
+"""
+
+from repro.core.actions import (
+    ActionKind,
+    QueryAction,
+    aggregate_action,
+    group_by_action,
+    join_action,
+    scan_action,
+    select_where_action,
+    summary_action,
+)
+from repro.core.kernel import DbTouchKernel, GestureOutcome, KernelConfig
+from repro.core.session import ExplorationSession, SessionSummary
+from repro.errors import DbTouchError
+from repro.storage.catalog import Catalog
+from repro.storage.column import Column
+from repro.storage.table import Table
+from repro.touchio.device import (
+    IPAD1,
+    IPAD1_PROTOTYPE,
+    MODERN_TABLET,
+    PHONE,
+    DeviceProfile,
+)
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "ActionKind",
+    "Catalog",
+    "Column",
+    "DbTouchError",
+    "DbTouchKernel",
+    "DeviceProfile",
+    "ExplorationSession",
+    "GestureOutcome",
+    "IPAD1",
+    "IPAD1_PROTOTYPE",
+    "KernelConfig",
+    "MODERN_TABLET",
+    "PHONE",
+    "QueryAction",
+    "SessionSummary",
+    "Table",
+    "aggregate_action",
+    "group_by_action",
+    "join_action",
+    "scan_action",
+    "select_where_action",
+    "summary_action",
+    "__version__",
+]

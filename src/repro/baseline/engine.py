@@ -1,0 +1,240 @@
+"""The monolithic baseline engine (the "traditional DBMS" in the demo).
+
+The dbTouch demo proposes an exploration contest: one person explores data
+with the dbTouch prototype, another with the SQL interface of an
+open-source column-store DBMS.  This module provides that opponent — a
+small but honest monolithic engine: queries are declared up front, the
+engine controls the data flow, every query scans all the rows it needs
+(there is no sampling, no incremental refinement), and blocking operators
+(hash join, hash aggregation, sorting) consume their whole input before
+producing the first result.
+
+Work is accounted in *cells read* alongside wall-clock time so benchmark
+comparisons do not depend solely on Python-level timing noise.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import BaselineError
+from repro.engine.filter import Predicate
+from repro.engine.join import BlockingHashJoin
+from repro.storage.table import Table
+
+
+@dataclass
+class QueryResult:
+    """The result of one monolithic query.
+
+    Attributes
+    ----------
+    rows:
+        Result rows as attribute → value mappings (aggregates produce one).
+    cells_read:
+        Number of fixed-width cells the query had to read.
+    elapsed_s:
+        Wall-clock execution time.
+    rows_examined:
+        Number of base tuples examined.
+    """
+
+    rows: list[dict[str, object]]
+    cells_read: int = 0
+    elapsed_s: float = 0.0
+    rows_examined: int = 0
+
+    @property
+    def num_rows(self) -> int:
+        """Number of result rows."""
+        return len(self.rows)
+
+    def scalar(self) -> object:
+        """The single value of a single-row, single-column result."""
+        if len(self.rows) != 1 or len(self.rows[0]) != 1:
+            raise BaselineError("scalar() requires a 1x1 result")
+        return next(iter(self.rows[0].values()))
+
+
+_AGG_FUNCS = {
+    "count": lambda v: int(v.size),
+    "sum": lambda v: float(v.sum()) if v.size else 0.0,
+    "avg": lambda v: float(v.mean()) if v.size else None,
+    "min": lambda v: float(v.min()) if v.size else None,
+    "max": lambda v: float(v.max()) if v.size else None,
+    "std": lambda v: float(v.std()) if v.size else None,
+}
+
+
+class MonolithicEngine:
+    """A traditional, full-scan, blocking query engine over registered tables."""
+
+    def __init__(self) -> None:
+        self._tables: dict[str, Table] = {}
+        self.total_cells_read = 0
+        self.queries_executed = 0
+
+    # ------------------------------------------------------------------ #
+    # catalog
+    # ------------------------------------------------------------------ #
+    def register(self, table: Table, replace: bool = False) -> None:
+        """Register a table with the engine."""
+        if table.name in self._tables and not replace:
+            raise BaselineError(f"table {table.name!r} already registered")
+        self._tables[table.name] = table
+
+    def table(self, name: str) -> Table:
+        """Look up a registered table."""
+        if name not in self._tables:
+            raise BaselineError(f"unknown table {name!r}; registered: {sorted(self._tables)}")
+        return self._tables[name]
+
+    @property
+    def table_names(self) -> list[str]:
+        """Names of registered tables."""
+        return sorted(self._tables)
+
+    # ------------------------------------------------------------------ #
+    # query execution
+    # ------------------------------------------------------------------ #
+    def _apply_predicates(
+        self, table: Table, predicates: Mapping[str, Predicate] | None
+    ) -> tuple[np.ndarray, int]:
+        """Return (selected rowids, cells read evaluating the predicates)."""
+        n = len(table)
+        mask = np.ones(n, dtype=bool)
+        cells = 0
+        if predicates:
+            for column_name, predicate in predicates.items():
+                values = table.column(column_name).values
+                cells += n  # a monolithic engine scans the full column
+                mask &= predicate.mask(values)
+        return np.nonzero(mask)[0], cells
+
+    def select(
+        self,
+        table_name: str,
+        columns: Sequence[str] | None = None,
+        predicates: Mapping[str, Predicate] | None = None,
+        limit: int | None = None,
+    ) -> QueryResult:
+        """SELECT columns FROM table [WHERE ...] [LIMIT n], full scan."""
+        started = time.perf_counter()
+        table = self.table(table_name)
+        wanted = list(columns) if columns else table.column_names
+        for name in wanted:
+            if name not in table:
+                raise BaselineError(f"table {table_name!r} has no column {name!r}")
+        rowids, cells = self._apply_predicates(table, predicates)
+        if limit is not None:
+            rowids = rowids[: max(0, limit)]
+        gathered = table.gather(rowids, wanted)
+        cells += len(rowids) * len(wanted)
+        rows = [
+            {name: gathered[name][i] for name in wanted} for i in range(len(rowids))
+        ]
+        elapsed = time.perf_counter() - started
+        self.total_cells_read += cells
+        self.queries_executed += 1
+        return QueryResult(rows=rows, cells_read=cells, elapsed_s=elapsed, rows_examined=len(table))
+
+    def aggregate(
+        self,
+        table_name: str,
+        column: str,
+        function: str,
+        predicates: Mapping[str, Predicate] | None = None,
+    ) -> QueryResult:
+        """SELECT f(column) FROM table [WHERE ...], full scan."""
+        started = time.perf_counter()
+        function = function.lower()
+        if function not in _AGG_FUNCS:
+            raise BaselineError(f"unknown aggregate {function!r}; known: {sorted(_AGG_FUNCS)}")
+        table = self.table(table_name)
+        rowids, cells = self._apply_predicates(table, predicates)
+        values = table.column(column).values[rowids].astype(np.float64)
+        cells += len(rowids)
+        result_value = _AGG_FUNCS[function](values)
+        elapsed = time.perf_counter() - started
+        self.total_cells_read += cells
+        self.queries_executed += 1
+        return QueryResult(
+            rows=[{f"{function}({column})": result_value}],
+            cells_read=cells,
+            elapsed_s=elapsed,
+            rows_examined=len(table),
+        )
+
+    def group_by(
+        self,
+        table_name: str,
+        key_column: str,
+        measure_column: str,
+        function: str = "avg",
+        predicates: Mapping[str, Predicate] | None = None,
+    ) -> QueryResult:
+        """SELECT key, f(measure) FROM table GROUP BY key — blocking hash aggregation."""
+        started = time.perf_counter()
+        function = function.lower()
+        if function not in _AGG_FUNCS:
+            raise BaselineError(f"unknown aggregate {function!r}")
+        table = self.table(table_name)
+        rowids, cells = self._apply_predicates(table, predicates)
+        keys = table.column(key_column).values[rowids]
+        measures = table.column(measure_column).values[rowids].astype(np.float64)
+        cells += 2 * len(rowids)
+        rows = []
+        for key in np.unique(keys):
+            group_values = measures[keys == key]
+            rows.append(
+                {
+                    key_column: key.item() if hasattr(key, "item") else key,
+                    f"{function}({measure_column})": _AGG_FUNCS[function](group_values),
+                }
+            )
+        elapsed = time.perf_counter() - started
+        self.total_cells_read += cells
+        self.queries_executed += 1
+        return QueryResult(rows=rows, cells_read=cells, elapsed_s=elapsed, rows_examined=len(table))
+
+    def join(
+        self,
+        left_table: str,
+        right_table: str,
+        left_column: str,
+        right_column: str,
+        limit: int | None = None,
+    ) -> QueryResult:
+        """Blocking hash join between two registered tables on equality."""
+        started = time.perf_counter()
+        left = self.table(left_table)
+        right = self.table(right_table)
+        join = BlockingHashJoin()
+        matches = join.join(
+            left.column(left_column).values.tolist(),
+            right.column(right_column).values.tolist(),
+        )
+        if limit is not None:
+            matches = matches[: max(0, limit)]
+        cells = len(left) + len(right)
+        rows = [
+            {
+                f"{left_table}.rowid": m.left_rowid,
+                f"{right_table}.rowid": m.right_rowid,
+                "key": m.key,
+            }
+            for m in matches
+        ]
+        elapsed = time.perf_counter() - started
+        self.total_cells_read += cells
+        self.queries_executed += 1
+        return QueryResult(
+            rows=rows,
+            cells_read=cells,
+            elapsed_s=elapsed,
+            rows_examined=len(left) + len(right),
+        )

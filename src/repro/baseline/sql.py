@@ -1,0 +1,200 @@
+"""A tiny SQL-like front-end for the monolithic baseline engine.
+
+The demo's contest opponent types SQL into a laptop DBMS.  This parser
+supports the slice of SQL that opponent realistically needs:
+
+* ``SELECT col1, col2 FROM t``
+* ``SELECT * FROM t WHERE col > 10 AND col2 <= 5 LIMIT 20``
+* ``SELECT AVG(col) FROM t WHERE col BETWEEN 10 AND 20``
+* ``SELECT key, AVG(measure) FROM t GROUP BY key``
+
+It compiles the statement into calls on :class:`MonolithicEngine` and is
+deliberately strict: anything outside the supported grammar raises
+:class:`~repro.errors.BaselineError` with a pointed message.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.errors import BaselineError
+from repro.baseline.engine import MonolithicEngine, QueryResult
+from repro.engine.filter import Comparison, Predicate
+
+_AGG_RE = re.compile(r"^(count|sum|avg|min|max|std)\((\*|[\w\.]+)\)$", re.IGNORECASE)
+_CONDITION_RE = re.compile(
+    r"^(?P<column>[\w\.]+)\s*(?P<op><=|>=|!=|=|<|>)\s*(?P<value>-?\d+(?:\.\d+)?)$"
+)
+_BETWEEN_RE = re.compile(
+    r"^(?P<column>[\w\.]+)\s+between\s+(?P<low>-?\d+(?:\.\d+)?)\s+and\s+(?P<high>-?\d+(?:\.\d+)?)$",
+    re.IGNORECASE,
+)
+_DANGLING_BETWEEN_RE = re.compile(
+    r"between\s+-?\d+(?:\.\d+)?$", re.IGNORECASE
+)
+
+
+def _split_conditions(where_part: str) -> list[str]:
+    """Split a WHERE clause on AND, keeping BETWEEN ... AND ... intact."""
+    raw = re.split(r"\s+and\s+", where_part, flags=re.IGNORECASE)
+    conditions: list[str] = []
+    for part in raw:
+        if conditions and _DANGLING_BETWEEN_RE.search(conditions[-1]):
+            conditions[-1] = f"{conditions[-1]} AND {part}"
+        else:
+            conditions.append(part)
+    return conditions
+
+_OP_MAP = {
+    "=": Comparison.EQ,
+    "!=": Comparison.NE,
+    "<": Comparison.LT,
+    "<=": Comparison.LE,
+    ">": Comparison.GT,
+    ">=": Comparison.GE,
+}
+
+
+@dataclass(frozen=True)
+class ParsedQuery:
+    """The normalized form of a parsed SQL statement."""
+
+    table: str
+    select_columns: tuple[str, ...] = ()
+    aggregate_function: str | None = None
+    aggregate_column: str | None = None
+    group_by_column: str | None = None
+    predicates: tuple[tuple[str, Predicate], ...] = ()
+    limit: int | None = None
+
+
+def _parse_condition(text: str) -> tuple[str, Predicate]:
+    text = text.strip()
+    between = _BETWEEN_RE.match(text)
+    if between:
+        return (
+            between.group("column"),
+            Predicate(
+                Comparison.BETWEEN,
+                float(between.group("low")),
+                float(between.group("high")),
+            ),
+        )
+    match = _CONDITION_RE.match(text)
+    if not match:
+        raise BaselineError(f"cannot parse WHERE condition {text!r}")
+    return (
+        match.group("column"),
+        Predicate(_OP_MAP[match.group("op")], float(match.group("value"))),
+    )
+
+
+def parse_sql(statement: str) -> ParsedQuery:
+    """Parse a supported SQL statement into a :class:`ParsedQuery`."""
+    text = " ".join(statement.strip().rstrip(";").split())
+    if not text:
+        raise BaselineError("empty SQL statement")
+    pattern = re.compile(
+        r"^select\s+(?P<select>.+?)\s+from\s+(?P<table>\w+)"
+        r"(?:\s+where\s+(?P<where>.+?))?"
+        r"(?:\s+group\s+by\s+(?P<group>\w+))?"
+        r"(?:\s+limit\s+(?P<limit>\d+))?$",
+        re.IGNORECASE,
+    )
+    match = pattern.match(text)
+    if not match:
+        raise BaselineError(
+            f"unsupported SQL statement {statement!r}; supported forms are "
+            "SELECT cols|agg(col) FROM t [WHERE ...] [GROUP BY col] [LIMIT n]"
+        )
+    select_part = match.group("select").strip()
+    table = match.group("table")
+    where_part = match.group("where")
+    group_column = match.group("group")
+    limit = int(match.group("limit")) if match.group("limit") else None
+
+    predicates: list[tuple[str, Predicate]] = []
+    if where_part:
+        for condition in _split_conditions(where_part):
+            predicates.append(_parse_condition(condition))
+
+    select_items = [item.strip() for item in select_part.split(",")]
+    agg_function: str | None = None
+    agg_column: str | None = None
+    plain_columns: list[str] = []
+    for item in select_items:
+        agg_match = _AGG_RE.match(item)
+        if agg_match:
+            if agg_function is not None:
+                raise BaselineError("only one aggregate per statement is supported")
+            agg_function = agg_match.group(1).lower()
+            agg_column = agg_match.group(2)
+        else:
+            plain_columns.append(item)
+
+    if group_column is not None:
+        if agg_function is None or agg_column is None:
+            raise BaselineError("GROUP BY requires an aggregate in the SELECT list")
+        extra = [c for c in plain_columns if c not in ("*", group_column)]
+        if extra:
+            raise BaselineError(
+                f"non-aggregated columns {extra} are not allowed with GROUP BY"
+            )
+    elif agg_function is not None and plain_columns and plain_columns != ["*"]:
+        raise BaselineError("mixing aggregates and plain columns requires GROUP BY")
+
+    return ParsedQuery(
+        table=table,
+        select_columns=tuple(plain_columns),
+        aggregate_function=agg_function,
+        aggregate_column=agg_column,
+        group_by_column=group_column,
+        predicates=tuple(predicates),
+        limit=limit,
+    )
+
+
+class SqlInterface:
+    """Execute supported SQL statements against a :class:`MonolithicEngine`."""
+
+    def __init__(self, engine: MonolithicEngine):
+        self.engine = engine
+        self.statements_executed = 0
+
+    def execute(self, statement: str) -> QueryResult:
+        """Parse and execute ``statement``, returning its :class:`QueryResult`."""
+        parsed = parse_sql(statement)
+        predicates = dict(parsed.predicates) if parsed.predicates else None
+        self.statements_executed += 1
+        if parsed.group_by_column is not None:
+            if parsed.aggregate_column in (None, "*"):
+                raise BaselineError("GROUP BY aggregates need an explicit measure column")
+            return self.engine.group_by(
+                parsed.table,
+                key_column=parsed.group_by_column,
+                measure_column=parsed.aggregate_column,
+                function=parsed.aggregate_function or "avg",
+                predicates=predicates,
+            )
+        if parsed.aggregate_function is not None:
+            if parsed.aggregate_function == "count" and parsed.aggregate_column == "*":
+                table = self.engine.table(parsed.table)
+                column = table.column_names[0]
+            else:
+                column = parsed.aggregate_column or ""
+            return self.engine.aggregate(
+                parsed.table,
+                column=column,
+                function=parsed.aggregate_function,
+                predicates=predicates,
+            )
+        columns = None
+        if parsed.select_columns and parsed.select_columns != ("*",):
+            columns = list(parsed.select_columns)
+        return self.engine.select(
+            parsed.table,
+            columns=columns,
+            predicates=predicates,
+            limit=parsed.limit,
+        )

@@ -1,0 +1,145 @@
+"""A Polaris/Tableau-style visual-analytics shim over the monolithic engine.
+
+The paper positions dbTouch against visual-analytics systems (Polaris,
+Tableau and friends): those systems make *query construction* graphical —
+drag a field onto a shelf, pick an aggregate — but the underlying engine is
+still a traditional DBMS that runs the full, monolithic query.  This module
+reproduces that architecture so the benchmarks can compare "graphical input
+over a traditional kernel" with "touch-driven kernel" directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import BaselineError
+from repro.baseline.engine import MonolithicEngine, QueryResult
+from repro.engine.filter import Predicate
+
+
+@dataclass
+class ShelfSpec:
+    """The state of the drag-and-drop shelves in a Polaris-like UI.
+
+    Attributes
+    ----------
+    table:
+        The data source dropped onto the canvas.
+    rows / columns:
+        Field names dragged to the row and column shelves.
+    measure:
+        The measure field to aggregate.
+    aggregate:
+        The aggregate function selected from the measure's menu.
+    filters:
+        Field → predicate mappings dragged to the filter shelf.
+    """
+
+    table: str
+    rows: list[str] = field(default_factory=list)
+    columns: list[str] = field(default_factory=list)
+    measure: str | None = None
+    aggregate: str = "avg"
+    filters: dict[str, Predicate] = field(default_factory=dict)
+
+    def dimensions(self) -> list[str]:
+        """All dimension fields in shelf order (rows then columns)."""
+        return [*self.rows, *self.columns]
+
+
+@dataclass(frozen=True)
+class ChartResult:
+    """A rendered chart: the marks plus the query cost that produced them."""
+
+    chart_type: str
+    marks: list[dict[str, object]]
+    query_result: QueryResult
+
+
+class VisualAnalyticsInterface:
+    """Compile shelf specifications into monolithic queries and 'render' them."""
+
+    def __init__(self, engine: MonolithicEngine):
+        self.engine = engine
+        self.charts_rendered = 0
+
+    # ------------------------------------------------------------------ #
+    # shelf manipulation helpers (the drag-and-drop vocabulary)
+    # ------------------------------------------------------------------ #
+    def new_sheet(self, table: str) -> ShelfSpec:
+        """Start a new sheet with ``table`` as the data source."""
+        if table not in self.engine.table_names:
+            raise BaselineError(f"unknown data source {table!r}")
+        return ShelfSpec(table=table)
+
+    @staticmethod
+    def drag_to_rows(spec: ShelfSpec, field_name: str) -> ShelfSpec:
+        """Drag a dimension to the rows shelf."""
+        spec.rows.append(field_name)
+        return spec
+
+    @staticmethod
+    def drag_to_columns(spec: ShelfSpec, field_name: str) -> ShelfSpec:
+        """Drag a dimension to the columns shelf."""
+        spec.columns.append(field_name)
+        return spec
+
+    @staticmethod
+    def set_measure(spec: ShelfSpec, field_name: str, aggregate: str = "avg") -> ShelfSpec:
+        """Choose the measure field and its aggregate."""
+        spec.measure = field_name
+        spec.aggregate = aggregate
+        return spec
+
+    @staticmethod
+    def add_filter(spec: ShelfSpec, field_name: str, predicate: Predicate) -> ShelfSpec:
+        """Drag a field to the filter shelf with a predicate."""
+        spec.filters[field_name] = predicate
+        return spec
+
+    # ------------------------------------------------------------------ #
+    # rendering (compiles to a monolithic query)
+    # ------------------------------------------------------------------ #
+    def render(self, spec: ShelfSpec) -> ChartResult:
+        """Compile the shelves to a query, run it fully, return the chart.
+
+        A bar chart is produced when exactly one dimension is present, a
+        scalar "big number" card when none is, and a table otherwise — a
+        simplified version of Polaris' table-algebra-to-chart mapping.
+        """
+        predicates = spec.filters if spec.filters else None
+        dimensions = spec.dimensions()
+        if spec.measure is None:
+            result = self.engine.select(spec.table, columns=dimensions or None, predicates=predicates)
+            chart_type = "table"
+            marks = result.rows
+        elif not dimensions:
+            result = self.engine.aggregate(
+                spec.table, column=spec.measure, function=spec.aggregate, predicates=predicates
+            )
+            chart_type = "big-number"
+            marks = result.rows
+        elif len(dimensions) == 1:
+            result = self.engine.group_by(
+                spec.table,
+                key_column=dimensions[0],
+                measure_column=spec.measure,
+                function=spec.aggregate,
+                predicates=predicates,
+            )
+            chart_type = "bar"
+            marks = result.rows
+        else:
+            # multi-dimensional breakdown: group by the first dimension and
+            # carry the remaining dimensions as mark attributes
+            result = self.engine.group_by(
+                spec.table,
+                key_column=dimensions[0],
+                measure_column=spec.measure,
+                function=spec.aggregate,
+                predicates=predicates,
+            )
+            chart_type = "heatmap"
+            marks = result.rows
+        self.charts_rendered += 1
+        return ChartResult(chart_type=chart_type, marks=marks, query_result=result)

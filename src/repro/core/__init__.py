@@ -1,0 +1,73 @@
+"""The dbTouch kernel: the paper's primary contribution.
+
+The core subpackage maps touch gestures onto query-processing actions:
+
+* :mod:`repro.core.touch_mapping` — the Rule-of-Three touch → rowid map;
+* :mod:`repro.core.actions` — declarative query actions bound to objects;
+* :mod:`repro.core.summaries` — interactive summaries;
+* :mod:`repro.core.caching` / :mod:`repro.core.prefetch` — touched-range
+  caching and gesture-extrapolating prefetching;
+* :mod:`repro.core.optimizer` — adaptive, on-the-fly optimization;
+* :mod:`repro.core.result_stream` — in-place, fading result presentation;
+* :mod:`repro.core.kernel` — the kernel that executes gestures;
+* :mod:`repro.core.session` — the high-level exploration facade.
+"""
+
+from repro.core.actions import (
+    ActionKind,
+    QueryAction,
+    aggregate_action,
+    group_by_action,
+    join_action,
+    scan_action,
+    select_where_action,
+    summary_action,
+)
+from repro.core.caching import CacheStats, HashTableCache, TouchCache
+from repro.core.kernel import DbTouchKernel, GestureOutcome, KernelConfig
+from repro.core.optimizer import (
+    AdaptiveOptimizer,
+    AdaptivePredicateOrderer,
+    OptimizerDecision,
+    PredicateStats,
+)
+from repro.core.prefetch import GestureEstimate, GesturePrefetcher
+from repro.core.result_stream import ResultStream, ResultValue, VisibleResult
+from repro.core.schema_gestures import SchemaGestureOutcome, SchemaGestures
+from repro.core.session import ExplorationSession, SessionSummary
+from repro.core.summaries import InteractiveSummarizer, SummaryResult
+from repro.core.touch_mapping import MappedTouch, TouchMapper
+
+__all__ = [
+    "ActionKind",
+    "AdaptiveOptimizer",
+    "AdaptivePredicateOrderer",
+    "CacheStats",
+    "DbTouchKernel",
+    "ExplorationSession",
+    "GestureEstimate",
+    "GestureOutcome",
+    "GesturePrefetcher",
+    "HashTableCache",
+    "InteractiveSummarizer",
+    "KernelConfig",
+    "MappedTouch",
+    "OptimizerDecision",
+    "PredicateStats",
+    "QueryAction",
+    "ResultStream",
+    "ResultValue",
+    "SchemaGestureOutcome",
+    "SchemaGestures",
+    "SessionSummary",
+    "SummaryResult",
+    "TouchCache",
+    "TouchMapper",
+    "VisibleResult",
+    "aggregate_action",
+    "group_by_action",
+    "join_action",
+    "scan_action",
+    "select_where_action",
+    "summary_action",
+]

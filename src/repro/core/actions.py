@@ -1,0 +1,170 @@
+"""Query actions: what a gesture *means* for query processing.
+
+Before starting a gesture the user chooses one or more query actions for a
+data object — "scan", "running average", "interactive summary with k=10",
+"only rows where value > 100", "join these two columns".  The gesture then
+drives the chosen actions one touch at a time.  This module defines the
+declarative description of those actions; the kernel instantiates the
+matching operators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.errors import QueryError
+from repro.engine.aggregate import AggregateKind
+from repro.engine.filter import Predicate
+from repro.storage.column import CACHE_LINE_VALUES
+
+
+class ActionKind(Enum):
+    """The query-processing actions a gesture can drive."""
+
+    SCAN = "scan"
+    AGGREGATE = "aggregate"
+    SUMMARY = "summary"
+    GROUP_BY = "group-by"
+    JOIN = "join"
+    SELECT_WHERE = "select-where"
+
+
+@dataclass(frozen=True)
+class QueryAction:
+    """A declarative description of the action attached to a data object.
+
+    Attributes
+    ----------
+    kind:
+        The action kind (scan, running aggregate, interactive summary,
+        group-by or join participation).
+    aggregate:
+        The aggregate function for AGGREGATE, SUMMARY and GROUP_BY actions.
+    summary_k:
+        Half-window for interactive summaries (the paper's evaluation uses
+        windows of 10 data entries).
+    predicate:
+        Optional WHERE restriction applied to every touched value before it
+        reaches the action.
+    group_key_attribute / measure_attribute:
+        For GROUP_BY over a table object: which attribute provides the
+        grouping key and which provides the measure.
+    join_partner:
+        For JOIN actions: the name of the other data object participating
+        in the join.
+    where_attribute / select_attributes:
+        For SELECT_WHERE plans over a table object: the slide drives the
+        where restriction on ``where_attribute`` and, for qualifying
+        tuples, the values of ``select_attributes`` are fetched and shown
+        (Section 2.9's multi-column query plans).
+    """
+
+    kind: ActionKind = ActionKind.SCAN
+    aggregate: AggregateKind = AggregateKind.AVG
+    summary_k: int = CACHE_LINE_VALUES
+    predicate: Predicate | None = None
+    group_key_attribute: str | None = None
+    measure_attribute: str | None = None
+    join_partner: str | None = None
+    where_attribute: str | None = None
+    select_attributes: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.summary_k < 0:
+            raise QueryError("summary_k must be non-negative")
+        if self.kind is ActionKind.GROUP_BY and (
+            self.group_key_attribute is None or self.measure_attribute is None
+        ):
+            raise QueryError(
+                "GROUP_BY actions need both group_key_attribute and measure_attribute"
+            )
+        if self.kind is ActionKind.JOIN and self.join_partner is None:
+            raise QueryError("JOIN actions need a join_partner object name")
+        if self.kind is ActionKind.SELECT_WHERE:
+            if self.where_attribute is None or not self.select_attributes:
+                raise QueryError(
+                    "SELECT_WHERE actions need a where_attribute and select_attributes"
+                )
+            if self.predicate is None:
+                raise QueryError("SELECT_WHERE actions need a predicate")
+
+    def describe(self) -> str:
+        """Short human-readable description of the action."""
+        parts = [self.kind.value]
+        if self.kind in (ActionKind.AGGREGATE, ActionKind.SUMMARY, ActionKind.GROUP_BY):
+            parts.append(self.aggregate.value)
+        if self.kind is ActionKind.SUMMARY:
+            parts.append(f"k={self.summary_k}")
+        if self.predicate is not None:
+            parts.append(f"where {self.predicate.describe()}")
+        if self.join_partner is not None:
+            parts.append(f"with {self.join_partner}")
+        return " ".join(parts)
+
+
+def scan_action(predicate: Predicate | None = None) -> QueryAction:
+    """A plain scan: every touched value is shown as-is."""
+    return QueryAction(kind=ActionKind.SCAN, predicate=predicate)
+
+
+def aggregate_action(
+    aggregate: AggregateKind | str = AggregateKind.AVG,
+    predicate: Predicate | None = None,
+) -> QueryAction:
+    """A running aggregate continuously updated as the gesture evolves."""
+    if isinstance(aggregate, str):
+        aggregate = AggregateKind(aggregate.lower())
+    return QueryAction(kind=ActionKind.AGGREGATE, aggregate=aggregate, predicate=predicate)
+
+
+def summary_action(
+    k: int = CACHE_LINE_VALUES,
+    aggregate: AggregateKind | str = AggregateKind.AVG,
+    predicate: Predicate | None = None,
+) -> QueryAction:
+    """An interactive summary: one aggregate over ``2k + 1`` entries per touch."""
+    if isinstance(aggregate, str):
+        aggregate = AggregateKind(aggregate.lower())
+    return QueryAction(
+        kind=ActionKind.SUMMARY, aggregate=aggregate, summary_k=k, predicate=predicate
+    )
+
+
+def group_by_action(
+    key_attribute: str,
+    measure_attribute: str,
+    aggregate: AggregateKind | str = AggregateKind.AVG,
+) -> QueryAction:
+    """Group touched tuples by one attribute and aggregate another."""
+    if isinstance(aggregate, str):
+        aggregate = AggregateKind(aggregate.lower())
+    return QueryAction(
+        kind=ActionKind.GROUP_BY,
+        aggregate=aggregate,
+        group_key_attribute=key_attribute,
+        measure_attribute=measure_attribute,
+    )
+
+
+def join_action(partner_object: str, predicate: Predicate | None = None) -> QueryAction:
+    """Participate in a join with ``partner_object`` (non-blocking, per touch)."""
+    return QueryAction(kind=ActionKind.JOIN, join_partner=partner_object, predicate=predicate)
+
+
+def select_where_action(
+    where_attribute: str,
+    predicate: Predicate,
+    select_attributes: list[str] | tuple[str, ...],
+) -> QueryAction:
+    """A multi-column plan: slide drives a where restriction, selects project out.
+
+    For every touched tuple whose ``where_attribute`` value satisfies the
+    predicate, the values of ``select_attributes`` are fetched and shown.
+    """
+    return QueryAction(
+        kind=ActionKind.SELECT_WHERE,
+        predicate=predicate,
+        where_attribute=where_attribute,
+        select_attributes=tuple(select_attributes),
+    )

@@ -1,0 +1,152 @@
+"""Caching of touched data areas.
+
+Users routinely go back and forth over the same region of a data object.
+dbTouch caches the values (or summary windows) produced for recently
+touched rowid ranges so a revisit is served without re-reading base data.
+The cache is granularity-aware: entries remember the stride they were read
+at, and a revisit at the same or coarser granularity is a hit.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Hashable
+
+from repro.errors import DbTouchError
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting for a touch cache."""
+
+    hits: int = 0
+    misses: int = 0
+    insertions: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total lookups performed."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache."""
+        if not self.lookups:
+            return 0.0
+        return self.hits / self.lookups
+
+
+class TouchCache:
+    """LRU cache keyed by (object, rowid bucket, stride bucket).
+
+    Rowids are grouped into buckets of ``bucket_rows`` so that neighbouring
+    touches share entries, and strides are bucketed by powers of two so a
+    revisit at a similar granularity still hits.
+    """
+
+    def __init__(self, capacity: int = 4096, bucket_rows: int = 64):
+        if capacity <= 0:
+            raise DbTouchError("cache capacity must be positive")
+        if bucket_rows <= 0:
+            raise DbTouchError("bucket_rows must be positive")
+        self.capacity = capacity
+        self.bucket_rows = bucket_rows
+        self.stats = CacheStats()
+        self._entries: OrderedDict[Hashable, Any] = OrderedDict()
+
+    # ------------------------------------------------------------------ #
+    # key construction
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _stride_bucket(stride: int) -> int:
+        stride = max(1, int(stride))
+        bucket = 1
+        while bucket * 2 <= stride:
+            bucket *= 2
+        return bucket
+
+    def _key(self, object_name: str, rowid: int, stride: int) -> Hashable:
+        return (object_name, rowid // self.bucket_rows, self._stride_bucket(stride))
+
+    # ------------------------------------------------------------------ #
+    # cache protocol
+    # ------------------------------------------------------------------ #
+    def get(self, object_name: str, rowid: int, stride: int = 1) -> Any | None:
+        """Look up a cached value; returns ``None`` on a miss."""
+        key = self._key(object_name, rowid, stride)
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return self._entries[key]
+        self.stats.misses += 1
+        return None
+
+    def contains(self, object_name: str, rowid: int, stride: int = 1) -> bool:
+        """Whether a value is cached, without affecting hit/miss statistics."""
+        return self._key(object_name, rowid, stride) in self._entries
+
+    def put(self, object_name: str, rowid: int, value: Any, stride: int = 1) -> None:
+        """Insert (or refresh) a cached value, evicting LRU entries if full."""
+        key = self._key(object_name, rowid, stride)
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = value
+        self.stats.insertions += 1
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def invalidate(self, object_name: str) -> int:
+        """Drop every entry belonging to ``object_name`` (data changed)."""
+        doomed = [k for k in self._entries if k[0] == object_name]
+        for key in doomed:
+            del self._entries[key]
+        return len(doomed)
+
+    def clear(self) -> None:
+        """Empty the cache and reset statistics."""
+        self._entries.clear()
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class HashTableCache:
+    """Cache of join hash tables keyed by (object pair, sample level).
+
+    The paper notes that hash tables built while joining one sample copy can
+    be reused when future queries request data at a similar granularity.
+    """
+
+    def __init__(self, capacity: int = 16):
+        if capacity <= 0:
+            raise DbTouchError("hash-table cache capacity must be positive")
+        self.capacity = capacity
+        self.stats = CacheStats()
+        self._entries: OrderedDict[Hashable, Any] = OrderedDict()
+
+    def get(self, left_object: str, right_object: str, level: int = 0) -> Any | None:
+        """Return the cached hash-table pair for a join, or ``None``."""
+        key = (left_object, right_object, level)
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return self._entries[key]
+        self.stats.misses += 1
+        return None
+
+    def put(self, left_object: str, right_object: str, tables: Any, level: int = 0) -> None:
+        """Cache the hash-table pair built while joining two objects."""
+        key = (left_object, right_object, level)
+        self._entries[key] = tables
+        self._entries.move_to_end(key)
+        self.stats.insertions += 1
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,605 @@
+"""The dbTouch kernel: mapping gestures to query processing.
+
+The kernel sits between the simulated touch OS and the storage engine
+(Figure 3 in the paper).  The OS recognizes touches and gestures; the
+kernel maps each touch to a tuple identifier, executes the query action
+attached to the touched data object, and emits result values that appear
+in place and fade away.  It also hosts the adaptive machinery: sample
+hierarchies, the touched-range cache, the gesture-extrapolating prefetcher,
+the per-touch latency budget and incremental layout rotation.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.actions import ActionKind, QueryAction
+from repro.core.caching import HashTableCache, TouchCache
+from repro.core.optimizer import AdaptiveOptimizer
+from repro.core.prefetch import GesturePrefetcher
+from repro.core.result_stream import ResultStream, ResultValue
+from repro.core.summaries import InteractiveSummarizer
+from repro.core.touch_mapping import MappedTouch, TouchMapper
+from repro.engine.aggregate import RunningAggregate, make_aggregate
+from repro.engine.groupby import IncrementalGroupBy
+from repro.engine.join import SymmetricHashJoin
+from repro.errors import ExecutionError, QueryError
+from repro.storage.catalog import Catalog
+from repro.storage.column import Column
+from repro.storage.incremental import IncrementalRotation
+from repro.storage.layout import LayoutKind
+from repro.storage.sample import SampleHierarchy
+from repro.storage.table import Table
+from repro.touchio.device import TouchDevice
+from repro.touchio.events import TouchEvent, TouchPhase, TouchStream
+from repro.touchio.recognizer import GestureRecognizer, GestureType, RecognizedGesture
+from repro.touchio.views import View, make_column_view, make_table_view
+
+
+@dataclass
+class KernelConfig:
+    """Tunable behaviour of the dbTouch kernel.
+
+    Attributes
+    ----------
+    latency_budget_s:
+        Maximum per-touch processing time the kernel aims for; the adaptive
+        optimizer shrinks the summary window when the budget is violated.
+    enable_prefetch / enable_cache / enable_samples:
+        Feature switches used by the ablation benchmarks.
+    cache_capacity:
+        Entries kept in the touched-range cache.
+    sample_factor:
+        Down-sampling factor between consecutive sample-hierarchy levels.
+    fade_seconds:
+        How long a displayed result value stays visible.
+    touch_granularity:
+        Number of tuples snapped together per touch position (1 = finest).
+    rotation_sample_fraction:
+        Fraction of a table converted immediately when a rotate gesture
+        triggers an incremental layout change.
+    """
+
+    latency_budget_s: float = 0.05
+    enable_prefetch: bool = True
+    enable_cache: bool = True
+    enable_samples: bool = True
+    cache_capacity: int = 4096
+    sample_factor: int = 4
+    fade_seconds: float = 1.5
+    touch_granularity: int = 1
+    rotation_sample_fraction: float = 0.05
+
+
+@dataclass
+class GestureOutcome:
+    """Everything a gesture produced, for display and for measurement."""
+
+    gesture_type: GestureType
+    view_name: str
+    object_name: str
+    entries_returned: int = 0
+    tuples_examined: int = 0
+    rowids_touched: list[int] = field(default_factory=list)
+    results: list[ResultValue] = field(default_factory=list)
+    duration_s: float = 0.0
+    per_touch_latencies_s: list[float] = field(default_factory=list)
+    cache_hits: int = 0
+    cache_misses: int = 0
+    prefetch_hits: int = 0
+    served_level_counts: dict[int, int] = field(default_factory=dict)
+    final_aggregate: float | None = None
+    join_matches: int = 0
+    layout_kind: LayoutKind | None = None
+    zoom_scale: float = 1.0
+    revealed_tuple: dict[str, object] | None = None
+
+    @property
+    def max_touch_latency_s(self) -> float:
+        """The slowest single touch in this gesture."""
+        return max(self.per_touch_latencies_s, default=0.0)
+
+    @property
+    def mean_touch_latency_s(self) -> float:
+        """Mean per-touch processing latency."""
+        if not self.per_touch_latencies_s:
+            return 0.0
+        return sum(self.per_touch_latencies_s) / len(self.per_touch_latencies_s)
+
+
+@dataclass
+class _ObjectState:
+    """Kernel-side state attached to one visualized data object."""
+
+    view: View
+    object_name: str
+    column: Column | None
+    table: Table | None
+    action: QueryAction = field(default_factory=QueryAction)
+    hierarchy: SampleHierarchy | None = None
+    summarizer: InteractiveSummarizer | None = None
+    aggregate: RunningAggregate | None = None
+    group_by: IncrementalGroupBy | None = None
+    results: ResultStream | None = None
+    prefetcher: GesturePrefetcher | None = None
+    prefetched_rowids: set[int] = field(default_factory=set)
+    last_rowid: int | None = None
+    last_timestamp: float | None = None
+    current_stride: int = 1
+    layout_kind: LayoutKind = LayoutKind.COLUMN_STORE
+    rotation: IncrementalRotation | None = None
+
+
+class DbTouchKernel:
+    """Maps recognized gestures onto touch-driven query processing."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        device: TouchDevice,
+        config: KernelConfig | None = None,
+    ) -> None:
+        self.catalog = catalog
+        self.device = device
+        self.config = config if config is not None else KernelConfig()
+        self.recognizer = GestureRecognizer()
+        self.mapper = TouchMapper(granularity=self.config.touch_granularity)
+        self.cache = TouchCache(capacity=self.config.cache_capacity)
+        self.hash_table_cache = HashTableCache()
+        self.optimizer = AdaptiveOptimizer(
+            latency_budget_s=self.config.latency_budget_s,
+        )
+        self._states: dict[str, _ObjectState] = {}
+        self._joins: dict[frozenset[str], SymmetricHashJoin] = {}
+
+    # ------------------------------------------------------------------ #
+    # placing data objects on the screen
+    # ------------------------------------------------------------------ #
+    def show_column(
+        self,
+        object_name: str,
+        column_name: str | None = None,
+        view_name: str | None = None,
+        height_cm: float = 10.0,
+        width_cm: float = 2.0,
+        x: float = 0.0,
+        y: float = 0.0,
+    ) -> View:
+        """Place a column-shaped data object on the device screen."""
+        column = self.catalog.resolve_column(object_name, column_name)
+        name = view_name if view_name is not None else f"{object_name}-view"
+        view = make_column_view(
+            name=name,
+            object_name=object_name,
+            num_tuples=len(column),
+            height_cm=height_cm,
+            width_cm=width_cm,
+            x=x,
+            y=y,
+            dtype_names=(column.dtype.name,),
+            size_bytes=column.size_bytes,
+        )
+        self.device.add_view(view)
+        hierarchy = None
+        if self.config.enable_samples and column.is_numeric:
+            hierarchy = self.catalog.hierarchy_for(
+                object_name, column_name, factor=self.config.sample_factor
+            )
+        self._states[name] = _ObjectState(
+            view=view,
+            object_name=object_name,
+            column=column,
+            table=None,
+            hierarchy=hierarchy,
+            results=ResultStream(fade_seconds=self.config.fade_seconds),
+            prefetcher=GesturePrefetcher() if self.config.enable_prefetch else None,
+        )
+        return view
+
+    def show_table(
+        self,
+        table_name: str,
+        view_name: str | None = None,
+        height_cm: float = 10.0,
+        width_cm: float = 8.0,
+        x: float = 0.0,
+        y: float = 0.0,
+    ) -> View:
+        """Place a fat-rectangle table object on the device screen."""
+        table = self.catalog.table(table_name)
+        name = view_name if view_name is not None else f"{table_name}-view"
+        view = make_table_view(
+            name=name,
+            object_name=table_name,
+            num_tuples=len(table),
+            num_attributes=table.num_columns,
+            height_cm=height_cm,
+            width_cm=width_cm,
+            x=x,
+            y=y,
+            dtype_names=tuple(c.dtype.name for c in table.columns),
+            size_bytes=table.size_bytes,
+        )
+        self.device.add_view(view)
+        self._states[name] = _ObjectState(
+            view=view,
+            object_name=table_name,
+            column=None,
+            table=table,
+            results=ResultStream(fade_seconds=self.config.fade_seconds),
+            prefetcher=GesturePrefetcher() if self.config.enable_prefetch else None,
+        )
+        return view
+
+    def state_of(self, view_name: str) -> _ObjectState:
+        """Return the kernel state attached to a view (primarily for tests)."""
+        if view_name not in self._states:
+            raise ExecutionError(f"no data object is shown under view {view_name!r}")
+        return self._states[view_name]
+
+    # ------------------------------------------------------------------ #
+    # configuring actions
+    # ------------------------------------------------------------------ #
+    def set_action(self, view_name: str, action: QueryAction) -> None:
+        """Attach a query action to the data object shown in ``view_name``."""
+        state = self.state_of(view_name)
+        state.action = action
+        state.aggregate = None
+        state.summarizer = None
+        state.group_by = None
+        if action.kind is ActionKind.AGGREGATE:
+            state.aggregate = make_aggregate(action.aggregate)
+        elif action.kind is ActionKind.SUMMARY:
+            if state.column is None:
+                raise QueryError("interactive summaries require a column object")
+            state.summarizer = InteractiveSummarizer(
+                state.column,
+                k=action.summary_k,
+                aggregate=action.aggregate,
+                hierarchy=state.hierarchy,
+            )
+        elif action.kind is ActionKind.GROUP_BY:
+            if state.table is None:
+                raise QueryError("group-by actions require a table object")
+            state.group_by = IncrementalGroupBy(action.aggregate)
+        elif action.kind is ActionKind.SELECT_WHERE:
+            if state.table is None:
+                raise QueryError("select-where plans require a table object")
+            missing = [
+                name
+                for name in (action.where_attribute, *action.select_attributes)
+                if name not in state.table
+            ]
+            if missing:
+                raise QueryError(
+                    f"table {state.object_name!r} has no attribute(s) {missing}"
+                )
+        elif action.kind is ActionKind.JOIN:
+            partner_view = self._view_for_object(action.join_partner)
+            key = frozenset({view_name, partner_view})
+            if key not in self._joins:
+                cached = self.hash_table_cache.get(view_name, partner_view)
+                join = SymmetricHashJoin()
+                if cached is not None:
+                    left, right = cached
+                    join._left.update({k: list(v) for k, v in left.items()})
+                    join._right.update({k: list(v) for k, v in right.items()})
+                self._joins[key] = join
+
+    def _view_for_object(self, object_name: str | None) -> str:
+        for view_name, state in self._states.items():
+            if state.object_name == object_name:
+                return view_name
+        raise QueryError(f"object {object_name!r} is not shown on the screen")
+
+    # ------------------------------------------------------------------ #
+    # gesture dispatch
+    # ------------------------------------------------------------------ #
+    def handle_stream(self, stream: TouchStream) -> GestureOutcome:
+        """Recognize the gesture in ``stream`` and execute it."""
+        gesture = self.recognizer.recognize(stream)
+        return self.handle_gesture(gesture)
+
+    def handle_gesture(self, gesture: RecognizedGesture) -> GestureOutcome:
+        """Execute an already recognized gesture."""
+        state = self.state_of(gesture.view_name)
+        if gesture.gesture_type is GestureType.TAP:
+            return self._handle_tap(state, gesture)
+        if gesture.gesture_type is GestureType.SLIDE:
+            return self._handle_slide(state, gesture)
+        if gesture.gesture_type in (GestureType.ZOOM_IN, GestureType.ZOOM_OUT):
+            return self._handle_zoom(state, gesture)
+        if gesture.gesture_type is GestureType.ROTATE:
+            return self._handle_rotate(state, gesture)
+        if gesture.gesture_type is GestureType.PAN:
+            return GestureOutcome(
+                gesture_type=GestureType.PAN,
+                view_name=gesture.view_name,
+                object_name=state.object_name,
+                duration_s=gesture.duration,
+            )
+        raise ExecutionError(f"unsupported gesture type {gesture.gesture_type}")
+
+    # ------------------------------------------------------------------ #
+    # tap: reveal one value or one tuple
+    # ------------------------------------------------------------------ #
+    def _handle_tap(self, state: _ObjectState, gesture: RecognizedGesture) -> GestureOutcome:
+        event = gesture.events[-1]
+        mapped = self.mapper.map_touch(state.view, event.primary)
+        outcome = GestureOutcome(
+            gesture_type=GestureType.TAP,
+            view_name=gesture.view_name,
+            object_name=state.object_name,
+            duration_s=gesture.duration,
+        )
+        if state.table is not None:
+            revealed = state.table.tuple_at(mapped.rowid)
+            outcome.revealed_tuple = revealed
+            value: object = revealed
+            outcome.tuples_examined += state.table.num_columns
+        else:
+            value = state.column.value_at(mapped.rowid)
+            outcome.tuples_examined += 1
+        outcome.rowids_touched.append(mapped.rowid)
+        outcome.entries_returned = 1
+        result = state.results.emit(value, mapped.rowid, mapped.fraction, event.timestamp)
+        outcome.results.append(result)
+        return outcome
+
+    # ------------------------------------------------------------------ #
+    # slide: the main query-processing gesture
+    # ------------------------------------------------------------------ #
+    def _handle_slide(self, state: _ObjectState, gesture: RecognizedGesture) -> GestureOutcome:
+        outcome = GestureOutcome(
+            gesture_type=GestureType.SLIDE,
+            view_name=gesture.view_name,
+            object_name=state.object_name,
+            duration_s=gesture.duration,
+        )
+        join = self._join_for(gesture.view_name)
+        for event in gesture.events:
+            if event.phase is TouchPhase.ENDED or event.phase is TouchPhase.CANCELLED:
+                continue
+            started = time.perf_counter()
+            mapped = self.mapper.map_touch(state.view, event.primary)
+            stride = self._update_stride(state, mapped.rowid)
+            processed = self._process_touch(state, mapped, event, stride, outcome, join)
+            elapsed = time.perf_counter() - started
+            if processed:
+                outcome.per_touch_latencies_s.append(elapsed)
+                self.optimizer.observe_touch(stride, elapsed)
+                self._maybe_prefetch(state, event, mapped, stride)
+        if state.aggregate is not None:
+            outcome.final_aggregate = state.aggregate.current()
+        if join is not None:
+            outcome.join_matches = join.num_matches
+        return outcome
+
+    def _join_for(self, view_name: str) -> SymmetricHashJoin | None:
+        for key, join in self._joins.items():
+            if view_name in key:
+                return join
+        return None
+
+    def _update_stride(self, state: _ObjectState, rowid: int) -> int:
+        if state.last_rowid is not None:
+            stride = abs(rowid - state.last_rowid)
+            if stride > 0:
+                state.current_stride = stride
+        return max(1, state.current_stride)
+
+    def _process_touch(
+        self,
+        state: _ObjectState,
+        mapped: MappedTouch,
+        event: TouchEvent,
+        stride: int,
+        outcome: GestureOutcome,
+        join: SymmetricHashJoin | None,
+    ) -> bool:
+        """Execute the object's action for one touch.  Returns True if the
+        touch produced new work (i.e. it was not a duplicate of the previous
+        touch position)."""
+        if state.last_rowid == mapped.rowid:
+            # a paused finger keeps reporting the same position; no new data
+            state.last_timestamp = event.timestamp
+            return False
+        state.last_rowid = mapped.rowid
+        state.last_timestamp = event.timestamp
+        outcome.rowids_touched.append(mapped.rowid)
+        if mapped.rowid in state.prefetched_rowids:
+            outcome.prefetch_hits += 1
+            state.prefetched_rowids.discard(mapped.rowid)
+
+        action = state.action
+        value, tuples_read, level = self._read_value(state, mapped, stride, outcome)
+        outcome.tuples_examined += tuples_read
+        outcome.served_level_counts[level] = outcome.served_level_counts.get(level, 0) + 1
+
+        if action.predicate is not None and np.isscalar(value):
+            if not action.predicate.matches(value):
+                return True
+
+        display_value: object | None = value
+        if action.kind is ActionKind.SELECT_WHERE:
+            # the predicate already passed on the where-attribute value; fetch
+            # the selected attributes of the qualifying tuple
+            selected = {
+                name: state.table.value_at(mapped.rowid, name)
+                for name in action.select_attributes
+            }
+            outcome.tuples_examined += len(selected)
+            display_value = selected
+        if action.kind is ActionKind.AGGREGATE and state.aggregate is not None:
+            display_value = state.aggregate.on_touch(mapped.rowid, value)
+        elif action.kind is ActionKind.GROUP_BY and state.group_by is not None:
+            if state.table is None:
+                raise QueryError("group-by requires a table object")
+            row = state.table.tuple_at(mapped.rowid)
+            key = row[action.group_key_attribute]
+            measure = row[action.measure_attribute]
+            display_value = state.group_by.on_touch(mapped.rowid, (key, measure))
+            outcome.tuples_examined += 1
+        if join is not None:
+            partner = self._partner_view(state.view.name)
+            # deterministic side assignment: the lexicographically smaller view
+            # name plays the left input of the symmetric join
+            if partner is None or state.view.name < partner:
+                matches = join.on_left(mapped.rowid, self._join_key(value))
+            else:
+                matches = join.on_right(mapped.rowid, self._join_key(value))
+            display_value = f"{self._join_key(value)} ({len(matches)} matches)"
+
+        if display_value is not None:
+            result = state.results.emit(
+                display_value, mapped.rowid, mapped.fraction, event.timestamp
+            )
+            outcome.results.append(result)
+            outcome.entries_returned += 1
+        return True
+
+    @staticmethod
+    def _join_key(value: object) -> object:
+        if isinstance(value, np.generic):
+            return value.item()
+        return value
+
+    def _partner_view(self, view_name: str) -> str | None:
+        for key in self._joins:
+            if view_name in key:
+                others = [v for v in key if v != view_name]
+                return others[0] if others else None
+        return None
+
+    def _read_value(
+        self,
+        state: _ObjectState,
+        mapped: MappedTouch,
+        stride: int,
+        outcome: GestureOutcome,
+    ) -> tuple[object, int, int]:
+        """Read the data a touch points at, via cache / samples / base data.
+
+        Returns (value, tuples_read, sample_level_served_from).
+        """
+        action = state.action
+        cache_key_object = f"{state.object_name}:{action.kind.value}"
+        if self.config.enable_cache:
+            cached = self.cache.get(cache_key_object, mapped.rowid, stride)
+            if cached is not None:
+                outcome.cache_hits += 1
+                return cached, 0, -1  # -1 marks "served from cache"
+            outcome.cache_misses += 1
+
+        level = 0
+        if action.kind is ActionKind.SUMMARY and state.summarizer is not None:
+            # the adaptive optimizer may shrink the summary window while the
+            # latency budget is being violated; scale the user's requested k
+            # by the optimizer's current allowance
+            allowance = self.optimizer.current_summary_k / max(1, self.optimizer.base_summary_k)
+            state.summarizer.k = max(1, int(round(action.summary_k * allowance)))
+            summary = state.summarizer.summarize_at(mapped.rowid, stride_hint=stride)
+            value: object = summary.value
+            tuples_read = summary.values_aggregated
+            level = summary.served_from_level
+        elif state.table is not None:
+            if action.kind is ActionKind.SELECT_WHERE and action.where_attribute is not None:
+                # the slide drives the where restriction: read the where
+                # attribute regardless of which attribute the finger is over
+                column = state.table.column(action.where_attribute)
+            else:
+                column = state.table.column_at(mapped.attribute_index)
+            value = column.value_at(mapped.rowid)
+            tuples_read = 1
+        else:
+            if (
+                state.hierarchy is not None
+                and self.config.enable_samples
+                and stride > 1
+            ):
+                value, sample_level = state.hierarchy.read_at(mapped.rowid, stride)
+                level = sample_level.level
+            else:
+                value = state.column.value_at(mapped.rowid)
+            tuples_read = 1
+
+        if self.config.enable_cache:
+            self.cache.put(cache_key_object, mapped.rowid, value, stride)
+        return value, tuples_read, level
+
+    def _maybe_prefetch(
+        self,
+        state: _ObjectState,
+        event: TouchEvent,
+        mapped: MappedTouch,
+        stride: int,
+    ) -> None:
+        if state.prefetcher is None:
+            return
+        state.prefetcher.observe(event.timestamp, mapped.rowid)
+        num_tuples = (
+            len(state.column) if state.column is not None else len(state.table)
+        )
+        proposals = state.prefetcher.propose(num_tuples, stride=stride)
+        action = state.action
+        cache_key_object = f"{state.object_name}:{action.kind.value}"
+        for rowid in proposals:
+            if self.config.enable_cache and self.cache.contains(cache_key_object, rowid, stride):
+                continue
+            if action.kind is ActionKind.SUMMARY and state.summarizer is not None:
+                value = state.summarizer.summarize_at(rowid, stride_hint=stride).value
+            elif state.column is not None:
+                value = state.column.value_at(rowid)
+            else:
+                value = state.table.column_at(0).value_at(rowid)
+            if self.config.enable_cache:
+                self.cache.put(cache_key_object, rowid, value, stride)
+            state.prefetched_rowids.add(rowid)
+
+    # ------------------------------------------------------------------ #
+    # zoom: change the object size, hence the touch granularity
+    # ------------------------------------------------------------------ #
+    def _handle_zoom(self, state: _ObjectState, gesture: RecognizedGesture) -> GestureOutcome:
+        scale = gesture.scale if gesture.scale > 0 else 1.0
+        # zoomed objects may extend beyond the visible screen (the OS view
+        # scrolls); the paper's Figure 4(b) grows a 10 cm object up to 25 cm
+        state.view.resize(scale)
+        # a rotated table mid-conversion retrieves more data on zoom-in
+        if state.rotation is not None and scale > 1.0 and not state.rotation.progress.complete:
+            state.rotation.convert_rows_for_sample(
+                min(1.0, state.rotation.progress.fraction_converted + self.config.rotation_sample_fraction)
+            )
+        return GestureOutcome(
+            gesture_type=gesture.gesture_type,
+            view_name=gesture.view_name,
+            object_name=state.object_name,
+            duration_s=gesture.duration,
+            zoom_scale=scale,
+        )
+
+    # ------------------------------------------------------------------ #
+    # rotate: switch physical design
+    # ------------------------------------------------------------------ #
+    def _handle_rotate(self, state: _ObjectState, gesture: RecognizedGesture) -> GestureOutcome:
+        state.view.rotate()
+        new_kind = state.layout_kind
+        if state.table is not None:
+            source = state.layout_kind
+            new_kind = (
+                LayoutKind.ROW_STORE
+                if source is LayoutKind.COLUMN_STORE
+                else LayoutKind.COLUMN_STORE
+            )
+            state.rotation = IncrementalRotation(state.table, source_kind=source)
+            state.rotation.convert_rows_for_sample(self.config.rotation_sample_fraction)
+            state.layout_kind = new_kind
+        return GestureOutcome(
+            gesture_type=GestureType.ROTATE,
+            view_name=gesture.view_name,
+            object_name=state.object_name,
+            duration_s=gesture.duration,
+            layout_kind=new_kind,
+        )

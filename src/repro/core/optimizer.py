@@ -1,0 +1,198 @@
+"""Adaptive, on-the-fly optimization decisions.
+
+dbTouch cannot optimize a query up front: it does not know how much data
+will be processed, in which order, or which region of the data the gesture
+will visit — the user decides all of that while the query runs.  The
+optimizer therefore works from *observations*: it tracks per-predicate
+selectivities as touches flow, reorders conjunctive predicates so the most
+selective one runs first, picks the sample level that matches the gesture's
+observed stride, and tunes how aggressively to prefetch based on how
+steady the gesture velocity has been.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import OptimizationError
+from repro.engine.filter import Predicate
+
+
+@dataclass
+class PredicateStats:
+    """Observed behaviour of one predicate during the running gesture session."""
+
+    predicate: Predicate
+    evaluated: int = 0
+    passed: int = 0
+
+    @property
+    def selectivity(self) -> float:
+        """Observed pass rate; optimistically 1.0 before any observation."""
+        if not self.evaluated:
+            return 1.0
+        return self.passed / self.evaluated
+
+    def record(self, passed: bool) -> None:
+        """Record one evaluation outcome."""
+        self.evaluated += 1
+        if passed:
+            self.passed += 1
+
+
+class AdaptivePredicateOrderer:
+    """Order conjunctive predicates by observed selectivity, adapting online.
+
+    The cheapest strategy for an AND of predicates is to evaluate the most
+    selective (lowest pass-rate) predicate first.  Because different data
+    regions have different properties, the ordering is recomputed after
+    every ``reorder_every`` touches using only observations from the recent
+    window, so the plan follows the gesture into new data areas.
+    """
+
+    def __init__(self, predicates: list[Predicate], reorder_every: int = 64):
+        if not predicates:
+            raise OptimizationError("predicate orderer needs at least one predicate")
+        if reorder_every < 1:
+            raise OptimizationError("reorder_every must be at least 1")
+        self._stats = [PredicateStats(p) for p in predicates]
+        self.reorder_every = reorder_every
+        self._since_reorder = 0
+        self.reorderings = 0
+
+    @property
+    def current_order(self) -> list[Predicate]:
+        """Predicates in their current evaluation order."""
+        return [s.predicate for s in self._stats]
+
+    def evaluate(self, value: float) -> bool:
+        """Evaluate the conjunction on ``value`` with short-circuiting.
+
+        Every predicate actually evaluated updates its statistics; the
+        ordering is refreshed periodically from those statistics.
+        """
+        verdict = True
+        for stat in self._stats:
+            passed = stat.predicate.matches(value)
+            stat.record(passed)
+            if not passed:
+                verdict = False
+                break
+        self._since_reorder += 1
+        if self._since_reorder >= self.reorder_every:
+            self._reorder()
+        return verdict
+
+    def _reorder(self) -> None:
+        previous = [s.predicate for s in self._stats]
+        self._stats.sort(key=lambda s: s.selectivity)
+        self._since_reorder = 0
+        if [s.predicate for s in self._stats] != previous:
+            self.reorderings += 1
+        # decay the window so old regions do not dominate new ones
+        for stat in self._stats:
+            stat.evaluated = max(1, stat.evaluated // 2)
+            stat.passed = max(0, stat.passed // 2)
+
+    def observed_selectivities(self) -> dict[str, float]:
+        """Mapping of predicate description → observed selectivity."""
+        return {s.predicate.describe(): s.selectivity for s in self._stats}
+
+
+@dataclass
+class OptimizerDecision:
+    """The bundle of adaptive decisions returned for the next touch."""
+
+    sample_stride: int
+    prefetch_horizon_touches: int
+    summary_k: int
+
+
+class AdaptiveOptimizer:
+    """Combine observed gesture behaviour into per-touch execution decisions.
+
+    Parameters
+    ----------
+    latency_budget_s:
+        The per-touch response-time bound the kernel must honor.
+    base_summary_k:
+        The user-requested summary half-window; shrunk when the budget is
+        violated and restored when there is slack.
+    """
+
+    def __init__(self, latency_budget_s: float = 0.05, base_summary_k: int = 8):
+        if latency_budget_s <= 0:
+            raise OptimizationError("latency budget must be positive")
+        if base_summary_k < 0:
+            raise OptimizationError("base_summary_k must be non-negative")
+        self.latency_budget_s = latency_budget_s
+        self.base_summary_k = base_summary_k
+        self._current_k = base_summary_k
+        self._recent_strides: list[int] = []
+        self._recent_latencies: list[float] = []
+        self.budget_violations = 0
+        self.k_adjustments = 0
+
+    # ------------------------------------------------------------------ #
+    # observations
+    # ------------------------------------------------------------------ #
+    def observe_touch(self, stride: int, latency_s: float) -> None:
+        """Record the stride and processing latency of the latest touch."""
+        if latency_s < 0:
+            raise OptimizationError("latency cannot be negative")
+        self._recent_strides.append(max(1, stride))
+        self._recent_latencies.append(latency_s)
+        if len(self._recent_strides) > 32:
+            self._recent_strides.pop(0)
+        if len(self._recent_latencies) > 32:
+            self._recent_latencies.pop(0)
+        if latency_s > self.latency_budget_s:
+            self.budget_violations += 1
+            if self._current_k > 1:
+                self._current_k = max(1, self._current_k // 2)
+                self.k_adjustments += 1
+        elif (
+            self._current_k < self.base_summary_k
+            and latency_s < 0.5 * self.latency_budget_s
+        ):
+            self._current_k = min(self.base_summary_k, self._current_k * 2)
+            self.k_adjustments += 1
+
+    # ------------------------------------------------------------------ #
+    # decisions
+    # ------------------------------------------------------------------ #
+    def decide(self) -> OptimizerDecision:
+        """Return the decisions to use for the next touch."""
+        if self._recent_strides:
+            stride = int(sorted(self._recent_strides)[len(self._recent_strides) // 2])
+        else:
+            stride = 1
+        velocity_steady = self._velocity_is_steady()
+        prefetch_horizon = 32 if velocity_steady else 8
+        return OptimizerDecision(
+            sample_stride=stride,
+            prefetch_horizon_touches=prefetch_horizon,
+            summary_k=self._current_k,
+        )
+
+    def _velocity_is_steady(self) -> bool:
+        if len(self._recent_strides) < 4:
+            return False
+        window = self._recent_strides[-8:]
+        lo, hi = min(window), max(window)
+        if lo == 0:
+            return False
+        return hi <= 2 * lo
+
+    @property
+    def current_summary_k(self) -> int:
+        """The currently allowed summary half-window."""
+        return self._current_k
+
+    def reset(self) -> None:
+        """Forget all observations (a new gesture session starts)."""
+        self._recent_strides.clear()
+        self._recent_latencies.clear()
+        self._current_k = self.base_summary_k
+        self.budget_violations = 0
+        self.k_adjustments = 0

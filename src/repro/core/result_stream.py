@@ -1,0 +1,128 @@
+"""Result presentation: values that pop up in place and fade away.
+
+In the prototype, each result value appears next to the touch position that
+produced it, stays bold for a moment and then fades out to make room for
+newer results.  The result stream models that behaviour with simulated
+timestamps so the front-end (and the tests) can ask "what is visible right
+now, and how faded is it?".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import VisualizationError
+
+
+@dataclass(frozen=True)
+class ResultValue:
+    """One displayed result value.
+
+    Attributes
+    ----------
+    value:
+        The value (raw scan value, running aggregate, summary...).
+    rowid:
+        The tuple identifier that produced it.
+    position_fraction:
+        Where along the data object the value appeared (0 = top, 1 = bottom).
+    timestamp:
+        Simulated time at which the value appeared.
+    """
+
+    value: Any
+    rowid: int
+    position_fraction: float
+    timestamp: float
+
+
+@dataclass(frozen=True)
+class VisibleResult:
+    """A result value together with its current opacity."""
+
+    result: ResultValue
+    opacity: float
+
+
+class ResultStream:
+    """Time-ordered stream of result values with a fade-out model.
+
+    Parameters
+    ----------
+    fade_seconds:
+        How long a value remains visible after it appears; opacity decays
+        linearly from 1 to 0 over this interval.
+    max_visible:
+        Upper bound on simultaneously visible values (older values are
+        considered fully faded once the bound is exceeded).
+    """
+
+    def __init__(self, fade_seconds: float = 1.5, max_visible: int = 50):
+        if fade_seconds <= 0:
+            raise VisualizationError("fade_seconds must be positive")
+        if max_visible < 1:
+            raise VisualizationError("max_visible must be at least 1")
+        self.fade_seconds = fade_seconds
+        self.max_visible = max_visible
+        self._results: list[ResultValue] = []
+
+    # ------------------------------------------------------------------ #
+    # emission
+    # ------------------------------------------------------------------ #
+    def emit(self, value: Any, rowid: int, position_fraction: float, timestamp: float) -> ResultValue:
+        """Record a new result value appearing on screen."""
+        if not 0.0 <= position_fraction <= 1.0:
+            raise VisualizationError("position_fraction must be within [0, 1]")
+        if self._results and timestamp < self._results[-1].timestamp:
+            raise VisualizationError("result timestamps must be non-decreasing")
+        result = ResultValue(
+            value=value,
+            rowid=rowid,
+            position_fraction=position_fraction,
+            timestamp=timestamp,
+        )
+        self._results.append(result)
+        return result
+
+    # ------------------------------------------------------------------ #
+    # inspection
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._results)
+
+    @property
+    def all_results(self) -> list[ResultValue]:
+        """Every result emitted so far, oldest first."""
+        return list(self._results)
+
+    @property
+    def values(self) -> list[Any]:
+        """Just the emitted values, oldest first."""
+        return [r.value for r in self._results]
+
+    def opacity_at(self, result: ResultValue, now: float) -> float:
+        """Opacity of ``result`` at simulated time ``now`` (1 = fresh, 0 = gone)."""
+        age = now - result.timestamp
+        if age < 0:
+            return 1.0
+        if age >= self.fade_seconds:
+            return 0.0
+        return 1.0 - age / self.fade_seconds
+
+    def visible_at(self, now: float) -> list[VisibleResult]:
+        """Results still visible at ``now``, newest last, with opacities."""
+        visible = [
+            VisibleResult(result=r, opacity=self.opacity_at(r, now))
+            for r in self._results
+            if self.opacity_at(r, now) > 0.0
+        ]
+        return visible[-self.max_visible :]
+
+    def most_recent(self) -> ResultValue | None:
+        """The newest result (the boldest value on screen), if any."""
+        return self._results[-1] if self._results else None
+
+    def clear(self) -> None:
+        """Forget everything (a new exploration starts)."""
+        self._results.clear()

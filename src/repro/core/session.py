@@ -1,0 +1,320 @@
+"""The exploration session: the public facade of the dbTouch reproduction.
+
+An :class:`ExplorationSession` bundles a catalog, a simulated device, the
+dbTouch kernel and a gesture synthesizer behind a small API that mirrors
+how a person would use the prototype: load some data, put objects on the
+screen, pick a query action, and then slide / tap / zoom / rotate.  In the
+paper's terms, *a query is a session of one or more continuous gestures*;
+the session records every gesture outcome so the full exploration can be
+inspected afterwards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+from repro.core.actions import (
+    QueryAction,
+    aggregate_action,
+    scan_action,
+    summary_action,
+)
+from repro.core.kernel import DbTouchKernel, GestureOutcome, KernelConfig
+from repro.core.schema_gestures import SchemaGestureOutcome, SchemaGestures
+from repro.errors import QueryError
+from repro.storage.catalog import Catalog, ObjectInfo
+from repro.storage.column import Column
+from repro.storage.table import Table
+from repro.touchio.device import DeviceProfile, IPAD1, TouchDevice
+from repro.touchio.synthesizer import GestureSynthesizer, SlideSegment
+from repro.touchio.views import View
+
+
+@dataclass
+class SessionSummary:
+    """Aggregate view of everything a session did so far."""
+
+    gestures: int = 0
+    entries_returned: int = 0
+    tuples_examined: int = 0
+    cache_hits: int = 0
+    prefetch_hits: int = 0
+    max_touch_latency_s: float = 0.0
+
+
+class ExplorationSession:
+    """High-level, gesture-oriented interface to a dbTouch kernel.
+
+    Parameters
+    ----------
+    profile:
+        The simulated device profile (defaults to the paper's iPad 1).
+    config:
+        Kernel configuration; the defaults enable samples, caching and
+        prefetching.
+    jitter_cm:
+        Positional noise added to synthesized gestures, for more
+        human-like touch streams (0 = perfectly straight finger).
+    """
+
+    def __init__(
+        self,
+        profile: DeviceProfile = IPAD1,
+        config: KernelConfig | None = None,
+        jitter_cm: float = 0.0,
+        seed: int = 11,
+    ) -> None:
+        self.catalog = Catalog()
+        self.device = TouchDevice(profile)
+        self.kernel = DbTouchKernel(self.catalog, self.device, config)
+        self.synthesizer = GestureSynthesizer(profile, jitter_cm=jitter_cm, seed=seed)
+        self.schema_gestures = SchemaGestures(self.kernel)
+        self.history: list[GestureOutcome] = []
+
+    # ------------------------------------------------------------------ #
+    # loading and showing data
+    # ------------------------------------------------------------------ #
+    def load_column(self, name: str, values: Iterable) -> Column:
+        """Register a standalone column in the catalog."""
+        column = values if isinstance(values, Column) else Column(name, values)
+        if column.name != name:
+            column = column.rename(name)
+        self.catalog.register_column(column)
+        return column
+
+    def load_table(self, name: str, data: Mapping[str, Iterable] | Table) -> Table:
+        """Register a table in the catalog (from arrays or an existing Table)."""
+        table = data if isinstance(data, Table) else Table.from_arrays(name, data)
+        self.catalog.register_table(table)
+        return table
+
+    def show_column(
+        self,
+        object_name: str,
+        column_name: str | None = None,
+        height_cm: float = 10.0,
+        width_cm: float = 2.0,
+        x: float = 0.0,
+        y: float = 0.0,
+        view_name: str | None = None,
+    ) -> View:
+        """Place a column object on the screen and return its view."""
+        return self.kernel.show_column(
+            object_name,
+            column_name=column_name,
+            view_name=view_name,
+            height_cm=height_cm,
+            width_cm=width_cm,
+            x=x,
+            y=y,
+        )
+
+    def show_table(
+        self,
+        table_name: str,
+        height_cm: float = 10.0,
+        width_cm: float = 8.0,
+        x: float = 0.0,
+        y: float = 0.0,
+        view_name: str | None = None,
+    ) -> View:
+        """Place a table object on the screen and return its view."""
+        return self.kernel.show_table(
+            table_name,
+            view_name=view_name,
+            height_cm=height_cm,
+            width_cm=width_cm,
+            x=x,
+            y=y,
+        )
+
+    def glance(self) -> list[ObjectInfo]:
+        """What the user sees by glancing at the screen: object descriptions."""
+        return self.catalog.describe_all()
+
+    # ------------------------------------------------------------------ #
+    # choosing query actions
+    # ------------------------------------------------------------------ #
+    def choose_action(self, view: View | str, action: QueryAction) -> None:
+        """Attach a query action to a shown object."""
+        self.kernel.set_action(self._view_name(view), action)
+
+    def choose_scan(self, view: View | str) -> None:
+        """Shortcut: attach a plain-scan action."""
+        self.choose_action(view, scan_action())
+
+    def choose_aggregate(self, view: View | str, aggregate: str = "avg") -> None:
+        """Shortcut: attach a running-aggregate action."""
+        self.choose_action(view, aggregate_action(aggregate))
+
+    def choose_summary(self, view: View | str, k: int = 10, aggregate: str = "avg") -> None:
+        """Shortcut: attach an interactive-summary action (default k=10/avg,
+        the configuration the paper's evaluation uses)."""
+        self.choose_action(view, summary_action(k=k, aggregate=aggregate))
+
+    # ------------------------------------------------------------------ #
+    # gestures
+    # ------------------------------------------------------------------ #
+    def _view_name(self, view: View | str) -> str:
+        return view.name if isinstance(view, View) else view
+
+    def _view(self, view: View | str) -> View:
+        return view if isinstance(view, View) else self.device.view(view)
+
+    def _record(self, outcome: GestureOutcome) -> GestureOutcome:
+        self.history.append(outcome)
+        return outcome
+
+    def slide(
+        self,
+        view: View | str,
+        duration: float = 1.0,
+        start_fraction: float = 0.0,
+        end_fraction: float = 1.0,
+        axis: str | None = None,
+        cross_fraction: float = 0.5,
+    ) -> GestureOutcome:
+        """Slide a single finger over an object for ``duration`` seconds."""
+        target = self._view(view)
+        stream = self.synthesizer.slide(
+            target,
+            duration=duration,
+            start_fraction=start_fraction,
+            end_fraction=end_fraction,
+            axis=axis if axis is not None else self._default_axis(target),
+            cross_fraction=cross_fraction,
+            start_time=self.device.now,
+        )
+        self.device.advance_clock(stream.duration)
+        return self._record(self.kernel.handle_stream(stream))
+
+    def slide_path(
+        self,
+        view: View | str,
+        segments: Sequence[SlideSegment],
+        axis: str | None = None,
+        cross_fraction: float = 0.5,
+    ) -> GestureOutcome:
+        """Slide along a multi-leg path (speed changes, reversals, pauses)."""
+        target = self._view(view)
+        stream = self.synthesizer.slide_path(
+            target,
+            segments,
+            axis=axis if axis is not None else self._default_axis(target),
+            cross_fraction=cross_fraction,
+            start_time=self.device.now,
+        )
+        self.device.advance_clock(stream.duration)
+        return self._record(self.kernel.handle_stream(stream))
+
+    def tap(self, view: View | str, fraction: float = 0.5) -> GestureOutcome:
+        """Tap an object once to reveal a single value (or tuple)."""
+        target = self._view(view)
+        stream = self.synthesizer.tap(
+            target,
+            fraction=fraction,
+            axis=self._default_axis(target),
+            start_time=self.device.now,
+        )
+        self.device.advance_clock(stream.duration)
+        return self._record(self.kernel.handle_stream(stream))
+
+    def zoom_in(self, view: View | str, duration: float = 0.4) -> GestureOutcome:
+        """Two-finger zoom-in: the object grows, access becomes finer-grained."""
+        target = self._view(view)
+        stream = self.synthesizer.zoom(target, zoom_in=True, duration=duration, start_time=self.device.now)
+        self.device.advance_clock(stream.duration)
+        return self._record(self.kernel.handle_stream(stream))
+
+    def zoom_out(self, view: View | str, duration: float = 0.4) -> GestureOutcome:
+        """Two-finger zoom-out: the object shrinks, access becomes coarser."""
+        target = self._view(view)
+        stream = self.synthesizer.zoom(target, zoom_in=False, duration=duration, start_time=self.device.now)
+        self.device.advance_clock(stream.duration)
+        return self._record(self.kernel.handle_stream(stream))
+
+    def rotate(self, view: View | str, duration: float = 0.5) -> GestureOutcome:
+        """Two-finger rotate: switch the object's physical layout."""
+        target = self._view(view)
+        stream = self.synthesizer.rotate(target, duration=duration, start_time=self.device.now)
+        self.device.advance_clock(stream.duration)
+        return self._record(self.kernel.handle_stream(stream))
+
+    # ------------------------------------------------------------------ #
+    # schema and layout gestures (Section 2.8)
+    # ------------------------------------------------------------------ #
+    def pan(self, view: View | str, dx_cm: float, dy_cm: float) -> SchemaGestureOutcome:
+        """Drag an object to a different position on the screen."""
+        return self.schema_gestures.pan_view(self._view(view), dx_cm, dy_cm)
+
+    def drag_column_out(
+        self,
+        table_view: View | str,
+        column_name: str,
+        new_object_name: str | None = None,
+        x: float = 0.0,
+        y: float = 0.0,
+        height_cm: float = 10.0,
+    ) -> SchemaGestureOutcome:
+        """Drag a column out of a fat table into its own smaller object."""
+        return self.schema_gestures.drag_column_out(
+            self._view(table_view),
+            column_name,
+            new_object_name=new_object_name,
+            x=x,
+            y=y,
+            height_cm=height_cm,
+        )
+
+    def group_columns(
+        self,
+        column_object_names: Sequence[str],
+        table_name: str,
+        x: float = 0.0,
+        y: float = 0.0,
+        height_cm: float = 10.0,
+        width_cm: float = 8.0,
+    ) -> SchemaGestureOutcome:
+        """Drop standalone columns into a table placeholder (drag-and-drop grouping)."""
+        return self.schema_gestures.group_columns(
+            list(column_object_names),
+            table_name,
+            x=x,
+            y=y,
+            height_cm=height_cm,
+            width_cm=width_cm,
+        )
+
+    def ungroup_table(self, table_view: View | str, height_cm: float = 10.0) -> SchemaGestureOutcome:
+        """Split a table object into one standalone object per attribute."""
+        return self.schema_gestures.ungroup_table(self._view(table_view), height_cm=height_cm)
+
+    def _default_axis(self, view: View) -> str:
+        props = view.properties
+        if props is not None and props.orientation == "horizontal":
+            return "horizontal"
+        return "vertical"
+
+    # ------------------------------------------------------------------ #
+    # session-level reporting
+    # ------------------------------------------------------------------ #
+    def summary(self) -> SessionSummary:
+        """Aggregate statistics over every gesture executed so far."""
+        report = SessionSummary()
+        for outcome in self.history:
+            report.gestures += 1
+            report.entries_returned += outcome.entries_returned
+            report.tuples_examined += outcome.tuples_examined
+            report.cache_hits += outcome.cache_hits
+            report.prefetch_hits += outcome.prefetch_hits
+            report.max_touch_latency_s = max(
+                report.max_touch_latency_s, outcome.max_touch_latency_s
+            )
+        return report
+
+    def last_outcome(self) -> GestureOutcome:
+        """The most recent gesture outcome."""
+        if not self.history:
+            raise QueryError("no gestures have been executed in this session yet")
+        return self.history[-1]

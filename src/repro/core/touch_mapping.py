@@ -1,0 +1,134 @@
+"""Touch → tuple-identifier mapping (the "Rule of Three").
+
+The key step in dbTouch: a touch at location ``t`` inside a data-object
+view of size ``o`` representing ``n`` tuples maps to tuple identifier
+``id = n * t / o``.  For single-column objects only the slide axis is
+needed; for table objects the second screen dimension selects the
+attribute.  Rotating an object swaps which screen axis plays which role
+but does not change the arithmetic, because touches are expressed in the
+object view's own coordinate system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import MappingError
+from repro.touchio.events import TouchPoint
+from repro.touchio.views import View
+
+
+@dataclass(frozen=True)
+class MappedTouch:
+    """The result of mapping one touch location onto a data object.
+
+    Attributes
+    ----------
+    rowid:
+        The tuple identifier the touch corresponds to.
+    attribute_index:
+        Which attribute the touch selects (always 0 for single-column
+        objects; derived from the cross axis for table objects).
+    fraction:
+        The touch position along the tuple axis as a fraction in [0, 1].
+    """
+
+    rowid: int
+    attribute_index: int
+    fraction: float
+
+
+class TouchMapper:
+    """Maps touch locations within a view to tuple identifiers.
+
+    Parameters
+    ----------
+    granularity:
+        Number of tuples represented by one touch position step.  The
+        default of 1 maps positions directly through the Rule of Three;
+        larger values snap rowids to multiples of the granularity, which is
+        the "vary the touch granularity on demand" knob from the paper.
+    """
+
+    def __init__(self, granularity: int = 1):
+        if granularity < 1:
+            raise MappingError("touch granularity must be at least 1")
+        self.granularity = granularity
+
+    # ------------------------------------------------------------------ #
+    # the Rule of Three
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def rule_of_three(touch_location: float, object_size: float, num_tuples: int) -> int:
+        """``id = n * t / o`` with clamping to the valid rowid range."""
+        if object_size <= 0:
+            raise MappingError("object size must be positive")
+        if num_tuples <= 0:
+            raise MappingError("data object has no tuples to map to")
+        raw = int(num_tuples * touch_location / object_size)
+        return min(num_tuples - 1, max(0, raw))
+
+    # ------------------------------------------------------------------ #
+    # mapping against views
+    # ------------------------------------------------------------------ #
+    def map_touch(self, view: View, point: TouchPoint) -> MappedTouch:
+        """Map a touch point (view-local coordinates, cm) to a tuple id.
+
+        For a vertically oriented object the view height is the tuple axis
+        and the width (if the object is a table) selects the attribute; a
+        rotated (horizontal) object swaps the roles of the two axes.
+        """
+        props = view.properties
+        if props is None:
+            raise MappingError(f"view {view.name!r} has no data-object properties attached")
+        if props.orientation == "vertical":
+            tuple_location, tuple_extent = point.y, view.height
+            attr_location, attr_extent = point.x, view.width
+        else:
+            tuple_location, tuple_extent = point.x, view.width
+            attr_location, attr_extent = point.y, view.height
+        if not 0.0 <= tuple_location <= tuple_extent + 1e-9:
+            raise MappingError(
+                f"touch at {tuple_location:.3f} cm is outside the object extent "
+                f"of {tuple_extent:.3f} cm"
+            )
+        rowid = self.rule_of_three(tuple_location, tuple_extent, props.num_tuples)
+        if self.granularity > 1:
+            rowid = (rowid // self.granularity) * self.granularity
+            rowid = min(props.num_tuples - 1, rowid)
+        attribute_index = 0
+        if props.num_attributes > 1 and attr_extent > 0:
+            attribute_index = int(props.num_attributes * attr_location / attr_extent)
+            attribute_index = min(props.num_attributes - 1, max(0, attribute_index))
+        fraction = tuple_location / tuple_extent if tuple_extent else 0.0
+        return MappedTouch(rowid=rowid, attribute_index=attribute_index, fraction=fraction)
+
+    def distinct_positions(self, view: View, finger_width_cm: float) -> int:
+        """How many distinct rowids a finger can address on this view.
+
+        Bounded by physics: positions closer than the finger width cannot be
+        distinguished, so a small object can only ever expose a limited
+        sample of a large column — the motivation for zoom-in.
+        """
+        props = view.properties
+        if props is None:
+            raise MappingError(f"view {view.name!r} has no data-object properties attached")
+        if finger_width_cm <= 0:
+            raise MappingError("finger width must be positive")
+        extent = view.height if props.orientation == "vertical" else view.width
+        positions = max(1, int(extent / finger_width_cm))
+        return min(props.num_tuples, positions)
+
+    def expected_stride(self, view: View, num_touches: int) -> int:
+        """Distance in rowids between consecutive touches of an even slide.
+
+        A slide that registers ``num_touches`` locations over the whole
+        object visits roughly every ``n / num_touches``-th tuple; the sample
+        hierarchy uses this stride to pick the level to feed from.
+        """
+        props = view.properties
+        if props is None:
+            raise MappingError(f"view {view.name!r} has no data-object properties attached")
+        if num_touches <= 0:
+            return props.num_tuples
+        return max(1, props.num_tuples // num_touches)

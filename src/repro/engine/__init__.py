@@ -1,0 +1,77 @@
+"""Touch-driven operator engine.
+
+Operators are push-based: the user's touch plays the role of the classic
+``next()`` call, and every operator does a small, bounded amount of work per
+touch.  The subpackage provides scans, running aggregates, selections,
+non-blocking joins, incremental group-by, online aggregation with
+confidence bounds and linear pipelines of all of the above.
+"""
+
+from repro.engine.aggregate import (
+    AggregateKind,
+    AvgAggregate,
+    CountAggregate,
+    MaxAggregate,
+    MinAggregate,
+    RunningAggregate,
+    StdAggregate,
+    SumAggregate,
+    aggregate_window,
+    make_aggregate,
+)
+from repro.engine.filter import (
+    Comparison,
+    CompositeFilter,
+    FilterOperator,
+    Predicate,
+    predicate_from_string,
+)
+from repro.engine.groupby import GroupResult, IncrementalGroupBy
+from repro.engine.join import (
+    BlockingHashJoin,
+    JoinMatch,
+    SymmetricHashJoin,
+    join_arrays_symmetric,
+)
+from repro.engine.online_agg import OnlineAggregator, OnlineEstimate
+from repro.engine.operators import (
+    LimitOperator,
+    OperatorStats,
+    ProjectOperator,
+    ScanOperator,
+    TouchOperator,
+)
+from repro.engine.pipeline import PipelineStats, TouchPipeline
+
+__all__ = [
+    "AggregateKind",
+    "AvgAggregate",
+    "BlockingHashJoin",
+    "Comparison",
+    "CompositeFilter",
+    "CountAggregate",
+    "FilterOperator",
+    "GroupResult",
+    "IncrementalGroupBy",
+    "JoinMatch",
+    "LimitOperator",
+    "MaxAggregate",
+    "MinAggregate",
+    "OnlineAggregator",
+    "OnlineEstimate",
+    "OperatorStats",
+    "PipelineStats",
+    "Predicate",
+    "ProjectOperator",
+    "RunningAggregate",
+    "ScanOperator",
+    "StdAggregate",
+    "SumAggregate",
+    "SymmetricHashJoin",
+    "TouchOperator",
+    "TouchPipeline",
+    "aggregate_window",
+    "join_arrays_symmetric",
+    "make_aggregate",
+    "predicate_from_string",
+]

@@ -1,0 +1,238 @@
+"""Running aggregates updated one touch at a time.
+
+When the user chooses an aggregation action and slides over a column,
+dbTouch computes a *running* aggregate and continuously updates it as the
+gesture evolves.  The aggregates here are incremental (constant work per
+touch) and can also ingest whole windows of values at once, which is what
+interactive summaries feed them.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import abstractmethod
+from enum import Enum
+from typing import Any, Iterable
+
+import numpy as np
+
+from repro.errors import ExecutionError
+from repro.engine.operators import TouchOperator
+
+
+class AggregateKind(Enum):
+    """The aggregate functions supported by slide-to-aggregate."""
+
+    COUNT = "count"
+    SUM = "sum"
+    AVG = "avg"
+    MIN = "min"
+    MAX = "max"
+    STD = "std"
+
+
+class RunningAggregate(TouchOperator):
+    """Base class for aggregates that update incrementally per touch."""
+
+    kind: AggregateKind
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._count = 0
+
+    @property
+    def count(self) -> int:
+        """Number of values folded into the aggregate so far."""
+        return self._count
+
+    @abstractmethod
+    def _update(self, value: float) -> None:
+        """Fold one value into the aggregate state."""
+
+    @abstractmethod
+    def current(self) -> float | None:
+        """The aggregate's current value (None before any input)."""
+
+    def update_many(self, values: Iterable[float]) -> float | None:
+        """Fold a batch of values (an interactive-summary window) at once."""
+        arr = np.asarray(list(values), dtype=np.float64)
+        for v in arr:
+            self._update(float(v))
+            self._count += 1
+        return self.current()
+
+    def on_touch(self, rowid: int, value: Any) -> Any:
+        if value is None:
+            self.stats.record(tuples=0, results=0)
+            return self.current()
+        if isinstance(value, (list, tuple, np.ndarray)):
+            n = len(value)
+            self.update_many(value)
+            self.stats.record(tuples=n, results=1)
+        else:
+            self._update(float(value))
+            self._count += 1
+            self.stats.record(tuples=1, results=1)
+        return self.current()
+
+    def finish(self) -> float | None:
+        return self.current()
+
+    def reset(self) -> None:
+        super().reset()
+        self._count = 0
+
+
+class CountAggregate(RunningAggregate):
+    """COUNT of touched values."""
+
+    kind = AggregateKind.COUNT
+    name = "count"
+
+    def _update(self, value: float) -> None:
+        pass  # count is tracked by the base class
+
+    def current(self) -> float | None:
+        return float(self._count)
+
+
+class SumAggregate(RunningAggregate):
+    """SUM of touched values."""
+
+    kind = AggregateKind.SUM
+    name = "sum"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._sum = 0.0
+
+    def _update(self, value: float) -> None:
+        self._sum += value
+
+    def current(self) -> float | None:
+        return self._sum if self._count else None
+
+    def reset(self) -> None:
+        super().reset()
+        self._sum = 0.0
+
+
+class AvgAggregate(RunningAggregate):
+    """Arithmetic mean of touched values (the paper's default summary)."""
+
+    kind = AggregateKind.AVG
+    name = "avg"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._sum = 0.0
+
+    def _update(self, value: float) -> None:
+        self._sum += value
+
+    def current(self) -> float | None:
+        if not self._count:
+            return None
+        return self._sum / self._count
+
+    def reset(self) -> None:
+        super().reset()
+        self._sum = 0.0
+
+
+class MinAggregate(RunningAggregate):
+    """MIN of touched values."""
+
+    kind = AggregateKind.MIN
+    name = "min"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._min = math.inf
+
+    def _update(self, value: float) -> None:
+        self._min = min(self._min, value)
+
+    def current(self) -> float | None:
+        return self._min if self._count else None
+
+    def reset(self) -> None:
+        super().reset()
+        self._min = math.inf
+
+
+class MaxAggregate(RunningAggregate):
+    """MAX of touched values."""
+
+    kind = AggregateKind.MAX
+    name = "max"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._max = -math.inf
+
+    def _update(self, value: float) -> None:
+        self._max = max(self._max, value)
+
+    def current(self) -> float | None:
+        return self._max if self._count else None
+
+    def reset(self) -> None:
+        super().reset()
+        self._max = -math.inf
+
+
+class StdAggregate(RunningAggregate):
+    """Population standard deviation via Welford's online algorithm."""
+
+    kind = AggregateKind.STD
+    name = "std"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._mean = 0.0
+        self._m2 = 0.0
+
+    def _update(self, value: float) -> None:
+        # Welford update: numerically stable single pass
+        n = self._count + 1
+        delta = value - self._mean
+        self._mean += delta / n
+        self._m2 += delta * (value - self._mean)
+
+    def current(self) -> float | None:
+        if not self._count:
+            return None
+        return math.sqrt(self._m2 / self._count)
+
+    def reset(self) -> None:
+        super().reset()
+        self._mean = 0.0
+        self._m2 = 0.0
+
+
+_AGGREGATES: dict[AggregateKind, type[RunningAggregate]] = {
+    AggregateKind.COUNT: CountAggregate,
+    AggregateKind.SUM: SumAggregate,
+    AggregateKind.AVG: AvgAggregate,
+    AggregateKind.MIN: MinAggregate,
+    AggregateKind.MAX: MaxAggregate,
+    AggregateKind.STD: StdAggregate,
+}
+
+
+def make_aggregate(kind: AggregateKind | str) -> RunningAggregate:
+    """Instantiate the running aggregate for ``kind`` (enum value or name)."""
+    if isinstance(kind, str):
+        try:
+            kind = AggregateKind(kind.lower())
+        except ValueError as exc:
+            known = ", ".join(k.value for k in AggregateKind)
+            raise ExecutionError(f"unknown aggregate {kind!r}; known: {known}") from exc
+    return _AGGREGATES[kind]()
+
+
+def aggregate_window(kind: AggregateKind | str, values: np.ndarray) -> float | None:
+    """Aggregate one window of values in a single call (interactive summaries)."""
+    agg = make_aggregate(kind)
+    return agg.update_many(np.asarray(values, dtype=np.float64))

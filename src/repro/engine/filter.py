@@ -1,0 +1,175 @@
+"""Selection predicates (the "where" action attached to a slide).
+
+The user can enable a *where* action on a column so that, as the slide
+gesture delivers tuple identifiers, only the tuples satisfying the
+predicate flow to the downstream operators.  Predicates are small, typed
+objects that evaluate both single values and numpy arrays so they can be
+applied per touch and to whole summary windows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.errors import QueryError
+from repro.engine.operators import TouchOperator
+
+
+class Comparison(Enum):
+    """Supported comparison operators for predicates."""
+
+    EQ = "=="
+    NE = "!="
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+    BETWEEN = "between"
+
+
+@dataclass(frozen=True)
+class Predicate:
+    """A single-column predicate, e.g. ``value > 100`` or ``50 <= value <= 80``.
+
+    Attributes
+    ----------
+    comparison:
+        The comparison operator.
+    operand:
+        The comparison constant (for BETWEEN, the lower bound).
+    upper:
+        The upper bound when ``comparison`` is BETWEEN.
+    """
+
+    comparison: Comparison
+    operand: float
+    upper: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.comparison is Comparison.BETWEEN and self.upper is None:
+            raise QueryError("BETWEEN predicates require an upper bound")
+        if (
+            self.comparison is Comparison.BETWEEN
+            and self.upper is not None
+            and self.upper < self.operand
+        ):
+            raise QueryError("BETWEEN upper bound must be >= lower bound")
+
+    def matches(self, value: Any) -> bool:
+        """Evaluate the predicate on a single scalar value."""
+        if self.comparison is Comparison.EQ:
+            return bool(value == self.operand)
+        if self.comparison is Comparison.NE:
+            return bool(value != self.operand)
+        if self.comparison is Comparison.LT:
+            return bool(value < self.operand)
+        if self.comparison is Comparison.LE:
+            return bool(value <= self.operand)
+        if self.comparison is Comparison.GT:
+            return bool(value > self.operand)
+        if self.comparison is Comparison.GE:
+            return bool(value >= self.operand)
+        return bool(self.operand <= value <= self.upper)  # BETWEEN
+
+    def mask(self, values: np.ndarray) -> np.ndarray:
+        """Evaluate the predicate on an array, returning a boolean mask."""
+        arr = np.asarray(values)
+        if self.comparison is Comparison.EQ:
+            return arr == self.operand
+        if self.comparison is Comparison.NE:
+            return arr != self.operand
+        if self.comparison is Comparison.LT:
+            return arr < self.operand
+        if self.comparison is Comparison.LE:
+            return arr <= self.operand
+        if self.comparison is Comparison.GT:
+            return arr > self.operand
+        if self.comparison is Comparison.GE:
+            return arr >= self.operand
+        return (arr >= self.operand) & (arr <= self.upper)  # BETWEEN
+
+    def describe(self) -> str:
+        """Human-readable form, e.g. ``"value > 100"``."""
+        if self.comparison is Comparison.BETWEEN:
+            return f"{self.operand} <= value <= {self.upper}"
+        return f"value {self.comparison.value} {self.operand}"
+
+
+def predicate_from_string(text: str) -> Predicate:
+    """Parse a tiny predicate grammar: ``"> 10"``, ``"<= 3.5"``, ``"between 1 5"``.
+
+    This keeps scripted explorations and the baseline SQL shim readable.
+    """
+    parts = text.strip().split()
+    if not parts:
+        raise QueryError("empty predicate string")
+    op = parts[0].lower()
+    if op == "between":
+        if len(parts) != 3:
+            raise QueryError(f"BETWEEN predicate needs two bounds, got {text!r}")
+        return Predicate(Comparison.BETWEEN, float(parts[1]), float(parts[2]))
+    symbol_map = {c.value: c for c in Comparison if c is not Comparison.BETWEEN}
+    if op not in symbol_map:
+        raise QueryError(f"unknown comparison operator {op!r} in predicate {text!r}")
+    if len(parts) != 2:
+        raise QueryError(f"predicate {text!r} must be '<op> <constant>'")
+    return Predicate(symbol_map[op], float(parts[1]))
+
+
+class FilterOperator(TouchOperator):
+    """Drop touched values that do not satisfy the predicate."""
+
+    name = "filter"
+
+    def __init__(self, predicate: Predicate, attribute: str | None = None):
+        super().__init__()
+        self.predicate = predicate
+        self.attribute = attribute
+
+    def _extract(self, value: Any) -> Any:
+        if self.attribute is None:
+            return value
+        if not isinstance(value, dict) or self.attribute not in value:
+            raise QueryError(
+                f"filter on attribute {self.attribute!r} requires tuples containing it"
+            )
+        return value[self.attribute]
+
+    def on_touch(self, rowid: int, value: Any) -> Any:
+        candidate = self._extract(value)
+        if isinstance(candidate, (list, tuple, np.ndarray)):
+            arr = np.asarray(candidate)
+            kept = arr[self.predicate.mask(arr)]
+            self.stats.record(tuples=len(arr), results=int(kept.size > 0))
+            return kept if kept.size else None
+        if self.predicate.matches(candidate):
+            self.stats.record(tuples=1, results=1)
+            return value
+        self.stats.record(tuples=1, results=0)
+        return None
+
+
+class CompositeFilter(TouchOperator):
+    """Conjunction of several per-attribute predicates (AND semantics)."""
+
+    name = "composite-filter"
+
+    def __init__(self, predicates: Sequence[tuple[str | None, Predicate]]):
+        super().__init__()
+        if not predicates:
+            raise QueryError("composite filter requires at least one predicate")
+        self._filters = [FilterOperator(pred, attribute=attr) for attr, pred in predicates]
+
+    def on_touch(self, rowid: int, value: Any) -> Any:
+        current = value
+        for filt in self._filters:
+            current = filt.on_touch(rowid, value)
+            if current is None:
+                self.stats.record(tuples=1, results=0)
+                return None
+        self.stats.record(tuples=1, results=1)
+        return value

@@ -1,0 +1,187 @@
+"""Join operators for touch-driven processing.
+
+Joins are blocking by nature: a classic hash join must first build a hash
+table on one full input before probing with the other.  In dbTouch the
+system never knows up front which data will be processed — the gesture
+decides — so blocking on a full build phase would destroy interactivity.
+The paper therefore calls for non-blocking join strategies; this module
+provides a *symmetric hash join* (both sides build and probe incrementally
+as touched tuples arrive) alongside the classic blocking hash join used as
+the comparison point in the E-join benchmark.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Any, Hashable, Iterable
+
+import numpy as np
+
+from repro.errors import ExecutionError
+from repro.engine.operators import OperatorStats
+
+
+@dataclass(frozen=True)
+class JoinMatch:
+    """One join result: the rowids and the join key that matched."""
+
+    left_rowid: int
+    right_rowid: int
+    key: Hashable
+
+
+class SymmetricHashJoin:
+    """Non-blocking, pipelined hash join.
+
+    Both inputs maintain a hash table keyed by the join attribute.  When a
+    touched tuple arrives from one side it is (a) inserted into that side's
+    table and (b) probed against the other side's table, emitting any
+    matches immediately.  Work per touch is proportional to the number of
+    matches for that key — there is no build phase to wait for.
+    """
+
+    def __init__(self) -> None:
+        self._left: dict[Hashable, list[int]] = defaultdict(list)
+        self._right: dict[Hashable, list[int]] = defaultdict(list)
+        self._seen_left: set[int] = set()
+        self._seen_right: set[int] = set()
+        self.stats = OperatorStats()
+        self.matches: list[JoinMatch] = []
+
+    # ------------------------------------------------------------------ #
+    # per-touch input
+    # ------------------------------------------------------------------ #
+    def on_left(self, rowid: int, key: Hashable) -> list[JoinMatch]:
+        """Ingest a touched tuple from the left input; return new matches."""
+        return self._ingest(rowid, key, side="left")
+
+    def on_right(self, rowid: int, key: Hashable) -> list[JoinMatch]:
+        """Ingest a touched tuple from the right input; return new matches."""
+        return self._ingest(rowid, key, side="right")
+
+    def _ingest(self, rowid: int, key: Hashable, side: str) -> list[JoinMatch]:
+        if side == "left":
+            own, other, seen = self._left, self._right, self._seen_left
+        else:
+            own, other, seen = self._right, self._left, self._seen_right
+        new_matches: list[JoinMatch] = []
+        if rowid not in seen:
+            seen.add(rowid)
+            own[key].append(rowid)
+        for other_rowid in other.get(key, ()):  # probe the opposite table
+            match = (
+                JoinMatch(rowid, other_rowid, key)
+                if side == "left"
+                else JoinMatch(other_rowid, rowid, key)
+            )
+            new_matches.append(match)
+        self.matches.extend(new_matches)
+        self.stats.record(tuples=1, results=len(new_matches))
+        return new_matches
+
+    # ------------------------------------------------------------------ #
+    # state inspection
+    # ------------------------------------------------------------------ #
+    @property
+    def num_matches(self) -> int:
+        """Total matches emitted so far."""
+        return len(self.matches)
+
+    @property
+    def left_cardinality(self) -> int:
+        """Distinct left rowids ingested so far."""
+        return len(self._seen_left)
+
+    @property
+    def right_cardinality(self) -> int:
+        """Distinct right rowids ingested so far."""
+        return len(self._seen_right)
+
+    def hash_table_snapshot(self) -> tuple[dict[Hashable, list[int]], dict[Hashable, list[int]]]:
+        """Copies of both hash tables (cached across sample copies per the paper)."""
+        return (
+            {k: list(v) for k, v in self._left.items()},
+            {k: list(v) for k, v in self._right.items()},
+        )
+
+    def reset(self) -> None:
+        """Clear all join state."""
+        self._left.clear()
+        self._right.clear()
+        self._seen_left.clear()
+        self._seen_right.clear()
+        self.matches.clear()
+        self.stats = OperatorStats()
+
+
+class BlockingHashJoin:
+    """Classic build-then-probe hash join (the monolithic baseline).
+
+    The build phase consumes the *entire* build input before the first
+    probe can produce a result — which is exactly the behaviour dbTouch
+    needs to avoid.  The operator records how many tuples had to be
+    consumed before the first result was available so benchmarks can
+    compare time-to-first-result between strategies.
+    """
+
+    def __init__(self) -> None:
+        self.stats = OperatorStats()
+        self._build_table: dict[Hashable, list[int]] = defaultdict(list)
+        self._built = False
+        self.tuples_before_first_result = 0
+
+    def build(self, keys: Iterable[Hashable]) -> None:
+        """Consume the whole build side."""
+        count = 0
+        for rowid, key in enumerate(keys):
+            self._build_table[key].append(rowid)
+            count += 1
+        self._built = True
+        self.tuples_before_first_result = count
+        self.stats.record(tuples=count, results=0)
+
+    def probe(self, keys: Iterable[Hashable]) -> list[JoinMatch]:
+        """Probe with the full probe side; returns all matches."""
+        if not self._built:
+            raise ExecutionError("BlockingHashJoin.probe called before build()")
+        matches: list[JoinMatch] = []
+        count = 0
+        for rowid, key in enumerate(keys):
+            count += 1
+            for build_rowid in self._build_table.get(key, ()):
+                matches.append(JoinMatch(build_rowid, rowid, key))
+        self.stats.record(tuples=count, results=len(matches))
+        return matches
+
+    def join(self, left_keys: Iterable[Hashable], right_keys: Iterable[Hashable]) -> list[JoinMatch]:
+        """Run the full blocking join (build on left, probe with right)."""
+        self.build(left_keys)
+        return self.probe(right_keys)
+
+
+def join_arrays_symmetric(
+    left_keys: np.ndarray,
+    right_keys: np.ndarray,
+    left_order: Iterable[int] | None = None,
+    right_order: Iterable[int] | None = None,
+) -> SymmetricHashJoin:
+    """Drive a symmetric join by alternating touched tuples from both sides.
+
+    ``left_order`` / ``right_order`` give the rowid order in which the
+    gesture touches each input; by default both sides are consumed in
+    storage order, interleaved one tuple at a time.
+    """
+    left_keys = np.asarray(left_keys)
+    right_keys = np.asarray(right_keys)
+    left_idx = list(left_order) if left_order is not None else list(range(len(left_keys)))
+    right_idx = list(right_order) if right_order is not None else list(range(len(right_keys)))
+    join = SymmetricHashJoin()
+    for i in range(max(len(left_idx), len(right_idx))):
+        if i < len(left_idx):
+            rowid = left_idx[i]
+            join.on_left(rowid, left_keys[rowid].item())
+        if i < len(right_idx):
+            rowid = right_idx[i]
+            join.on_right(rowid, right_keys[rowid].item())
+    return join

@@ -1,0 +1,173 @@
+"""Online aggregation with running confidence bounds.
+
+The paper relates dbTouch to online aggregation (Hellerstein et al.): the
+system continuously returns refined results together with a confidence
+metric, and the user stops when the confidence is good enough.  In dbTouch
+the *user* additionally decides which data is sampled (via the gesture),
+so the estimator here treats touched values as a random sample of the
+underlying column and reports a running mean/sum with a normal-theory
+confidence interval.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+import numpy as np
+
+from repro.errors import ExecutionError
+from repro.engine.operators import TouchOperator
+
+#: Two-sided z-scores for the confidence levels the estimator supports.
+_Z_SCORES = {0.80: 1.2816, 0.90: 1.6449, 0.95: 1.9600, 0.99: 2.5758}
+
+
+@dataclass(frozen=True)
+class OnlineEstimate:
+    """A running estimate with its confidence interval.
+
+    Attributes
+    ----------
+    estimate:
+        Current point estimate (mean or scaled sum).
+    low / high:
+        Confidence interval bounds at the requested confidence level.
+    confidence:
+        The confidence level used (e.g. 0.95).
+    sample_size:
+        Number of touched values folded in so far.
+    relative_halfwidth:
+        Half the interval width divided by the estimate magnitude; the
+        natural "am I done yet?" signal for the explorer.
+    """
+
+    estimate: float
+    low: float
+    high: float
+    confidence: float
+    sample_size: int
+    relative_halfwidth: float
+
+
+class OnlineAggregator(TouchOperator):
+    """Running mean/sum estimator over the values a gesture touches.
+
+    Parameters
+    ----------
+    population_size:
+        Total number of tuples in the underlying column.  Required to scale
+        a mean estimate up to a population-sum estimate.
+    target:
+        ``"mean"`` or ``"sum"``.
+    confidence:
+        One of 0.80, 0.90, 0.95, 0.99.
+    """
+
+    name = "online-aggregate"
+
+    def __init__(
+        self,
+        population_size: int,
+        target: str = "mean",
+        confidence: float = 0.95,
+    ) -> None:
+        super().__init__()
+        if population_size <= 0:
+            raise ExecutionError("population_size must be positive")
+        if target not in ("mean", "sum"):
+            raise ExecutionError(f"target must be 'mean' or 'sum', got {target!r}")
+        if confidence not in _Z_SCORES:
+            raise ExecutionError(
+                f"confidence must be one of {sorted(_Z_SCORES)}, got {confidence}"
+            )
+        self.population_size = population_size
+        self.target = target
+        self.confidence = confidence
+        self._n = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+
+    # ------------------------------------------------------------------ #
+    # ingestion
+    # ------------------------------------------------------------------ #
+    def _update(self, value: float) -> None:
+        self._n += 1
+        delta = value - self._mean
+        self._mean += delta / self._n
+        self._m2 += delta * (value - self._mean)
+
+    def update_many(self, values: Iterable[float]) -> OnlineEstimate:
+        """Fold a batch of touched values and return the new estimate."""
+        for v in np.asarray(list(values), dtype=np.float64):
+            self._update(float(v))
+        return self.current()
+
+    def on_touch(self, rowid: int, value: Any) -> OnlineEstimate:
+        if isinstance(value, (list, tuple, np.ndarray)):
+            arr = np.asarray(value, dtype=np.float64)
+            for v in arr:
+                self._update(float(v))
+            self.stats.record(tuples=len(arr), results=1)
+        else:
+            self._update(float(value))
+            self.stats.record(tuples=1, results=1)
+        return self.current()
+
+    # ------------------------------------------------------------------ #
+    # estimates
+    # ------------------------------------------------------------------ #
+    def current(self) -> OnlineEstimate:
+        """Return the current estimate and confidence interval."""
+        if self._n == 0:
+            return OnlineEstimate(
+                estimate=0.0,
+                low=-math.inf,
+                high=math.inf,
+                confidence=self.confidence,
+                sample_size=0,
+                relative_halfwidth=math.inf,
+            )
+        variance = self._m2 / self._n if self._n > 1 else 0.0
+        std_err = math.sqrt(variance / self._n) if self._n > 0 else 0.0
+        # finite population correction: the gesture may cover a large share
+        # of a small column, which tightens the interval
+        if self.population_size > 1:
+            fpc = math.sqrt(
+                max(0.0, (self.population_size - self._n) / (self.population_size - 1))
+            )
+            std_err *= fpc
+        z = _Z_SCORES[self.confidence]
+        mean_low = self._mean - z * std_err
+        mean_high = self._mean + z * std_err
+        if self.target == "mean":
+            estimate, low, high = self._mean, mean_low, mean_high
+        else:
+            scale = float(self.population_size)
+            estimate, low, high = self._mean * scale, mean_low * scale, mean_high * scale
+        halfwidth = (high - low) / 2.0
+        rel = halfwidth / abs(estimate) if estimate else math.inf
+        return OnlineEstimate(
+            estimate=estimate,
+            low=low,
+            high=high,
+            confidence=self.confidence,
+            sample_size=self._n,
+            relative_halfwidth=rel,
+        )
+
+    def confident_within(self, relative_tolerance: float) -> bool:
+        """Whether the interval half-width is within ``relative_tolerance``."""
+        if relative_tolerance <= 0:
+            raise ExecutionError("relative_tolerance must be positive")
+        return self.current().relative_halfwidth <= relative_tolerance
+
+    def finish(self) -> OnlineEstimate:
+        return self.current()
+
+    def reset(self) -> None:
+        super().reset()
+        self._n = 0
+        self._mean = 0.0
+        self._m2 = 0.0

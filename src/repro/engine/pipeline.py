@@ -1,0 +1,84 @@
+"""Operator pipelines driven one touch at a time.
+
+A dbTouch "query plan" is a chain of touch operators.  The user's gesture
+delivers one tuple per touch; the pipeline pushes it through the chain
+(filter → aggregate, project → filter → scan, ...) and whatever emerges at
+the end is displayed.  The pipeline also records per-touch latencies so the
+kernel can enforce its interactive response-time bound.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.errors import ExecutionError
+from repro.engine.operators import TouchOperator
+
+
+@dataclass
+class PipelineStats:
+    """Accounting for a pipeline across the whole gesture session."""
+
+    touches: int = 0
+    outputs: int = 0
+    total_seconds: float = 0.0
+    max_touch_seconds: float = 0.0
+    per_touch_seconds: list[float] = field(default_factory=list)
+
+    @property
+    def mean_touch_seconds(self) -> float:
+        """Mean per-touch processing time."""
+        if not self.touches:
+            return 0.0
+        return self.total_seconds / self.touches
+
+
+class TouchPipeline:
+    """A linear chain of :class:`TouchOperator` instances."""
+
+    def __init__(self, operators: Sequence[TouchOperator]):
+        if not operators:
+            raise ExecutionError("a pipeline requires at least one operator")
+        self.operators = list(operators)
+        self.stats = PipelineStats()
+
+    def __len__(self) -> int:
+        return len(self.operators)
+
+    def process_touch(self, rowid: int, value: Any) -> Any:
+        """Push one touched tuple through the whole chain.
+
+        Returns the output of the last operator, or ``None`` if any operator
+        in the chain dropped the tuple (a failed predicate, an exhausted
+        limit...).
+        """
+        started = time.perf_counter()
+        current: Any = value
+        for op in self.operators:
+            current = op.on_touch(rowid, current)
+            if current is None:
+                break
+        elapsed = time.perf_counter() - started
+        self.stats.touches += 1
+        self.stats.total_seconds += elapsed
+        self.stats.max_touch_seconds = max(self.stats.max_touch_seconds, elapsed)
+        self.stats.per_touch_seconds.append(elapsed)
+        if current is not None:
+            self.stats.outputs += 1
+        return current
+
+    def finish(self) -> list[Any]:
+        """Collect the final state of every operator in the chain."""
+        return [op.finish() for op in self.operators]
+
+    def reset(self) -> None:
+        """Reset every operator and the pipeline accounting."""
+        for op in self.operators:
+            op.reset()
+        self.stats = PipelineStats()
+
+    def describe(self) -> str:
+        """Human-readable chain description, e.g. ``"filter -> avg"``."""
+        return " -> ".join(op.name for op in self.operators)

@@ -1,0 +1,14 @@
+"""Indexing support: zone maps, touch-driven cracking, per-sample indexes."""
+
+from repro.indexing.cracking import CrackerIndex, CrackPiece
+from repro.indexing.sample_index import RangeLookupResult, SampleLevelIndex
+from repro.indexing.zonemap import Zone, ZoneMap
+
+__all__ = [
+    "CrackPiece",
+    "CrackerIndex",
+    "RangeLookupResult",
+    "SampleLevelIndex",
+    "Zone",
+    "ZoneMap",
+]

@@ -1,0 +1,152 @@
+"""Touch-driven cracking: adaptive indexing from touched ranges.
+
+Database cracking (which the paper cites as one of its inspirations)
+refines a column's physical organization as a side effect of the queries
+that run.  In dbTouch the "queries" are gestures: every slide that filters
+a value range is an opportunity to partition the index around that range.
+The cracker index below maintains a sorted set of cracked pieces over a
+*copy* of the column (the base data is never reordered) and narrows the
+region that must be scanned for subsequent predicates on the same column.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import StorageError
+from repro.storage.column import Column
+
+
+@dataclass(frozen=True)
+class CrackPiece:
+    """A contiguous piece of the cracker column known to lie in [low, high)."""
+
+    start: int
+    stop: int
+    low: float
+    high: float
+
+    @property
+    def num_rows(self) -> int:
+        """Rows inside this piece."""
+        return self.stop - self.start
+
+
+class CrackerIndex:
+    """An adaptive index refined by the value ranges gestures touch.
+
+    The cracker column is a reordered copy of the base column together with
+    the original rowids, so lookups can report base rowids.  Each call to
+    :meth:`crack` partitions one or more pieces around the requested value
+    bounds; subsequent range lookups only scan the pieces overlapping the
+    requested range.
+    """
+
+    def __init__(self, column: Column):
+        if not column.is_numeric:
+            raise StorageError("cracking requires a numeric column")
+        self.column = column
+        self._values = column.values.astype(np.float64).copy()
+        self._rowids = np.arange(len(column), dtype=np.int64)
+        # crack boundaries: sorted positions; piece i spans [bounds[i], bounds[i+1])
+        self._bounds: list[int] = [0, len(column)]
+        # the value pivots applied so far, kept sorted for piece bookkeeping
+        self._pivots: list[float] = []
+        self.cracks_performed = 0
+        self.values_scanned_total = 0
+
+    # ------------------------------------------------------------------ #
+    # cracking
+    # ------------------------------------------------------------------ #
+    def _piece_containing_value(self, value: float) -> tuple[int, int]:
+        """Return the (start, stop) positions of the piece a pivot falls in."""
+        idx = bisect.bisect_right(self._pivots, value)
+        return self._bounds[idx], self._bounds[idx + 1]
+
+    def crack(self, pivot: float) -> None:
+        """Partition the cracker column around ``pivot`` (two-way crack)."""
+        if pivot in self._pivots:
+            return
+        start, stop = self._piece_containing_value(pivot)
+        segment = self._values[start:stop]
+        order = np.argsort(segment < pivot, kind="stable")[::-1]  # < pivot first
+        self._values[start:stop] = segment[order]
+        self._rowids[start:stop] = self._rowids[start:stop][order]
+        boundary = start + int((segment < pivot).sum())
+        insert_at = bisect.bisect_right(self._pivots, pivot)
+        self._pivots.insert(insert_at, pivot)
+        self._bounds.insert(insert_at + 1, boundary)
+        self.cracks_performed += 1
+
+    def crack_range(self, low: float, high: float) -> None:
+        """Crack on both bounds of ``[low, high)`` (as a range query would)."""
+        if high < low:
+            raise StorageError("crack_range requires low <= high")
+        self.crack(low)
+        self.crack(high)
+
+    # ------------------------------------------------------------------ #
+    # lookups
+    # ------------------------------------------------------------------ #
+    def _pieces(self) -> list[CrackPiece]:
+        pieces = []
+        lows = [-np.inf] + self._pivots
+        highs = self._pivots + [np.inf]
+        for i in range(len(self._bounds) - 1):
+            pieces.append(
+                CrackPiece(
+                    start=self._bounds[i],
+                    stop=self._bounds[i + 1],
+                    low=lows[i],
+                    high=highs[i],
+                )
+            )
+        return pieces
+
+    @property
+    def pieces(self) -> list[CrackPiece]:
+        """The current cracked pieces, in value order."""
+        return self._pieces()
+
+    def rowids_in_range(self, low: float, high: float, crack: bool = True) -> np.ndarray:
+        """Base rowids whose values lie in ``[low, high)``.
+
+        When ``crack`` is True (the default) the lookup also refines the
+        index around the requested bounds, so the next similar lookup scans
+        less data — the essence of adaptive indexing.
+        """
+        if high < low:
+            raise StorageError("range lookup requires low <= high")
+        if crack:
+            self.crack_range(low, high)
+        result_parts = []
+        scanned = 0
+        for piece in self._pieces():
+            if piece.high <= low or piece.low >= high:
+                continue  # piece cannot overlap the requested range
+            values = self._values[piece.start : piece.stop]
+            rowids = self._rowids[piece.start : piece.stop]
+            scanned += len(values)
+            if piece.low >= low and piece.high <= high:
+                result_parts.append(rowids)  # fully covered, no per-value test
+            else:
+                mask = (values >= low) & (values < high)
+                result_parts.append(rowids[mask])
+        self.values_scanned_total += scanned
+        if not result_parts:
+            return np.empty(0, dtype=np.int64)
+        return np.sort(np.concatenate(result_parts))
+
+    def scan_cost_for_range(self, low: float, high: float) -> int:
+        """How many values a lookup of ``[low, high)`` would scan right now."""
+        cost = 0
+        for piece in self._pieces():
+            if piece.high <= low or piece.low >= high:
+                continue
+            if piece.low >= low and piece.high <= high:
+                continue  # fully covered pieces are returned wholesale
+            cost += piece.num_rows
+        return cost

@@ -1,0 +1,13 @@
+"""Metrics: collectors and experiment-series reporting for the benchmarks."""
+
+from repro.metrics.collectors import GestureMetrics, LatencyStats, MetricsCollector
+from repro.metrics.reporting import ExperimentSeries, SeriesPoint, format_comparison
+
+__all__ = [
+    "ExperimentSeries",
+    "GestureMetrics",
+    "LatencyStats",
+    "MetricsCollector",
+    "SeriesPoint",
+    "format_comparison",
+]

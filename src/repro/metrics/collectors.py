@@ -1,0 +1,126 @@
+"""Metric collectors used by the benchmark harness.
+
+The paper's evaluation measures "number of data entries returned" under
+varying gesture speed and object size; the extension experiments also need
+per-touch latency distributions, data-read accounting and stall counts.
+The collectors here are deliberately small, dependency-free containers so
+benchmarks stay readable.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.errors import MetricsError
+from repro.core.kernel import GestureOutcome
+
+
+@dataclass
+class LatencyStats:
+    """Summary statistics of a set of per-touch latencies."""
+
+    count: int
+    mean_s: float
+    p50_s: float
+    p95_s: float
+    p99_s: float
+    max_s: float
+
+    @staticmethod
+    def from_samples(samples: list[float]) -> "LatencyStats":
+        """Compute the summary from raw latency samples."""
+        if not samples:
+            return LatencyStats(0, 0.0, 0.0, 0.0, 0.0, 0.0)
+        ordered = sorted(samples)
+
+        def percentile(q: float) -> float:
+            if len(ordered) == 1:
+                return ordered[0]
+            pos = q * (len(ordered) - 1)
+            low = int(math.floor(pos))
+            high = int(math.ceil(pos))
+            frac = pos - low
+            return ordered[low] * (1 - frac) + ordered[high] * frac
+
+        return LatencyStats(
+            count=len(ordered),
+            mean_s=sum(ordered) / len(ordered),
+            p50_s=percentile(0.50),
+            p95_s=percentile(0.95),
+            p99_s=percentile(0.99),
+            max_s=ordered[-1],
+        )
+
+
+@dataclass
+class GestureMetrics:
+    """Metrics extracted from one gesture outcome."""
+
+    gesture_type: str
+    duration_s: float
+    entries_returned: int
+    tuples_examined: int
+    cache_hits: int
+    prefetch_hits: int
+    latency: LatencyStats
+
+    @staticmethod
+    def from_outcome(outcome: GestureOutcome) -> "GestureMetrics":
+        """Extract metrics from a kernel gesture outcome."""
+        return GestureMetrics(
+            gesture_type=outcome.gesture_type.value,
+            duration_s=outcome.duration_s,
+            entries_returned=outcome.entries_returned,
+            tuples_examined=outcome.tuples_examined,
+            cache_hits=outcome.cache_hits,
+            prefetch_hits=outcome.prefetch_hits,
+            latency=LatencyStats.from_samples(outcome.per_touch_latencies_s),
+        )
+
+
+class MetricsCollector:
+    """Accumulates gesture metrics across a whole experiment run."""
+
+    def __init__(self) -> None:
+        self._records: list[GestureMetrics] = []
+
+    def record(self, outcome: GestureOutcome) -> GestureMetrics:
+        """Record one gesture outcome and return its extracted metrics."""
+        metrics = GestureMetrics.from_outcome(outcome)
+        self._records.append(metrics)
+        return metrics
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    @property
+    def records(self) -> list[GestureMetrics]:
+        """Everything recorded so far."""
+        return list(self._records)
+
+    @property
+    def total_entries_returned(self) -> int:
+        """Sum of entries returned across all recorded gestures."""
+        return sum(r.entries_returned for r in self._records)
+
+    @property
+    def total_tuples_examined(self) -> int:
+        """Sum of tuples examined across all recorded gestures."""
+        return sum(r.tuples_examined for r in self._records)
+
+    def latency_overall(self) -> LatencyStats:
+        """Latency summary pooled over every recorded gesture."""
+        samples: list[float] = []
+        for record in self._records:
+            # reconstruct approximate samples from each record's summary is
+            # lossy; collectors therefore keep the per-gesture summaries and
+            # pool only their maxima/means for the overall view
+            samples.append(record.latency.max_s)
+        return LatencyStats.from_samples(samples)
+
+    def budget_violations(self, budget_s: float) -> int:
+        """How many recorded gestures exceeded ``budget_s`` for any touch."""
+        if budget_s <= 0:
+            raise MetricsError("budget must be positive")
+        return sum(1 for r in self._records if r.latency.max_s > budget_s)

@@ -1,0 +1,140 @@
+"""Result-series reporting for the benchmark harness.
+
+Every benchmark regenerates a table or figure from the paper as a *series*:
+an x-axis (gesture duration, object size, network latency, ...) and one or
+more y-values per x.  The reporters here hold those series, format them as
+aligned text tables (what the benchmark prints) and check the qualitative
+properties the paper's figures exhibit (monotonicity, approximate
+linearity, who-wins comparisons).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import MetricsError
+
+
+@dataclass
+class SeriesPoint:
+    """One (x, metrics) point of an experiment series."""
+
+    x: float
+    values: dict[str, float]
+
+
+class ExperimentSeries:
+    """An ordered series of measurements for one experiment."""
+
+    def __init__(self, name: str, x_label: str, y_labels: list[str]):
+        if not y_labels:
+            raise MetricsError("a series needs at least one y column")
+        self.name = name
+        self.x_label = x_label
+        self.y_labels = list(y_labels)
+        self._points: list[SeriesPoint] = []
+
+    # ------------------------------------------------------------------ #
+    # data entry
+    # ------------------------------------------------------------------ #
+    def add(self, x: float, **values: float) -> None:
+        """Add a measurement point; values must cover every y column."""
+        missing = [label for label in self.y_labels if label not in values]
+        if missing:
+            raise MetricsError(f"missing values for {missing} in series {self.name!r}")
+        extra = [label for label in values if label not in self.y_labels]
+        if extra:
+            raise MetricsError(f"unexpected values {extra} in series {self.name!r}")
+        self._points.append(SeriesPoint(x=float(x), values=dict(values)))
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    @property
+    def points(self) -> list[SeriesPoint]:
+        """All points, in insertion order."""
+        return list(self._points)
+
+    def xs(self) -> np.ndarray:
+        """The x values as an array."""
+        return np.asarray([p.x for p in self._points], dtype=np.float64)
+
+    def ys(self, label: str) -> np.ndarray:
+        """The y values of one column as an array."""
+        if label not in self.y_labels:
+            raise MetricsError(f"series {self.name!r} has no column {label!r}")
+        return np.asarray([p.values[label] for p in self._points], dtype=np.float64)
+
+    # ------------------------------------------------------------------ #
+    # qualitative checks (the "shape" assertions the benchmarks make)
+    # ------------------------------------------------------------------ #
+    def is_monotonic_increasing(self, label: str, tolerance: float = 0.0) -> bool:
+        """Whether the column never decreases by more than ``tolerance``."""
+        ys = self.ys(label)
+        if len(ys) < 2:
+            return True
+        return bool(np.all(np.diff(ys) >= -tolerance))
+
+    def is_monotonic_decreasing(self, label: str, tolerance: float = 0.0) -> bool:
+        """Whether the column never increases by more than ``tolerance``."""
+        ys = self.ys(label)
+        if len(ys) < 2:
+            return True
+        return bool(np.all(np.diff(ys) <= tolerance))
+
+    def linear_correlation(self, label: str) -> float:
+        """Pearson correlation between x and the column (linearity check)."""
+        xs, ys = self.xs(), self.ys(label)
+        if len(xs) < 2 or np.std(xs) == 0 or np.std(ys) == 0:
+            return 0.0
+        return float(np.corrcoef(xs, ys)[0, 1])
+
+    def ratio_last_to_first(self, label: str) -> float:
+        """Ratio of the last to the first y value (growth factor)."""
+        ys = self.ys(label)
+        if len(ys) == 0 or ys[0] == 0:
+            raise MetricsError("ratio_last_to_first needs a non-zero first value")
+        return float(ys[-1] / ys[0])
+
+    # ------------------------------------------------------------------ #
+    # formatting
+    # ------------------------------------------------------------------ #
+    def to_table(self, float_format: str = "{:.3f}") -> str:
+        """Format the series as an aligned text table."""
+        header = [self.x_label, *self.y_labels]
+        rows = [header]
+        for point in self._points:
+            row = [float_format.format(point.x)]
+            row.extend(float_format.format(point.values[label]) for label in self.y_labels)
+            rows.append(row)
+        widths = [max(len(row[i]) for row in rows) for i in range(len(header))]
+        lines = [f"== {self.name} =="]
+        for i, row in enumerate(rows):
+            lines.append("  ".join(cell.rjust(widths[j]) for j, cell in enumerate(row)))
+            if i == 0:
+                lines.append("  ".join("-" * w for w in widths))
+        return "\n".join(lines)
+
+
+def format_comparison(name: str, rows: dict[str, dict[str, float]], float_format: str = "{:.3f}") -> str:
+    """Format a system-vs-system comparison (rows = system → metric → value)."""
+    if not rows:
+        raise MetricsError("comparison needs at least one row")
+    metric_names = sorted({metric for metrics in rows.values() for metric in metrics})
+    header = ["system", *metric_names]
+    table_rows = [header]
+    for system, metrics in rows.items():
+        row = [system]
+        for metric in metric_names:
+            value = metrics.get(metric)
+            row.append("-" if value is None else float_format.format(value))
+        table_rows.append(row)
+    widths = [max(len(r[i]) for r in table_rows) for i in range(len(header))]
+    lines = [f"== {name} =="]
+    for i, row in enumerate(table_rows):
+        lines.append("  ".join(cell.rjust(widths[j]) for j, cell in enumerate(row)))
+        if i == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)

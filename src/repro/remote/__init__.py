@@ -1,0 +1,36 @@
+"""Remote processing: device-local samples backed by a simulated server."""
+
+from repro.remote.client import (
+    ClientStats,
+    LOCAL_READ_SECONDS,
+    RemoteExplorationClient,
+    RemotePolicy,
+    TouchAnswer,
+)
+from repro.remote.network import (
+    LAN,
+    MOBILE,
+    WAN,
+    WIFI,
+    NetworkProfile,
+    NetworkStats,
+    SimulatedLink,
+)
+from repro.remote.server import RemoteResponse, RemoteServer
+
+__all__ = [
+    "LAN",
+    "LOCAL_READ_SECONDS",
+    "MOBILE",
+    "WAN",
+    "WIFI",
+    "ClientStats",
+    "NetworkProfile",
+    "NetworkStats",
+    "RemoteExplorationClient",
+    "RemotePolicy",
+    "RemoteResponse",
+    "RemoteServer",
+    "SimulatedLink",
+    "TouchAnswer",
+]

@@ -1,0 +1,104 @@
+"""A simple network model for remote-processing simulations.
+
+The remote-processing direction in the paper puts the base data (and the
+large samples) on a server while the touch device keeps only small samples.
+Whether that split keeps response times interactive depends on the network:
+every remote request pays a round-trip latency plus a transfer cost.  The
+model below is deliberately simple — fixed round-trip latency plus
+bytes/bandwidth — because that is all the benchmarks need to show the
+trade-off the paper describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import NetworkTimeoutError, RemoteError
+
+
+@dataclass(frozen=True)
+class NetworkProfile:
+    """Latency/bandwidth characteristics of the device ↔ server link.
+
+    Attributes
+    ----------
+    round_trip_s:
+        Fixed round-trip time per request, in seconds.
+    bandwidth_bytes_per_s:
+        Sustained transfer rate for response payloads.
+    name:
+        Label used in benchmark output.
+    """
+
+    round_trip_s: float
+    bandwidth_bytes_per_s: float
+    name: str = "custom"
+
+    def __post_init__(self) -> None:
+        if self.round_trip_s < 0:
+            raise RemoteError("round_trip_s cannot be negative")
+        if self.bandwidth_bytes_per_s <= 0:
+            raise RemoteError("bandwidth must be positive")
+
+    def transfer_time(self, payload_bytes: int) -> float:
+        """Seconds needed to move ``payload_bytes`` over the link."""
+        if payload_bytes < 0:
+            raise RemoteError("payload size cannot be negative")
+        return self.round_trip_s + payload_bytes / self.bandwidth_bytes_per_s
+
+
+#: A wired local network between the tablet and a nearby server.
+LAN = NetworkProfile(round_trip_s=0.002, bandwidth_bytes_per_s=100e6, name="lan")
+#: A good home/office WiFi connection.
+WIFI = NetworkProfile(round_trip_s=0.010, bandwidth_bytes_per_s=20e6, name="wifi")
+#: A cloud server reached over the public internet.
+WAN = NetworkProfile(round_trip_s=0.060, bandwidth_bytes_per_s=5e6, name="wan")
+#: A congested mobile connection.
+MOBILE = NetworkProfile(round_trip_s=0.150, bandwidth_bytes_per_s=1e6, name="mobile")
+
+
+@dataclass
+class NetworkStats:
+    """Accounting for all traffic that crossed the simulated link."""
+
+    requests: int = 0
+    bytes_transferred: int = 0
+    simulated_seconds: float = 0.0
+    timeouts: int = 0
+
+
+class SimulatedLink:
+    """Tracks requests over a network profile using simulated time.
+
+    The link never sleeps; it accumulates the time requests *would* take so
+    experiments over slow networks still run instantly.
+    """
+
+    def __init__(self, profile: NetworkProfile, timeout_s: float | None = None):
+        if timeout_s is not None and timeout_s <= 0:
+            raise RemoteError("timeout must be positive when provided")
+        self.profile = profile
+        self.timeout_s = timeout_s
+        self.stats = NetworkStats()
+
+    def request(self, payload_bytes: int) -> float:
+        """Account for one request returning ``payload_bytes`` of data.
+
+        Returns the simulated seconds the request took.
+
+        Raises
+        ------
+        NetworkTimeoutError
+            If the request would exceed the configured timeout.
+        """
+        elapsed = self.profile.transfer_time(payload_bytes)
+        if self.timeout_s is not None and elapsed > self.timeout_s:
+            self.stats.timeouts += 1
+            raise NetworkTimeoutError(
+                f"request of {payload_bytes} bytes needs {elapsed:.3f}s over "
+                f"{self.profile.name}, exceeding the {self.timeout_s:.3f}s timeout"
+            )
+        self.stats.requests += 1
+        self.stats.bytes_transferred += payload_bytes
+        self.stats.simulated_seconds += elapsed
+        return elapsed

@@ -1,0 +1,94 @@
+"""Storage substrate: fixed-width numpy columns, tables, layouts and samples.
+
+This subpackage provides everything below the dbTouch kernel:
+
+* :mod:`repro.storage.dtypes` — the fixed-width type system;
+* :mod:`repro.storage.column` — dense, fixed-width columns;
+* :mod:`repro.storage.table` — tables and schemas;
+* :mod:`repro.storage.layout` — row/column/hybrid physical layouts;
+* :mod:`repro.storage.incremental` — incremental layout rotation;
+* :mod:`repro.storage.sample` — Sciborg-style sample hierarchies;
+* :mod:`repro.storage.catalog` — the registry of explorable data objects;
+* :mod:`repro.storage.loader` — eager and adaptive data loading.
+"""
+
+from repro.storage.catalog import Catalog, ObjectInfo
+from repro.storage.column import CACHE_LINE_VALUES, Column, column_from_function
+from repro.storage.dtypes import (
+    BOOL,
+    FLOAT32,
+    FLOAT64,
+    INT8,
+    INT16,
+    INT32,
+    INT64,
+    TIMESTAMP,
+    FixedWidthType,
+    TypeKind,
+    infer_type,
+    string_type,
+    type_from_name,
+)
+from repro.storage.incremental import IncrementalRotation, RotationProgress
+from repro.storage.layout import (
+    ColumnStoreLayout,
+    HybridLayout,
+    LayoutKind,
+    PhysicalLayout,
+    RowStoreLayout,
+    build_layout,
+    conversion_cost_cells,
+    rotate_layout,
+    table_from_matrix,
+)
+from repro.storage.loader import (
+    AdaptiveLoader,
+    generate_integer_column,
+    load_table_from_arrays,
+    load_table_from_csv_file,
+    load_table_from_csv_text,
+)
+from repro.storage.sample import SampleHierarchy, SampleLevel
+from repro.storage.table import ColumnSpec, Schema, Table
+
+__all__ = [
+    "BOOL",
+    "CACHE_LINE_VALUES",
+    "FLOAT32",
+    "FLOAT64",
+    "INT8",
+    "INT16",
+    "INT32",
+    "INT64",
+    "TIMESTAMP",
+    "AdaptiveLoader",
+    "Catalog",
+    "Column",
+    "ColumnSpec",
+    "ColumnStoreLayout",
+    "FixedWidthType",
+    "HybridLayout",
+    "IncrementalRotation",
+    "LayoutKind",
+    "ObjectInfo",
+    "PhysicalLayout",
+    "RotationProgress",
+    "RowStoreLayout",
+    "SampleHierarchy",
+    "SampleLevel",
+    "Schema",
+    "Table",
+    "TypeKind",
+    "build_layout",
+    "column_from_function",
+    "conversion_cost_cells",
+    "generate_integer_column",
+    "infer_type",
+    "load_table_from_arrays",
+    "load_table_from_csv_file",
+    "load_table_from_csv_text",
+    "rotate_layout",
+    "string_type",
+    "table_from_matrix",
+    "type_from_name",
+]

@@ -1,0 +1,194 @@
+"""Fixed-width columns backed by dense numpy arrays.
+
+A :class:`Column` is the fundamental storage unit in dbTouch.  It is a
+dense, fixed-width array of values; tuple identifiers (rowids) are simply
+positions in the array, which is what makes the touch → rowid mapping a
+constant-time arithmetic operation (the "Rule of Three" in the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.errors import StorageError
+from repro.storage.dtypes import FixedWidthType, infer_type
+
+#: Number of values that share a cache line for the default 64-byte line
+#: and 8-byte fields.  Interactive summaries default their half-window to
+#: this so a single touch inspects at least one full cache line.
+CACHE_LINE_VALUES = 8
+
+
+class Column:
+    """A named, typed, fixed-width column of values.
+
+    Parameters
+    ----------
+    name:
+        Column name as shown on data objects.
+    values:
+        Anything convertible to a 1-D numpy array.
+    dtype:
+        Optional explicit :class:`FixedWidthType`; inferred when omitted.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        values: Iterable,
+        dtype: FixedWidthType | None = None,
+    ) -> None:
+        arr = np.asarray(list(values) if not isinstance(values, np.ndarray) else values)
+        if arr.ndim != 1:
+            raise StorageError(f"column {name!r} requires 1-D data, got shape {arr.shape}")
+        self.name = name
+        self.dtype = dtype if dtype is not None else infer_type(arr)
+        self._data = self.dtype.cast(arr)
+
+    # ------------------------------------------------------------------ #
+    # basic container protocol
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return int(self._data.shape[0])
+
+    def __iter__(self) -> Iterator:
+        return iter(self._data)
+
+    def __getitem__(self, item):
+        return self._data[item]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Column(name={self.name!r}, dtype={self.dtype.name}, n={len(self)})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Column):
+            return NotImplemented
+        return (
+            self.name == other.name
+            and self.dtype.name == other.dtype.name
+            and len(self) == len(other)
+            and bool(np.array_equal(self._data, other._data))
+        )
+
+    def __hash__(self) -> int:  # columns are mutable-ish containers
+        return id(self)
+
+    # ------------------------------------------------------------------ #
+    # data access
+    # ------------------------------------------------------------------ #
+    @property
+    def values(self) -> np.ndarray:
+        """The underlying dense numpy array (read it, do not resize it)."""
+        return self._data
+
+    @property
+    def size_bytes(self) -> int:
+        """Total bytes occupied by the column's fixed-width fields."""
+        return len(self) * self.dtype.width_bytes
+
+    @property
+    def is_numeric(self) -> bool:
+        """Whether the column supports arithmetic aggregation."""
+        return self.dtype.is_numeric
+
+    def value_at(self, rowid: int):
+        """Return the single value stored at ``rowid``.
+
+        Raises
+        ------
+        StorageError
+            If ``rowid`` is outside ``[0, len(self))``.
+        """
+        if not 0 <= rowid < len(self):
+            raise StorageError(
+                f"rowid {rowid} out of range for column {self.name!r} of length {len(self)}"
+            )
+        return self._data[rowid]
+
+    def slice(self, start: int, stop: int) -> np.ndarray:
+        """Return values in ``[start, stop)``, clamped to the column bounds."""
+        start = max(0, int(start))
+        stop = min(len(self), int(stop))
+        if stop <= start:
+            return self._data[:0]
+        return self._data[start:stop]
+
+    def gather(self, rowids: Sequence[int] | np.ndarray) -> np.ndarray:
+        """Return the values at the given rowids (fancy indexing)."""
+        idx = np.asarray(rowids, dtype=np.int64)
+        if idx.size and (idx.min() < 0 or idx.max() >= len(self)):
+            raise StorageError(
+                f"rowids out of range for column {self.name!r} of length {len(self)}"
+            )
+        return self._data[idx]
+
+    def head(self, n: int = 10) -> np.ndarray:
+        """Return the first ``n`` values (for quick inspection)."""
+        return self._data[: max(0, n)]
+
+    # ------------------------------------------------------------------ #
+    # derived columns
+    # ------------------------------------------------------------------ #
+    def rename(self, name: str) -> "Column":
+        """Return a view of this column under a different name."""
+        clone = Column.__new__(Column)
+        clone.name = name
+        clone.dtype = self.dtype
+        clone._data = self._data
+        return clone
+
+    def take_every(self, step: int, name_suffix: str = "") -> "Column":
+        """Return a strided sample of this column (every ``step``-th value).
+
+        Used by the sample hierarchy: level *i* keeps every ``base**i``-th
+        value so coarse-granularity slides feed from a much smaller array.
+        """
+        if step <= 0:
+            raise StorageError("sampling step must be positive")
+        sampled = self._data[::step]
+        return Column(self.name + name_suffix, sampled, dtype=self.dtype)
+
+    def copy(self) -> "Column":
+        """Return a deep copy of this column."""
+        clone = Column.__new__(Column)
+        clone.name = self.name
+        clone.dtype = self.dtype
+        clone._data = self._data.copy()
+        return clone
+
+    # ------------------------------------------------------------------ #
+    # statistics helpers (used by zone maps and the contest harness)
+    # ------------------------------------------------------------------ #
+    def min(self):
+        """Minimum value, or ``None`` for an empty column."""
+        return self._data.min() if len(self) else None
+
+    def max(self):
+        """Maximum value, or ``None`` for an empty column."""
+        return self._data.max() if len(self) else None
+
+    def mean(self) -> float | None:
+        """Arithmetic mean, or ``None`` for empty or non-numeric columns."""
+        if not len(self) or not self.is_numeric:
+            return None
+        return float(self._data.mean())
+
+    def std(self) -> float | None:
+        """Population standard deviation, or ``None`` when undefined."""
+        if not len(self) or not self.is_numeric:
+            return None
+        return float(self._data.std())
+
+
+def column_from_function(name: str, n: int, fn, dtype: FixedWidthType | None = None) -> Column:
+    """Build a column of ``n`` values where ``values[i] = fn(i)``.
+
+    Convenience used by tests and workload generators for small,
+    deterministic columns.
+    """
+    if n < 0:
+        raise StorageError("column length must be non-negative")
+    values = np.asarray([fn(i) for i in range(n)])
+    return Column(name, values, dtype=dtype)

@@ -1,0 +1,147 @@
+"""Fixed-width data types for dbTouch storage.
+
+The paper's prototype stores every attribute as fixed-width fields inside
+dense arrays (matrices), the idiom pioneered by modern column-stores.
+Fixed widths make the mapping from a touch location to a tuple identifier
+a pure arithmetic operation — no slotted-page metadata lookups are needed.
+
+This module defines the small, explicit type system used by the storage
+layer.  Each :class:`FixedWidthType` wraps a numpy dtype and records the
+logical kind (integer, float, boolean, timestamp or fixed-length string)
+plus the byte width, which the access-cost models in the benchmarks use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+
+from repro.errors import SchemaError
+
+
+class TypeKind(Enum):
+    """Logical classification of a fixed-width type."""
+
+    INTEGER = "integer"
+    FLOAT = "float"
+    BOOLEAN = "boolean"
+    TIMESTAMP = "timestamp"
+    STRING = "string"
+
+
+@dataclass(frozen=True)
+class FixedWidthType:
+    """A fixed-width storage type backed by a numpy dtype.
+
+    Parameters
+    ----------
+    name:
+        Human readable name, e.g. ``"int64"`` or ``"str16"``.
+    kind:
+        The logical :class:`TypeKind`.
+    numpy_dtype:
+        The numpy dtype that physically stores values of this type.
+    """
+
+    name: str
+    kind: TypeKind
+    numpy_dtype: np.dtype
+
+    @property
+    def width_bytes(self) -> int:
+        """Number of bytes a single value of this type occupies."""
+        return int(self.numpy_dtype.itemsize)
+
+    @property
+    def is_numeric(self) -> bool:
+        """Whether values of this type can be aggregated arithmetically."""
+        return self.kind in (TypeKind.INTEGER, TypeKind.FLOAT, TypeKind.BOOLEAN)
+
+    def cast(self, values: np.ndarray) -> np.ndarray:
+        """Return ``values`` converted to this type's numpy dtype."""
+        try:
+            return np.asarray(values).astype(self.numpy_dtype, copy=False)
+        except (TypeError, ValueError) as exc:
+            raise SchemaError(
+                f"cannot cast values of dtype {np.asarray(values).dtype} to {self.name}"
+            ) from exc
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+def _make(name: str, kind: TypeKind, np_dtype: str) -> FixedWidthType:
+    return FixedWidthType(name=name, kind=kind, numpy_dtype=np.dtype(np_dtype))
+
+
+INT8 = _make("int8", TypeKind.INTEGER, "int8")
+INT16 = _make("int16", TypeKind.INTEGER, "int16")
+INT32 = _make("int32", TypeKind.INTEGER, "int32")
+INT64 = _make("int64", TypeKind.INTEGER, "int64")
+FLOAT32 = _make("float32", TypeKind.FLOAT, "float32")
+FLOAT64 = _make("float64", TypeKind.FLOAT, "float64")
+BOOL = _make("bool", TypeKind.BOOLEAN, "bool")
+TIMESTAMP = _make("timestamp", TypeKind.TIMESTAMP, "int64")
+
+_BUILTIN_TYPES = {
+    t.name: t
+    for t in (INT8, INT16, INT32, INT64, FLOAT32, FLOAT64, BOOL, TIMESTAMP)
+}
+
+
+def string_type(length: int) -> FixedWidthType:
+    """Return a fixed-width string type storing ``length`` unicode characters.
+
+    dbTouch requires fixed-width fields so that touch locations map to
+    tuple identifiers with pure arithmetic; variable-length strings are
+    therefore stored padded to a declared maximum length.
+    """
+    if length <= 0:
+        raise SchemaError("string length must be positive")
+    return FixedWidthType(
+        name=f"str{length}",
+        kind=TypeKind.STRING,
+        numpy_dtype=np.dtype(f"<U{length}"),
+    )
+
+
+def type_from_name(name: str) -> FixedWidthType:
+    """Look up a type by name, e.g. ``"int64"``, ``"float32"`` or ``"str8"``.
+
+    Raises
+    ------
+    SchemaError
+        If the name does not correspond to a known fixed-width type.
+    """
+    if name in _BUILTIN_TYPES:
+        return _BUILTIN_TYPES[name]
+    if name.startswith("str"):
+        suffix = name[3:]
+        if suffix.isdigit() and int(suffix) > 0:
+            return string_type(int(suffix))
+    raise SchemaError(f"unknown fixed-width type: {name!r}")
+
+
+def infer_type(values: np.ndarray) -> FixedWidthType:
+    """Infer the narrowest fixed-width type that can store ``values``.
+
+    Integers map to int64, floats to float64, booleans to bool and
+    string-like arrays to a fixed-width string type sized to the longest
+    element.  Anything else raises :class:`SchemaError`.
+    """
+    arr = np.asarray(values)
+    if arr.dtype.kind == "b":
+        return BOOL
+    if arr.dtype.kind in ("i", "u"):
+        return INT64
+    if arr.dtype.kind == "f":
+        return FLOAT64
+    if arr.dtype.kind in ("U", "S", "O"):
+        as_str = arr.astype(str)
+        longest = max((len(s) for s in as_str.ravel()), default=1)
+        return string_type(max(longest, 1))
+    if arr.dtype.kind == "M":
+        return TIMESTAMP
+    raise SchemaError(f"cannot infer a fixed-width type for dtype {arr.dtype}")

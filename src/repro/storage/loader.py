@@ -1,0 +1,157 @@
+"""Data loading helpers.
+
+dbTouch is an exploration tool: there should be no expensive initialization
+step before the user can start touching data.  The loaders here therefore
+support (a) eager loading of in-memory arrays and CSV text and (b) an
+*adaptive* loader that registers an object immediately and materializes its
+data lazily, in chunks, the first time a touch actually lands on it —
+mirroring the adaptive-loading (NoDB-style) work the paper cites.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Callable, Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import StorageError
+from repro.storage.column import Column
+from repro.storage.table import Table
+
+
+def load_table_from_arrays(name: str, data: Mapping[str, Iterable]) -> Table:
+    """Build a :class:`Table` from a mapping of column name → values."""
+    if not data:
+        raise StorageError("cannot load a table from an empty mapping")
+    return Table.from_arrays(name, data)
+
+
+def _convert_csv_column(values: list[str]) -> np.ndarray:
+    """Convert one CSV column to the narrowest numpy array that fits it."""
+    try:
+        return np.asarray([int(v) for v in values], dtype=np.int64)
+    except ValueError:
+        pass
+    try:
+        return np.asarray([float(v) for v in values], dtype=np.float64)
+    except ValueError:
+        pass
+    return np.asarray(values, dtype=str)
+
+
+def load_table_from_csv_text(name: str, text: str, delimiter: str = ",") -> Table:
+    """Parse CSV ``text`` (with a header row) into a table.
+
+    Numeric columns are detected automatically; everything else is stored
+    as fixed-width strings.
+    """
+    reader = csv.reader(io.StringIO(text), delimiter=delimiter)
+    rows = [row for row in reader if row]
+    if len(rows) < 2:
+        raise StorageError("CSV input needs a header row and at least one data row")
+    header, *body = rows
+    width = len(header)
+    for i, row in enumerate(body):
+        if len(row) != width:
+            raise StorageError(f"CSV row {i + 1} has {len(row)} fields, expected {width}")
+    columns = []
+    for j, col_name in enumerate(header):
+        raw = [row[j] for row in body]
+        columns.append(Column(col_name.strip(), _convert_csv_column(raw)))
+    return Table(name, columns)
+
+
+def load_table_from_csv_file(name: str, path: str | Path, delimiter: str = ",") -> Table:
+    """Load a CSV file from disk into a table."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return load_table_from_csv_text(name, handle.read(), delimiter=delimiter)
+
+
+class AdaptiveLoader:
+    """Lazily materialize a column the first time its data is touched.
+
+    The loader registers only metadata (name and row count) up front.  The
+    actual values are produced chunk by chunk from a generator function the
+    first time a rowid inside the chunk is requested, which keeps the
+    "instant access, no initialization" property the paper asks for.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        num_rows: int,
+        chunk_generator: Callable[[int, int], np.ndarray],
+        chunk_rows: int = 65536,
+    ) -> None:
+        if num_rows < 0:
+            raise StorageError("num_rows must be non-negative")
+        if chunk_rows <= 0:
+            raise StorageError("chunk_rows must be positive")
+        self.name = name
+        self.num_rows = num_rows
+        self.chunk_rows = chunk_rows
+        self._generator = chunk_generator
+        self._chunks: dict[int, np.ndarray] = {}
+        self.chunks_loaded = 0
+
+    def _chunk_index(self, rowid: int) -> int:
+        return rowid // self.chunk_rows
+
+    def _ensure_chunk(self, chunk_index: int) -> np.ndarray:
+        if chunk_index not in self._chunks:
+            start = chunk_index * self.chunk_rows
+            stop = min(self.num_rows, start + self.chunk_rows)
+            values = np.asarray(self._generator(start, stop))
+            if len(values) != stop - start:
+                raise StorageError(
+                    f"chunk generator returned {len(values)} values for range "
+                    f"[{start}, {stop})"
+                )
+            self._chunks[chunk_index] = values
+            self.chunks_loaded += 1
+        return self._chunks[chunk_index]
+
+    def value_at(self, rowid: int):
+        """Return the value at ``rowid``, loading its chunk on first access."""
+        if not 0 <= rowid < self.num_rows:
+            raise StorageError(f"rowid {rowid} out of range for adaptive column {self.name!r}")
+        chunk = self._ensure_chunk(self._chunk_index(rowid))
+        return chunk[rowid - self._chunk_index(rowid) * self.chunk_rows]
+
+    @property
+    def fraction_loaded(self) -> float:
+        """Fraction of chunks materialized so far."""
+        total = (self.num_rows + self.chunk_rows - 1) // self.chunk_rows
+        if total == 0:
+            return 1.0
+        return self.chunks_loaded / total
+
+    def materialize(self) -> Column:
+        """Force-load every chunk and return the full column."""
+        total = (self.num_rows + self.chunk_rows - 1) // self.chunk_rows
+        parts = [self._ensure_chunk(i) for i in range(total)]
+        values = np.concatenate(parts) if parts else np.empty(0)
+        return Column(self.name, values)
+
+
+def generate_integer_column(
+    name: str,
+    num_rows: int,
+    low: int = 0,
+    high: int = 1_000_000,
+    seed: int = 7,
+) -> Column:
+    """Generate a uniformly random integer column (the Figure 4 workload).
+
+    The paper's evaluation uses a column of 10^7 integer values; this helper
+    produces the equivalent synthetic data deterministically from ``seed``.
+    """
+    if num_rows < 0:
+        raise StorageError("num_rows must be non-negative")
+    if high <= low:
+        raise StorageError("high must be greater than low")
+    rng = np.random.default_rng(seed)
+    return Column(name, rng.integers(low, high, size=num_rows, dtype=np.int64))

@@ -1,0 +1,54 @@
+"""Simulated touch OS layer: events, views, devices, synthesis, recognition.
+
+The paper's prototype runs on iOS; this subpackage is the substitution —
+a deterministic simulation of the touch operating system that delivers the
+same information an iOS view hierarchy would: touch locations inside views
+of known physical size, sampled at the digitizer rate, segmented into
+recognized gestures.
+"""
+
+from repro.touchio.device import (
+    IPAD1,
+    IPAD1_PROTOTYPE,
+    MODERN_TABLET,
+    PHONE,
+    DeviceProfile,
+    TouchDevice,
+)
+from repro.touchio.events import TouchEvent, TouchPhase, TouchPoint, TouchStream
+from repro.touchio.recognizer import (
+    GestureRecognizer,
+    GestureType,
+    RecognizedGesture,
+)
+from repro.touchio.synthesizer import GestureSynthesizer, SlideSegment
+from repro.touchio.views import (
+    DataObjectProperties,
+    Rect,
+    View,
+    make_column_view,
+    make_table_view,
+)
+
+__all__ = [
+    "IPAD1",
+    "IPAD1_PROTOTYPE",
+    "MODERN_TABLET",
+    "PHONE",
+    "DataObjectProperties",
+    "DeviceProfile",
+    "GestureRecognizer",
+    "GestureSynthesizer",
+    "GestureType",
+    "RecognizedGesture",
+    "Rect",
+    "SlideSegment",
+    "TouchDevice",
+    "TouchEvent",
+    "TouchPhase",
+    "TouchPoint",
+    "TouchStream",
+    "View",
+    "make_column_view",
+    "make_table_view",
+]

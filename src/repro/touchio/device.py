@@ -1,0 +1,166 @@
+"""Simulated touch device (the iPad stand-in).
+
+The original dbTouch prototype runs on an iPad 1.  This module provides the
+device model the rest of the library runs against: a screen of a given
+physical size, a touch sampling rate that bounds how many touch locations
+can be registered per second, and a finger contact width that bounds how
+finely two consecutive touches can be distinguished.  These two physical
+limits are precisely what gives the paper's Figure 4 its shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import TouchError
+from repro.touchio.views import Rect, View
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """Physical characteristics of a touch device.
+
+    Attributes
+    ----------
+    name:
+        Profile name (``"ipad1"`` is the paper's device).
+    screen_width_cm / screen_height_cm:
+        Physical screen dimensions in centimeters.
+    sampling_rate_hz:
+        How many touch locations per second the digitizer reports for a
+        moving finger.  The iPad 1 digitizer samples at about 60 Hz.
+    finger_width_cm:
+        Effective width of a finger contact; two touch locations closer
+        than this are not meaningfully distinct.
+    """
+
+    name: str
+    screen_width_cm: float
+    screen_height_cm: float
+    sampling_rate_hz: float
+    finger_width_cm: float
+
+    def __post_init__(self) -> None:
+        if self.screen_width_cm <= 0 or self.screen_height_cm <= 0:
+            raise TouchError("screen dimensions must be positive")
+        if self.sampling_rate_hz <= 0:
+            raise TouchError("sampling rate must be positive")
+        if self.finger_width_cm <= 0:
+            raise TouchError("finger width must be positive")
+
+    def max_touches_for_duration(self, seconds: float) -> int:
+        """Upper bound on registered touch locations during ``seconds``."""
+        if seconds <= 0:
+            return 1
+        return max(1, int(round(seconds * self.sampling_rate_hz)))
+
+    def max_distinct_positions(self, length_cm: float) -> int:
+        """Upper bound on distinguishable positions along ``length_cm``."""
+        if length_cm <= 0:
+            return 1
+        return max(1, int(length_cm / self.finger_width_cm))
+
+
+#: The paper's device: a 1st-generation iPad (9.7" screen, ~60 Hz digitizer).
+IPAD1 = DeviceProfile(
+    name="ipad1",
+    screen_width_cm=19.7,
+    screen_height_cm=14.8,
+    sampling_rate_hz=60.0,
+    finger_width_cm=0.08,
+)
+
+#: The iPad 1 as the dbTouch prototype effectively experienced it: although
+#: the digitizer samples at ~60 Hz, the prototype registers far fewer touch
+#: inputs per second because each touch triggers query processing and result
+#: display on 2010-era hardware.  Figure 4(a) of the paper implies roughly
+#: 14 registered touch inputs per second; this profile reproduces that
+#: effective rate and is what the Figure 4 benchmarks use.
+IPAD1_PROTOTYPE = DeviceProfile(
+    name="ipad1-prototype",
+    screen_width_cm=19.7,
+    screen_height_cm=14.8,
+    sampling_rate_hz=14.0,
+    finger_width_cm=0.08,
+)
+
+#: A modern, faster tablet profile used for sensitivity analyses.
+MODERN_TABLET = DeviceProfile(
+    name="modern-tablet",
+    screen_width_cm=24.0,
+    screen_height_cm=17.0,
+    sampling_rate_hz=120.0,
+    finger_width_cm=0.05,
+)
+
+#: A phone-sized profile (small screen, coarse exploration).
+PHONE = DeviceProfile(
+    name="phone",
+    screen_width_cm=14.0,
+    screen_height_cm=6.8,
+    sampling_rate_hz=60.0,
+    finger_width_cm=0.08,
+)
+
+
+class TouchDevice:
+    """A simulated touch device hosting a root view (the screen).
+
+    The device owns the root view of the view hierarchy; data-object views
+    are added as subviews.  It also provides the clock used to timestamp
+    synthesized touch events.
+    """
+
+    def __init__(self, profile: DeviceProfile = IPAD1) -> None:
+        self.profile = profile
+        self.root = View(
+            name="screen",
+            frame=Rect(0.0, 0.0, profile.screen_width_cm, profile.screen_height_cm),
+            allowed_gestures=(),
+        )
+        self._clock = 0.0
+
+    # ------------------------------------------------------------------ #
+    # view management
+    # ------------------------------------------------------------------ #
+    def add_view(self, view: View) -> View:
+        """Place a data-object view on the screen."""
+        if view.frame.x + view.frame.width > self.profile.screen_width_cm + 1e-9:
+            raise TouchError(
+                f"view {view.name!r} extends beyond the screen width "
+                f"({view.frame.x + view.frame.width:.2f} > {self.profile.screen_width_cm})"
+            )
+        if view.frame.y + view.frame.height > self.profile.screen_height_cm + 1e-9:
+            raise TouchError(
+                f"view {view.name!r} extends beyond the screen height "
+                f"({view.frame.y + view.frame.height:.2f} > {self.profile.screen_height_cm})"
+            )
+        self.root.add_subview(view)
+        return view
+
+    def view(self, name: str) -> View:
+        """Find a view on the screen by name."""
+        return self.root.find(name)
+
+    def hit_test(self, x: float, y: float) -> View | None:
+        """Return the deepest view under screen point ``(x, y)``."""
+        return self.root.hit_test(x, y)
+
+    # ------------------------------------------------------------------ #
+    # clock
+    # ------------------------------------------------------------------ #
+    @property
+    def now(self) -> float:
+        """The device's current simulated time in seconds."""
+        return self._clock
+
+    def advance_clock(self, seconds: float) -> float:
+        """Advance the simulated clock and return the new time."""
+        if seconds < 0:
+            raise TouchError("cannot advance the clock backwards")
+        self._clock += seconds
+        return self._clock
+
+    def reset_clock(self) -> None:
+        """Reset the simulated clock to zero."""
+        self._clock = 0.0

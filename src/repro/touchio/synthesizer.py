@@ -1,0 +1,275 @@
+"""Gesture synthesizer: generates the touch streams a human finger would.
+
+The paper's evaluation sweeps gesture *speed* and *object size* for a slide
+gesture.  Since this reproduction has no physical touch screen, the
+synthesizer stands in for the finger: given a device profile and a view,
+it emits exactly the stream of touch events the digitizer would register —
+sampled at the device's touch rate, bounded by the finger width, with
+optional pauses, direction reversals and positional jitter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import GestureError
+from repro.touchio.device import DeviceProfile, IPAD1
+from repro.touchio.events import TouchEvent, TouchPhase, TouchPoint, TouchStream
+from repro.touchio.views import View
+
+
+@dataclass(frozen=True)
+class SlideSegment:
+    """One leg of a (possibly multi-leg) slide gesture.
+
+    Attributes
+    ----------
+    start_fraction / end_fraction:
+        Start and end positions along the slide axis, as fractions of the
+        view's extent (0.0 = top/left edge, 1.0 = bottom/right edge).
+    duration:
+        Wall-clock seconds the finger takes to cover this leg.
+    pause_after:
+        Seconds the finger rests (stationary) after finishing the leg.
+    """
+
+    start_fraction: float
+    end_fraction: float
+    duration: float
+    pause_after: float = 0.0
+
+    def __post_init__(self) -> None:
+        for frac in (self.start_fraction, self.end_fraction):
+            if not 0.0 <= frac <= 1.0:
+                raise GestureError(f"slide fractions must be within [0, 1], got {frac}")
+        if self.duration <= 0:
+            raise GestureError("slide segment duration must be positive")
+        if self.pause_after < 0:
+            raise GestureError("pause_after must be non-negative")
+
+
+class GestureSynthesizer:
+    """Generate synthetic touch streams for a given device profile."""
+
+    def __init__(self, profile: DeviceProfile = IPAD1, jitter_cm: float = 0.0, seed: int = 11) -> None:
+        if jitter_cm < 0:
+            raise GestureError("jitter must be non-negative")
+        self.profile = profile
+        self.jitter_cm = jitter_cm
+        self._rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------ #
+    # helpers
+    # ------------------------------------------------------------------ #
+    def _axis_extent(self, view: View, axis: str) -> float:
+        if axis == "vertical":
+            return view.height
+        if axis == "horizontal":
+            return view.width
+        raise GestureError(f"unknown slide axis {axis!r}")
+
+    def _point_on_axis(self, view: View, axis: str, fraction: float, cross_fraction: float) -> TouchPoint:
+        jitter = float(self._rng.normal(0.0, self.jitter_cm)) if self.jitter_cm else 0.0
+        if axis == "vertical":
+            y = min(view.height, max(0.0, fraction * view.height + jitter))
+            x = cross_fraction * view.width
+        else:
+            x = min(view.width, max(0.0, fraction * view.width + jitter))
+            y = cross_fraction * view.height
+        return TouchPoint(x=x, y=y)
+
+    # ------------------------------------------------------------------ #
+    # tap
+    # ------------------------------------------------------------------ #
+    def tap(
+        self,
+        view: View,
+        fraction: float = 0.5,
+        cross_fraction: float = 0.5,
+        axis: str = "vertical",
+        start_time: float = 0.0,
+    ) -> TouchStream:
+        """Synthesize a single tap at the given fractional position."""
+        point = self._point_on_axis(view, axis, fraction, cross_fraction)
+        stream = TouchStream(view_name=view.name)
+        stream.append(TouchEvent(start_time, TouchPhase.BEGAN, (point,), view.name))
+        stream.append(TouchEvent(start_time + 0.05, TouchPhase.ENDED, (point,), view.name))
+        return stream
+
+    # ------------------------------------------------------------------ #
+    # slide
+    # ------------------------------------------------------------------ #
+    def slide(
+        self,
+        view: View,
+        duration: float,
+        start_fraction: float = 0.0,
+        end_fraction: float = 1.0,
+        axis: str = "vertical",
+        cross_fraction: float = 0.5,
+        start_time: float = 0.0,
+    ) -> TouchStream:
+        """Synthesize a single-leg slide over ``view``.
+
+        ``duration`` controls the gesture speed: a 10 cm object swept in
+        1 second moves the finger at 10 cm/s, and at a 60 Hz digitizer
+        registers ~60 touch locations.  A slower sweep (larger duration)
+        registers proportionally more locations, which is exactly the
+        effect Figure 4(a) measures.
+        """
+        segment = SlideSegment(start_fraction, end_fraction, duration)
+        return self.slide_path(view, [segment], axis=axis, cross_fraction=cross_fraction, start_time=start_time)
+
+    def slide_path(
+        self,
+        view: View,
+        segments: Sequence[SlideSegment],
+        axis: str = "vertical",
+        cross_fraction: float = 0.5,
+        start_time: float = 0.0,
+    ) -> TouchStream:
+        """Synthesize a multi-leg slide (speed changes, reversals, pauses)."""
+        if not segments:
+            raise GestureError("a slide needs at least one segment")
+        extent = self._axis_extent(view, axis)
+        if extent <= 0:
+            raise GestureError("cannot slide over a view with no extent")
+        interval = 1.0 / self.profile.sampling_rate_hz
+        stream = TouchStream(view_name=view.name)
+        time = start_time
+        first = True
+        last_fraction = segments[0].start_fraction
+        for segment in segments:
+            n_samples = max(2, self.profile.max_touches_for_duration(segment.duration))
+            fractions = np.linspace(segment.start_fraction, segment.end_fraction, n_samples)
+            times = np.linspace(time, time + segment.duration, n_samples)
+            for i, (frac, t) in enumerate(zip(fractions, times)):
+                phase = TouchPhase.BEGAN if first else TouchPhase.MOVED
+                first = False
+                point = self._point_on_axis(view, axis, float(frac), cross_fraction)
+                stream.append(TouchEvent(float(t), phase, (point,), view.name))
+            time = float(times[-1])
+            last_fraction = segment.end_fraction
+            if segment.pause_after > 0:
+                # a paused finger produces stationary events at the sampling rate
+                n_pause = self.profile.max_touches_for_duration(segment.pause_after)
+                point = self._point_on_axis(view, axis, last_fraction, cross_fraction)
+                for j in range(1, n_pause + 1):
+                    stream.append(
+                        TouchEvent(time + j * interval, TouchPhase.STATIONARY, (point,), view.name)
+                    )
+                time += segment.pause_after
+        end_point = self._point_on_axis(view, axis, last_fraction, cross_fraction)
+        stream.append(TouchEvent(time + interval, TouchPhase.ENDED, (end_point,), view.name))
+        return stream
+
+    # ------------------------------------------------------------------ #
+    # zoom (two-finger pinch)
+    # ------------------------------------------------------------------ #
+    def zoom(
+        self,
+        view: View,
+        zoom_in: bool = True,
+        duration: float = 0.4,
+        start_time: float = 0.0,
+    ) -> TouchStream:
+        """Synthesize a two-finger pinch gesture over the view's center.
+
+        A zoom-in spreads the fingers apart (growing spread); a zoom-out
+        pinches them together (shrinking spread).
+        """
+        if duration <= 0:
+            raise GestureError("zoom duration must be positive")
+        cx, cy = view.width / 2.0, view.height / 2.0
+        max_half = max(0.2, min(view.width, view.height) / 2.5)
+        n_samples = max(3, self.profile.max_touches_for_duration(duration))
+        spreads = (
+            np.linspace(0.2, max_half, n_samples)
+            if zoom_in
+            else np.linspace(max_half, 0.2, n_samples)
+        )
+        times = np.linspace(start_time, start_time + duration, n_samples)
+        stream = TouchStream(view_name=view.name)
+        for i, (half, t) in enumerate(zip(spreads, times)):
+            phase = TouchPhase.BEGAN if i == 0 else TouchPhase.MOVED
+            points = (
+                TouchPoint(x=cx, y=max(0.0, cy - half), finger=0),
+                TouchPoint(x=cx, y=min(view.height, cy + half), finger=1),
+            )
+            stream.append(TouchEvent(float(t), phase, points, view.name))
+        stream.append(
+            TouchEvent(
+                float(times[-1]) + 1.0 / self.profile.sampling_rate_hz,
+                TouchPhase.ENDED,
+                stream[-1].points,
+                view.name,
+            )
+        )
+        return stream
+
+    # ------------------------------------------------------------------ #
+    # rotate (two-finger twist)
+    # ------------------------------------------------------------------ #
+    def rotate(self, view: View, duration: float = 0.5, start_time: float = 0.0) -> TouchStream:
+        """Synthesize a two-finger 90-degree rotation gesture."""
+        if duration <= 0:
+            raise GestureError("rotation duration must be positive")
+        cx, cy = view.width / 2.0, view.height / 2.0
+        radius = max(0.2, min(view.width, view.height) / 3.0)
+        n_samples = max(3, self.profile.max_touches_for_duration(duration))
+        angles = np.linspace(0.0, np.pi / 2.0, n_samples)
+        times = np.linspace(start_time, start_time + duration, n_samples)
+        stream = TouchStream(view_name=view.name)
+        for i, (angle, t) in enumerate(zip(angles, times)):
+            phase = TouchPhase.BEGAN if i == 0 else TouchPhase.MOVED
+            dx, dy = radius * np.cos(angle), radius * np.sin(angle)
+            points = (
+                TouchPoint(x=cx + dx, y=cy + dy, finger=0),
+                TouchPoint(x=cx - dx, y=cy - dy, finger=1),
+            )
+            stream.append(TouchEvent(float(t), phase, points, view.name))
+        stream.append(
+            TouchEvent(
+                float(times[-1]) + 1.0 / self.profile.sampling_rate_hz,
+                TouchPhase.ENDED,
+                stream[-1].points,
+                view.name,
+            )
+        )
+        return stream
+
+    # ------------------------------------------------------------------ #
+    # pan (drag an object around the screen)
+    # ------------------------------------------------------------------ #
+    def pan(
+        self,
+        view: View,
+        dx_cm: float,
+        dy_cm: float,
+        duration: float = 0.5,
+        start_time: float = 0.0,
+    ) -> TouchStream:
+        """Synthesize a single-finger pan (drag) by ``(dx_cm, dy_cm)``."""
+        if duration <= 0:
+            raise GestureError("pan duration must be positive")
+        n_samples = max(3, self.profile.max_touches_for_duration(duration))
+        cx, cy = view.width / 2.0, view.height / 2.0
+        xs = np.linspace(cx, cx + dx_cm, n_samples)
+        ys = np.linspace(cy, cy + dy_cm, n_samples)
+        times = np.linspace(start_time, start_time + duration, n_samples)
+        stream = TouchStream(view_name=view.name)
+        for i, (x, y, t) in enumerate(zip(xs, ys, times)):
+            phase = TouchPhase.BEGAN if i == 0 else TouchPhase.MOVED
+            stream.append(TouchEvent(float(t), phase, (TouchPoint(float(x), float(y)),), view.name))
+        stream.append(
+            TouchEvent(
+                float(times[-1]) + 1.0 / self.profile.sampling_rate_hz,
+                TouchPhase.ENDED,
+                stream[-1].points,
+                view.name,
+            )
+        )
+        return stream

@@ -1,0 +1,106 @@
+"""Text rendering of the dbTouch screen and its fading results.
+
+The original prototype draws coloured rectangles on an iPad; this renderer
+produces the terminal equivalent: a character grid with one box per data
+object, labels underneath, and — during a slide — the result values that
+are currently visible, shaded by how far they have faded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import VisualizationError
+from repro.core.result_stream import ResultStream
+from repro.viz.objects import DataObjectShape
+
+#: Characters used to shade fading results, from freshest to nearly gone.
+FADE_RAMP = ("█", "▓", "▒", "░")
+
+
+@dataclass(frozen=True)
+class RenderConfig:
+    """Geometry of the text rendering."""
+
+    chars_per_cm: float = 2.0
+    max_width_chars: int = 100
+    max_height_chars: int = 36
+
+    def __post_init__(self) -> None:
+        if self.chars_per_cm <= 0:
+            raise VisualizationError("chars_per_cm must be positive")
+        if self.max_width_chars < 10 or self.max_height_chars < 5:
+            raise VisualizationError("render area is too small to draw anything")
+
+
+def _scaled(size_cm: float, config: RenderConfig, limit: int) -> int:
+    return max(3, min(limit, int(round(size_cm * config.chars_per_cm))))
+
+
+def render_object(shape: DataObjectShape, config: RenderConfig | None = None) -> str:
+    """Render one data object as a bordered box with its label underneath."""
+    config = config if config is not None else RenderConfig()
+    width = _scaled(shape.width_cm, config, config.max_width_chars)
+    height = _scaled(shape.height_cm, config, config.max_height_chars)
+    top = "+" + "-" * (width - 2) + "+"
+    middle = "|" + " " * (width - 2) + "|"
+    lines = [top] + [middle] * (height - 2) + [top]
+    lines.append(shape.label)
+    return "\n".join(lines)
+
+
+def render_screen(shapes: list[DataObjectShape], config: RenderConfig | None = None) -> str:
+    """Render several data objects side by side (as the prototype screen does)."""
+    if not shapes:
+        return "(empty screen)"
+    config = config if config is not None else RenderConfig()
+    rendered = [render_object(s, config).splitlines() for s in shapes]
+    height = max(len(block) for block in rendered)
+    widths = [max(len(line) for line in block) for block in rendered]
+    padded = []
+    for block, width in zip(rendered, widths):
+        block = block + [""] * (height - len(block))
+        padded.append([line.ljust(width) for line in block])
+    rows = []
+    for i in range(height):
+        rows.append("  ".join(block[i] for block in padded).rstrip())
+    return "\n".join(rows)
+
+
+def fade_character(opacity: float) -> str:
+    """Map an opacity in [0, 1] to a shading character."""
+    if not 0.0 <= opacity <= 1.0:
+        raise VisualizationError("opacity must be within [0, 1]")
+    index = min(len(FADE_RAMP) - 1, int((1.0 - opacity) * len(FADE_RAMP)))
+    return FADE_RAMP[index]
+
+
+def render_results(
+    shape: DataObjectShape,
+    results: ResultStream,
+    now: float,
+    config: RenderConfig | None = None,
+    max_rows: int = 24,
+) -> str:
+    """Render the currently visible results of a slide next to the object.
+
+    Each visible value is drawn on the row matching its position along the
+    object, prefixed with a shading character for its opacity — newest and
+    boldest at the most recently touched position, older values fading out.
+    """
+    if max_rows < 1:
+        raise VisualizationError("max_rows must be at least 1")
+    visible = results.visible_at(now)
+    if not visible:
+        return f"{shape.label}: (no visible results)"
+    rows: list[str] = [""] * max_rows
+    for item in visible:
+        row = min(max_rows - 1, int(item.result.position_fraction * (max_rows - 1)))
+        marker = fade_character(item.opacity)
+        value = item.result.value
+        text = f"{value:.2f}" if isinstance(value, float) else str(value)
+        rows[row] = f"{marker} {text}"
+    lines = [f"{shape.label} — visible results:"]
+    for i, row in enumerate(rows):
+        lines.append(f"{i:>3} | {row}")
+    return "\n".join(lines)

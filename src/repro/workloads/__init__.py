@@ -1,0 +1,37 @@
+"""Workloads: synthetic generators, domain scenarios and the contest harness."""
+
+from repro.workloads.contest import (
+    ContestResult,
+    DbTouchExplorer,
+    ExplorerReport,
+    SqlExplorer,
+    run_contest,
+)
+from repro.workloads.generators import (
+    GeneratedDataset,
+    PatternKind,
+    PlantedPattern,
+    make_clustered_column,
+    make_contest_dataset,
+    make_correlated_pair,
+    make_pattern_column,
+)
+from repro.workloads.scenarios import Scenario, it_monitoring_scenario, sky_survey_scenario
+
+__all__ = [
+    "ContestResult",
+    "DbTouchExplorer",
+    "ExplorerReport",
+    "GeneratedDataset",
+    "PatternKind",
+    "PlantedPattern",
+    "Scenario",
+    "SqlExplorer",
+    "it_monitoring_scenario",
+    "make_clustered_column",
+    "make_contest_dataset",
+    "make_correlated_pair",
+    "make_pattern_column",
+    "run_contest",
+    "sky_survey_scenario",
+]

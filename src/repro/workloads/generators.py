@@ -1,0 +1,223 @@
+"""Synthetic data generators with planted, discoverable patterns.
+
+The dbTouch demo loads "alternative data sets with a varying set of
+properties and patterns" and asks the audience to discover them by
+gesturing.  These generators produce exactly that: columns and tables with
+*known*, parameterized patterns (outlier bursts, trends, level shifts,
+seasonality, clusters, correlated pairs) so the exploration-contest harness
+can check whether an explorer actually found them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.storage.column import Column
+from repro.storage.table import Table
+
+
+class PatternKind(Enum):
+    """The kinds of planted patterns an explorer can discover."""
+
+    OUTLIER_BURST = "outlier-burst"
+    LEVEL_SHIFT = "level-shift"
+    TREND = "trend"
+    SEASONALITY = "seasonality"
+    CLUSTER = "cluster"
+    CORRELATION = "correlation"
+
+
+@dataclass(frozen=True)
+class PlantedPattern:
+    """Ground truth about one planted pattern.
+
+    Attributes
+    ----------
+    kind:
+        Pattern kind.
+    column:
+        Name of the column that carries the pattern.
+    start_fraction / end_fraction:
+        Where the pattern lives, as fractions of the column length (a
+        pattern spanning the whole column uses 0.0 and 1.0).
+    magnitude:
+        How strong the pattern is, in units of the base noise scale.
+    """
+
+    kind: PatternKind
+    column: str
+    start_fraction: float
+    end_fraction: float
+    magnitude: float
+
+    def covers(self, fraction: float) -> bool:
+        """Whether a position (fraction of the column) lies inside the pattern."""
+        return self.start_fraction <= fraction <= self.end_fraction
+
+
+@dataclass
+class GeneratedDataset:
+    """A generated table together with the ground truth of planted patterns."""
+
+    table: Table
+    patterns: list[PlantedPattern] = field(default_factory=list)
+
+    def patterns_in(self, column: str) -> list[PlantedPattern]:
+        """The planted patterns carried by ``column``."""
+        return [p for p in self.patterns if p.column == column]
+
+
+def _validate(n: int, base_scale: float) -> None:
+    if n <= 0:
+        raise WorkloadError("num_rows must be positive")
+    if base_scale <= 0:
+        raise WorkloadError("base_scale must be positive")
+
+
+def noisy_baseline(n: int, base_level: float, base_scale: float, rng: np.random.Generator) -> np.ndarray:
+    """Gaussian noise around a constant level — the canvas patterns sit on."""
+    return rng.normal(base_level, base_scale, size=n)
+
+
+def plant_outlier_burst(
+    values: np.ndarray,
+    start_fraction: float,
+    width_fraction: float,
+    magnitude: float,
+    rng: np.random.Generator,
+) -> tuple[np.ndarray, tuple[float, float]]:
+    """Add a burst of extreme values inside a narrow region."""
+    n = len(values)
+    start = int(start_fraction * n)
+    width = max(1, int(width_fraction * n))
+    stop = min(n, start + width)
+    out = values.copy()
+    out[start:stop] += magnitude * np.abs(rng.normal(1.0, 0.25, size=stop - start)) * np.std(values)
+    return out, (start / n, stop / n)
+
+
+def plant_level_shift(
+    values: np.ndarray, shift_fraction: float, magnitude: float
+) -> tuple[np.ndarray, tuple[float, float]]:
+    """Shift the mean of everything after ``shift_fraction``."""
+    n = len(values)
+    start = int(shift_fraction * n)
+    out = values.copy()
+    out[start:] += magnitude * np.std(values)
+    return out, (start / n, 1.0)
+
+
+def plant_trend(values: np.ndarray, magnitude: float) -> tuple[np.ndarray, tuple[float, float]]:
+    """Add a linear trend over the whole column."""
+    n = len(values)
+    ramp = np.linspace(0.0, magnitude * np.std(values), n)
+    return values + ramp, (0.0, 1.0)
+
+
+def plant_seasonality(
+    values: np.ndarray, cycles: int, magnitude: float
+) -> tuple[np.ndarray, tuple[float, float]]:
+    """Add a sinusoidal seasonal component with ``cycles`` full periods."""
+    if cycles <= 0:
+        raise WorkloadError("seasonality needs at least one cycle")
+    n = len(values)
+    wave = magnitude * np.std(values) * np.sin(np.linspace(0.0, 2 * np.pi * cycles, n))
+    return values + wave, (0.0, 1.0)
+
+
+def make_pattern_column(
+    name: str,
+    num_rows: int,
+    patterns: list[PatternKind],
+    base_level: float = 100.0,
+    base_scale: float = 10.0,
+    seed: int = 17,
+) -> tuple[Column, list[PlantedPattern]]:
+    """Generate one column carrying the requested patterns, with ground truth."""
+    _validate(num_rows, base_scale)
+    rng = np.random.default_rng(seed)
+    values = noisy_baseline(num_rows, base_level, base_scale, rng)
+    planted: list[PlantedPattern] = []
+    for i, kind in enumerate(patterns):
+        if kind is PatternKind.OUTLIER_BURST:
+            start = 0.15 + 0.3 * (i % 3)
+            values, (lo, hi) = plant_outlier_burst(values, start, 0.02, 8.0, rng)
+            planted.append(PlantedPattern(kind, name, lo, hi, 8.0))
+        elif kind is PatternKind.LEVEL_SHIFT:
+            values, (lo, hi) = plant_level_shift(values, 0.6, 4.0)
+            planted.append(PlantedPattern(kind, name, lo, hi, 4.0))
+        elif kind is PatternKind.TREND:
+            values, (lo, hi) = plant_trend(values, 5.0)
+            planted.append(PlantedPattern(kind, name, lo, hi, 5.0))
+        elif kind is PatternKind.SEASONALITY:
+            values, (lo, hi) = plant_seasonality(values, 6, 3.0)
+            planted.append(PlantedPattern(kind, name, lo, hi, 3.0))
+        else:
+            raise WorkloadError(f"pattern {kind} needs a multi-column generator")
+    return Column(name, values), planted
+
+
+def make_clustered_column(
+    name: str,
+    num_rows: int,
+    num_clusters: int = 4,
+    separation: float = 6.0,
+    base_scale: float = 1.0,
+    seed: int = 23,
+) -> tuple[Column, list[PlantedPattern]]:
+    """A column whose values fall into well-separated clusters."""
+    _validate(num_rows, base_scale)
+    if num_clusters < 2:
+        raise WorkloadError("clustered column needs at least 2 clusters")
+    rng = np.random.default_rng(seed)
+    assignments = rng.integers(0, num_clusters, size=num_rows)
+    centers = np.arange(num_clusters) * separation * base_scale
+    values = centers[assignments] + rng.normal(0.0, base_scale, size=num_rows)
+    pattern = PlantedPattern(PatternKind.CLUSTER, name, 0.0, 1.0, separation)
+    return Column(name, values), [pattern]
+
+
+def make_correlated_pair(
+    name_x: str,
+    name_y: str,
+    num_rows: int,
+    correlation: float = 0.9,
+    seed: int = 29,
+) -> tuple[Column, Column, PlantedPattern]:
+    """Two columns with a planted linear correlation."""
+    if not -1.0 <= correlation <= 1.0:
+        raise WorkloadError("correlation must be within [-1, 1]")
+    _validate(num_rows, 1.0)
+    rng = np.random.default_rng(seed)
+    x = rng.normal(0.0, 1.0, size=num_rows)
+    noise = rng.normal(0.0, 1.0, size=num_rows)
+    y = correlation * x + np.sqrt(max(0.0, 1.0 - correlation**2)) * noise
+    pattern = PlantedPattern(PatternKind.CORRELATION, name_y, 0.0, 1.0, correlation)
+    return Column(name_x, x), Column(name_y, y), pattern
+
+
+def make_contest_dataset(
+    name: str = "contest",
+    num_rows: int = 200_000,
+    seed: int = 31,
+) -> GeneratedDataset:
+    """The default exploration-contest dataset: several columns, several patterns."""
+    burst_col, burst_patterns = make_pattern_column(
+        "sensor_a", num_rows, [PatternKind.OUTLIER_BURST], seed=seed
+    )
+    shift_col, shift_patterns = make_pattern_column(
+        "sensor_b", num_rows, [PatternKind.LEVEL_SHIFT], seed=seed + 1
+    )
+    trend_col, trend_patterns = make_pattern_column(
+        "sensor_c", num_rows, [PatternKind.TREND], seed=seed + 2
+    )
+    plain_col, _ = make_pattern_column("sensor_d", num_rows, [], seed=seed + 3)
+    table = Table(name, [burst_col, shift_col, trend_col, plain_col])
+    return GeneratedDataset(
+        table=table,
+        patterns=[*burst_patterns, *shift_patterns, *trend_patterns],
+    )

@@ -1,0 +1,128 @@
+"""Unit tests for the monolithic baseline engine."""
+
+import numpy as np
+import pytest
+
+from repro.baseline.engine import MonolithicEngine
+from repro.engine.filter import Comparison, Predicate
+from repro.errors import BaselineError
+from repro.storage.table import Table
+
+
+@pytest.fixture
+def engine(small_table):
+    eng = MonolithicEngine()
+    eng.register(small_table)
+    return eng
+
+
+class TestCatalog:
+    def test_register_and_lookup(self, engine, small_table):
+        assert engine.table("events") is small_table
+        assert engine.table_names == ["events"]
+
+    def test_duplicate_rejected(self, engine, small_table):
+        with pytest.raises(BaselineError):
+            engine.register(small_table)
+        engine.register(small_table, replace=True)
+
+    def test_unknown_table(self, engine):
+        with pytest.raises(BaselineError):
+            engine.table("ghost")
+
+
+class TestSelect:
+    def test_full_scan_returns_all_rows(self, engine):
+        result = engine.select("events", columns=["id"])
+        assert result.num_rows == 1000
+        assert result.rows_examined == 1000
+
+    def test_predicate(self, engine):
+        result = engine.select(
+            "events", columns=["id"], predicates={"id": Predicate(Comparison.LT, 10)}
+        )
+        assert result.num_rows == 10
+        # the monolithic engine still scanned the whole predicate column
+        assert result.cells_read >= 1000
+
+    def test_limit(self, engine):
+        result = engine.select("events", columns=["id"], limit=5)
+        assert result.num_rows == 5
+
+    def test_unknown_column(self, engine):
+        with pytest.raises(BaselineError):
+            engine.select("events", columns=["ghost"])
+
+    def test_all_columns_by_default(self, engine):
+        result = engine.select("events", limit=1)
+        assert set(result.rows[0]) == {"id", "value", "category", "score"}
+
+
+class TestAggregate:
+    def test_avg(self, engine):
+        result = engine.aggregate("events", "value", "avg")
+        assert result.scalar() == pytest.approx(999.0)
+
+    def test_count_sum_min_max_std(self, engine):
+        assert engine.aggregate("events", "id", "count").scalar() == 1000
+        assert engine.aggregate("events", "id", "sum").scalar() == pytest.approx(499_500)
+        assert engine.aggregate("events", "id", "min").scalar() == 0
+        assert engine.aggregate("events", "id", "max").scalar() == 999
+        assert engine.aggregate("events", "id", "std").scalar() == pytest.approx(
+            np.arange(1000).std()
+        )
+
+    def test_aggregate_with_predicate(self, engine):
+        result = engine.aggregate(
+            "events", "value", "avg", predicates={"id": Predicate(Comparison.LT, 10)}
+        )
+        assert result.scalar() == pytest.approx(9.0)
+
+    def test_unknown_function(self, engine):
+        with pytest.raises(BaselineError):
+            engine.aggregate("events", "value", "median")
+
+    def test_empty_result_aggregates(self, engine):
+        result = engine.aggregate(
+            "events", "value", "avg", predicates={"id": Predicate(Comparison.LT, -5)}
+        )
+        assert result.scalar() is None
+
+
+class TestGroupByAndJoin:
+    def test_group_by(self, engine):
+        result = engine.group_by("events", "category", "value", function="count")
+        assert result.num_rows == 7
+        counts = {row["category"]: row["count(value)"] for row in result.rows}
+        assert sum(counts.values()) == 1000
+
+    def test_group_by_unknown_function(self, engine):
+        with pytest.raises(BaselineError):
+            engine.group_by("events", "category", "value", function="mode")
+
+    def test_join_blocking(self):
+        eng = MonolithicEngine()
+        eng.register(Table.from_arrays("l", {"k": [1, 2, 3, 2]}))
+        eng.register(Table.from_arrays("r", {"k": [2, 3, 4]}))
+        result = eng.join("l", "r", "k", "k")
+        assert result.num_rows == 3
+        assert result.rows_examined == 7
+
+    def test_join_limit(self):
+        eng = MonolithicEngine()
+        eng.register(Table.from_arrays("l", {"k": [1] * 10}))
+        eng.register(Table.from_arrays("r", {"k": [1] * 10}))
+        assert eng.join("l", "r", "k", "k", limit=5).num_rows == 5
+
+
+class TestAccounting:
+    def test_cells_read_accumulate(self, engine):
+        engine.select("events", columns=["id"])
+        engine.aggregate("events", "value", "avg")
+        assert engine.total_cells_read >= 2000
+        assert engine.queries_executed == 2
+
+    def test_scalar_requires_1x1(self, engine):
+        result = engine.select("events", columns=["id"], limit=3)
+        with pytest.raises(BaselineError):
+            result.scalar()

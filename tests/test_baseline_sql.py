@@ -1,0 +1,164 @@
+"""Unit tests for the SQL front-end and the visual-analytics shim."""
+
+import pytest
+
+from repro.baseline.engine import MonolithicEngine
+from repro.baseline.sql import SqlInterface, parse_sql
+from repro.baseline.visual_analytics import VisualAnalyticsInterface
+from repro.engine.filter import Comparison, Predicate
+from repro.errors import BaselineError
+
+
+@pytest.fixture
+def engine(small_table):
+    eng = MonolithicEngine()
+    eng.register(small_table)
+    return eng
+
+
+@pytest.fixture
+def sql(engine):
+    return SqlInterface(engine)
+
+
+class TestParsing:
+    def test_simple_select(self):
+        parsed = parse_sql("SELECT id, value FROM events")
+        assert parsed.table == "events"
+        assert parsed.select_columns == ("id", "value")
+
+    def test_star(self):
+        assert parse_sql("select * from events").select_columns == ("*",)
+
+    def test_where_conditions(self):
+        parsed = parse_sql("SELECT id FROM events WHERE id > 10 AND value <= 100")
+        assert len(parsed.predicates) == 2
+        assert parsed.predicates[0][0] == "id"
+
+    def test_between_with_and(self):
+        parsed = parse_sql("SELECT AVG(value) FROM events WHERE id BETWEEN 5 AND 10")
+        assert len(parsed.predicates) == 1
+        assert parsed.predicates[0][1].comparison is Comparison.BETWEEN
+
+    def test_aggregate(self):
+        parsed = parse_sql("SELECT AVG(value) FROM events")
+        assert parsed.aggregate_function == "avg"
+        assert parsed.aggregate_column == "value"
+
+    def test_group_by(self):
+        parsed = parse_sql("SELECT category, AVG(value) FROM events GROUP BY category")
+        assert parsed.group_by_column == "category"
+
+    def test_limit(self):
+        assert parse_sql("SELECT id FROM events LIMIT 7").limit == 7
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "DELETE FROM events",
+            "SELECT FROM events",
+            "SELECT id events",
+            "SELECT id FROM events WHERE id LIKE 'x'",
+            "SELECT category, value, AVG(value) FROM events GROUP BY category",
+            "SELECT id, AVG(value) FROM events",
+            "SELECT AVG(a), AVG(b) FROM events",
+            "SELECT category FROM events GROUP BY category",
+        ],
+    )
+    def test_rejected_statements(self, bad):
+        with pytest.raises(BaselineError):
+            parse_sql(bad)
+
+
+class TestExecution:
+    def test_select_with_where_and_limit(self, sql):
+        result = sql.execute("SELECT id FROM events WHERE id >= 990 LIMIT 5")
+        assert result.num_rows == 5
+        assert result.rows[0]["id"] == 990
+
+    def test_aggregate(self, sql):
+        assert sql.execute("SELECT MAX(value) FROM events").scalar() == 1998
+
+    def test_count_star(self, sql):
+        assert sql.execute("SELECT COUNT(*) FROM events").scalar() == 1000
+
+    def test_group_by(self, sql):
+        result = sql.execute("SELECT category, COUNT(value) FROM events GROUP BY category")
+        assert result.num_rows == 7
+
+    def test_group_by_star_rejected(self, sql):
+        with pytest.raises(BaselineError):
+            sql.execute("SELECT category, COUNT(*) FROM events GROUP BY category")
+
+    def test_between(self, sql):
+        result = sql.execute("SELECT COUNT(id) FROM events WHERE id BETWEEN 10 AND 19")
+        assert result.scalar() == 10
+
+    def test_statement_counter(self, sql):
+        sql.execute("SELECT id FROM events LIMIT 1")
+        sql.execute("SELECT AVG(id) FROM events")
+        assert sql.statements_executed == 2
+
+    def test_case_insensitive(self, sql):
+        assert sql.execute("select avg(id) from events").scalar() == pytest.approx(499.5)
+
+
+class TestVisualAnalytics:
+    def test_big_number_card(self, engine):
+        va = VisualAnalyticsInterface(engine)
+        sheet = va.new_sheet("events")
+        va.set_measure(sheet, "value", "avg")
+        chart = va.render(sheet)
+        assert chart.chart_type == "big-number"
+        assert chart.marks[0]["avg(value)"] == pytest.approx(999.0)
+
+    def test_bar_chart_groups_by_dimension(self, engine):
+        va = VisualAnalyticsInterface(engine)
+        sheet = va.new_sheet("events")
+        va.drag_to_rows(sheet, "category")
+        va.set_measure(sheet, "value", "count")
+        chart = va.render(sheet)
+        assert chart.chart_type == "bar"
+        assert len(chart.marks) == 7
+
+    def test_table_when_no_measure(self, engine):
+        va = VisualAnalyticsInterface(engine)
+        sheet = va.new_sheet("events")
+        va.drag_to_rows(sheet, "id")
+        chart = va.render(sheet)
+        assert chart.chart_type == "table"
+        assert chart.query_result.rows_examined == 1000
+
+    def test_filter_shelf(self, engine):
+        va = VisualAnalyticsInterface(engine)
+        sheet = va.new_sheet("events")
+        va.set_measure(sheet, "value", "count")
+        va.add_filter(sheet, "id", Predicate(Comparison.LT, 100))
+        chart = va.render(sheet)
+        assert chart.marks[0]["count(value)"] == 100
+
+    def test_unknown_source_rejected(self, engine):
+        va = VisualAnalyticsInterface(engine)
+        with pytest.raises(BaselineError):
+            va.new_sheet("ghost")
+
+    def test_every_render_is_a_full_monolithic_query(self, engine):
+        """The Polaris-style shim inherits the monolithic cost model: each
+        rendered chart scans the full table."""
+        va = VisualAnalyticsInterface(engine)
+        sheet = va.new_sheet("events")
+        va.drag_to_rows(sheet, "category")
+        va.set_measure(sheet, "value", "avg")
+        before = engine.total_cells_read
+        va.render(sheet)
+        assert engine.total_cells_read - before >= 2 * 1000
+        assert va.charts_rendered == 1
+
+    def test_heatmap_for_two_dimensions(self, engine):
+        va = VisualAnalyticsInterface(engine)
+        sheet = va.new_sheet("events")
+        va.drag_to_rows(sheet, "category")
+        va.drag_to_columns(sheet, "id")
+        va.set_measure(sheet, "value", "avg")
+        assert va.render(sheet).chart_type == "heatmap"

@@ -1,0 +1,118 @@
+"""Unit tests for gesture extrapolation and prefetching."""
+
+import pytest
+
+from repro.core.prefetch import GesturePrefetcher
+from repro.errors import OptimizationError
+
+
+class TestObservationsAndEstimates:
+    def test_no_observations_not_confident(self):
+        prefetcher = GesturePrefetcher()
+        estimate = prefetcher.estimate()
+        assert not estimate.confident
+        assert estimate.direction == 0
+
+    def test_single_observation_not_confident(self):
+        prefetcher = GesturePrefetcher()
+        prefetcher.observe(0.0, 100)
+        assert not prefetcher.estimate().confident
+
+    def test_velocity_estimate(self):
+        prefetcher = GesturePrefetcher()
+        prefetcher.observe(0.0, 0)
+        prefetcher.observe(1.0, 1000)
+        estimate = prefetcher.estimate()
+        assert estimate.confident
+        assert estimate.velocity_rows_per_s == pytest.approx(1000.0)
+        assert estimate.direction == 1
+
+    def test_negative_direction(self):
+        prefetcher = GesturePrefetcher()
+        prefetcher.observe(0.0, 1000)
+        prefetcher.observe(1.0, 0)
+        assert prefetcher.estimate().direction == -1
+
+    def test_paused_gesture_zero_velocity(self):
+        prefetcher = GesturePrefetcher()
+        prefetcher.observe(0.0, 500)
+        prefetcher.observe(1.0, 500)
+        estimate = prefetcher.estimate()
+        assert estimate.direction == 0
+
+    def test_history_window_bounds_fit(self):
+        prefetcher = GesturePrefetcher(history=4)
+        # early observations are fast, later ones slow; only the window counts
+        for i, t in enumerate([0.0, 0.1, 0.2, 0.3, 10.0, 20.0, 30.0, 40.0]):
+            prefetcher.observe(t, i * 10)
+        assert prefetcher.num_observations == 4
+
+    def test_time_travel_rejected(self):
+        prefetcher = GesturePrefetcher()
+        prefetcher.observe(1.0, 0)
+        with pytest.raises(OptimizationError):
+            prefetcher.observe(0.5, 10)
+
+    def test_reset(self):
+        prefetcher = GesturePrefetcher()
+        prefetcher.observe(0.0, 0)
+        prefetcher.reset()
+        assert prefetcher.num_observations == 0
+
+
+class TestProposals:
+    def test_proposals_follow_direction_and_stride(self):
+        prefetcher = GesturePrefetcher(horizon_seconds=1.0, max_prefetch=10)
+        prefetcher.observe(0.0, 0)
+        prefetcher.observe(1.0, 100)
+        proposals = prefetcher.propose(num_tuples=10_000, stride=10)
+        assert proposals[0] == 110
+        assert all(b - a == 10 for a, b in zip(proposals, proposals[1:]))
+        assert len(proposals) == 10
+
+    def test_proposals_clipped_at_column_end(self):
+        prefetcher = GesturePrefetcher(horizon_seconds=1.0, max_prefetch=50)
+        prefetcher.observe(0.0, 900)
+        prefetcher.observe(1.0, 990)
+        proposals = prefetcher.propose(num_tuples=1000, stride=5)
+        assert all(p < 1000 for p in proposals)
+
+    def test_no_proposals_without_confidence(self):
+        prefetcher = GesturePrefetcher()
+        prefetcher.observe(0.0, 100)
+        assert prefetcher.propose(num_tuples=1000) == []
+
+    def test_no_proposals_when_paused(self):
+        prefetcher = GesturePrefetcher()
+        prefetcher.observe(0.0, 100)
+        prefetcher.observe(1.0, 100)
+        assert prefetcher.propose(num_tuples=1000) == []
+
+    def test_no_proposals_for_empty_column(self):
+        prefetcher = GesturePrefetcher()
+        prefetcher.observe(0.0, 0)
+        prefetcher.observe(1.0, 10)
+        assert prefetcher.propose(num_tuples=0) == []
+
+    def test_max_prefetch_respected(self):
+        prefetcher = GesturePrefetcher(horizon_seconds=10.0, max_prefetch=5)
+        prefetcher.observe(0.0, 0)
+        prefetcher.observe(0.1, 1000)
+        assert len(prefetcher.propose(num_tuples=10_000_000, stride=1)) == 5
+
+    def test_prefetch_counter(self):
+        prefetcher = GesturePrefetcher(max_prefetch=4, horizon_seconds=1.0)
+        prefetcher.observe(0.0, 0)
+        prefetcher.observe(1.0, 100)
+        prefetcher.propose(num_tuples=10_000, stride=25)
+        assert prefetcher.prefetches_issued == 4
+
+
+class TestValidation:
+    def test_constructor_validation(self):
+        with pytest.raises(OptimizationError):
+            GesturePrefetcher(history=1)
+        with pytest.raises(OptimizationError):
+            GesturePrefetcher(horizon_seconds=0.0)
+        with pytest.raises(OptimizationError):
+            GesturePrefetcher(max_prefetch=0)

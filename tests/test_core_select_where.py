@@ -1,0 +1,120 @@
+"""Unit tests for SELECT_WHERE multi-column query plans (Section 2.9)."""
+
+import numpy as np
+import pytest
+
+from repro.core.actions import select_where_action
+from repro.engine.filter import Comparison, Predicate
+from repro.errors import QueryError
+from repro.storage.table import Table
+
+
+@pytest.fixture
+def plan_session(bare_session):
+    n = 2000
+    table = Table.from_arrays(
+        "orders",
+        {
+            "amount": np.arange(n, dtype=np.float64),
+            "customer": np.arange(n, dtype=np.int64) % 17,
+            "region": np.arange(n, dtype=np.int64) % 4,
+        },
+    )
+    bare_session.load_table("orders", table)
+    view = bare_session.show_table("orders", height_cm=10.0, width_cm=8.0)
+    return bare_session, view
+
+
+class TestActionValidation:
+    def test_factory_builds_action(self):
+        action = select_where_action("amount", Predicate(Comparison.GT, 10), ["customer"])
+        assert action.where_attribute == "amount"
+        assert action.select_attributes == ("customer",)
+
+    def test_requires_predicate_and_attributes(self):
+        from repro.core.actions import ActionKind, QueryAction
+
+        with pytest.raises(QueryError):
+            QueryAction(kind=ActionKind.SELECT_WHERE, where_attribute="a")
+        with pytest.raises(QueryError):
+            QueryAction(
+                kind=ActionKind.SELECT_WHERE,
+                where_attribute="a",
+                select_attributes=("b",),
+            )
+
+    def test_requires_table_object(self, bare_session):
+        bare_session.load_column("c", np.arange(100))
+        view = bare_session.show_column("c")
+        with pytest.raises(QueryError):
+            bare_session.choose_action(
+                view, select_where_action("c", Predicate(Comparison.GT, 0), ["c"])
+            )
+
+    def test_unknown_attributes_rejected(self, plan_session):
+        session, view = plan_session
+        with pytest.raises(QueryError):
+            session.choose_action(
+                view, select_where_action("ghost", Predicate(Comparison.GT, 0), ["customer"])
+            )
+        with pytest.raises(QueryError):
+            session.choose_action(
+                view, select_where_action("amount", Predicate(Comparison.GT, 0), ["ghost"])
+            )
+
+
+class TestExecution:
+    def test_only_qualifying_tuples_emit_results(self, plan_session):
+        session, view = plan_session
+        session.choose_action(
+            view,
+            select_where_action(
+                "amount", Predicate(Comparison.GE, 1000.0), ["customer", "region"]
+            ),
+        )
+        outcome = session.slide(view, duration=2.0)
+        # the slide covered the whole table; only the second half qualifies
+        assert 0 < outcome.entries_returned < len(outcome.rowids_touched)
+        qualifying = [r for r in outcome.rowids_touched if r >= 1000]
+        assert outcome.entries_returned == len(qualifying)
+
+    def test_results_contain_selected_attributes(self, plan_session):
+        session, view = plan_session
+        session.choose_action(
+            view,
+            select_where_action("amount", Predicate(Comparison.GE, 0.0), ["customer", "region"]),
+        )
+        outcome = session.slide(view, duration=1.0)
+        assert outcome.entries_returned > 0
+        for result in outcome.results:
+            assert set(result.value) == {"customer", "region"}
+            assert result.value["customer"] == result.rowid % 17
+            assert result.value["region"] == result.rowid % 4
+
+    def test_where_attribute_read_regardless_of_touch_column(self, plan_session):
+        """Sliding over any attribute of the table drives the same where plan."""
+        session, view = plan_session
+        session.choose_action(
+            view, select_where_action("amount", Predicate(Comparison.LT, 500.0), ["customer"])
+        )
+        # slide along the right-hand edge of the table (the 'region' attribute)
+        outcome = session.slide(view, duration=1.0, cross_fraction=0.95)
+        assert all(r < 500 for r in [res.rowid for res in outcome.results])
+
+    def test_tuples_examined_counts_where_plus_selects(self, plan_session):
+        session, view = plan_session
+        session.choose_action(
+            view, select_where_action("amount", Predicate(Comparison.GE, 0.0), ["customer"])
+        )
+        outcome = session.slide(view, duration=1.0)
+        # every touch reads the where attribute; qualifying ones also read the select
+        assert outcome.tuples_examined >= 2 * outcome.entries_returned
+
+    def test_selective_plan_emits_nothing(self, plan_session):
+        session, view = plan_session
+        session.choose_action(
+            view, select_where_action("amount", Predicate(Comparison.GT, 10_000.0), ["customer"])
+        )
+        outcome = session.slide(view, duration=1.0)
+        assert outcome.entries_returned == 0
+        assert len(outcome.rowids_touched) > 0

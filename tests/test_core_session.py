@@ -1,0 +1,116 @@
+"""Unit tests for the exploration-session facade."""
+
+import numpy as np
+import pytest
+
+from repro.core.session import ExplorationSession
+from repro.errors import QueryError
+from repro.storage.column import Column
+from repro.storage.table import Table
+from repro.touchio.synthesizer import SlideSegment
+
+
+class TestLoading:
+    def test_load_column_from_values(self, session):
+        column = session.load_column("c", [1, 2, 3])
+        assert isinstance(column, Column)
+        assert "c" in session.catalog
+
+    def test_load_column_from_column_renames(self, session):
+        column = session.load_column("renamed", Column("orig", [1, 2]))
+        assert column.name == "renamed"
+        assert "renamed" in session.catalog
+
+    def test_load_table_from_mapping(self, session):
+        table = session.load_table("t", {"a": [1, 2], "b": [3, 4]})
+        assert isinstance(table, Table)
+        assert session.catalog.table("t") is table
+
+    def test_load_table_from_table(self, session, small_table):
+        session.load_table("events", small_table)
+        assert session.catalog.table("events") is small_table
+
+    def test_glance_describes_objects(self, session, small_table):
+        session.load_table("events", small_table)
+        session.load_column("c", [1, 2, 3])
+        names = {info.name for info in session.glance()}
+        assert names == {"events", "c"}
+
+
+class TestGestureHistory:
+    def test_history_accumulates(self, session):
+        session.load_column("c", np.arange(10_000))
+        view = session.show_column("c")
+        session.choose_scan(view)
+        session.slide(view, duration=0.5)
+        session.tap(view)
+        session.zoom_in(view)
+        assert len(session.history) == 3
+        assert session.last_outcome() is session.history[-1]
+
+    def test_last_outcome_empty_history(self, session):
+        with pytest.raises(QueryError):
+            session.last_outcome()
+
+    def test_summary_aggregates_history(self, session):
+        session.load_column("c", np.arange(10_000))
+        view = session.show_column("c")
+        session.choose_scan(view)
+        session.slide(view, duration=0.5)
+        session.slide(view, duration=0.5)
+        summary = session.summary()
+        assert summary.gestures == 2
+        assert summary.entries_returned == sum(o.entries_returned for o in session.history)
+
+    def test_clock_advances_with_gestures(self, session):
+        session.load_column("c", np.arange(1000))
+        view = session.show_column("c")
+        session.choose_scan(view)
+        before = session.device.now
+        session.slide(view, duration=1.0)
+        assert session.device.now > before
+
+
+class TestGestureConvenience:
+    def test_view_addressable_by_name(self, session):
+        session.load_column("c", np.arange(1000))
+        session.show_column("c", view_name="my-view")
+        session.choose_scan("my-view")
+        outcome = session.tap("my-view")
+        assert outcome.view_name == "my-view"
+
+    def test_slide_path_with_pause_and_reversal(self, session):
+        session.load_column("c", np.arange(100_000))
+        view = session.show_column("c")
+        session.choose_scan(view)
+        outcome = session.slide_path(
+            view,
+            [
+                SlideSegment(0.0, 0.6, 0.5, pause_after=0.2),
+                SlideSegment(0.6, 0.3, 0.5),
+            ],
+        )
+        rowids = outcome.rowids_touched
+        assert max(rowids) > 55_000
+        assert rowids[-1] < max(rowids)  # the gesture came back up
+
+    def test_default_axis_follows_orientation(self, session):
+        session.load_column("c", np.arange(1000))
+        view = session.show_column("c")
+        session.choose_scan(view)
+        session.rotate(view)
+        outcome = session.slide(view, duration=0.5)
+        assert outcome.entries_returned > 0
+
+    def test_multiple_objects_on_screen(self, session):
+        session.load_column("a", np.arange(1000))
+        session.load_column("b", np.arange(1000) * 2)
+        view_a = session.show_column("a", x=0.0)
+        view_b = session.show_column("b", x=5.0)
+        session.choose_scan(view_a)
+        session.choose_aggregate(view_b, "sum")
+        out_a = session.slide(view_a, duration=0.5)
+        out_b = session.slide(view_b, duration=0.5)
+        assert out_a.object_name == "a"
+        assert out_b.object_name == "b"
+        assert out_b.final_aggregate is not None

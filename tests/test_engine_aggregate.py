@@ -1,0 +1,124 @@
+"""Unit tests for running aggregates."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExecutionError
+from repro.engine.aggregate import (
+    AggregateKind,
+    AvgAggregate,
+    CountAggregate,
+    MaxAggregate,
+    MinAggregate,
+    StdAggregate,
+    SumAggregate,
+    aggregate_window,
+    make_aggregate,
+)
+
+
+class TestFactory:
+    @pytest.mark.parametrize(
+        "kind, cls",
+        [
+            (AggregateKind.COUNT, CountAggregate),
+            (AggregateKind.SUM, SumAggregate),
+            (AggregateKind.AVG, AvgAggregate),
+            (AggregateKind.MIN, MinAggregate),
+            (AggregateKind.MAX, MaxAggregate),
+            (AggregateKind.STD, StdAggregate),
+        ],
+    )
+    def test_make_by_enum(self, kind, cls):
+        assert isinstance(make_aggregate(kind), cls)
+
+    def test_make_by_name(self):
+        assert isinstance(make_aggregate("avg"), AvgAggregate)
+        assert isinstance(make_aggregate("MAX"), MaxAggregate)
+
+    def test_unknown_name(self):
+        with pytest.raises(ExecutionError):
+            make_aggregate("median")
+
+
+class TestIncrementalCorrectness:
+    """Running aggregates must match the batch numpy result."""
+
+    values = np.array([3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0])
+
+    def _run(self, kind):
+        agg = make_aggregate(kind)
+        for i, v in enumerate(self.values):
+            agg.on_touch(i, v)
+        return agg.current()
+
+    def test_count(self):
+        assert self._run("count") == len(self.values)
+
+    def test_sum(self):
+        assert self._run("sum") == pytest.approx(self.values.sum())
+
+    def test_avg(self):
+        assert self._run("avg") == pytest.approx(self.values.mean())
+
+    def test_min(self):
+        assert self._run("min") == pytest.approx(self.values.min())
+
+    def test_max(self):
+        assert self._run("max") == pytest.approx(self.values.max())
+
+    def test_std_welford_matches_numpy(self):
+        assert self._run("std") == pytest.approx(self.values.std())
+
+    def test_empty_aggregates_return_none(self):
+        for kind in ("sum", "avg", "min", "max", "std"):
+            assert make_aggregate(kind).current() is None
+
+    def test_empty_count_is_zero(self):
+        assert make_aggregate("count").current() == 0.0
+
+
+class TestBatchAndWindows:
+    def test_update_many(self):
+        agg = AvgAggregate()
+        result = agg.update_many([1.0, 2.0, 3.0])
+        assert result == pytest.approx(2.0)
+        assert agg.count == 3
+
+    def test_window_values_through_on_touch(self):
+        agg = AvgAggregate()
+        result = agg.on_touch(0, np.array([2.0, 4.0]))
+        assert result == pytest.approx(3.0)
+        assert agg.stats.tuples_examined == 2
+
+    def test_none_value_ignored(self):
+        agg = SumAggregate()
+        agg.on_touch(0, 5.0)
+        assert agg.on_touch(1, None) == pytest.approx(5.0)
+        assert agg.count == 1
+
+    def test_aggregate_window_helper(self):
+        assert aggregate_window("avg", np.array([1.0, 3.0])) == pytest.approx(2.0)
+        assert aggregate_window("max", np.array([1.0, 3.0])) == pytest.approx(3.0)
+
+
+class TestReset:
+    def test_reset_clears_state(self):
+        agg = AvgAggregate()
+        agg.on_touch(0, 10.0)
+        agg.reset()
+        assert agg.current() is None
+        assert agg.count == 0
+        assert agg.stats.touches_processed == 0
+
+    def test_finish_returns_current(self):
+        agg = MaxAggregate()
+        agg.on_touch(0, 7.0)
+        assert agg.finish() == 7.0
+
+    def test_std_reset(self):
+        agg = StdAggregate()
+        agg.update_many([1.0, 2.0, 3.0])
+        agg.reset()
+        agg.update_many([5.0, 5.0])
+        assert agg.current() == pytest.approx(0.0)

@@ -1,0 +1,129 @@
+"""Unit tests for predicates and filter operators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import QueryError
+from repro.engine.filter import (
+    Comparison,
+    CompositeFilter,
+    FilterOperator,
+    Predicate,
+    predicate_from_string,
+)
+
+
+class TestPredicate:
+    @pytest.mark.parametrize(
+        "comparison, operand, value, expected",
+        [
+            (Comparison.EQ, 5, 5, True),
+            (Comparison.EQ, 5, 6, False),
+            (Comparison.NE, 5, 6, True),
+            (Comparison.LT, 5, 4, True),
+            (Comparison.LT, 5, 5, False),
+            (Comparison.LE, 5, 5, True),
+            (Comparison.GT, 5, 6, True),
+            (Comparison.GE, 5, 5, True),
+        ],
+    )
+    def test_matches(self, comparison, operand, value, expected):
+        assert Predicate(comparison, operand).matches(value) is expected
+
+    def test_between(self):
+        pred = Predicate(Comparison.BETWEEN, 2, upper=5)
+        assert pred.matches(2) and pred.matches(5) and pred.matches(3)
+        assert not pred.matches(1) and not pred.matches(6)
+
+    def test_between_requires_upper(self):
+        with pytest.raises(QueryError):
+            Predicate(Comparison.BETWEEN, 2)
+
+    def test_between_bounds_ordered(self):
+        with pytest.raises(QueryError):
+            Predicate(Comparison.BETWEEN, 5, upper=2)
+
+    def test_mask_matches_scalar_semantics(self):
+        values = np.array([1, 3, 5, 7])
+        pred = Predicate(Comparison.GT, 4)
+        mask = pred.mask(values)
+        assert list(mask) == [pred.matches(v) for v in values]
+
+    def test_between_mask(self):
+        values = np.arange(10)
+        pred = Predicate(Comparison.BETWEEN, 3, upper=6)
+        assert list(np.nonzero(pred.mask(values))[0]) == [3, 4, 5, 6]
+
+    def test_describe(self):
+        assert Predicate(Comparison.GT, 10).describe() == "value > 10"
+        assert "<=" in Predicate(Comparison.BETWEEN, 1, upper=2).describe()
+
+
+class TestPredicateParsing:
+    def test_simple(self):
+        pred = predicate_from_string("> 10")
+        assert pred.comparison is Comparison.GT and pred.operand == 10
+
+    def test_between(self):
+        pred = predicate_from_string("between 1 5")
+        assert pred.comparison is Comparison.BETWEEN and pred.upper == 5
+
+    def test_float_operand(self):
+        assert predicate_from_string("<= 3.5").operand == 3.5
+
+    @pytest.mark.parametrize("text", ["", "~ 5", "> ", "> 1 2", "between 1"])
+    def test_invalid(self, text):
+        with pytest.raises(QueryError):
+            predicate_from_string(text)
+
+
+class TestFilterOperator:
+    def test_passes_matching_values(self):
+        op = FilterOperator(Predicate(Comparison.GT, 10))
+        assert op.on_touch(0, 15) == 15
+        assert op.on_touch(1, 5) is None
+        assert op.stats.results_emitted == 1
+        assert op.stats.touches_processed == 2
+
+    def test_attribute_filter_on_tuples(self):
+        op = FilterOperator(Predicate(Comparison.EQ, 1), attribute="flag")
+        assert op.on_touch(0, {"flag": 1, "x": 9}) == {"flag": 1, "x": 9}
+        assert op.on_touch(1, {"flag": 0, "x": 9}) is None
+
+    def test_attribute_filter_requires_tuple(self):
+        op = FilterOperator(Predicate(Comparison.EQ, 1), attribute="flag")
+        with pytest.raises(QueryError):
+            op.on_touch(0, 3)
+
+    def test_window_filtering(self):
+        op = FilterOperator(Predicate(Comparison.GE, 5))
+        kept = op.on_touch(0, np.array([1, 5, 9]))
+        assert list(kept) == [5, 9]
+        assert op.on_touch(1, np.array([1, 2])) is None
+
+
+class TestCompositeFilter:
+    def test_conjunction(self):
+        composite = CompositeFilter(
+            [
+                (None, Predicate(Comparison.GT, 2)),
+                (None, Predicate(Comparison.LT, 8)),
+            ]
+        )
+        assert composite.on_touch(0, 5) == 5
+        assert composite.on_touch(1, 1) is None
+        assert composite.on_touch(2, 9) is None
+
+    def test_empty_rejected(self):
+        with pytest.raises(QueryError):
+            CompositeFilter([])
+
+    def test_tuple_attributes(self):
+        composite = CompositeFilter(
+            [
+                ("a", Predicate(Comparison.GT, 0)),
+                ("b", Predicate(Comparison.LT, 10)),
+            ]
+        )
+        assert composite.on_touch(0, {"a": 1, "b": 5}) == {"a": 1, "b": 5}
+        assert composite.on_touch(1, {"a": 0, "b": 5}) is None

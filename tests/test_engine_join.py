@@ -1,0 +1,112 @@
+"""Unit tests for symmetric (non-blocking) and blocking joins."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExecutionError
+from repro.engine.join import BlockingHashJoin, SymmetricHashJoin, join_arrays_symmetric
+
+
+class TestSymmetricHashJoin:
+    def test_match_emitted_as_soon_as_both_sides_seen(self):
+        join = SymmetricHashJoin()
+        assert join.on_left(0, "k") == []
+        matches = join.on_right(10, "k")
+        assert len(matches) == 1
+        assert matches[0].left_rowid == 0 and matches[0].right_rowid == 10
+
+    def test_no_match_for_different_keys(self):
+        join = SymmetricHashJoin()
+        join.on_left(0, "a")
+        assert join.on_right(1, "b") == []
+        assert join.num_matches == 0
+
+    def test_duplicate_keys_produce_all_pairs(self):
+        join = SymmetricHashJoin()
+        join.on_left(0, "k")
+        join.on_left(1, "k")
+        matches = join.on_right(2, "k")
+        assert len(matches) == 2
+        assert {m.left_rowid for m in matches} == {0, 1}
+
+    def test_duplicate_rowid_not_reinserted(self):
+        join = SymmetricHashJoin()
+        join.on_left(0, "k")
+        join.on_left(0, "k")  # same touch revisited
+        assert join.left_cardinality == 1
+        assert len(join.on_right(1, "k")) == 1
+
+    def test_cardinalities(self):
+        join = SymmetricHashJoin()
+        join.on_left(0, "a")
+        join.on_left(1, "b")
+        join.on_right(0, "a")
+        assert join.left_cardinality == 2
+        assert join.right_cardinality == 1
+
+    def test_snapshot_and_reset(self):
+        join = SymmetricHashJoin()
+        join.on_left(0, "a")
+        left, right = join.hash_table_snapshot()
+        assert left == {"a": [0]}
+        join.reset()
+        assert join.num_matches == 0
+        assert join.left_cardinality == 0
+
+    def test_symmetric_result_matches_blocking(self):
+        rng = np.random.default_rng(0)
+        left = rng.integers(0, 20, size=200)
+        right = rng.integers(0, 20, size=150)
+        symmetric = join_arrays_symmetric(left, right)
+        blocking = BlockingHashJoin().join(left.tolist(), right.tolist())
+        assert symmetric.num_matches == len(blocking)
+
+    def test_matches_arrive_incrementally(self):
+        """The non-blocking join must produce results before either side is
+        fully consumed — the property dbTouch needs for interactivity."""
+        left = np.arange(1000) % 10
+        right = np.arange(1000) % 10
+        join = SymmetricHashJoin()
+        first_match_at = None
+        for i in range(1000):
+            join.on_left(i, int(left[i]))
+            join.on_right(i, int(right[i]))
+            if join.num_matches and first_match_at is None:
+                first_match_at = i
+        assert first_match_at is not None and first_match_at < 20
+
+
+class TestBlockingHashJoin:
+    def test_probe_before_build_rejected(self):
+        join = BlockingHashJoin()
+        with pytest.raises(ExecutionError):
+            join.probe(["x"])
+
+    def test_build_consumes_everything_before_first_result(self):
+        join = BlockingHashJoin()
+        join.build(range(1000))
+        assert join.tuples_before_first_result == 1000
+
+    def test_join_correctness(self):
+        join = BlockingHashJoin()
+        matches = join.join([1, 2, 3, 2], [2, 4])
+        keys = sorted(m.key for m in matches)
+        assert keys == [2, 2]
+        left_rowids = sorted(m.left_rowid for m in matches)
+        assert left_rowids == [1, 3]
+
+    def test_empty_inputs(self):
+        join = BlockingHashJoin()
+        assert join.join([], []) == []
+
+
+class TestJoinArraysHelper:
+    def test_explicit_touch_order(self):
+        left = np.array([5, 6, 7])
+        right = np.array([7, 6, 5])
+        join = join_arrays_symmetric(left, right, left_order=[2, 1, 0], right_order=[0, 1, 2])
+        assert join.num_matches == 3
+
+    def test_uneven_lengths(self):
+        join = join_arrays_symmetric(np.array([1, 2, 3, 4]), np.array([4]))
+        assert join.num_matches == 1

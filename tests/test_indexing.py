@@ -1,0 +1,180 @@
+"""Unit tests for zone maps, cracking and per-sample-level indexes."""
+
+import numpy as np
+import pytest
+
+from repro.engine.filter import Comparison, Predicate
+from repro.errors import SampleError, StorageError
+from repro.indexing.cracking import CrackerIndex
+from repro.indexing.sample_index import SampleLevelIndex
+from repro.indexing.zonemap import ZoneMap
+from repro.storage.column import Column
+from repro.storage.sample import SampleHierarchy
+
+
+@pytest.fixture
+def sorted_column():
+    return Column("sorted", np.arange(10_000, dtype=np.int64))
+
+
+@pytest.fixture
+def random_column():
+    rng = np.random.default_rng(5)
+    return Column("random", rng.integers(0, 1000, size=10_000, dtype=np.int64))
+
+
+class TestZoneMap:
+    def test_zone_count(self, sorted_column):
+        zm = ZoneMap(sorted_column, block_rows=1000)
+        assert zm.num_zones == 10
+
+    def test_zone_minmax(self, sorted_column):
+        zm = ZoneMap(sorted_column, block_rows=1000)
+        zone = zm.zone_for(2500)
+        assert zone.minimum == 2000 and zone.maximum == 2999
+        assert zone.num_rows == 1000
+
+    def test_pruning_on_sorted_data(self, sorted_column):
+        zm = ZoneMap(sorted_column, block_rows=1000)
+        pred = Predicate(Comparison.BETWEEN, 5000, upper=5100)
+        candidates = zm.candidate_zones(pred)
+        assert len(candidates) == 1
+        assert zm.pruned_fraction(pred) == pytest.approx(0.9)
+
+    def test_no_pruning_on_uniform_random(self, random_column):
+        zm = ZoneMap(random_column, block_rows=1000)
+        pred = Predicate(Comparison.BETWEEN, 400, upper=600)
+        assert zm.pruned_fraction(pred) == pytest.approx(0.0)
+
+    def test_count_matches_exact(self, sorted_column):
+        zm = ZoneMap(sorted_column, block_rows=1000)
+        pred = Predicate(Comparison.LT, 1234)
+        assert zm.count_matches(pred) == 1234
+
+    def test_may_contain_operators(self, sorted_column):
+        zm = ZoneMap(sorted_column, block_rows=1000)
+        zone = zm.zone_for(0)  # covers 0..999
+        assert zone.may_contain(Predicate(Comparison.EQ, 500))
+        assert not zone.may_contain(Predicate(Comparison.EQ, 5000))
+        assert zone.may_contain(Predicate(Comparison.GE, 999))
+        assert not zone.may_contain(Predicate(Comparison.GT, 999))
+        assert zone.may_contain(Predicate(Comparison.LE, 0))
+        assert not zone.may_contain(Predicate(Comparison.LT, 0))
+        assert zone.may_contain(Predicate(Comparison.NE, 5))
+
+    def test_rowid_validation(self, sorted_column):
+        zm = ZoneMap(sorted_column)
+        with pytest.raises(StorageError):
+            zm.zone_for(10_000)
+
+    def test_constructor_validation(self, sorted_column):
+        with pytest.raises(StorageError):
+            ZoneMap(sorted_column, block_rows=0)
+        with pytest.raises(StorageError):
+            ZoneMap(Column("s", ["a", "b"]))
+
+
+class TestCrackerIndex:
+    def test_range_lookup_correct(self, random_column):
+        index = CrackerIndex(random_column)
+        expected = np.nonzero((random_column.values >= 100) & (random_column.values < 200))[0]
+        result = index.rowids_in_range(100, 200)
+        assert np.array_equal(result, expected)
+
+    def test_lookup_without_cracking(self, random_column):
+        index = CrackerIndex(random_column)
+        result = index.rowids_in_range(100, 200, crack=False)
+        assert index.cracks_performed == 0
+        expected = np.nonzero((random_column.values >= 100) & (random_column.values < 200))[0]
+        assert np.array_equal(result, expected)
+
+    def test_repeat_lookup_scans_less(self, random_column):
+        index = CrackerIndex(random_column)
+        cost_before = index.scan_cost_for_range(100, 200)
+        index.rowids_in_range(100, 200)
+        cost_after = index.scan_cost_for_range(100, 200)
+        assert cost_after < cost_before
+        assert cost_after == 0  # the range is now exactly covered by pieces
+
+    def test_nearby_range_benefits_from_previous_cracks(self, random_column):
+        index = CrackerIndex(random_column)
+        index.rowids_in_range(100, 200)
+        cost = index.scan_cost_for_range(150, 180)
+        assert cost <= 10_000  # bounded by the 100..200 piece, not the whole column
+        assert cost < len(random_column)
+
+    def test_pieces_partition_the_column(self, random_column):
+        index = CrackerIndex(random_column)
+        index.rowids_in_range(100, 200)
+        index.rowids_in_range(500, 700)
+        pieces = index.pieces
+        assert sum(p.num_rows for p in pieces) == len(random_column)
+        assert pieces[0].start == 0 and pieces[-1].stop == len(random_column)
+
+    def test_values_respect_piece_bounds(self, random_column):
+        index = CrackerIndex(random_column)
+        index.crack(300.0)
+        left_piece = index.pieces[0]
+        values = index._values[left_piece.start : left_piece.stop]
+        assert (values < 300.0).all()
+
+    def test_duplicate_crack_is_noop(self, random_column):
+        index = CrackerIndex(random_column)
+        index.crack(300.0)
+        cracks = index.cracks_performed
+        index.crack(300.0)
+        assert index.cracks_performed == cracks
+
+    def test_invalid_range(self, random_column):
+        index = CrackerIndex(random_column)
+        with pytest.raises(StorageError):
+            index.rowids_in_range(200, 100)
+        with pytest.raises(StorageError):
+            index.crack_range(5, 1)
+
+    def test_non_numeric_rejected(self):
+        with pytest.raises(StorageError):
+            CrackerIndex(Column("s", ["a", "b"]))
+
+
+class TestSampleLevelIndex:
+    def test_lazy_builds(self, sorted_column):
+        hierarchy = SampleHierarchy(sorted_column, factor=4, min_rows=16)
+        index = SampleLevelIndex(hierarchy)
+        assert index.levels_indexed == []
+        index.lookup_range(100, 200, stride_hint=1)
+        assert index.levels_indexed == [0]
+        index.lookup_range(100, 200, stride_hint=64)
+        assert len(index.levels_indexed) == 2
+        assert index.builds == 2
+
+    def test_lookup_correct_at_base_level(self, sorted_column):
+        hierarchy = SampleHierarchy(sorted_column, factor=4)
+        index = SampleLevelIndex(hierarchy)
+        result = index.lookup_range(100, 110, stride_hint=1)
+        assert list(result.base_rowids) == list(range(100, 111))
+        assert result.level == 0
+
+    def test_lookup_at_coarse_level_returns_base_rowids(self, sorted_column):
+        hierarchy = SampleHierarchy(sorted_column, factor=4)
+        index = SampleLevelIndex(hierarchy)
+        result = index.lookup_range(0, 1000, stride_hint=64)
+        assert result.step > 1
+        assert all(r % result.step == 0 for r in result.base_rowids)
+
+    def test_selectivity_estimate(self, sorted_column):
+        hierarchy = SampleHierarchy(sorted_column, factor=4)
+        index = SampleLevelIndex(hierarchy)
+        sel = index.estimate_selectivity(0, 999, stride_hint=1)
+        assert sel == pytest.approx(0.1, rel=0.05)
+
+    def test_invalid_range(self, sorted_column):
+        index = SampleLevelIndex(SampleHierarchy(sorted_column))
+        with pytest.raises(SampleError):
+            index.lookup_range(10, 5)
+
+    def test_build_all(self, sorted_column):
+        hierarchy = SampleHierarchy(sorted_column, factor=4)
+        index = SampleLevelIndex(hierarchy)
+        index.build_all()
+        assert len(index.levels_indexed) == hierarchy.num_levels

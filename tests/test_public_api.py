@@ -1,0 +1,76 @@
+"""Tests of the public API surface and the exception hierarchy."""
+
+import pytest
+
+import repro
+from repro import errors
+
+
+class TestTopLevelExports:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"repro.__all__ lists missing name {name!r}"
+
+    def test_version_string(self):
+        assert isinstance(repro.__version__, str)
+        assert repro.__version__.count(".") == 2
+
+    def test_subpackage_alls_resolve(self):
+        import repro.baseline
+        import repro.core
+        import repro.engine
+        import repro.indexing
+        import repro.metrics
+        import repro.remote
+        import repro.storage
+        import repro.touchio
+        import repro.viz
+        import repro.workloads
+
+        for module in (
+            repro.core,
+            repro.storage,
+            repro.touchio,
+            repro.engine,
+            repro.indexing,
+            repro.baseline,
+            repro.remote,
+            repro.workloads,
+            repro.viz,
+            repro.metrics,
+        ):
+            for name in module.__all__:
+                assert hasattr(module, name), f"{module.__name__}.__all__ lists {name!r}"
+
+    def test_module_docstring_doctest_example_runs(self):
+        """The usage example in the package docstring must keep working."""
+        import doctest
+
+        results = doctest.testmod(repro, verbose=False)
+        assert results.failed == 0
+
+
+class TestExceptionHierarchy:
+    def test_all_errors_derive_from_dbtoucherror(self):
+        error_classes = [
+            obj
+            for name, obj in vars(errors).items()
+            if isinstance(obj, type) and issubclass(obj, Exception) and name != "DbTouchError"
+        ]
+        assert len(error_classes) >= 15
+        for cls in error_classes:
+            assert issubclass(cls, errors.DbTouchError), cls
+
+    def test_specific_parentage(self):
+        assert issubclass(errors.SchemaError, errors.StorageError)
+        assert issubclass(errors.SampleError, errors.StorageError)
+        assert issubclass(errors.GestureError, errors.TouchError)
+        assert issubclass(errors.QueryError, errors.ExecutionError)
+        assert issubclass(errors.NetworkTimeoutError, errors.RemoteError)
+        assert issubclass(errors.ContestError, errors.WorkloadError)
+
+    def test_library_failures_are_catchable_with_one_clause(self):
+        from repro.storage.column import Column
+
+        with pytest.raises(errors.DbTouchError):
+            Column("c", [1, 2, 3]).value_at(99)

@@ -1,0 +1,134 @@
+"""Unit tests for fixed-width columns."""
+
+import numpy as np
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.column import Column, column_from_function
+from repro.storage.dtypes import FLOAT64
+
+
+class TestConstruction:
+    def test_from_list(self):
+        col = Column("c", [1, 2, 3])
+        assert len(col) == 3
+        assert col.dtype.name == "int64"
+
+    def test_from_numpy(self):
+        col = Column("c", np.linspace(0, 1, 11))
+        assert col.dtype.name == "float64"
+
+    def test_explicit_dtype(self):
+        col = Column("c", [1, 2, 3], dtype=FLOAT64)
+        assert col.dtype.name == "float64"
+        assert col.values.dtype == np.float64
+
+    def test_rejects_2d(self):
+        with pytest.raises(StorageError):
+            Column("c", np.zeros((3, 3)))
+
+    def test_repr_contains_name(self):
+        assert "Column" in repr(Column("abc", [1]))
+
+    def test_equality(self):
+        assert Column("c", [1, 2]) == Column("c", [1, 2])
+        assert Column("c", [1, 2]) != Column("c", [1, 3])
+        assert Column("a", [1, 2]) != Column("b", [1, 2])
+
+    def test_equality_with_other_type(self):
+        assert Column("c", [1]).__eq__(42) is NotImplemented
+
+
+class TestAccess:
+    def test_value_at(self, small_column):
+        assert small_column.value_at(0) == 0
+        assert small_column.value_at(99) == 99
+
+    def test_value_at_out_of_range(self, small_column):
+        with pytest.raises(StorageError):
+            small_column.value_at(100)
+        with pytest.raises(StorageError):
+            small_column.value_at(-1)
+
+    def test_slice_clamps(self, small_column):
+        assert list(small_column.slice(95, 200)) == [95, 96, 97, 98, 99]
+        assert list(small_column.slice(-10, 3)) == [0, 1, 2]
+
+    def test_slice_empty_when_inverted(self, small_column):
+        assert len(small_column.slice(50, 40)) == 0
+
+    def test_gather(self, small_column):
+        out = small_column.gather([5, 1, 7])
+        assert list(out) == [5, 1, 7]
+
+    def test_gather_out_of_range(self, small_column):
+        with pytest.raises(StorageError):
+            small_column.gather([5, 100])
+
+    def test_gather_empty(self, small_column):
+        assert len(small_column.gather([])) == 0
+
+    def test_head(self, small_column):
+        assert list(small_column.head(3)) == [0, 1, 2]
+
+    def test_iteration(self):
+        assert list(Column("c", [3, 1, 2])) == [3, 1, 2]
+
+    def test_getitem(self, small_column):
+        assert small_column[10] == 10
+        assert list(small_column[2:5]) == [2, 3, 4]
+
+
+class TestDerived:
+    def test_rename_shares_data(self, small_column):
+        renamed = small_column.rename("other")
+        assert renamed.name == "other"
+        assert renamed.values is small_column.values
+
+    def test_take_every(self, small_column):
+        sampled = small_column.take_every(10)
+        assert len(sampled) == 10
+        assert list(sampled) == list(range(0, 100, 10))
+
+    def test_take_every_invalid_step(self, small_column):
+        with pytest.raises(StorageError):
+            small_column.take_every(0)
+
+    def test_copy_is_independent(self, small_column):
+        clone = small_column.copy()
+        clone.values[0] = 42
+        assert small_column.value_at(0) == 0
+
+
+class TestStats:
+    def test_min_max_mean_std(self, small_column):
+        assert small_column.min() == 0
+        assert small_column.max() == 99
+        assert small_column.mean() == pytest.approx(49.5)
+        assert small_column.std() == pytest.approx(np.arange(100).std())
+
+    def test_empty_column_stats(self):
+        empty = Column("e", np.array([], dtype=np.int64))
+        assert empty.min() is None
+        assert empty.max() is None
+        assert empty.mean() is None
+        assert empty.std() is None
+
+    def test_size_bytes(self, small_column):
+        assert small_column.size_bytes == 100 * 8
+
+    def test_is_numeric_for_strings(self):
+        assert not Column("s", ["a", "b"]).is_numeric
+
+
+class TestColumnFromFunction:
+    def test_values_follow_function(self):
+        col = column_from_function("sq", 5, lambda i: i * i)
+        assert list(col) == [0, 1, 4, 9, 16]
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(StorageError):
+            column_from_function("bad", -1, lambda i: i)
+
+    def test_zero_length(self):
+        assert len(column_from_function("empty", 0, lambda i: i)) == 0

@@ -1,0 +1,111 @@
+"""Unit tests for the fixed-width type system."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SchemaError
+from repro.storage.dtypes import (
+    BOOL,
+    FLOAT64,
+    INT64,
+    TIMESTAMP,
+    TypeKind,
+    infer_type,
+    string_type,
+    type_from_name,
+)
+
+
+class TestBuiltinTypes:
+    def test_int64_width(self):
+        assert INT64.width_bytes == 8
+
+    def test_float64_width(self):
+        assert FLOAT64.width_bytes == 8
+
+    def test_bool_is_numeric(self):
+        assert BOOL.is_numeric
+
+    def test_int_is_numeric(self):
+        assert INT64.is_numeric
+
+    def test_timestamp_not_numeric(self):
+        assert not TIMESTAMP.is_numeric
+
+    def test_kinds(self):
+        assert INT64.kind is TypeKind.INTEGER
+        assert FLOAT64.kind is TypeKind.FLOAT
+        assert BOOL.kind is TypeKind.BOOLEAN
+
+
+class TestStringType:
+    def test_width_matches_length(self):
+        t = string_type(16)
+        assert t.name == "str16"
+        # numpy stores unicode at 4 bytes per character
+        assert t.width_bytes == 64
+
+    def test_not_numeric(self):
+        assert not string_type(4).is_numeric
+
+    def test_zero_length_rejected(self):
+        with pytest.raises(SchemaError):
+            string_type(0)
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(SchemaError):
+            string_type(-3)
+
+
+class TestTypeFromName:
+    @pytest.mark.parametrize("name", ["int8", "int16", "int32", "int64", "float32", "float64", "bool"])
+    def test_builtin_lookup(self, name):
+        assert type_from_name(name).name == name
+
+    def test_string_lookup(self):
+        assert type_from_name("str8").width_bytes == 32
+
+    def test_unknown_name(self):
+        with pytest.raises(SchemaError):
+            type_from_name("decimal")
+
+    def test_malformed_string_name(self):
+        with pytest.raises(SchemaError):
+            type_from_name("strx")
+
+
+class TestInference:
+    def test_integers(self):
+        assert infer_type(np.array([1, 2, 3])).name == "int64"
+
+    def test_floats(self):
+        assert infer_type(np.array([1.5, 2.5])).name == "float64"
+
+    def test_bools(self):
+        assert infer_type(np.array([True, False])).name == "bool"
+
+    def test_strings_sized_to_longest(self):
+        t = infer_type(np.array(["ab", "abcd"]))
+        assert t.name == "str4"
+
+    def test_object_strings(self):
+        t = infer_type(np.array(["x", "yy"], dtype=object))
+        assert t.kind is TypeKind.STRING
+
+    def test_empty_string_array(self):
+        t = infer_type(np.array([], dtype=str))
+        assert t.kind is TypeKind.STRING
+
+    def test_unsupported_dtype(self):
+        with pytest.raises(SchemaError):
+            infer_type(np.array([1 + 2j, 3 + 4j]))
+
+
+class TestCasting:
+    def test_cast_int_to_float(self):
+        out = FLOAT64.cast(np.array([1, 2, 3]))
+        assert out.dtype == np.float64
+
+    def test_cast_failure_raises_schema_error(self):
+        with pytest.raises(SchemaError):
+            INT64.cast(np.array(["not", "numbers"]))

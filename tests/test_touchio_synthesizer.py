@@ -1,0 +1,144 @@
+"""Unit tests for the gesture synthesizer."""
+
+import pytest
+
+from repro.errors import GestureError
+from repro.touchio.device import IPAD1, DeviceProfile
+from repro.touchio.events import TouchPhase
+from repro.touchio.synthesizer import GestureSynthesizer, SlideSegment
+from repro.touchio.views import make_column_view
+
+
+@pytest.fixture
+def view():
+    return make_column_view("col", "obj", num_tuples=1_000_000, height_cm=10.0, width_cm=2.0)
+
+
+@pytest.fixture
+def synth():
+    return GestureSynthesizer(IPAD1)
+
+
+class TestSlideSegment:
+    def test_validation(self):
+        with pytest.raises(GestureError):
+            SlideSegment(-0.1, 1.0, 1.0)
+        with pytest.raises(GestureError):
+            SlideSegment(0.0, 1.5, 1.0)
+        with pytest.raises(GestureError):
+            SlideSegment(0.0, 1.0, 0.0)
+        with pytest.raises(GestureError):
+            SlideSegment(0.0, 1.0, 1.0, pause_after=-1.0)
+
+
+class TestTap:
+    def test_two_events_began_then_ended(self, synth, view):
+        stream = synth.tap(view, fraction=0.5)
+        assert len(stream) == 2
+        assert stream[0].phase is TouchPhase.BEGAN
+        assert stream[-1].phase is TouchPhase.ENDED
+
+    def test_tap_position_matches_fraction(self, synth, view):
+        stream = synth.tap(view, fraction=0.25)
+        assert stream[0].primary.y == pytest.approx(2.5)
+
+
+class TestSlide:
+    def test_event_count_scales_with_duration(self, synth, view):
+        short = synth.slide(view, duration=0.5)
+        long = synth.slide(view, duration=2.0)
+        assert len(long) > len(short)
+        # roughly the sampling rate times the duration (plus begin/end bookkeeping)
+        assert len(long) == pytest.approx(IPAD1.sampling_rate_hz * 2.0, rel=0.1)
+
+    def test_covers_requested_range(self, synth, view):
+        stream = synth.slide(view, duration=1.0, start_fraction=0.2, end_fraction=0.8)
+        ys = [e.primary.y for e in stream if e.phase is not TouchPhase.ENDED]
+        assert min(ys) == pytest.approx(0.2 * view.height)
+        assert max(ys) == pytest.approx(0.8 * view.height)
+
+    def test_timestamps_monotone(self, synth, view):
+        stream = synth.slide(view, duration=1.0)
+        times = [e.timestamp for e in stream]
+        assert times == sorted(times)
+
+    def test_first_event_is_began_last_is_ended(self, synth, view):
+        stream = synth.slide(view, duration=0.5)
+        assert stream[0].phase is TouchPhase.BEGAN
+        assert stream[-1].phase is TouchPhase.ENDED
+
+    def test_horizontal_axis(self, synth, view):
+        stream = synth.slide(view, duration=0.5, axis="horizontal")
+        xs = [e.primary.x for e in stream]
+        assert max(xs) == pytest.approx(view.width)
+
+    def test_unknown_axis(self, synth, view):
+        with pytest.raises(GestureError):
+            synth.slide(view, duration=0.5, axis="diagonal")
+
+    def test_start_time_offsets_timestamps(self, synth, view):
+        stream = synth.slide(view, duration=0.5, start_time=10.0)
+        assert stream[0].timestamp == pytest.approx(10.0)
+
+    def test_jitter_stays_within_view(self, view):
+        noisy = GestureSynthesizer(IPAD1, jitter_cm=0.5, seed=3)
+        stream = noisy.slide(view, duration=1.0)
+        for event in stream:
+            assert 0.0 <= event.primary.y <= view.height
+
+
+class TestSlidePath:
+    def test_pause_produces_stationary_events(self, synth, view):
+        segments = [SlideSegment(0.0, 0.5, 0.5, pause_after=0.5), SlideSegment(0.5, 1.0, 0.5)]
+        stream = synth.slide_path(view, segments)
+        phases = {e.phase for e in stream}
+        assert TouchPhase.STATIONARY in phases
+
+    def test_reversal_path(self, synth, view):
+        segments = [SlideSegment(0.0, 1.0, 0.5), SlideSegment(1.0, 0.3, 0.5)]
+        stream = synth.slide_path(view, segments)
+        ys = [e.primary.y for e in stream]
+        assert max(ys) == pytest.approx(view.height)
+        assert ys[-1] < max(ys)
+
+    def test_empty_path_rejected(self, synth, view):
+        with pytest.raises(GestureError):
+            synth.slide_path(view, [])
+
+
+class TestZoomAndRotateAndPan:
+    def test_zoom_in_spread_grows(self, synth, view):
+        stream = synth.zoom(view, zoom_in=True)
+        spreads = [e.spread for e in stream if e.num_fingers == 2]
+        assert spreads[-1] > spreads[0]
+
+    def test_zoom_out_spread_shrinks(self, synth, view):
+        stream = synth.zoom(view, zoom_in=False)
+        spreads = [e.spread for e in stream if e.num_fingers == 2]
+        assert spreads[-1] < spreads[0]
+
+    def test_zoom_duration_validation(self, synth, view):
+        with pytest.raises(GestureError):
+            synth.zoom(view, duration=0.0)
+
+    def test_rotate_produces_two_finger_stream(self, synth, view):
+        stream = synth.rotate(view)
+        assert all(e.num_fingers == 2 for e in stream)
+
+    def test_rotate_duration_validation(self, synth, view):
+        with pytest.raises(GestureError):
+            synth.rotate(view, duration=-1.0)
+
+    def test_pan_moves_centroid(self, synth, view):
+        stream = synth.pan(view, dx_cm=1.0, dy_cm=2.0, duration=0.5)
+        first, last = stream[0], stream[-1]
+        assert last.primary.x - first.primary.x == pytest.approx(1.0)
+        assert last.primary.y - first.primary.y == pytest.approx(2.0)
+
+    def test_pan_duration_validation(self, synth, view):
+        with pytest.raises(GestureError):
+            synth.pan(view, 1.0, 1.0, duration=0.0)
+
+    def test_jitter_validation(self):
+        with pytest.raises(GestureError):
+            GestureSynthesizer(IPAD1, jitter_cm=-0.1)

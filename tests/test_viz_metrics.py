@@ -1,0 +1,191 @@
+"""Unit tests for visualization shapes/rendering and the metrics helpers."""
+
+import numpy as np
+import pytest
+
+from repro.core.result_stream import ResultStream
+from repro.errors import MetricsError, VisualizationError
+from repro.metrics.collectors import LatencyStats, MetricsCollector
+from repro.metrics.reporting import ExperimentSeries, format_comparison
+from repro.storage.catalog import Catalog
+from repro.storage.column import Column
+from repro.touchio.views import make_column_view
+from repro.viz.objects import (
+    DataObjectShape,
+    assign_colors,
+    shape_from_info,
+    shape_from_view,
+)
+from repro.viz.render import RenderConfig, fade_character, render_object, render_results, render_screen
+
+
+class TestShapes:
+    def test_shape_validation(self):
+        with pytest.raises(VisualizationError):
+            DataObjectShape("x", "column", 0.0, 1.0, "blue", 10)
+        with pytest.raises(VisualizationError):
+            DataObjectShape("x", "blob", 1.0, 1.0, "blue", 10)
+
+    def test_label(self):
+        shape = DataObjectShape("sales", "table", 8.0, 10.0, "blue", 1_000_000, 5)
+        assert "sales" in shape.label and "1,000,000" in shape.label and "5 attrs" in shape.label
+
+    def test_zoomed(self):
+        shape = DataObjectShape("c", "column", 2.0, 10.0, "blue", 100)
+        zoomed = shape.zoomed(2.0)
+        assert zoomed.height_cm == 20.0 and zoomed.zoom_level == 1
+        shrunk = zoomed.zoomed(0.5)
+        assert shrunk.zoom_level == 0
+        with pytest.raises(VisualizationError):
+            shape.zoomed(0.0)
+
+    def test_rotated(self):
+        shape = DataObjectShape("c", "column", 2.0, 10.0, "blue", 100)
+        rotated = shape.rotated()
+        assert rotated.width_cm == 10.0 and rotated.orientation == "horizontal"
+
+    def test_shape_from_info(self):
+        catalog = Catalog()
+        catalog.register_column(Column("c", np.arange(10)))
+        shape = shape_from_info(catalog.describe("c"), "green")
+        assert shape.kind == "column" and shape.num_tuples == 10
+
+    def test_shape_from_view(self):
+        view = make_column_view("v", "obj", num_tuples=50, height_cm=12.0)
+        shape = shape_from_view(view, "red")
+        assert shape.height_cm == 12.0 and shape.name == "obj"
+
+    def test_shape_from_bare_view_rejected(self):
+        from repro.touchio.views import Rect, View
+
+        with pytest.raises(VisualizationError):
+            shape_from_view(View("bare", Rect(0, 0, 1, 1)), "red")
+
+    def test_assign_colors_cycles(self):
+        colors = assign_colors([f"o{i}" for i in range(8)])
+        assert len(colors) == 8
+        assert colors["o0"] == colors["o6"]  # palette has 6 entries
+
+
+class TestRendering:
+    def test_render_object_has_box_and_label(self):
+        shape = DataObjectShape("c", "column", 2.0, 5.0, "blue", 100)
+        text = render_object(shape)
+        lines = text.splitlines()
+        assert lines[0].startswith("+") and lines[0].endswith("+")
+        assert "c (100 tuples)" in lines[-1]
+
+    def test_render_screen_side_by_side(self):
+        a = DataObjectShape("a", "column", 2.0, 5.0, "blue", 10)
+        b = DataObjectShape("b", "column", 2.0, 8.0, "red", 10)
+        text = render_screen([a, b])
+        assert "a (10 tuples)" in text and "b (10 tuples)" in text
+
+    def test_render_empty_screen(self):
+        assert render_screen([]) == "(empty screen)"
+
+    def test_fade_character_ramp(self):
+        assert fade_character(1.0) == "█"
+        assert fade_character(0.01) == "░"
+        with pytest.raises(VisualizationError):
+            fade_character(1.5)
+
+    def test_render_results_shows_visible_values(self):
+        shape = DataObjectShape("c", "column", 2.0, 5.0, "blue", 100)
+        stream = ResultStream(fade_seconds=10.0)
+        stream.emit(1.5, 10, 0.1, timestamp=0.0)
+        stream.emit(9.5, 90, 0.9, timestamp=1.0)
+        text = render_results(shape, stream, now=1.0)
+        assert "1.50" in text and "9.50" in text
+
+    def test_render_results_empty(self):
+        shape = DataObjectShape("c", "column", 2.0, 5.0, "blue", 100)
+        assert "no visible results" in render_results(shape, ResultStream(), now=0.0)
+
+    def test_render_config_validation(self):
+        with pytest.raises(VisualizationError):
+            RenderConfig(chars_per_cm=0.0)
+        with pytest.raises(VisualizationError):
+            RenderConfig(max_width_chars=2)
+        shape = DataObjectShape("c", "column", 2.0, 5.0, "blue", 100)
+        with pytest.raises(VisualizationError):
+            render_results(shape, ResultStream(), now=0.0, max_rows=0)
+
+
+class TestLatencyStats:
+    def test_from_samples(self):
+        stats = LatencyStats.from_samples([0.001, 0.002, 0.003, 0.004, 0.1])
+        assert stats.count == 5
+        assert stats.max_s == 0.1
+        assert stats.p50_s == pytest.approx(0.003)
+        assert stats.p95_s <= stats.p99_s <= stats.max_s
+
+    def test_empty(self):
+        stats = LatencyStats.from_samples([])
+        assert stats.count == 0 and stats.max_s == 0.0
+
+    def test_single_sample(self):
+        stats = LatencyStats.from_samples([0.5])
+        assert stats.p50_s == 0.5 and stats.p99_s == 0.5
+
+
+class TestMetricsCollector:
+    def test_records_outcomes(self, session):
+        session.load_column("c", np.arange(10_000))
+        view = session.show_column("c")
+        session.choose_scan(view)
+        outcome = session.slide(view, duration=0.5)
+        collector = MetricsCollector()
+        metrics = collector.record(outcome)
+        assert metrics.entries_returned == outcome.entries_returned
+        assert len(collector) == 1
+        assert collector.total_entries_returned == outcome.entries_returned
+        assert collector.total_tuples_examined == outcome.tuples_examined
+        assert collector.budget_violations(10.0) == 0
+        with pytest.raises(MetricsError):
+            collector.budget_violations(0.0)
+
+
+class TestExperimentSeries:
+    def _series(self):
+        series = ExperimentSeries("exp", "x", ["y"])
+        for x, y in [(1, 10), (2, 19), (3, 33), (4, 41)]:
+            series.add(x, y=y)
+        return series
+
+    def test_add_validation(self):
+        series = ExperimentSeries("exp", "x", ["y"])
+        with pytest.raises(MetricsError):
+            series.add(1)
+        with pytest.raises(MetricsError):
+            series.add(1, y=1, z=2)
+        with pytest.raises(MetricsError):
+            ExperimentSeries("exp", "x", [])
+
+    def test_monotonicity_checks(self):
+        series = self._series()
+        assert series.is_monotonic_increasing("y")
+        assert not series.is_monotonic_decreasing("y")
+
+    def test_linearity(self):
+        series = self._series()
+        assert series.linear_correlation("y") > 0.98
+
+    def test_ratio(self):
+        assert self._series().ratio_last_to_first("y") == pytest.approx(4.1)
+
+    def test_unknown_column(self):
+        with pytest.raises(MetricsError):
+            self._series().ys("z")
+
+    def test_to_table_format(self):
+        text = self._series().to_table()
+        assert "== exp ==" in text
+        assert "x" in text.splitlines()[1]
+        assert len(text.splitlines()) == 2 + 1 + 4  # title, header, rule, 4 rows
+
+    def test_format_comparison(self):
+        text = format_comparison("compare", {"dbtouch": {"cells": 100}, "dbms": {"cells": 5000}})
+        assert "dbtouch" in text and "dbms" in text
+        with pytest.raises(MetricsError):
+            format_comparison("empty", {})

@@ -1,0 +1,171 @@
+"""Unit tests for workload generators, scenarios and the exploration contest."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ContestError, WorkloadError
+from repro.workloads.contest import DbTouchExplorer, SqlExplorer, run_contest
+from repro.workloads.generators import (
+    PatternKind,
+    make_clustered_column,
+    make_contest_dataset,
+    make_correlated_pair,
+    make_pattern_column,
+)
+from repro.workloads.scenarios import it_monitoring_scenario, sky_survey_scenario
+
+
+class TestPatternColumns:
+    def test_outlier_burst_is_localized(self):
+        column, patterns = make_pattern_column("c", 50_000, [PatternKind.OUTLIER_BURST])
+        assert len(patterns) == 1
+        pattern = patterns[0]
+        values = column.values
+        n = len(values)
+        inside = values[int(pattern.start_fraction * n) : int(pattern.end_fraction * n)]
+        outside = np.concatenate(
+            [values[: int(pattern.start_fraction * n)], values[int(pattern.end_fraction * n) :]]
+        )
+        assert inside.mean() > outside.mean() + 3 * outside.std()
+
+    def test_level_shift(self):
+        column, patterns = make_pattern_column("c", 50_000, [PatternKind.LEVEL_SHIFT])
+        n = len(column)
+        start = int(patterns[0].start_fraction * n)
+        assert column.values[start:].mean() > column.values[:start].mean() + 2 * column.values[:start].std()
+
+    def test_trend(self):
+        column, _ = make_pattern_column("c", 50_000, [PatternKind.TREND])
+        third = len(column) // 3
+        assert column.values[-third:].mean() > column.values[:third].mean()
+
+    def test_seasonality_has_cycles(self):
+        column, _ = make_pattern_column("c", 10_000, [PatternKind.SEASONALITY])
+        centered = column.values - column.values.mean()
+        spectrum = np.abs(np.fft.rfft(centered))
+        # the planted 6-cycle component dominates the low-frequency spectrum
+        assert np.argmax(spectrum[1:50]) + 1 == 6
+
+    def test_deterministic_with_seed(self):
+        a, _ = make_pattern_column("c", 1000, [PatternKind.TREND], seed=9)
+        b, _ = make_pattern_column("c", 1000, [PatternKind.TREND], seed=9)
+        assert a == b
+
+    def test_multi_column_pattern_rejected_here(self):
+        with pytest.raises(WorkloadError):
+            make_pattern_column("c", 100, [PatternKind.CORRELATION])
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            make_pattern_column("c", 0, [])
+        with pytest.raises(WorkloadError):
+            make_pattern_column("c", 10, [], base_scale=0.0)
+
+    def test_pattern_covers(self):
+        _, patterns = make_pattern_column("c", 1000, [PatternKind.LEVEL_SHIFT])
+        assert patterns[0].covers(0.9)
+        assert not patterns[0].covers(0.1)
+
+
+class TestClusteredAndCorrelated:
+    def test_clusters_are_separated(self):
+        column, patterns = make_clustered_column("c", 10_000, num_clusters=3, separation=10.0)
+        assert patterns[0].kind is PatternKind.CLUSTER
+        hist, _ = np.histogram(column.values, bins=50)
+        # well-separated clusters leave empty bins between the modes
+        assert (hist == 0).sum() > 5
+
+    def test_cluster_validation(self):
+        with pytest.raises(WorkloadError):
+            make_clustered_column("c", 100, num_clusters=1)
+
+    def test_correlation_close_to_requested(self):
+        x, y, pattern = make_correlated_pair("x", "y", 50_000, correlation=0.8)
+        observed = np.corrcoef(x.values, y.values)[0, 1]
+        assert observed == pytest.approx(0.8, abs=0.02)
+        assert pattern.magnitude == 0.8
+
+    def test_correlation_validation(self):
+        with pytest.raises(WorkloadError):
+            make_correlated_pair("x", "y", 100, correlation=1.5)
+
+
+class TestContestDataset:
+    def test_columns_and_patterns(self):
+        dataset = make_contest_dataset(num_rows=20_000)
+        assert dataset.table.num_columns == 4
+        assert {p.column for p in dataset.patterns} == {"sensor_a", "sensor_b", "sensor_c"}
+        assert dataset.patterns_in("sensor_d") == []
+
+
+class TestScenarios:
+    def test_sky_survey_shape(self):
+        scenario = sky_survey_scenario(num_objects=20_000)
+        assert scenario.table.num_columns == 4
+        assert len(scenario.table) == 20_000
+        assert any(p.column == "magnitude" for p in scenario.patterns)
+
+    def test_sky_survey_transient_is_brighter(self):
+        scenario = sky_survey_scenario(num_objects=50_000)
+        magnitude = scenario.table.column("magnitude").values
+        n = len(magnitude)
+        region = magnitude[int(0.42 * n) : int(0.45 * n)]
+        rest = magnitude[: int(0.42 * n)]
+        assert region.mean() < rest.mean() - 2.0  # smaller magnitude = brighter
+
+    def test_it_monitoring_deployment_spike(self):
+        scenario = it_monitoring_scenario(num_events=50_000)
+        latency = scenario.table.column("latency_ms").values
+        n = len(latency)
+        window = latency[int(0.55 * n) : int(0.60 * n)]
+        rest = latency[: int(0.55 * n)]
+        assert window.mean() > 2.0 * rest.mean()
+
+    def test_scenario_validation(self):
+        with pytest.raises(WorkloadError):
+            sky_survey_scenario(num_objects=0)
+        with pytest.raises(WorkloadError):
+            it_monitoring_scenario(num_events=0)
+
+
+class TestExplorationContest:
+    @pytest.fixture(scope="class")
+    def contest_result(self):
+        dataset = make_contest_dataset(num_rows=40_000)
+        return run_contest(dataset, "sensor_a")
+
+    def test_dbtouch_finds_the_pattern(self, contest_result):
+        assert contest_result.dbtouch.found
+
+    def test_dbtouch_reads_far_less_data(self, contest_result):
+        assert contest_result.data_read_ratio > 50
+        assert contest_result.winner == "dbtouch"
+
+    def test_sql_explorer_reads_full_scans(self, contest_result):
+        n = 40_000
+        assert contest_result.sql.tuples_examined >= 3 * n
+
+    def test_reports_have_interactions(self, contest_result):
+        assert contest_result.dbtouch.interactions >= 2
+        assert contest_result.sql.interactions >= 3
+
+    def test_contest_requires_planted_pattern(self):
+        dataset = make_contest_dataset(num_rows=5_000)
+        with pytest.raises(ContestError):
+            run_contest(dataset, "sensor_d")
+
+    def test_dbtouch_explorer_gives_up_on_flat_data(self):
+        from repro.storage.column import Column
+
+        flat = Column("flat", np.full(20_000, 7.0) + np.random.default_rng(0).normal(0, 0.1, 20_000))
+        report = DbTouchExplorer(flat).explore()
+        assert not report.found
+
+    def test_explorer_validation(self):
+        from repro.storage.column import Column
+
+        col = Column("c", np.arange(100))
+        with pytest.raises(ContestError):
+            DbTouchExplorer(col, deviation_threshold=0.0)
+        with pytest.raises(ContestError):
+            SqlExplorer(col, deviation_threshold=-1.0)
