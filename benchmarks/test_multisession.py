@@ -1,0 +1,148 @@
+"""E-multisession: many independent explorations behind one service protocol.
+
+The ROADMAP's north star is heavy traffic from many concurrent users.  The
+:class:`repro.service.MultiSessionServer` is the substrate for that: each
+session owns a private catalog, device and kernel, and every session speaks
+the same gesture-command protocol.  This benchmark drives a fleet of
+concurrent sessions command-by-command (round-robin, the way a frontend
+multiplexing many users would), reports per-session and aggregate latency,
+and asserts complete isolation: interleaved sessions running the same
+script produce byte-identical metrics to a session running alone.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.actions import summary_action
+from repro.core.commands import (
+    ChooseAction,
+    GestureScript,
+    ShowColumn,
+    Slide,
+    Tap,
+    ZoomIn,
+)
+from repro.metrics.reporting import format_comparison
+from repro.service import LocalExplorationService, MultiSessionServer
+
+from conftest import print_comparison
+
+#: Concurrent sessions driven through the protocol (acceptance floor: 8).
+SESSIONS = 12
+ROWS = 1_000_000
+
+
+def fleet_script(view: str = "telemetry-view") -> GestureScript:
+    """The per-user exploration every session replays."""
+    return GestureScript(
+        name="fleet-browse",
+        commands=[
+            ShowColumn(object_name="telemetry", view_name=view),
+            ChooseAction(view=view, action=summary_action(k=10)),
+            Slide(view=view, duration=1.5),
+            ZoomIn(view=view),
+            Slide(view=view, duration=1.0, start_fraction=0.4, end_fraction=0.6),
+            Tap(view=view),
+        ],
+    )
+
+
+def drive_fleet(server: MultiSessionServer, session_ids: list[str]) -> None:
+    """Interleave the script across all sessions, one command at a time."""
+    script = fleet_script()
+    for index in range(len(script)):
+        for session_id in session_ids:
+            server.execute(session_id, script[index])
+
+
+def test_multisession_fleet_is_isolated_and_reports_latency(benchmark):
+    """>= 8 concurrent sessions, per-session + aggregate latency, no bleed."""
+    server = MultiSessionServer()
+    session_ids = []
+    for _ in range(SESSIONS):
+        session_id = server.open_session()
+        server.load_column(session_id, "telemetry", np.arange(ROWS, dtype=np.int64))
+        session_ids.append(session_id)
+
+    benchmark.pedantic(drive_fleet, args=(server, session_ids), rounds=1, iterations=1)
+
+    # a solo session running the same script, for the isolation baseline
+    solo = LocalExplorationService()
+    solo.load_column("telemetry", np.arange(ROWS, dtype=np.int64))
+    solo_envelopes = solo.run(fleet_script())
+    solo_entries = sum(e.entries_returned for e in solo_envelopes)
+    solo_tuples = sum(e.tuples_examined for e in solo_envelopes)
+
+    rows_report: dict[str, dict[str, float]] = {}
+    for session_id in session_ids:
+        metrics = server.metrics(session_id)
+        rows_report[session_id] = {
+            "commands": float(metrics.commands),
+            "entries": float(metrics.entries_returned),
+            "tuples": float(metrics.tuples_examined),
+            "mean_cmd_ms": metrics.mean_command_wall_s * 1000.0,
+            "max_cmd_ms": metrics.max_command_wall_s * 1000.0,
+        }
+    aggregate = server.aggregate_metrics()
+    rows_report["AGGREGATE"] = {
+        "commands": aggregate["commands"],
+        "entries": aggregate["entries_returned"],
+        "tuples": aggregate["tuples_examined"],
+        "mean_cmd_ms": aggregate["mean_command_wall_s"] * 1000.0,
+        "max_cmd_ms": aggregate["max_command_wall_s"] * 1000.0,
+    }
+    print_comparison(
+        format_comparison(
+            f"E-multisession: {SESSIONS} interleaved sessions", rows_report
+        )
+    )
+
+    assert len(session_ids) >= 8
+    # no cross-session state bleed: every interleaved session matches the
+    # solo baseline exactly, despite all sessions sharing the server loop
+    for session_id in session_ids:
+        metrics = server.metrics(session_id)
+        assert metrics.commands == len(fleet_script())
+        assert metrics.entries_returned == solo_entries
+        assert metrics.tuples_examined == solo_tuples
+    # the aggregate is exactly the sum of the per-session metrics
+    assert aggregate["sessions"] == float(SESSIONS)
+    assert aggregate["entries_returned"] == float(SESSIONS * solo_entries)
+    assert aggregate["mean_command_wall_s"] > 0.0
+    assert aggregate["max_command_wall_s"] >= aggregate["mean_command_wall_s"]
+
+
+def test_multisession_catalogs_never_share_objects(benchmark):
+    """Each session sees only its own data objects."""
+    server = MultiSessionServer()
+    ids = [server.open_session() for _ in range(8)]
+
+    def load_all() -> None:
+        for index, session_id in enumerate(ids):
+            server.load_column(session_id, f"col-{index}", np.arange(1_000))
+            server.execute(session_id, ShowColumn(object_name=f"col-{index}"))
+
+    benchmark.pedantic(load_all, rounds=1, iterations=1)
+    for index, session_id in enumerate(ids):
+        catalog = server.service(session_id).catalog
+        assert f"col-{index}" in catalog
+        for other in range(len(ids)):
+            if other != index:
+                assert f"col-{other}" not in catalog
+
+
+def test_closing_sessions_frees_them(benchmark):
+    server = MultiSessionServer()
+    ids = [server.open_session() for _ in range(8)]
+
+    def churn() -> int:
+        for session_id in ids:
+            server.close_session(session_id)
+        return len(server)
+
+    remaining = benchmark.pedantic(churn, rounds=1, iterations=1)
+    assert remaining == 0
+    with pytest.raises(Exception):
+        server.metrics(ids[0])

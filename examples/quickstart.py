@@ -1,11 +1,15 @@
 """Quickstart: touch a column of data with gestures.
 
-This example walks through the core dbTouch loop on synthetic data:
+This example walks through the core dbTouch loop on synthetic data using
+the two layers of the public API:
 
-1. load a column into the catalog;
-2. place it on the (simulated) screen as a column-shaped data object;
-3. pick a query action (plain scan, running average, interactive summary);
-4. slide, tap, zoom and rotate — and look at what comes back.
+1. the **session facade** — load a column, place it on the (simulated)
+   screen, pick a query action, then slide / tap / zoom, exactly as a
+   person would drive the prototype;
+2. the **command protocol** underneath — every one of those calls builds a
+   serializable gesture command, so the whole run can be recorded as a
+   :class:`repro.GestureScript`, shipped as JSON and replayed on a fresh
+   backend (see ``examples/scripted_replay.py`` for the remote version).
 
 Run it with::
 
@@ -16,7 +20,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import ExplorationSession, IPAD1
+from repro import ExplorationSession, GestureScript, IPAD1, LocalExplorationService
 from repro.viz import assign_colors, render_results, render_screen, shape_from_view
 
 
@@ -28,6 +32,9 @@ def main() -> None:
 
     session = ExplorationSession(profile=IPAD1)
     session.load_column("sensor_readings", readings)
+
+    # record everything this session does as a replayable script
+    script = session.record("quickstart")
 
     # ---------------------------------------------------------------- #
     # glance at the screen: object metadata, no data values yet
@@ -84,13 +91,28 @@ def main() -> None:
     )
 
     # ---------------------------------------------------------------- #
-    # session report
+    # session report (maintained incrementally, O(1) to read)
     # ---------------------------------------------------------------- #
     report = session.summary()
     print(
         f"\nsession total: {report.gestures} gestures, {report.entries_returned} entries shown, "
         f"{report.tuples_examined:,} of {len(readings):,} stored values examined, "
         f"worst per-touch latency {report.max_touch_latency_s * 1000:.2f} ms"
+    )
+
+    # ---------------------------------------------------------------- #
+    # the exploration as data: record -> JSON -> replay on a fresh backend
+    # ---------------------------------------------------------------- #
+    session.stop_recording()
+    wire = script.to_json()
+    replica = LocalExplorationService(profile=IPAD1)
+    replica.load_column("sensor_readings", readings)
+    envelopes = replica.run(GestureScript.from_json(wire))
+    replayed = sum(e.entries_returned for e in envelopes)
+    print(
+        f"\nthe whole exploration serialized to {len(wire):,} bytes of JSON "
+        f"({len(script)} commands) and replayed on a fresh service: "
+        f"{replayed} entries ({report.entries_returned} in the live session)"
     )
 
 

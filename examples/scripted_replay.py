@@ -1,0 +1,103 @@
+"""Record an exploration, ship it as JSON, replay it anywhere.
+
+A dbTouch query is a session of continuous gestures — and since the service
+redesign a session is also *data*: every gesture is a serializable command,
+and a recorded :class:`repro.GestureScript` survives a JSON round-trip.
+This example demonstrates the full loop the paper's Section 2.9 sketches:
+
+1. an analyst explores the IT-monitoring scenario interactively (we drive
+   the session facade, recording as we go);
+2. the recording is serialized to JSON — the wire format a tablet app
+   would store or send;
+3. the same JSON replays on a fresh in-process backend with identical
+   results, and then against a *remote* deployment where the server holds
+   the base data and the device keeps only a small sample, under all three
+   network policies.
+
+Run it with::
+
+    python examples/scripted_replay.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    ExplorationSession,
+    GestureScript,
+    LocalExplorationService,
+    RemoteExplorationService,
+)
+from repro.metrics.reporting import format_comparison
+from repro.remote.client import RemotePolicy
+from repro.remote.network import WAN
+from repro.workloads.scenarios import it_monitoring_scenario
+
+
+def main() -> None:
+    scenario = it_monitoring_scenario(num_events=300_000)
+    print(f"scenario: {scenario.description}\n")
+
+    # ---------------------------------------------------------------- #
+    # 1. explore interactively, recording every gesture
+    # ---------------------------------------------------------------- #
+    session = ExplorationSession()
+    scenario.load_into(session.service)
+    script = session.record("latency-investigation")
+
+    view = session.show_column("latency_ms", height_cm=10.0)
+    session.choose_summary(view, k=10, aggregate="avg")
+    session.slide(view, duration=2.0)                      # coarse pass
+    session.zoom_in(view)                                  # more detail
+    session.slide(view, duration=1.5, start_fraction=0.5, end_fraction=0.65)
+    session.tap(view, fraction=0.575)                      # the spike
+    session.stop_recording()
+
+    live = session.summary()
+    print(
+        f"live session: {live.gestures} gestures, {live.entries_returned} entries, "
+        f"{live.tuples_examined:,} tuples examined"
+    )
+
+    # ---------------------------------------------------------------- #
+    # 2. the exploration as JSON
+    # ---------------------------------------------------------------- #
+    wire = script.to_json(indent=2)
+    print(f"recorded script: {len(script)} commands, {len(wire):,} bytes of JSON")
+
+    # ---------------------------------------------------------------- #
+    # 3a. replay on a fresh local backend: identical outcomes
+    # ---------------------------------------------------------------- #
+    local = LocalExplorationService()
+    scenario.load_into(local)
+    envelopes = local.run(GestureScript.from_json(wire))
+    replayed_entries = sum(e.entries_returned for e in envelopes)
+    print(
+        f"local replay: {replayed_entries} entries "
+        f"(identical: {replayed_entries == live.entries_returned})\n"
+    )
+
+    # ---------------------------------------------------------------- #
+    # 3b. replay against a server over a simulated WAN, per policy
+    # ---------------------------------------------------------------- #
+    rows_report: dict[str, dict[str, float]] = {}
+    for policy in RemotePolicy:
+        remote = RemoteExplorationService(policy=policy, network_profile=WAN)
+        scenario.load_into(remote)
+        remote_envelopes = remote.run(GestureScript.from_json(wire))
+        slides = [e for e in remote_envelopes if e.command_kind in ("slide", "tap")]
+        rows_report[policy.value] = {
+            "entries": float(sum(e.entries_returned for e in remote_envelopes)),
+            "remote_requests": float(sum(e.remote_requests for e in remote_envelopes)),
+            "network_seconds": sum(e.network_seconds for e in remote_envelopes),
+            "worst_touch_ms": max(e.max_touch_latency_s for e in slides) * 1000.0,
+        }
+
+    print(format_comparison(f"replaying {script.name!r} over a {WAN.name} link", rows_report))
+    print(
+        "\nthe hybrid policy replays the same script with near-local touch "
+        "latencies while shipping only the fine-grained touches to the server."
+    )
+
+
+if __name__ == "__main__":
+    main()

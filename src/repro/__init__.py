@@ -5,21 +5,42 @@ touch-based data exploration: data objects are drawn as shapes, gestures
 are the query language, the user controls the data flow, and the system
 processes only the data the gesture points at while staying interactive.
 
-The public API centres on :class:`repro.ExplorationSession`:
+The public API has two layers.  The **command protocol** expresses an
+exploration as data: gestures are serializable
+:class:`~repro.core.commands.GestureCommand` objects collected into
+:class:`~repro.GestureScript` containers with a JSON round-trip, and any
+:class:`~repro.service.ExplorationService` backend can execute them — the
+in-process :class:`~repro.LocalExplorationService`, the simulated
+split-deployment :class:`~repro.RemoteExplorationService` (device-local
+samples, server-side base data, a network policy per touch), or a
+:class:`~repro.MultiSessionServer` hosting many isolated sessions.  The
+**session facade**, :class:`~repro.ExplorationSession`, keeps the familiar
+imperative surface: every method builds a command, executes it on the
+backing service, and can record the whole run as a replayable script.
 
->>> from repro import ExplorationSession
+>>> from repro import ExplorationSession, GestureScript, LocalExplorationService
 >>> session = ExplorationSession()
 >>> _ = session.load_column("measurements", range(1_000_000))
+>>> script = session.record()
 >>> view = session.show_column("measurements", height_cm=10.0)
 >>> session.choose_summary(view, k=10, aggregate="avg")
 >>> outcome = session.slide(view, duration=2.0)
 >>> outcome.entries_returned > 0
 True
+>>> replica = LocalExplorationService()
+>>> _ = replica.load_column("measurements", range(1_000_000))
+>>> envelopes = replica.run(GestureScript.from_json(script.to_json()))
+>>> envelopes[-1].entries_returned == outcome.entries_returned
+True
 
 Subpackages
 -----------
 ``repro.core``
-    The dbTouch kernel (touch mapping, gestures, summaries, adaptivity).
+    The dbTouch kernel (touch mapping, gestures, commands, summaries,
+    adaptivity) and the session facade.
+``repro.service``
+    The backend-agnostic exploration services (local, remote,
+    multi-session).
 ``repro.storage``
     Fixed-width numpy columns, tables, layouts, sample hierarchies.
 ``repro.touchio``
@@ -31,9 +52,10 @@ Subpackages
 ``repro.baseline``
     The monolithic "traditional DBMS" comparison engine.
 ``repro.remote``
-    Simulated client/server split for remote processing.
+    Simulated client/server building blocks for remote processing.
 ``repro.workloads``
-    Synthetic data generators, scenarios and the exploration contest.
+    Synthetic data generators, scenarios (as gesture scripts) and the
+    exploration contest.
 ``repro.viz``
     Data-object shapes and text rendering of the screen.
 ``repro.metrics``
@@ -50,9 +72,34 @@ from repro.core.actions import (
     select_where_action,
     summary_action,
 )
+from repro.core.commands import (
+    ChooseAction,
+    DragColumnOut,
+    GestureCommand,
+    GestureScript,
+    GroupColumns,
+    Pan,
+    Rotate,
+    ShowColumn,
+    ShowTable,
+    Slide,
+    SlidePath,
+    Tap,
+    UngroupTable,
+    ZoomIn,
+    ZoomOut,
+)
 from repro.core.kernel import DbTouchKernel, GestureOutcome, KernelConfig
 from repro.core.session import ExplorationSession, SessionSummary
 from repro.errors import DbTouchError
+from repro.service import (
+    ExplorationService,
+    LocalExplorationService,
+    MultiSessionServer,
+    OutcomeEnvelope,
+    RemoteExplorationService,
+    SessionMetrics,
+)
 from repro.storage.catalog import Catalog
 from repro.storage.column import Column
 from repro.storage.table import Table
@@ -64,25 +111,46 @@ from repro.touchio.device import (
     DeviceProfile,
 )
 
-__version__ = "0.1.0"
+__version__ = "0.2.0"
 
 __all__ = [
     "ActionKind",
     "Catalog",
+    "ChooseAction",
     "Column",
     "DbTouchError",
     "DbTouchKernel",
     "DeviceProfile",
+    "DragColumnOut",
+    "ExplorationService",
     "ExplorationSession",
+    "GestureCommand",
     "GestureOutcome",
+    "GestureScript",
+    "GroupColumns",
     "IPAD1",
     "IPAD1_PROTOTYPE",
     "KernelConfig",
+    "LocalExplorationService",
     "MODERN_TABLET",
+    "MultiSessionServer",
+    "OutcomeEnvelope",
     "PHONE",
+    "Pan",
     "QueryAction",
+    "RemoteExplorationService",
+    "Rotate",
+    "SessionMetrics",
     "SessionSummary",
+    "ShowColumn",
+    "ShowTable",
+    "Slide",
+    "SlidePath",
     "Table",
+    "Tap",
+    "UngroupTable",
+    "ZoomIn",
+    "ZoomOut",
     "aggregate_action",
     "group_by_action",
     "join_action",

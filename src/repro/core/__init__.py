@@ -4,6 +4,7 @@ The core subpackage maps touch gestures onto query-processing actions:
 
 * :mod:`repro.core.touch_mapping` — the Rule-of-Three touch → rowid map;
 * :mod:`repro.core.actions` — declarative query actions bound to objects;
+* :mod:`repro.core.commands` — serializable gesture commands and scripts;
 * :mod:`repro.core.summaries` — interactive summaries;
 * :mod:`repro.core.caching` / :mod:`repro.core.prefetch` — touched-range
   caching and gesture-extrapolating prefetching;
@@ -24,6 +25,23 @@ from repro.core.actions import (
     summary_action,
 )
 from repro.core.caching import CacheStats, HashTableCache, TouchCache
+from repro.core.commands import (
+    ChooseAction,
+    DragColumnOut,
+    GestureCommand,
+    GestureScript,
+    GroupColumns,
+    Pan,
+    Rotate,
+    ShowColumn,
+    ShowTable,
+    Slide,
+    SlidePath,
+    Tap,
+    UngroupTable,
+    ZoomIn,
+    ZoomOut,
+)
 from repro.core.kernel import DbTouchKernel, GestureOutcome, KernelConfig
 from repro.core.optimizer import (
     AdaptiveOptimizer,
@@ -43,27 +61,42 @@ __all__ = [
     "AdaptiveOptimizer",
     "AdaptivePredicateOrderer",
     "CacheStats",
+    "ChooseAction",
     "DbTouchKernel",
+    "DragColumnOut",
     "ExplorationSession",
+    "GestureCommand",
     "GestureEstimate",
     "GestureOutcome",
     "GesturePrefetcher",
+    "GestureScript",
+    "GroupColumns",
     "HashTableCache",
     "InteractiveSummarizer",
     "KernelConfig",
     "MappedTouch",
     "OptimizerDecision",
+    "Pan",
     "PredicateStats",
     "QueryAction",
     "ResultStream",
     "ResultValue",
+    "Rotate",
     "SchemaGestureOutcome",
     "SchemaGestures",
     "SessionSummary",
+    "ShowColumn",
+    "ShowTable",
+    "Slide",
+    "SlidePath",
     "SummaryResult",
+    "Tap",
     "TouchCache",
     "TouchMapper",
+    "UngroupTable",
     "VisibleResult",
+    "ZoomIn",
+    "ZoomOut",
     "aggregate_action",
     "group_by_action",
     "join_action",

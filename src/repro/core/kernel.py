@@ -109,6 +109,38 @@ class GestureOutcome:
             return 0.0
         return sum(self.per_touch_latencies_s) / len(self.per_touch_latencies_s)
 
+    def counters(self) -> dict[str, float]:
+        """The outcome's metric counters, keyed by outcome-envelope field.
+
+        This is the backend-agnostic measurement surface: both the service
+        envelopes (:class:`repro.service.OutcomeEnvelope`) and the session's
+        incremental :class:`repro.core.session.SessionSummary` consume it,
+        so local and remote backends report identical fields.
+        """
+        return {
+            "entries_returned": self.entries_returned,
+            "tuples_examined": self.tuples_examined,
+            "cache_hits": self.cache_hits,
+            "prefetch_hits": self.prefetch_hits,
+            "duration_s": self.duration_s,
+            "max_touch_latency_s": self.max_touch_latency_s,
+        }
+
+
+def update_stride(state, rowid: int) -> int:
+    """The slide stride-detection rule, shared by every backend.
+
+    ``state`` is any object with ``last_rowid``/``current_stride``
+    attributes (the kernel's object state locally, the device-side state in
+    :class:`repro.service.RemoteExplorationService`).  Both backends must
+    apply the identical rule or local-vs-remote replays diverge.
+    """
+    if state.last_rowid is not None:
+        stride = abs(rowid - state.last_rowid)
+        if stride > 0:
+            state.current_stride = stride
+    return max(1, state.current_stride)
+
 
 @dataclass
 class _ObjectState:
@@ -385,11 +417,7 @@ class DbTouchKernel:
         return None
 
     def _update_stride(self, state: _ObjectState, rowid: int) -> int:
-        if state.last_rowid is not None:
-            stride = abs(rowid - state.last_rowid)
-            if stride > 0:
-                state.current_stride = stride
-        return max(1, state.current_stride)
+        return update_stride(state, rowid)
 
     def _process_touch(
         self,

@@ -1,17 +1,26 @@
 """The exploration session: the public facade of the dbTouch reproduction.
 
-An :class:`ExplorationSession` bundles a catalog, a simulated device, the
-dbTouch kernel and a gesture synthesizer behind a small API that mirrors
-how a person would use the prototype: load some data, put objects on the
-screen, pick a query action, and then slide / tap / zoom / rotate.  In the
-paper's terms, *a query is a session of one or more continuous gestures*;
-the session records every gesture outcome so the full exploration can be
-inspected afterwards.
+An :class:`ExplorationSession` mirrors how a person uses the prototype:
+load some data, put objects on the screen, pick a query action, and then
+slide / tap / zoom / rotate.  In the paper's terms, *a query is a session
+of one or more continuous gestures*.
+
+Since the service redesign the session is a thin facade over an
+:class:`repro.service.ExplorationService`: every imperative method builds a
+serializable :class:`repro.core.commands.GestureCommand` and calls
+``execute`` on the backing service (an in-process
+:class:`repro.service.LocalExplorationService` by default — pass
+``service=`` to explore against a remote backend instead).  Because the
+session speaks commands, any interactive run can be recorded with
+:meth:`record` and replayed later as a :class:`GestureScript` on any
+backend.  The session also keeps a running :class:`SessionSummary`,
+updated per gesture, so :meth:`summary` is O(1) regardless of history
+length.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, replace
 from typing import Iterable, Mapping, Sequence
 
 from repro.core.actions import (
@@ -20,14 +29,32 @@ from repro.core.actions import (
     scan_action,
     summary_action,
 )
-from repro.core.kernel import DbTouchKernel, GestureOutcome, KernelConfig
-from repro.core.schema_gestures import SchemaGestureOutcome, SchemaGestures
+from repro.core.commands import (
+    ChooseAction,
+    DragColumnOut,
+    GestureCommand,
+    GestureScript,
+    GroupColumns,
+    Pan,
+    Rotate,
+    ShowColumn,
+    ShowTable,
+    Slide,
+    SlidePath,
+    Tap,
+    UngroupTable,
+    ZoomIn,
+    ZoomOut,
+)
+from repro.core.kernel import GestureOutcome, KernelConfig
+from repro.core.schema_gestures import SchemaGestureOutcome
 from repro.errors import QueryError
-from repro.storage.catalog import Catalog, ObjectInfo
+from repro.service import ExplorationService, LocalExplorationService, OutcomeEnvelope
+from repro.storage.catalog import ObjectInfo
 from repro.storage.column import Column
 from repro.storage.table import Table
-from repro.touchio.device import DeviceProfile, IPAD1, TouchDevice
-from repro.touchio.synthesizer import GestureSynthesizer, SlideSegment
+from repro.touchio.device import DeviceProfile, IPAD1
+from repro.touchio.synthesizer import SlideSegment
 from repro.touchio.views import View
 
 
@@ -44,7 +71,7 @@ class SessionSummary:
 
 
 class ExplorationSession:
-    """High-level, gesture-oriented interface to a dbTouch kernel.
+    """High-level, gesture-oriented interface to an exploration backend.
 
     Parameters
     ----------
@@ -56,6 +83,12 @@ class ExplorationSession:
     jitter_cm:
         Positional noise added to synthesized gestures, for more
         human-like touch streams (0 = perfectly straight finger).
+    service:
+        The backend executing the session's commands.  ``None`` (the
+        default) creates a private in-process
+        :class:`repro.service.LocalExplorationService` from the other
+        parameters; pass a :class:`repro.service.RemoteExplorationService`
+        to run the same gestures against a simulated server deployment.
     """
 
     def __init__(
@@ -64,30 +97,137 @@ class ExplorationSession:
         config: KernelConfig | None = None,
         jitter_cm: float = 0.0,
         seed: int = 11,
+        service: ExplorationService | None = None,
     ) -> None:
-        self.catalog = Catalog()
-        self.device = TouchDevice(profile)
-        self.kernel = DbTouchKernel(self.catalog, self.device, config)
-        self.synthesizer = GestureSynthesizer(profile, jitter_cm=jitter_cm, seed=seed)
-        self.schema_gestures = SchemaGestures(self.kernel)
+        self._owns_service = service is None
+        if service is None:
+            service = LocalExplorationService(
+                profile=profile, config=config, jitter_cm=jitter_cm, seed=seed
+            )
+        self._service = service
         self.history: list[GestureOutcome] = []
+        self._summary = SessionSummary()
+        self._recording: GestureScript | None = None
+
+    # ------------------------------------------------------------------ #
+    # the backing service
+    # ------------------------------------------------------------------ #
+    @property
+    def service(self) -> ExplorationService:
+        """The backend executing this session's commands."""
+        return self._service
+
+    @property
+    def catalog(self):
+        """The backend's catalog (local backends only)."""
+        return self._service.catalog
+
+    @property
+    def device(self):
+        """The backend's simulated touch device."""
+        return self._service.device
+
+    @property
+    def kernel(self):
+        """The backend's dbTouch kernel (local backends only)."""
+        return self._service.kernel
+
+    @property
+    def synthesizer(self):
+        """The backend's gesture synthesizer."""
+        return self._service.synthesizer
+
+    @property
+    def schema_gestures(self):
+        """The backend's schema-gesture executor (local backends only)."""
+        return self._service.schema_gestures
+
+    def _execute(self, command: GestureCommand) -> OutcomeEnvelope:
+        """Execute, then record and account one command.
+
+        Recording happens only after the backend accepted the command, so a
+        failed gesture (typo'd view name, bad geometry) never poisons the
+        script for replay.
+        """
+        envelope = self._service.execute(command)
+        if self._recording is not None:
+            self._recording.append(command)
+        if isinstance(envelope.payload, GestureOutcome):
+            self._record(envelope.payload)
+        return envelope
+
+    # ------------------------------------------------------------------ #
+    # recording and replay
+    # ------------------------------------------------------------------ #
+    def record(self, name: str = "") -> GestureScript:
+        """Start recording: every subsequent command lands in the returned script.
+
+        The script is live — it grows as the session executes commands —
+        and survives the session via ``script.to_json()``.  Data loading is
+        host-side and is *not* recorded; replaying a script requires the
+        referenced columns/tables to be loaded on the target backend.
+        """
+        self._recording = GestureScript(name=name)
+        return self._recording
+
+    @property
+    def recording(self) -> GestureScript | None:
+        """The live script being recorded, or ``None``."""
+        return self._recording
+
+    def stop_recording(self) -> GestureScript | None:
+        """Stop recording and return the finished script."""
+        script, self._recording = self._recording, None
+        return script
+
+    def run(self, script: GestureScript) -> list[OutcomeEnvelope]:
+        """Replay a script through this session (outcomes land in history)."""
+        commands = list(script)
+        if script is self._recording:
+            # replaying the live recording: suspend recording so the replayed
+            # commands are not appended back into the script being iterated
+            saved, self._recording = self._recording, None
+            try:
+                return [self._execute(command) for command in commands]
+            finally:
+                self._recording = saved
+        return [self._execute(command) for command in commands]
+
+    # ------------------------------------------------------------------ #
+    # session lifecycle
+    # ------------------------------------------------------------------ #
+    def reset(self) -> None:
+        """Recycle the session: fresh backend state, empty history/summary.
+
+        Long-running drivers can reuse one session object for many
+        independent explorations without leaking catalog or view state.
+        The backing service is reset only when the session created it; an
+        injected (possibly shared) service belongs to its owner, so only
+        the session-side state is discarded in that case.
+        """
+        if self._owns_service:
+            self._service.reset()
+        self.history = []
+        self._summary = SessionSummary()
+        self._recording = None
+
+    def __enter__(self) -> "ExplorationSession":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> bool:
+        self.reset()
+        return False
 
     # ------------------------------------------------------------------ #
     # loading and showing data
     # ------------------------------------------------------------------ #
     def load_column(self, name: str, values: Iterable) -> Column:
-        """Register a standalone column in the catalog."""
-        column = values if isinstance(values, Column) else Column(name, values)
-        if column.name != name:
-            column = column.rename(name)
-        self.catalog.register_column(column)
-        return column
+        """Register a standalone column on the backend (host-side, not recorded)."""
+        return self._service.load_column(name, values)
 
     def load_table(self, name: str, data: Mapping[str, Iterable] | Table) -> Table:
-        """Register a table in the catalog (from arrays or an existing Table)."""
-        table = data if isinstance(data, Table) else Table.from_arrays(name, data)
-        self.catalog.register_table(table)
-        return table
+        """Register a table on the backend (from arrays or an existing Table)."""
+        return self._service.load_table(name, data)
 
     def show_column(
         self,
@@ -100,15 +240,18 @@ class ExplorationSession:
         view_name: str | None = None,
     ) -> View:
         """Place a column object on the screen and return its view."""
-        return self.kernel.show_column(
-            object_name,
-            column_name=column_name,
-            view_name=view_name,
-            height_cm=height_cm,
-            width_cm=width_cm,
-            x=x,
-            y=y,
+        envelope = self._execute(
+            ShowColumn(
+                object_name=object_name,
+                column_name=column_name,
+                height_cm=height_cm,
+                width_cm=width_cm,
+                x=x,
+                y=y,
+                view_name=view_name,
+            )
         )
+        return envelope.payload
 
     def show_table(
         self,
@@ -120,14 +263,17 @@ class ExplorationSession:
         view_name: str | None = None,
     ) -> View:
         """Place a table object on the screen and return its view."""
-        return self.kernel.show_table(
-            table_name,
-            view_name=view_name,
-            height_cm=height_cm,
-            width_cm=width_cm,
-            x=x,
-            y=y,
+        envelope = self._execute(
+            ShowTable(
+                table_name=table_name,
+                height_cm=height_cm,
+                width_cm=width_cm,
+                x=x,
+                y=y,
+                view_name=view_name,
+            )
         )
+        return envelope.payload
 
     def glance(self) -> list[ObjectInfo]:
         """What the user sees by glancing at the screen: object descriptions."""
@@ -138,7 +284,7 @@ class ExplorationSession:
     # ------------------------------------------------------------------ #
     def choose_action(self, view: View | str, action: QueryAction) -> None:
         """Attach a query action to a shown object."""
-        self.kernel.set_action(self._view_name(view), action)
+        self._execute(ChooseAction(view=self._view_name(view), action=action))
 
     def choose_scan(self, view: View | str) -> None:
         """Shortcut: attach a plain-scan action."""
@@ -159,11 +305,17 @@ class ExplorationSession:
     def _view_name(self, view: View | str) -> str:
         return view.name if isinstance(view, View) else view
 
-    def _view(self, view: View | str) -> View:
-        return view if isinstance(view, View) else self.device.view(view)
-
     def _record(self, outcome: GestureOutcome) -> GestureOutcome:
         self.history.append(outcome)
+        summary = self._summary
+        summary.gestures += 1
+        summary.entries_returned += outcome.entries_returned
+        summary.tuples_examined += outcome.tuples_examined
+        summary.cache_hits += outcome.cache_hits
+        summary.prefetch_hits += outcome.prefetch_hits
+        summary.max_touch_latency_s = max(
+            summary.max_touch_latency_s, outcome.max_touch_latency_s
+        )
         return outcome
 
     def slide(
@@ -176,18 +328,17 @@ class ExplorationSession:
         cross_fraction: float = 0.5,
     ) -> GestureOutcome:
         """Slide a single finger over an object for ``duration`` seconds."""
-        target = self._view(view)
-        stream = self.synthesizer.slide(
-            target,
-            duration=duration,
-            start_fraction=start_fraction,
-            end_fraction=end_fraction,
-            axis=axis if axis is not None else self._default_axis(target),
-            cross_fraction=cross_fraction,
-            start_time=self.device.now,
+        envelope = self._execute(
+            Slide(
+                view=self._view_name(view),
+                duration=duration,
+                start_fraction=start_fraction,
+                end_fraction=end_fraction,
+                axis=axis,
+                cross_fraction=cross_fraction,
+            )
         )
-        self.device.advance_clock(stream.duration)
-        return self._record(self.kernel.handle_stream(stream))
+        return envelope.payload
 
     def slide_path(
         self,
@@ -197,56 +348,45 @@ class ExplorationSession:
         cross_fraction: float = 0.5,
     ) -> GestureOutcome:
         """Slide along a multi-leg path (speed changes, reversals, pauses)."""
-        target = self._view(view)
-        stream = self.synthesizer.slide_path(
-            target,
-            segments,
-            axis=axis if axis is not None else self._default_axis(target),
-            cross_fraction=cross_fraction,
-            start_time=self.device.now,
+        envelope = self._execute(
+            SlidePath(
+                view=self._view_name(view),
+                segments=tuple(segments),
+                axis=axis,
+                cross_fraction=cross_fraction,
+            )
         )
-        self.device.advance_clock(stream.duration)
-        return self._record(self.kernel.handle_stream(stream))
+        return envelope.payload
 
     def tap(self, view: View | str, fraction: float = 0.5) -> GestureOutcome:
         """Tap an object once to reveal a single value (or tuple)."""
-        target = self._view(view)
-        stream = self.synthesizer.tap(
-            target,
-            fraction=fraction,
-            axis=self._default_axis(target),
-            start_time=self.device.now,
-        )
-        self.device.advance_clock(stream.duration)
-        return self._record(self.kernel.handle_stream(stream))
+        envelope = self._execute(Tap(view=self._view_name(view), fraction=fraction))
+        return envelope.payload
 
     def zoom_in(self, view: View | str, duration: float = 0.4) -> GestureOutcome:
         """Two-finger zoom-in: the object grows, access becomes finer-grained."""
-        target = self._view(view)
-        stream = self.synthesizer.zoom(target, zoom_in=True, duration=duration, start_time=self.device.now)
-        self.device.advance_clock(stream.duration)
-        return self._record(self.kernel.handle_stream(stream))
+        envelope = self._execute(ZoomIn(view=self._view_name(view), duration=duration))
+        return envelope.payload
 
     def zoom_out(self, view: View | str, duration: float = 0.4) -> GestureOutcome:
         """Two-finger zoom-out: the object shrinks, access becomes coarser."""
-        target = self._view(view)
-        stream = self.synthesizer.zoom(target, zoom_in=False, duration=duration, start_time=self.device.now)
-        self.device.advance_clock(stream.duration)
-        return self._record(self.kernel.handle_stream(stream))
+        envelope = self._execute(ZoomOut(view=self._view_name(view), duration=duration))
+        return envelope.payload
 
     def rotate(self, view: View | str, duration: float = 0.5) -> GestureOutcome:
         """Two-finger rotate: switch the object's physical layout."""
-        target = self._view(view)
-        stream = self.synthesizer.rotate(target, duration=duration, start_time=self.device.now)
-        self.device.advance_clock(stream.duration)
-        return self._record(self.kernel.handle_stream(stream))
+        envelope = self._execute(Rotate(view=self._view_name(view), duration=duration))
+        return envelope.payload
 
     # ------------------------------------------------------------------ #
     # schema and layout gestures (Section 2.8)
     # ------------------------------------------------------------------ #
     def pan(self, view: View | str, dx_cm: float, dy_cm: float) -> SchemaGestureOutcome:
         """Drag an object to a different position on the screen."""
-        return self.schema_gestures.pan_view(self._view(view), dx_cm, dy_cm)
+        envelope = self._execute(
+            Pan(view=self._view_name(view), dx_cm=dx_cm, dy_cm=dy_cm)
+        )
+        return envelope.payload
 
     def drag_column_out(
         self,
@@ -258,14 +398,17 @@ class ExplorationSession:
         height_cm: float = 10.0,
     ) -> SchemaGestureOutcome:
         """Drag a column out of a fat table into its own smaller object."""
-        return self.schema_gestures.drag_column_out(
-            self._view(table_view),
-            column_name,
-            new_object_name=new_object_name,
-            x=x,
-            y=y,
-            height_cm=height_cm,
+        envelope = self._execute(
+            DragColumnOut(
+                table_view=self._view_name(table_view),
+                column_name=column_name,
+                new_object_name=new_object_name,
+                x=x,
+                y=y,
+                height_cm=height_cm,
+            )
         )
+        return envelope.payload
 
     def group_columns(
         self,
@@ -277,41 +420,35 @@ class ExplorationSession:
         width_cm: float = 8.0,
     ) -> SchemaGestureOutcome:
         """Drop standalone columns into a table placeholder (drag-and-drop grouping)."""
-        return self.schema_gestures.group_columns(
-            list(column_object_names),
-            table_name,
-            x=x,
-            y=y,
-            height_cm=height_cm,
-            width_cm=width_cm,
+        envelope = self._execute(
+            GroupColumns(
+                column_object_names=tuple(column_object_names),
+                table_name=table_name,
+                x=x,
+                y=y,
+                height_cm=height_cm,
+                width_cm=width_cm,
+            )
         )
+        return envelope.payload
 
     def ungroup_table(self, table_view: View | str, height_cm: float = 10.0) -> SchemaGestureOutcome:
         """Split a table object into one standalone object per attribute."""
-        return self.schema_gestures.ungroup_table(self._view(table_view), height_cm=height_cm)
-
-    def _default_axis(self, view: View) -> str:
-        props = view.properties
-        if props is not None and props.orientation == "horizontal":
-            return "horizontal"
-        return "vertical"
+        envelope = self._execute(
+            UngroupTable(table_view=self._view_name(table_view), height_cm=height_cm)
+        )
+        return envelope.payload
 
     # ------------------------------------------------------------------ #
     # session-level reporting
     # ------------------------------------------------------------------ #
     def summary(self) -> SessionSummary:
-        """Aggregate statistics over every gesture executed so far."""
-        report = SessionSummary()
-        for outcome in self.history:
-            report.gestures += 1
-            report.entries_returned += outcome.entries_returned
-            report.tuples_examined += outcome.tuples_examined
-            report.cache_hits += outcome.cache_hits
-            report.prefetch_hits += outcome.prefetch_hits
-            report.max_touch_latency_s = max(
-                report.max_touch_latency_s, outcome.max_touch_latency_s
-            )
-        return report
+        """Aggregate statistics over every gesture executed so far.
+
+        The summary is maintained incrementally as gestures execute, so
+        this is O(1) in the length of the history.
+        """
+        return replace(self._summary)
 
     def last_outcome(self) -> GestureOutcome:
         """The most recent gesture outcome."""

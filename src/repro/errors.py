@@ -60,6 +60,14 @@ class OptimizationError(DbTouchError):
     """The adaptive optimizer could not produce a decision."""
 
 
+class CommandError(DbTouchError):
+    """A gesture command or script is malformed or cannot be decoded."""
+
+
+class ServiceError(DbTouchError):
+    """An exploration service could not execute a command or host a session."""
+
+
 class RemoteError(DbTouchError):
     """The simulated remote-processing layer failed."""
 

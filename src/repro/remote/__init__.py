@@ -1,4 +1,9 @@
-"""Remote processing: device-local samples backed by a simulated server."""
+"""Remote processing: device-local samples backed by a simulated server.
+
+This package provides the building blocks (server, link, per-rowid client);
+:class:`repro.service.RemoteExplorationService` composes them into a full
+gesture-speaking backend behind the exploration-service protocol.
+"""
 
 from repro.remote.client import (
     ClientStats,

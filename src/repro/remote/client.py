@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
+from typing import Callable
 
 import numpy as np
 
@@ -170,9 +171,57 @@ class RemoteExplorationClient:
             )
             self.stats.local_answers += 1
 
-        self.stats.total_response_s += answer.response_time_s
-        self.stats.max_response_s = max(self.stats.max_response_s, answer.response_time_s)
+        self._observe_response(answer.response_time_s)
         return answer
+
+    def summary_touch(
+        self,
+        base_rowid: int,
+        half_window: int,
+        stride_hint: int,
+        reduce_fn: Callable[[np.ndarray], float],
+    ) -> tuple[float, int, float]:
+        """One interactive-summary touch under the configured policy.
+
+        The immediate answer reduces the local sample's window around
+        ``base_rowid`` with ``reduce_fn``; when the policy ships the touch,
+        the refined answer reduces the server's window read instead.
+        Returns ``(value, values_examined, immediate_response_seconds)``.
+        """
+        if not 0 <= base_rowid < self._base_rows:
+            raise RemoteError(
+                f"rowid {base_rowid} out of range for column of {self._base_rows} rows"
+            )
+        self.stats.touches += 1
+        sample = self._local_sample
+        hi = max(0, min(len(sample) - 1, (base_rowid + half_window) // self._local_stride))
+        lo = max(0, min(hi, (base_rowid - half_window) // self._local_stride))
+        window = sample.slice(lo, hi + 1)
+        local_value = reduce_fn(np.asarray(window, dtype=np.float64))
+        go_remote = self.policy is RemotePolicy.REMOTE_EVERY_TOUCH or (
+            self.policy is RemotePolicy.HYBRID and stride_hint < self._local_stride
+        )
+        if not go_remote:
+            self.stats.local_answers += 1
+            self._observe_response(LOCAL_READ_SECONDS)
+            return local_value, int(window.size), LOCAL_READ_SECONDS
+        response = self.server.read_window(
+            self.column_name, base_rowid, half_window, stride_hint
+        )
+        elapsed = self.link.request(response.payload_bytes)
+        refined = reduce_fn(np.asarray(response.values, dtype=np.float64))
+        self.stats.remote_requests += 1
+        if self.policy is RemotePolicy.REMOTE_EVERY_TOUCH:
+            response_s = elapsed
+        else:
+            self.stats.local_answers += 1
+            response_s = LOCAL_READ_SECONDS
+        self._observe_response(response_s)
+        return refined, int(response.values.size), response_s
+
+    def _observe_response(self, response_s: float) -> None:
+        self.stats.total_response_s += response_s
+        self.stats.max_response_s = max(self.stats.max_response_s, response_s)
 
     def slide(self, rowids: list[int], stride_hint: int | None = None) -> list[TouchAnswer]:
         """Answer a whole slide's worth of touches."""

@@ -81,6 +81,10 @@ class SimulatedLink:
         self.timeout_s = timeout_s
         self.stats = NetworkStats()
 
+    def reset(self) -> None:
+        """Zero the traffic accounting (used when a service is recycled)."""
+        self.stats = NetworkStats()
+
     def request(self, payload_bytes: int) -> float:
         """Account for one request returning ``payload_bytes`` of data.
 

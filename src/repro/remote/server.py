@@ -54,6 +54,10 @@ class RemoteServer:
             raise RemoteError(f"server does not host a column named {name!r}")
         return self._columns[name]
 
+    def hosts(self, name: str) -> bool:
+        """Whether the server hosts a column named ``name``."""
+        return name in self._columns
+
     @property
     def hosted_columns(self) -> list[str]:
         """Names of hosted columns."""

@@ -1,0 +1,870 @@
+"""Backend-agnostic exploration services: one gesture protocol, many hosts.
+
+The dbTouch paper describes a query as a session of continuous gestures and
+explicitly sketches a remote deployment where the device keeps only small
+samples while a server holds the base data (Section 2.9).  This module is
+the seam that makes both worlds speak the same language:
+
+* :class:`ExplorationService` — the protocol: ``execute`` one
+  :class:`repro.core.commands.GestureCommand`, or ``run`` a whole
+  :class:`repro.core.commands.GestureScript`, returning
+  :class:`OutcomeEnvelope` objects either way;
+* :class:`LocalExplorationService` — the in-process path: a private
+  catalog/device/kernel/synthesizer per service;
+* :class:`RemoteExplorationService` — gestures synthesized device-side,
+  touches answered from device-local samples and refined over a
+  :class:`repro.remote.network.SimulatedLink` under a
+  :class:`repro.remote.client.RemotePolicy`;
+* :class:`MultiSessionServer` — N independent services behind one façade,
+  with per-session and aggregate metrics (the concurrency substrate for
+  sharding and scale-out work).
+
+:class:`repro.ExplorationSession` is a thin facade over a service: every
+imperative method builds a command and calls ``execute``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Mapping, Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.core.actions import ActionKind, QueryAction
+from repro.core.commands import (
+    ChooseAction,
+    DragColumnOut,
+    GestureCommand,
+    GestureScript,
+    GroupColumns,
+    Pan,
+    Rotate,
+    ShowColumn,
+    ShowTable,
+    Slide,
+    SlidePath,
+    Tap,
+    UngroupTable,
+    ZoomIn,
+    ZoomOut,
+)
+from repro.core.kernel import DbTouchKernel, GestureOutcome, KernelConfig, update_stride
+from repro.core.schema_gestures import (
+    SchemaGestureOutcome,
+    SchemaGestures,
+    pan_view_frame,
+)
+from repro.core.touch_mapping import TouchMapper
+from repro.engine.aggregate import AggregateKind, make_aggregate
+from repro.errors import RemoteError, ServiceError
+from repro.remote.client import RemoteExplorationClient, RemotePolicy
+from repro.remote.network import WAN, NetworkProfile, SimulatedLink
+from repro.remote.server import RemoteServer
+from repro.storage.catalog import Catalog
+from repro.storage.column import Column
+from repro.storage.table import Table
+from repro.touchio.device import DeviceProfile, IPAD1, TouchDevice
+from repro.touchio.events import TouchPhase, TouchStream
+from repro.touchio.recognizer import GestureRecognizer, GestureType
+from repro.touchio.synthesizer import GestureSynthesizer
+from repro.touchio.views import View, make_column_view
+
+
+@dataclass
+class OutcomeEnvelope:
+    """What a service hands back for one executed command.
+
+    The metric fields mirror :meth:`repro.core.kernel.GestureOutcome.counters`
+    so local and remote backends report the same measurement surface;
+    ``remote_requests`` / ``network_seconds`` stay zero on the local path.
+    ``payload`` carries the backend-native outcome object (a
+    :class:`GestureOutcome`, a :class:`SchemaGestureOutcome`, a
+    :class:`repro.touchio.views.View` for show commands, or ``None``).
+    """
+
+    command_kind: str
+    backend: str
+    view_name: str | None = None
+    object_name: str | None = None
+    entries_returned: int = 0
+    tuples_examined: int = 0
+    cache_hits: int = 0
+    prefetch_hits: int = 0
+    duration_s: float = 0.0
+    max_touch_latency_s: float = 0.0
+    remote_requests: int = 0
+    network_seconds: float = 0.0
+    payload: Any = None
+
+    def to_dict(self) -> dict[str, Any]:
+        """The envelope's wire format: metrics only, no live objects."""
+        return {
+            "command_kind": self.command_kind,
+            "backend": self.backend,
+            "view_name": self.view_name,
+            "object_name": self.object_name,
+            "entries_returned": self.entries_returned,
+            "tuples_examined": self.tuples_examined,
+            "cache_hits": self.cache_hits,
+            "prefetch_hits": self.prefetch_hits,
+            "duration_s": self.duration_s,
+            "max_touch_latency_s": self.max_touch_latency_s,
+            "remote_requests": self.remote_requests,
+            "network_seconds": self.network_seconds,
+        }
+
+
+def default_axis(view: View) -> str:
+    """Slide axis implied by a view's orientation (shared by all backends)."""
+    props = view.properties
+    if props is not None and props.orientation == "horizontal":
+        return "horizontal"
+    return "vertical"
+
+
+def synthesize_touch_stream(
+    synthesizer: GestureSynthesizer,
+    view: View,
+    command: Slide | SlidePath | Tap,
+    now: float,
+) -> TouchStream:
+    """Turn a touch-gesture command into the stream a finger would produce.
+
+    Both backends route through this one helper so the local kernel and the
+    remote device side always see identical touch streams for the same
+    command — the precondition for local-vs-remote parity.
+    """
+    axis = getattr(command, "axis", None)
+    if axis is None:
+        axis = default_axis(view)
+    if isinstance(command, Slide):
+        return synthesizer.slide(
+            view,
+            duration=command.duration,
+            start_fraction=command.start_fraction,
+            end_fraction=command.end_fraction,
+            axis=axis,
+            cross_fraction=command.cross_fraction,
+            start_time=now,
+        )
+    if isinstance(command, SlidePath):
+        return synthesizer.slide_path(
+            view,
+            list(command.segments),
+            axis=axis,
+            cross_fraction=command.cross_fraction,
+            start_time=now,
+        )
+    if isinstance(command, Tap):
+        return synthesizer.tap(view, fraction=command.fraction, axis=axis, start_time=now)
+    raise ServiceError(f"cannot synthesize a touch stream for command {command.kind!r}")
+
+
+@runtime_checkable
+class ExplorationService(Protocol):
+    """The backend-agnostic exploration protocol.
+
+    This is the full contract :class:`repro.ExplorationSession` and
+    :class:`MultiSessionServer` rely on: command execution plus host-side
+    data loading and state recycling.  Backend-specific extras (``catalog``,
+    ``kernel``, ``load_table`` on the local backend; ``server``, ``link``
+    on the remote one) are intentionally outside the protocol.
+    """
+
+    def execute(self, command: GestureCommand) -> OutcomeEnvelope:
+        """Execute one gesture command and return its outcome envelope."""
+        ...
+
+    def run(self, script: GestureScript) -> list[OutcomeEnvelope]:
+        """Execute a whole script, one envelope per command."""
+        ...
+
+    def load_column(self, name: str, values: Iterable) -> Column:
+        """Make a standalone column available to the backend under ``name``."""
+        ...
+
+    def reset(self) -> None:
+        """Discard the backend's exploration state so it can be reused."""
+        ...
+
+
+def _as_named_column(name: str, values: Iterable) -> Column:
+    """Normalize raw values / an existing Column to a column named ``name``."""
+    column = values if isinstance(values, Column) else Column(name, values)
+    if column.name != name:
+        column = column.rename(name)
+    return column
+
+
+# --------------------------------------------------------------------- #
+# the in-process backend
+# --------------------------------------------------------------------- #
+
+
+class LocalExplorationService:
+    """The in-process backend: a private catalog, device and dbTouch kernel.
+
+    This is the execution path :class:`repro.ExplorationSession` always had;
+    it is now addressable through the command protocol so recorded scripts
+    replay on it and :class:`MultiSessionServer` can host many instances.
+    """
+
+    backend = "local"
+
+    def __init__(
+        self,
+        profile: DeviceProfile = IPAD1,
+        config: KernelConfig | None = None,
+        jitter_cm: float = 0.0,
+        seed: int = 11,
+    ) -> None:
+        self.profile = profile
+        self.config = config
+        self.jitter_cm = jitter_cm
+        self.seed = seed
+        self.reset()
+
+    def reset(self) -> None:
+        """Discard all catalog/device/kernel state and start fresh."""
+        self.catalog = Catalog()
+        self.device = TouchDevice(self.profile)
+        self.kernel = DbTouchKernel(self.catalog, self.device, self.config)
+        self.synthesizer = GestureSynthesizer(
+            self.profile, jitter_cm=self.jitter_cm, seed=self.seed
+        )
+        self.schema_gestures = SchemaGestures(self.kernel)
+
+    # ------------------------------------------------------------------ #
+    # host-side data management (not part of the command vocabulary)
+    # ------------------------------------------------------------------ #
+    def load_column(self, name: str, values: Iterable) -> Column:
+        """Register a standalone column in the service's catalog."""
+        column = _as_named_column(name, values)
+        self.catalog.register_column(column)
+        return column
+
+    def load_table(self, name: str, data: Mapping[str, Iterable] | Table) -> Table:
+        """Register a table in the service's catalog."""
+        table = data if isinstance(data, Table) else Table.from_arrays(name, data)
+        self.catalog.register_table(table)
+        return table
+
+    # ------------------------------------------------------------------ #
+    # the service protocol
+    # ------------------------------------------------------------------ #
+    def execute(self, command: GestureCommand) -> OutcomeEnvelope:
+        """Execute one gesture command against the in-process kernel."""
+        if isinstance(command, ShowColumn):
+            view = self.kernel.show_column(
+                command.object_name,
+                column_name=command.column_name,
+                view_name=command.view_name,
+                height_cm=command.height_cm,
+                width_cm=command.width_cm,
+                x=command.x,
+                y=command.y,
+            )
+            return self._show_envelope(command, view, command.object_name)
+        if isinstance(command, ShowTable):
+            view = self.kernel.show_table(
+                command.table_name,
+                view_name=command.view_name,
+                height_cm=command.height_cm,
+                width_cm=command.width_cm,
+                x=command.x,
+                y=command.y,
+            )
+            return self._show_envelope(command, view, command.table_name)
+        if isinstance(command, ChooseAction):
+            self.kernel.set_action(command.view, command.action)
+            return OutcomeEnvelope(
+                command_kind=command.kind,
+                backend=self.backend,
+                view_name=command.view,
+                object_name=self.kernel.state_of(command.view).object_name,
+            )
+        if isinstance(command, (Slide, SlidePath, Tap, ZoomIn, ZoomOut, Rotate)):
+            stream = self._synthesize(command)
+            self.device.advance_clock(stream.duration)
+            outcome = self.kernel.handle_stream(stream)
+            return self._gesture_envelope(command, outcome)
+        if isinstance(command, Pan):
+            moved = self.schema_gestures.pan_view(
+                self._target_view(command.view), command.dx_cm, command.dy_cm
+            )
+            return self._schema_envelope(command, moved, view_name=command.view)
+        if isinstance(command, DragColumnOut):
+            dragged = self.schema_gestures.drag_column_out(
+                self._target_view(command.table_view),
+                command.column_name,
+                new_object_name=command.new_object_name,
+                x=command.x,
+                y=command.y,
+                height_cm=command.height_cm,
+            )
+            return self._schema_envelope(command, dragged, view_name=command.table_view)
+        if isinstance(command, GroupColumns):
+            grouped = self.schema_gestures.group_columns(
+                list(command.column_object_names),
+                command.table_name,
+                x=command.x,
+                y=command.y,
+                height_cm=command.height_cm,
+                width_cm=command.width_cm,
+            )
+            return self._schema_envelope(command, grouped, view_name=None)
+        if isinstance(command, UngroupTable):
+            split = self.schema_gestures.ungroup_table(
+                self._target_view(command.table_view), height_cm=command.height_cm
+            )
+            return self._schema_envelope(command, split, view_name=command.table_view)
+        raise ServiceError(
+            f"the local backend does not understand command kind {command.kind!r}"
+        )
+
+    def run(self, script: GestureScript) -> list[OutcomeEnvelope]:
+        """Execute a whole script in order."""
+        return [self.execute(command) for command in script]
+
+    # ------------------------------------------------------------------ #
+    # helpers
+    # ------------------------------------------------------------------ #
+    def _target_view(self, view_name: str) -> View:
+        # resolve through the kernel's object state, not the device's view
+        # tree: when view names collide the kernel's last-shown object wins,
+        # and gestures must land on the view the kernel will map against
+        return self.kernel.state_of(view_name).view
+
+    def _synthesize(self, command: GestureCommand) -> TouchStream:
+        view = self._target_view(command.view)
+        now = self.device.now
+        if isinstance(command, (Slide, SlidePath, Tap)):
+            return synthesize_touch_stream(self.synthesizer, view, command, now)
+        if isinstance(command, (ZoomIn, ZoomOut)):
+            return self.synthesizer.zoom(
+                view,
+                zoom_in=isinstance(command, ZoomIn),
+                duration=command.duration,
+                start_time=now,
+            )
+        if isinstance(command, Rotate):
+            return self.synthesizer.rotate(view, duration=command.duration, start_time=now)
+        raise ServiceError(f"cannot synthesize a stream for command {command.kind!r}")
+
+    def _show_envelope(
+        self, command: GestureCommand, view: View, object_name: str
+    ) -> OutcomeEnvelope:
+        return OutcomeEnvelope(
+            command_kind=command.kind,
+            backend=self.backend,
+            view_name=view.name,
+            object_name=object_name,
+            payload=view,
+        )
+
+    def _gesture_envelope(
+        self, command: GestureCommand, outcome: GestureOutcome
+    ) -> OutcomeEnvelope:
+        return OutcomeEnvelope(
+            command_kind=command.kind,
+            backend=self.backend,
+            view_name=outcome.view_name,
+            object_name=outcome.object_name,
+            payload=outcome,
+            **outcome.counters(),
+        )
+
+    def _schema_envelope(
+        self,
+        command: GestureCommand,
+        outcome: SchemaGestureOutcome,
+        view_name: str | None,
+    ) -> OutcomeEnvelope:
+        return OutcomeEnvelope(
+            command_kind=command.kind,
+            backend=self.backend,
+            view_name=view_name,
+            payload=outcome,
+        )
+
+
+# --------------------------------------------------------------------- #
+# the remote backend
+# --------------------------------------------------------------------- #
+
+
+@dataclass
+class _RemoteObjectState:
+    """Device-side state for one explored remote column."""
+
+    view: View
+    object_name: str
+    client: RemoteExplorationClient
+    action: QueryAction = field(default_factory=QueryAction)
+    aggregate: Any = None
+    last_rowid: int | None = None
+    current_stride: int = 1
+
+
+_SUMMARY_FUNCS: dict[AggregateKind, Callable[[np.ndarray], float]] = {
+    AggregateKind.COUNT: lambda a: float(a.size),
+    AggregateKind.SUM: lambda a: float(np.sum(a)),
+    AggregateKind.AVG: lambda a: float(np.mean(a)),
+    AggregateKind.MIN: lambda a: float(np.min(a)),
+    AggregateKind.MAX: lambda a: float(np.max(a)),
+    AggregateKind.STD: lambda a: float(np.std(a)),
+}
+
+
+class RemoteExplorationService:
+    """Gesture exploration against a server that holds the base data.
+
+    The device side synthesizes the same touch streams as the local backend
+    (same device profile, synthesizer and touch→rowid mapping), but every
+    touch is answered under a :class:`RemotePolicy`: immediately from the
+    device-local sample, by shipping the touch over the simulated link, or
+    hybrid — local answer first, remote refinement only when the gesture's
+    granularity outruns the local sample.  The remote backend hosts
+    standalone columns only; table-shaped commands raise
+    :class:`repro.errors.RemoteError`.
+    """
+
+    backend = "remote"
+
+    def __init__(
+        self,
+        server: RemoteServer | None = None,
+        link: SimulatedLink | None = None,
+        policy: RemotePolicy = RemotePolicy.HYBRID,
+        profile: DeviceProfile = IPAD1,
+        network_profile: NetworkProfile = WAN,
+        local_sample_rows: int = 4096,
+        jitter_cm: float = 0.0,
+        seed: int = 11,
+    ) -> None:
+        self.server = server if server is not None else RemoteServer()
+        self.link = link if link is not None else SimulatedLink(network_profile)
+        self.policy = policy
+        self.profile = profile
+        self.local_sample_rows = local_sample_rows
+        self.jitter_cm = jitter_cm
+        self.seed = seed
+        self.reset()
+
+    def reset(self) -> None:
+        """Reset the device side (views, clients, clock); keep hosted data."""
+        self.device = TouchDevice(self.profile)
+        self.synthesizer = GestureSynthesizer(
+            self.profile, jitter_cm=self.jitter_cm, seed=self.seed
+        )
+        self.recognizer = GestureRecognizer()
+        self.mapper = TouchMapper()
+        self.link.reset()
+        self._states: dict[str, _RemoteObjectState] = {}
+
+    # ------------------------------------------------------------------ #
+    # host-side data management
+    # ------------------------------------------------------------------ #
+    def load_column(self, name: str, values: Iterable) -> Column:
+        """Host a column on the remote server (mirrors the local signature)."""
+        column = _as_named_column(name, values)
+        self.server.host_column(column)
+        return column
+
+    # ------------------------------------------------------------------ #
+    # the service protocol
+    # ------------------------------------------------------------------ #
+    def execute(self, command: GestureCommand) -> OutcomeEnvelope:
+        """Execute one gesture command through the remote machinery."""
+        if isinstance(command, ShowColumn):
+            return self._show_column(command)
+        if isinstance(command, ChooseAction):
+            return self._choose_action(command)
+        if isinstance(command, (Slide, SlidePath, Tap)):
+            return self._touch_gesture(command)
+        if isinstance(command, (ZoomIn, ZoomOut)):
+            return self._zoom(command)
+        if isinstance(command, Rotate):
+            return self._rotate(command)
+        if isinstance(command, Pan):
+            return self._pan(command)
+        if isinstance(command, (ShowTable, DragColumnOut, GroupColumns, UngroupTable)):
+            raise RemoteError(
+                "the remote backend hosts standalone columns only; "
+                f"command {command.kind!r} needs a table object"
+            )
+        raise ServiceError(
+            f"the remote backend does not understand command kind {command.kind!r}"
+        )
+
+    def run(self, script: GestureScript) -> list[OutcomeEnvelope]:
+        """Execute a whole script in order."""
+        return [self.execute(command) for command in script]
+
+    # ------------------------------------------------------------------ #
+    # command handlers
+    # ------------------------------------------------------------------ #
+    def _state(self, view_name: str) -> _RemoteObjectState:
+        if view_name not in self._states:
+            raise RemoteError(f"no remote data object is shown under view {view_name!r}")
+        return self._states[view_name]
+
+    def _show_column(self, command: ShowColumn) -> OutcomeEnvelope:
+        if command.column_name is not None:
+            raise RemoteError(
+                "the remote backend addresses hosted columns directly; "
+                "table-attribute lookups are a local-backend feature"
+            )
+        if not self.server.hosts(command.object_name):
+            raise RemoteError(
+                f"server does not host a column named {command.object_name!r}; "
+                "load_column() it before showing it"
+            )
+        column = self.server.column(command.object_name)
+        name = command.view_name if command.view_name is not None else f"{command.object_name}-view"
+        view = make_column_view(
+            name=name,
+            object_name=command.object_name,
+            num_tuples=len(column),
+            height_cm=command.height_cm,
+            width_cm=command.width_cm,
+            x=command.x,
+            y=command.y,
+            dtype_names=(column.dtype.name,),
+            size_bytes=column.size_bytes,
+        )
+        self.device.add_view(view)
+        client = RemoteExplorationClient(
+            self.server,
+            self.link,
+            command.object_name,
+            policy=self.policy,
+            local_sample_rows=self.local_sample_rows,
+        )
+        self._states[name] = _RemoteObjectState(
+            view=view, object_name=command.object_name, client=client
+        )
+        return OutcomeEnvelope(
+            command_kind=command.kind,
+            backend=self.backend,
+            view_name=name,
+            object_name=command.object_name,
+            payload=view,
+        )
+
+    def _choose_action(self, command: ChooseAction) -> OutcomeEnvelope:
+        state = self._state(command.view)
+        action = command.action
+        if action.kind not in (ActionKind.SCAN, ActionKind.AGGREGATE, ActionKind.SUMMARY):
+            raise RemoteError(
+                f"the remote backend supports scan/aggregate/summary actions, "
+                f"not {action.kind.value!r}"
+            )
+        state.action = action
+        state.aggregate = (
+            make_aggregate(action.aggregate) if action.kind is ActionKind.AGGREGATE else None
+        )
+        return OutcomeEnvelope(
+            command_kind=command.kind,
+            backend=self.backend,
+            view_name=command.view,
+            object_name=state.object_name,
+        )
+
+    def _touch_gesture(self, command: Slide | SlidePath | Tap) -> OutcomeEnvelope:
+        state = self._state(command.view)
+        stream = synthesize_touch_stream(self.synthesizer, state.view, command, self.device.now)
+        self.device.advance_clock(stream.duration)
+        gesture = self.recognizer.recognize(stream)
+        requests_before = self.link.stats.requests
+        seconds_before = self.link.stats.simulated_seconds
+        outcome = GestureOutcome(
+            gesture_type=gesture.gesture_type,
+            view_name=gesture.view_name,
+            object_name=state.object_name,
+            duration_s=gesture.duration,
+        )
+        events = (
+            [gesture.events[-1]]
+            if gesture.gesture_type is GestureType.TAP
+            else gesture.events
+        )
+        for event in events:
+            if gesture.gesture_type is not GestureType.TAP and event.phase in (
+                TouchPhase.ENDED,
+                TouchPhase.CANCELLED,
+            ):
+                continue
+            mapped = self.mapper.map_touch(state.view, event.primary)
+            if gesture.gesture_type is GestureType.TAP:
+                # a tap asks for the exact value under the finger and, like
+                # the local kernel, leaves the slide-tracking state untouched
+                stride = 1
+            else:
+                if state.last_rowid == mapped.rowid:
+                    continue  # a paused finger reports the same position
+                stride = update_stride(state, mapped.rowid)
+                state.last_rowid = mapped.rowid
+            self._answer_touch(state, mapped.rowid, stride, outcome)
+        if state.aggregate is not None:
+            outcome.final_aggregate = state.aggregate.current()
+        envelope = OutcomeEnvelope(
+            command_kind=command.kind,
+            backend=self.backend,
+            view_name=gesture.view_name,
+            object_name=state.object_name,
+            payload=outcome,
+            **outcome.counters(),
+        )
+        envelope.remote_requests = self.link.stats.requests - requests_before
+        envelope.network_seconds = self.link.stats.simulated_seconds - seconds_before
+        return envelope
+
+    def _answer_touch(
+        self,
+        state: _RemoteObjectState,
+        rowid: int,
+        stride: int,
+        outcome: GestureOutcome,
+    ) -> None:
+        action = state.action
+        outcome.rowids_touched.append(rowid)
+        if action.kind is ActionKind.SUMMARY:
+            value, examined, response_s = state.client.summary_touch(
+                rowid, action.summary_k, stride, _SUMMARY_FUNCS[action.aggregate]
+            )
+        else:
+            answer = state.client.touch(rowid, stride_hint=stride)
+            value = (
+                answer.refined_value
+                if answer.refined_value is not None
+                else answer.immediate_value
+            )
+            examined = 1
+            response_s = answer.response_time_s
+        outcome.tuples_examined += examined
+        outcome.per_touch_latencies_s.append(response_s)
+        if action.predicate is not None and not action.predicate.matches(value):
+            return
+        if state.aggregate is not None:
+            state.aggregate.on_touch(rowid, value)
+        outcome.entries_returned += 1
+
+    def _zoom(self, command: ZoomIn | ZoomOut) -> OutcomeEnvelope:
+        state = self._state(command.view)
+        stream = self._gesture_stream(command, state)
+        gesture = self.recognizer.recognize(stream)
+        scale = gesture.scale if gesture.scale > 0 else 1.0
+        state.view.resize(scale)
+        outcome = GestureOutcome(
+            gesture_type=gesture.gesture_type,
+            view_name=command.view,
+            object_name=state.object_name,
+            duration_s=gesture.duration,
+            zoom_scale=scale,
+        )
+        return OutcomeEnvelope(
+            command_kind=command.kind,
+            backend=self.backend,
+            view_name=command.view,
+            object_name=state.object_name,
+            duration_s=gesture.duration,
+            payload=outcome,
+        )
+
+    def _rotate(self, command: Rotate) -> OutcomeEnvelope:
+        state = self._state(command.view)
+        stream = self._gesture_stream(command, state)
+        gesture = self.recognizer.recognize(stream)
+        state.view.rotate()
+        outcome = GestureOutcome(
+            gesture_type=GestureType.ROTATE,
+            view_name=command.view,
+            object_name=state.object_name,
+            duration_s=gesture.duration,
+        )
+        return OutcomeEnvelope(
+            command_kind=command.kind,
+            backend=self.backend,
+            view_name=command.view,
+            object_name=state.object_name,
+            duration_s=gesture.duration,
+            payload=outcome,
+        )
+
+    def _gesture_stream(self, command: ZoomIn | ZoomOut | Rotate, state: _RemoteObjectState):
+        now = self.device.now
+        if isinstance(command, Rotate):
+            stream = self.synthesizer.rotate(state.view, duration=command.duration, start_time=now)
+        else:
+            stream = self.synthesizer.zoom(
+                state.view,
+                zoom_in=isinstance(command, ZoomIn),
+                duration=command.duration,
+                start_time=now,
+            )
+        self.device.advance_clock(stream.duration)
+        return stream
+
+    def _pan(self, command: Pan) -> OutcomeEnvelope:
+        state = self._state(command.view)
+        moved = pan_view_frame(state.view, command.dx_cm, command.dy_cm, self.profile)
+        return OutcomeEnvelope(
+            command_kind=command.kind,
+            backend=self.backend,
+            view_name=command.view,
+            object_name=state.object_name,
+            payload=moved,
+        )
+
+    # ------------------------------------------------------------------ #
+    # accounting
+    # ------------------------------------------------------------------ #
+    @property
+    def network_seconds(self) -> float:
+        """Total simulated network time spent so far."""
+        return self.link.stats.simulated_seconds
+
+    def client_for(self, view_name: str) -> RemoteExplorationClient:
+        """The device-side client answering touches for ``view_name``."""
+        return self._state(view_name).client
+
+
+# --------------------------------------------------------------------- #
+# many sessions behind one protocol
+# --------------------------------------------------------------------- #
+
+
+@dataclass
+class SessionMetrics:
+    """Per-session accounting kept by :class:`MultiSessionServer`."""
+
+    commands: int = 0
+    entries_returned: int = 0
+    tuples_examined: int = 0
+    remote_requests: int = 0
+    network_seconds: float = 0.0
+    simulated_seconds: float = 0.0
+    wall_seconds: float = 0.0
+    max_command_wall_s: float = 0.0
+
+    @property
+    def mean_command_wall_s(self) -> float:
+        """Mean host-side execution time per command."""
+        if not self.commands:
+            return 0.0
+        return self.wall_seconds / self.commands
+
+    def observe(self, envelope: OutcomeEnvelope, wall_s: float) -> None:
+        """Fold one executed command into the running totals."""
+        self.commands += 1
+        self.entries_returned += envelope.entries_returned
+        self.tuples_examined += envelope.tuples_examined
+        self.remote_requests += envelope.remote_requests
+        self.network_seconds += envelope.network_seconds
+        self.simulated_seconds += envelope.duration_s
+        self.wall_seconds += wall_s
+        self.max_command_wall_s = max(self.max_command_wall_s, wall_s)
+
+
+class MultiSessionServer:
+    """Hosts N independent exploration sessions behind the service protocol.
+
+    Each session gets its own service instance from ``service_factory`` —
+    its own catalog, device, kernel and clock — so concurrent explorations
+    cannot bleed state into each other.  The server tracks per-session and
+    aggregate metrics; later PRs can shard session IDs across processes
+    without changing the protocol.
+    """
+
+    def __init__(
+        self, service_factory: Callable[[], ExplorationService] | None = None
+    ) -> None:
+        self._factory = service_factory if service_factory is not None else LocalExplorationService
+        self._services: dict[str, ExplorationService] = {}
+        self._metrics: dict[str, SessionMetrics] = {}
+        self._ids = itertools.count(1)
+
+    # ------------------------------------------------------------------ #
+    # session lifecycle
+    # ------------------------------------------------------------------ #
+    def open_session(self, session_id: str | None = None) -> str:
+        """Create a fresh, isolated session and return its identifier."""
+        if session_id is None:
+            session_id = f"session-{next(self._ids)}"
+        if session_id in self._services:
+            raise ServiceError(f"session {session_id!r} is already open")
+        self._services[session_id] = self._factory()
+        self._metrics[session_id] = SessionMetrics()
+        return session_id
+
+    def close_session(self, session_id: str) -> SessionMetrics:
+        """Drop a session's service and return its final metrics."""
+        self.service(session_id)
+        del self._services[session_id]
+        return self._metrics.pop(session_id)
+
+    def service(self, session_id: str) -> ExplorationService:
+        """The backing service of one session."""
+        if session_id not in self._services:
+            raise ServiceError(f"no open session named {session_id!r}")
+        return self._services[session_id]
+
+    @property
+    def session_ids(self) -> list[str]:
+        """Identifiers of all open sessions."""
+        return sorted(self._services)
+
+    def __len__(self) -> int:
+        return len(self._services)
+
+    # ------------------------------------------------------------------ #
+    # data loading and execution
+    # ------------------------------------------------------------------ #
+    def load_column(self, session_id: str, name: str, values: Iterable) -> Column:
+        """Load a column into one session's backend."""
+        return self.service(session_id).load_column(name, values)
+
+    def execute(self, session_id: str, command: GestureCommand) -> OutcomeEnvelope:
+        """Execute one command in one session, tracking its latency."""
+        service = self.service(session_id)
+        started = time.perf_counter()
+        envelope = service.execute(command)
+        self._metrics[session_id].observe(envelope, time.perf_counter() - started)
+        return envelope
+
+    def run(self, session_id: str, script: GestureScript) -> list[OutcomeEnvelope]:
+        """Execute a whole script in one session."""
+        return [self.execute(session_id, command) for command in script]
+
+    # ------------------------------------------------------------------ #
+    # metrics
+    # ------------------------------------------------------------------ #
+    def metrics(self, session_id: str) -> SessionMetrics:
+        """Per-session metrics for one open session."""
+        if session_id not in self._metrics:
+            raise ServiceError(f"no open session named {session_id!r}")
+        return self._metrics[session_id]
+
+    def aggregate_metrics(self) -> dict[str, float]:
+        """Totals and latency statistics across every open session."""
+        sessions = list(self._metrics.values())
+        totals = {
+            "sessions": float(len(sessions)),
+            "commands": float(sum(m.commands for m in sessions)),
+            "entries_returned": float(sum(m.entries_returned for m in sessions)),
+            "tuples_examined": float(sum(m.tuples_examined for m in sessions)),
+            "remote_requests": float(sum(m.remote_requests for m in sessions)),
+            "network_seconds": sum(m.network_seconds for m in sessions),
+            "wall_seconds": sum(m.wall_seconds for m in sessions),
+            "max_command_wall_s": max(
+                (m.max_command_wall_s for m in sessions), default=0.0
+            ),
+        }
+        total_commands = totals["commands"]
+        totals["mean_command_wall_s"] = (
+            totals["wall_seconds"] / total_commands if total_commands else 0.0
+        )
+        return totals

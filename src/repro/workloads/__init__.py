@@ -16,7 +16,13 @@ from repro.workloads.generators import (
     make_correlated_pair,
     make_pattern_column,
 )
-from repro.workloads.scenarios import Scenario, it_monitoring_scenario, sky_survey_scenario
+from repro.workloads.scenarios import (
+    Scenario,
+    it_monitoring_scenario,
+    it_monitoring_script,
+    sky_survey_scenario,
+    sky_survey_script,
+)
 
 __all__ = [
     "ContestResult",
@@ -28,10 +34,12 @@ __all__ = [
     "Scenario",
     "SqlExplorer",
     "it_monitoring_scenario",
+    "it_monitoring_script",
     "make_clustered_column",
     "make_contest_dataset",
     "make_correlated_pair",
     "make_pattern_column",
     "run_contest",
     "sky_survey_scenario",
+    "sky_survey_script",
 ]

@@ -15,6 +15,15 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.commands import (
+    ChooseAction,
+    GestureScript,
+    ShowColumn,
+    Slide,
+    Tap,
+    ZoomIn,
+)
+from repro.core.actions import summary_action
 from repro.errors import WorkloadError
 from repro.storage.column import Column
 from repro.storage.table import Table
@@ -29,6 +38,17 @@ class Scenario:
     table: Table
     patterns: list[PlantedPattern]
     description: str
+
+    def load_into(self, service) -> None:
+        """Load the scenario's columns as standalone objects on a service.
+
+        Works against any backend exposing ``load_column`` (both
+        :class:`repro.service.LocalExplorationService` and
+        :class:`repro.service.RemoteExplorationService` do), which is what
+        lets the scenario scripts below run locally or remotely unchanged.
+        """
+        for column in self.table.columns:
+            service.load_column(column.name, column.copy())
 
 
 def sky_survey_scenario(num_objects: int = 500_000, seed: int = 41) -> Scenario:
@@ -159,4 +179,64 @@ def it_monitoring_scenario(num_events: int = 500_000, seed: int = 43) -> Scenari
             "deployment-window latency spike, the daily traffic cycle and a "
             "misbehaving service."
         ),
+    )
+
+
+# --------------------------------------------------------------------- #
+# the scenarios as gesture scripts
+# --------------------------------------------------------------------- #
+
+
+def _browse_column_script(
+    name: str,
+    column: str,
+    suspicious_start: float,
+    suspicious_end: float,
+    summary_k: int = 10,
+) -> GestureScript:
+    """The canonical browse: coarse summary slide, zoom in, inspect a region.
+
+    This is the exploration loop both running examples in the paper's
+    introduction describe — slide over the whole column to get the lay of
+    the land, zoom into the suspicious region, slide slowly across it, and
+    tap to reveal an exact value.
+    """
+    view = f"{column}-view"
+    margin = 0.02
+    start = max(0.0, suspicious_start - margin)
+    end = min(1.0, suspicious_end + margin)
+    return GestureScript(
+        name=name,
+        commands=[
+            ShowColumn(object_name=column, view_name=view, height_cm=10.0),
+            ChooseAction(view=view, action=summary_action(k=summary_k, aggregate="avg")),
+            Slide(view=view, duration=2.0),
+            ZoomIn(view=view),
+            Slide(view=view, duration=1.5, start_fraction=start, end_fraction=end),
+            Tap(view=view, fraction=(suspicious_start + suspicious_end) / 2.0),
+        ],
+    )
+
+
+def sky_survey_script(summary_k: int = 10) -> GestureScript:
+    """The astronomer's exploration of :func:`sky_survey_scenario` as data.
+
+    Browses the magnitude column and drills into the planted transient
+    region (declination fractions 0.42–0.45).  Load the scenario's columns
+    first (``scenario.load_into(service)``), then run the script on any
+    :class:`repro.service.ExplorationService`.
+    """
+    return _browse_column_script(
+        "sky-survey-browse", "magnitude", 0.42, 0.45, summary_k=summary_k
+    )
+
+
+def it_monitoring_script(summary_k: int = 10) -> GestureScript:
+    """The IT analyst's exploration of :func:`it_monitoring_scenario` as data.
+
+    Browses the latency column and drills into the planted deployment
+    window (event fractions 0.55–0.60).
+    """
+    return _browse_column_script(
+        "it-monitoring-browse", "latency_ms", 0.55, 0.60, summary_k=summary_k
     )

@@ -50,6 +50,74 @@ class TestTopLevelExports:
         assert results.failed == 0
 
 
+class TestServiceApiSurface:
+    """Lock the service/command API surface introduced by the redesign."""
+
+    REQUIRED_NAMES = [
+        "ChooseAction",
+        "DragColumnOut",
+        "ExplorationService",
+        "GestureCommand",
+        "GestureScript",
+        "GroupColumns",
+        "LocalExplorationService",
+        "MultiSessionServer",
+        "OutcomeEnvelope",
+        "Pan",
+        "RemoteExplorationService",
+        "Rotate",
+        "SessionMetrics",
+        "ShowColumn",
+        "ShowTable",
+        "Slide",
+        "SlidePath",
+        "Tap",
+        "UngroupTable",
+        "ZoomIn",
+        "ZoomOut",
+    ]
+
+    def test_service_names_are_exported(self):
+        for name in self.REQUIRED_NAMES:
+            assert name in repro.__all__, f"repro.__all__ must export {name!r}"
+            assert hasattr(repro, name)
+
+    def test_services_implement_the_protocol(self):
+        assert isinstance(repro.LocalExplorationService(), repro.ExplorationService)
+        assert isinstance(repro.RemoteExplorationService(), repro.ExplorationService)
+
+    def test_session_facade_keeps_its_imperative_surface(self):
+        """The facade-only guarantee: every pre-redesign method survives."""
+        for method in (
+            "load_column",
+            "load_table",
+            "show_column",
+            "show_table",
+            "glance",
+            "choose_action",
+            "choose_scan",
+            "choose_aggregate",
+            "choose_summary",
+            "slide",
+            "slide_path",
+            "tap",
+            "zoom_in",
+            "zoom_out",
+            "rotate",
+            "pan",
+            "drag_column_out",
+            "group_columns",
+            "ungroup_table",
+            "summary",
+            "last_outcome",
+        ):
+            assert callable(getattr(repro.ExplorationSession, method))
+
+    def test_command_classes_serialize(self):
+        command = repro.Slide(view="v", duration=2.0)
+        assert repro.GestureCommand.from_dict(command.to_dict()) == command
+
+
 class TestExceptionHierarchy:
     def test_all_errors_derive_from_dbtoucherror(self):
         error_classes = [
