@@ -1,0 +1,584 @@
+"""Vectorized batch execution of slide gestures.
+
+The per-touch reference path in :class:`repro.core.kernel.DbTouchKernel`
+executes a slide one event at a time: map the touch, detect the stride,
+probe the cache, read the value, fold the aggregate, emit the result.
+That loop is pure Python and its cost per touch dwarfs the cost of the
+actual data access, so a fast digitizer (thousands of events per gesture)
+blows the per-touch latency budget on interpreter overhead alone.
+
+:class:`BatchSlideExecutor` runs the same gesture as a handful of numpy
+passes over whole arrays:
+
+1. :meth:`repro.core.touch_mapping.TouchMapper.map_batch` converts the
+   entire event stream to rowid/fraction arrays in one Rule-of-Three pass;
+2. :func:`dedupe_slide_batch` removes paused-finger duplicates and derives
+   the per-touch stride sequence with ``np.diff``;
+3. sample-hierarchy reads, summary windows, predicates and running
+   aggregates are applied with the batched APIs
+   (:meth:`~repro.storage.sample.SampleHierarchy.read_batch`,
+   :meth:`~repro.core.summaries.InteractiveSummarizer.summarize_batch`,
+   :meth:`~repro.engine.filter.Predicate.mask`,
+   :meth:`~repro.engine.aggregate.RunningAggregate.on_batch`);
+4. the cache/prefetch feedback loop is resolved analytically: every read
+   and every extrapolated prefetch proposal is given a position on one
+   sequential event timeline, and a single "first writer per cache key"
+   pass reproduces which touches the per-touch loop would have served
+   from the cache, which prefetch proposals would have landed, and which
+   touches would have consumed them.
+
+The executor produces the same deterministic
+:class:`~repro.core.kernel.GestureOutcome` fields as the reference loop —
+``rowids_touched``, ``tuples_examined``, ``entries_returned``,
+``cache_hits``/``cache_misses``, ``prefetch_hits``,
+``served_level_counts`` and (for exactly-representable inputs)
+``final_aggregate`` — while being an order of magnitude faster on dense
+gestures.  Two documented deviations from the reference path: per-touch
+wall-clock latencies are amortized (batch time divided by touches), and
+the adaptive optimizer adjusts the summary window once per gesture rather
+than once per violating touch — so when the latency budget is actually
+violated mid-gesture (a timing-dependent condition no replay can
+reproduce bit-exactly), a SUMMARY gesture's window sizes, and with them
+``tuples_examined`` and the displayed values, may differ from what the
+per-touch loop's touch-by-touch shrinking would have produced.  Counter
+parity is exact whenever the budget is honored.
+
+Mid-gesture cache evictions are not simulated.  Instead, before touching
+any state the executor *proves* the gesture eviction-free: for every
+cache-key reference it bounds how many distinct keys the LRU could have
+refreshed since that key's previous insertion or hit, and when any bound
+reaches the cache capacity — a revisit-after-eviction is then possible —
+``execute`` returns ``None`` and the kernel runs the gesture on the
+per-touch reference loop, keeping results exact in every configuration.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from collections import defaultdict
+
+import numpy as np
+
+from repro.core.actions import ActionKind
+from repro.touchio.recognizer import GestureType
+
+_INT64_MAX = np.iinfo(np.int64).max
+#: Per-touch latencies are quantized to multiples of 2^-40 s (~1 ps): n
+#: such multiples (n * value < 2^53 quanta) sum exactly in float64, so the
+#: mean of the constant amortized-latency list equals its max.
+_LATENCY_QUANTUM = float(2**40)
+
+
+def dedupe_slide_batch(
+    rowids: np.ndarray,
+    last_rowid: int | None,
+    current_stride: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Run-deduplicate a mapped slide and derive its stride sequence.
+
+    Mirrors the per-touch rule exactly: a touch reporting the same rowid as
+    the previous *processed* touch (including ``last_rowid`` carried over
+    from an earlier gesture) is dropped, and each kept touch's stride is
+    the absolute rowid distance to its predecessor, with ``current_stride``
+    carried into the first touch when no distance is available yet.
+
+    Returns ``(keep_mask, strides)`` where ``keep_mask`` indexes the input
+    and ``strides`` aligns with the *kept* touches.
+    """
+    r = np.asarray(rowids, dtype=np.int64)
+    n = r.size
+    keep = np.empty(n, dtype=bool)
+    if n == 0:
+        return keep, np.empty(0, dtype=np.int64)
+    keep[0] = last_rowid is None or int(r[0]) != int(last_rowid)
+    np.not_equal(r[1:], r[:-1], out=keep[1:])
+    kept = r[keep]
+    strides = np.empty(kept.size, dtype=np.int64)
+    if kept.size == 0:
+        return keep, strides
+    if kept.size > 1:
+        strides[1:] = np.abs(np.diff(kept))
+    first = abs(int(kept[0]) - int(last_rowid)) if last_rowid is not None else 0
+    strides[0] = first if first > 0 else max(1, int(current_stride))
+    return keep, strides
+
+
+class BatchSlideExecutor:
+    """Executes slide gestures over whole touch arrays at once.
+
+    Owned by a :class:`~repro.core.kernel.DbTouchKernel`; the kernel
+    dispatches to :meth:`execute` when ``KernelConfig.batch_execution`` is
+    on and :meth:`supports` accepts the object/action combination.  The
+    per-touch loop remains the reference implementation for join,
+    group-by and attribute-dependent table scans.
+    """
+
+    def __init__(self, kernel) -> None:
+        self._kernel = kernel
+
+    # ------------------------------------------------------------------ #
+    # eligibility
+    # ------------------------------------------------------------------ #
+    def supports(self, state, join) -> bool:
+        """Whether this gesture can take the vectorized path."""
+        if join is not None:
+            return False
+        action = state.action
+        if action.kind in (ActionKind.SCAN, ActionKind.AGGREGATE, ActionKind.SUMMARY):
+            if state.column is None:
+                return False  # table scans read a per-touch attribute
+            if action.kind is ActionKind.SUMMARY and state.summarizer is None:
+                return False
+            if action.kind is ActionKind.AGGREGATE and state.aggregate is None:
+                return False
+            return True
+        if action.kind is ActionKind.SELECT_WHERE:
+            return state.table is not None and action.where_attribute is not None
+        return False
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+    def execute(self, state, gesture):
+        """Execute one recognized slide gesture and return its outcome.
+
+        Returns ``None`` — without having mutated any kernel, cache or
+        prefetcher state — when the eviction-safety probe cannot prove the
+        gesture exact under the configured cache capacity; the kernel then
+        falls back to the per-touch reference loop.
+        """
+        from repro.core.kernel import GestureOutcome
+
+        kernel = self._kernel
+        outcome = GestureOutcome(
+            gesture_type=GestureType.SLIDE,
+            view_name=gesture.view_name,
+            object_name=state.object_name,
+            duration_s=gesture.duration,
+        )
+        started = time.perf_counter()
+        batch = kernel.mapper.map_batch(state.view, gesture.events, active_only=True)
+        if len(batch) == 0:
+            self._finalize(state, outcome)
+            return outcome
+        keep, strides = dedupe_slide_batch(
+            batch.rowids, state.last_rowid, state.current_stride
+        )
+        state.last_timestamp = float(batch.timestamps[-1])
+        rowids = batch.rowids[keep]
+        if rowids.size == 0:
+            self._finalize(state, outcome)
+            return outcome
+        fractions = batch.fractions[keep]
+        timestamps = batch.timestamps[keep]
+        n = int(rowids.size)
+
+        served = self._serve_values(state, rowids, strides, timestamps, outcome)
+        if served is None:
+            return None  # eviction risk: the reference loop takes over
+        values, levels = served
+        outcome.rowids_touched.extend(rowids.tolist())
+        self._count_levels(outcome, levels)
+        self._apply_action(state, outcome, rowids, values, fractions, timestamps)
+
+        state.last_rowid = int(rowids[-1])
+        state.current_stride = int(strides[-1])
+        elapsed = time.perf_counter() - started
+        # amortized per-touch latency, quantized to 2^-40 s so that summing
+        # n copies is exact float arithmetic and mean == max holds for the
+        # constant latency list (unquantized, the sum can round 1 ulp up)
+        per_touch = math.floor((elapsed / n) * _LATENCY_QUANTUM) / _LATENCY_QUANTUM
+        outcome.per_touch_latencies_s = [per_touch] * n
+        kernel.optimizer.observe_batch(strides, per_touch)
+        self._finalize(state, outcome)
+        return outcome
+
+    @staticmethod
+    def _finalize(state, outcome) -> None:
+        if state.aggregate is not None:
+            outcome.final_aggregate = state.aggregate.current()
+
+    @staticmethod
+    def _count_levels(outcome, levels: np.ndarray) -> None:
+        unique_levels, counts = np.unique(levels, return_counts=True)
+        served = outcome.served_level_counts
+        for level, count in zip(unique_levels.tolist(), counts.tolist()):
+            served[level] = served.get(level, 0) + count
+
+    # ------------------------------------------------------------------ #
+    # reading values through cache / samples / prefetch
+    # ------------------------------------------------------------------ #
+    def _serve_values(self, state, rowids, strides, timestamps, outcome):
+        """Serve one value per processed touch, replaying the cache and
+        prefetch feedback loop analytically.  Returns ``(values, levels)``
+        with level ``-1`` marking cache-served touches, and updates the
+        outcome's cache/prefetch/tuple counters."""
+        kernel = self._kernel
+        config = kernel.config
+        action = state.action
+        n = int(rowids.size)
+        num_tuples = len(state.column) if state.column is not None else len(state.table)
+        if action.kind is ActionKind.SUMMARY:
+            state.summarizer.k = kernel._effective_summary_k(state)
+        namespace = kernel._cache_namespace(state)
+
+        # --- extrapolated prefetch proposals, placed on the event timeline.
+        # Read j happens at time j*slots; its proposals at j*slots + rank,
+        # i.e. strictly after the read and strictly before read j+1 —
+        # exactly the interleaving of the per-touch loop.
+        prefetcher = state.prefetcher
+        if prefetcher is not None:
+            # proposals are computed side-effect free; the observation
+            # history is committed only once the gesture is known to stay
+            # on the batch path
+            prop_rows, prop_src, prop_rank = prefetcher.propose_batch(
+                timestamps, rowids, strides, num_tuples, commit=False
+            )
+        else:
+            prop_rows = np.empty(0, dtype=np.int64)
+            prop_src = np.empty(0, dtype=np.int64)
+            prop_rank = np.empty(0, dtype=np.int64)
+        slots = (prefetcher.max_prefetch if prefetcher is not None else 1) + 1
+        read_times = np.arange(n, dtype=np.int64) * slots
+        prop_times = prop_src * slots + prop_rank
+
+        if config.enable_cache:
+            served = self._serve_with_cache(
+                state, namespace, rowids, strides, read_times,
+                prop_rows, prop_src, prop_times, outcome,
+            )
+            if served is None:
+                return None
+            values, levels, add_rows, add_times = served
+        else:
+            values, counts, levels = self._read_rows(state, rowids, strides)
+            outcome.tuples_examined += int(counts.sum())
+            # without a cache the sequential loop still computes a value for
+            # every proposal (same side effects, e.g. summarizer counters)
+            # and remembers every proposed rowid
+            if prop_rows.size:
+                self._read_rows(state, prop_rows, strides[prop_src], prefetch=True)
+            add_rows, add_times = prop_rows, prop_times
+
+        if prefetcher is not None:
+            prefetcher.commit_observations(timestamps, rowids, int(prop_rows.size))
+        hits = self._prefetch_membership(
+            state, rowids, read_times, add_rows, add_times
+        )
+        outcome.prefetch_hits += hits
+        return values, levels
+
+    def _serve_with_cache(
+        self, state, namespace, rowids, strides, read_times,
+        prop_rows, prop_src, prop_times, outcome,
+    ):
+        """First-writer analysis over one gesture's reads and prefetches.
+
+        A cache key becomes present the first time any event (a missing
+        read, which puts its value, or an eligible prefetch proposal)
+        references it; every later read of that key is a hit served with
+        the first writer's value.  This reproduces the per-touch loop's
+        interleaved get/put sequence without executing it.
+
+        The analysis assumes no entry referenced by this gesture is
+        evicted mid-gesture; :meth:`_eviction_safe` proves that before any
+        state is touched, and on failure this method returns ``None`` so
+        the gesture re-runs on the reference loop.
+        """
+        kernel = self._kernel
+        cache = kernel.cache
+        n = int(rowids.size)
+        read_keys = cache.collapsed_keys(rowids, strides)
+        prop_keys = cache.collapsed_keys(prop_rows, strides[prop_src])
+        all_keys = np.concatenate([read_keys, prop_keys])
+        all_times = np.concatenate([read_times, prop_times])
+        unique_keys, first_idx, inverse = np.unique(
+            all_keys, return_index=True, return_inverse=True
+        )
+        arrival = np.full(unique_keys.size, _INT64_MAX, dtype=np.int64)
+        np.minimum.at(arrival, inverse, all_times)
+
+        # probe the pre-gesture cache by iterating its (capacity-bounded)
+        # namespace once — no statistics or LRU side effects, so the
+        # eviction-safety check can still bail out leaving it untouched
+        present0 = np.isin(unique_keys, cache.collapsed_namespace_keys(namespace))
+        if not self._eviction_safe(
+            cache, present0, arrival, inverse, all_times, read_times
+        ):
+            return None
+        rep_rowids = np.concatenate([rowids, prop_rows])[first_idx]
+        rep_strides = np.concatenate([strides, strides[prop_src]])[first_idx]
+        present_idx = np.nonzero(present0)[0]
+        cached_values: list = []
+        if present_idx.size:
+            cached_values, _ = cache.get_many(
+                namespace,
+                rep_rowids[present_idx],
+                rep_strides[present_idx],
+                count_stats=False,
+                touch_lru=False,
+            )
+
+        touch_u = inverse[:n]
+        hit_mask = present0[touch_u] | (arrival[touch_u] < read_times)
+        miss_mask = ~hit_mask
+
+        miss_vals, miss_counts, miss_levels = self._read_rows(
+            state, rowids[miss_mask], strides[miss_mask]
+        )
+        if prop_rows.size:
+            prop_u = inverse[n:]
+            winners = (~present0[prop_u]) & (arrival[prop_u] == prop_times)
+        else:
+            winners = np.empty(0, dtype=bool)
+        pf_rows = prop_rows[winners]
+        pf_strides = strides[prop_src[winners]]
+        pf_vals, _, _ = self._read_rows(state, pf_rows, pf_strides, prefetch=True)
+
+        # value stored under each key: pre-gesture entry or first writer
+        key_vals = np.empty(unique_keys.size, dtype=self._value_dtype(state))
+        if present_idx.size:
+            key_vals[present_idx] = np.asarray(cached_values, dtype=key_vals.dtype)
+        key_vals[touch_u[miss_mask]] = miss_vals
+        if pf_rows.size:
+            key_vals[prop_u[winners]] = pf_vals
+
+        values = np.empty(n, dtype=key_vals.dtype)
+        values[miss_mask] = miss_vals
+        values[hit_mask] = key_vals[touch_u[hit_mask]]
+
+        # replay one LRU event per touched entry — its last insertion or
+        # hit, in event order — so the cache's recency order (and hence
+        # which entries later gestures evict) ends up exactly as the
+        # per-touch loop would leave it.  Present keys referenced only by
+        # prefetch contains-checks are deliberately left untouched: a
+        # contains probe does not refresh the LRU.
+        last_read = np.full(unique_keys.size, np.int64(-1), dtype=np.int64)
+        np.maximum.at(last_read, touch_u, read_times)
+        new_mask = ~present0
+        event_time = np.where(new_mask, np.maximum(arrival, last_read), last_read)
+        replayed = new_mask | (last_read >= 0)
+        replay_idx = np.nonzero(replayed)[0]
+        replay_order = replay_idx[np.argsort(event_time[replay_idx], kind="stable")]
+        cache.replay_lru(
+            namespace,
+            rep_rowids[replay_order],
+            rep_strides[replay_order],
+            list(key_vals[replay_order]),
+            new_mask[replay_order].tolist(),
+        )
+
+        num_hits = int(hit_mask.sum())
+        outcome.cache_hits += num_hits
+        outcome.cache_misses += n - num_hits
+        cache.record_external(hits=num_hits, misses=n - num_hits)
+        outcome.tuples_examined += int(miss_counts.sum())
+
+        levels = np.full(n, -1, dtype=np.int64)
+        levels[miss_mask] = miss_levels
+        return values, levels, pf_rows, prop_times[winners]
+
+    # ------------------------------------------------------------------ #
+    # applying the query action
+    # ------------------------------------------------------------------ #
+    def _apply_action(self, state, outcome, rowids, values, fractions, timestamps):
+        """Filter, fold and emit the served values as one batch.
+
+        Reproduces the per-touch action application: the predicate drops
+        touches without results, select-where projects the qualifying
+        tuples' selected attributes, running aggregates display their
+        evolving value, and every displayed value is emitted into the
+        result stream at the touch's position and timestamp.
+        """
+        action = state.action
+        if action.predicate is not None:
+            # batch values are always scalars, matching the per-touch
+            # np.isscalar guard
+            pass_mask = np.asarray(action.predicate.mask(values), dtype=bool)
+        else:
+            pass_mask = np.ones(rowids.size, dtype=bool)
+        if not pass_mask.any():
+            return
+        pass_rowids = rowids[pass_mask]
+        pass_fractions = fractions[pass_mask]
+        pass_timestamps = timestamps[pass_mask]
+        if action.kind is ActionKind.SELECT_WHERE:
+            # dict.fromkeys mirrors the reference path's dict-collapse of
+            # duplicate select attributes in the tuples_examined count
+            names = list(dict.fromkeys(action.select_attributes))
+            selected = [state.table.column(name).values[pass_rowids] for name in names]
+            display = [dict(zip(names, row)) for row in zip(*selected)]
+            outcome.tuples_examined += len(names) * int(pass_rowids.size)
+        elif action.kind is ActionKind.AGGREGATE and state.aggregate is not None:
+            display = state.aggregate.on_batch(values[pass_mask])
+        else:
+            display = values[pass_mask]
+        emitted = state.results.emit_batch(
+            display, pass_rowids, pass_fractions, pass_timestamps
+        )
+        outcome.results.extend(emitted)
+        outcome.entries_returned += int(pass_rowids.size)
+
+    def _read_rows(self, state, rowids, strides, prefetch: bool = False):
+        """Read values for an array of rowids the way the per-touch path
+        would: summaries through the summarizer, select-where through the
+        where attribute, column scans through the sample hierarchy — or,
+        for prefetch reads, through the base column (mirroring
+        ``_maybe_prefetch``).  Returns (values, tuples_read, levels)."""
+        config = self._kernel.config
+        action = state.action
+        m = int(np.asarray(rowids).size)
+        if m == 0:
+            return (
+                np.empty(0, dtype=self._value_dtype(state)),
+                np.zeros(0, dtype=np.int64),
+                np.zeros(0, dtype=np.int64),
+            )
+        if action.kind is ActionKind.SUMMARY and state.summarizer is not None:
+            return state.summarizer.summarize_batch(rowids, strides)
+        ones = np.ones(m, dtype=np.int64)
+        zeros = np.zeros(m, dtype=np.int64)
+        if state.table is not None:
+            column = state.table.column(action.where_attribute)
+            return column.values[rowids], ones, zeros
+        if (
+            not prefetch
+            and state.hierarchy is not None
+            and config.enable_samples
+        ):
+            values, levels = state.hierarchy.read_batch(rowids, strides)
+            return values, ones, levels
+        return state.column.values[rowids], ones, zeros
+
+    def _value_dtype(self, state):
+        action = state.action
+        if action.kind is ActionKind.SUMMARY:
+            return np.dtype(np.float64)
+        if state.table is not None:
+            return state.table.column(action.where_attribute).values.dtype
+        return state.column.values.dtype
+
+    @staticmethod
+    def _eviction_safe(
+        cache, present0, arrival, inverse, all_times, read_times
+    ) -> bool:
+        """Prove no LRU eviction can change this gesture's replay.
+
+        An entry is evicted only after at least ``capacity`` distinct keys
+        are inserted or refreshed above it since the entry's own last
+        insertion or hit.  Per referenced key this bounds the LRU
+        movements — insertions of new keys plus reads (every read either
+        inserts or refreshes something) — across the key's whole reference
+        span: from its first event (for pre-existing entries, the start of
+        the gesture, where up to ``len(cache)`` entries may already sit
+        above it) to its last.  The span contains every
+        refresh-to-reference window of the key, so a bound below the
+        capacity for every key proves no referenced entry can have been
+        evicted mid-gesture and the first-writer analysis is exact;
+        otherwise the caller falls back to the per-touch loop.
+        """
+        capacity = cache.capacity
+        start_len = len(cache)
+        insert_times = np.sort(arrival[~present0])
+        if start_len + insert_times.size <= capacity:
+            return True  # the cache cannot overflow during this gesture
+        last_ref = np.full(arrival.size, np.int64(-1), dtype=np.int64)
+        np.maximum.at(last_ref, inverse, all_times)
+        span_start = np.where(present0, np.int64(-1), arrival)
+        inserts_in = np.searchsorted(
+            insert_times, last_ref, side="right"
+        ) - np.searchsorted(insert_times, span_start, side="right")
+        reads_in = np.searchsorted(
+            read_times, last_ref, side="right"
+        ) - np.searchsorted(read_times, span_start, side="right")
+        movements = inserts_in + reads_in + np.where(present0, start_len, 0)
+        # a key's own reads refresh it rather than bury it; remove them
+        # from its span count (all but one may coincide with the span
+        # start, so one is conservatively left in)
+        n_reads = read_times.size
+        own_reads = np.bincount(inverse[:n_reads], minlength=arrival.size)
+        movements = movements - np.maximum(0, own_reads - 1)
+        return bool(np.all(movements < capacity))
+
+    # ------------------------------------------------------------------ #
+    # prefetched-rowid bookkeeping
+    # ------------------------------------------------------------------ #
+    def _prefetch_membership(
+        self, state, rowids, read_times, add_rows, add_times
+    ) -> int:
+        """Replay the prefetched-rowid set against this gesture's touches.
+
+        A touch is a prefetch hit when its rowid is in the set at touch
+        time (carried over from earlier gestures or added by an earlier
+        proposal of this gesture); a hit consumes the rowid.  Rowids
+        touched once are resolved vectorized; the rare revisited rowids of
+        a back-and-forth gesture fall back to an exact per-rowid merge.
+        Updates ``state.prefetched_rowids`` and returns the hit count.
+        """
+        initial: set = state.prefetched_rowids
+        if not initial and not add_rows.size:
+            return 0
+        unique_r, counts = np.unique(rowids, return_counts=True)
+        positions = np.searchsorted(unique_r, rowids)
+
+        min_add = np.full(unique_r.size, _INT64_MAX, dtype=np.int64)
+        max_add = np.full(unique_r.size, np.int64(-1), dtype=np.int64)
+        stray_adds: list[int] = []
+        if add_rows.size:
+            add_pos = np.searchsorted(unique_r, add_rows)
+            in_range = add_pos < unique_r.size
+            matched = np.zeros(add_rows.size, dtype=bool)
+            matched[in_range] = unique_r[add_pos[in_range]] == add_rows[in_range]
+            np.minimum.at(min_add, add_pos[matched], add_times[matched])
+            np.maximum.at(max_add, add_pos[matched], add_times[matched])
+            stray_adds = add_rows[~matched].tolist()
+
+        in_initial = np.zeros(unique_r.size, dtype=bool)
+        if initial:
+            init_arr = np.fromiter(initial, dtype=np.int64, count=len(initial))
+            init_pos = np.searchsorted(unique_r, init_arr)
+            in_range = init_pos < unique_r.size
+            hit_init = np.zeros(init_arr.size, dtype=bool)
+            hit_init[in_range] = unique_r[init_pos[in_range]] == init_arr[in_range]
+            in_initial[init_pos[hit_init]] = True
+
+        single = counts == 1
+        # scatter each single-occurrence rowid's read time to its slot
+        read_time_u = np.zeros(unique_r.size, dtype=np.int64)
+        read_time_u[positions] = read_times
+        hit_u = single & (in_initial | (min_add < read_time_u))
+        final_u = single & (max_add > read_time_u)
+        hits = int(hit_u.sum())
+
+        # exact merge for rowids touched more than once
+        multi = np.nonzero(~single)[0]
+        if multi.size:
+            adds_by_value: dict[int, list[int]] = defaultdict(list)
+            if add_rows.size:
+                multi_values = set(unique_r[multi].tolist())
+                for value, when in zip(add_rows.tolist(), add_times.tolist()):
+                    if value in multi_values:
+                        adds_by_value[value].append(when)
+            order = np.argsort(positions, kind="stable")
+            starts = np.cumsum(counts) - counts
+            for u in multi.tolist():
+                value = int(unique_r[u])
+                touch_idx = order[starts[u] : starts[u] + counts[u]]
+                merged = sorted(
+                    [(int(read_times[j]), 0) for j in touch_idx]
+                    + [(when, 1) for when in adds_by_value.get(value, ())]
+                )
+                present = value in initial
+                for _, is_add in merged:
+                    if is_add:
+                        present = True
+                    elif present:
+                        hits += 1
+                        present = False
+                final_u[u] = present
+
+        survivors = set(unique_r[final_u].tolist())
+        untouched_initial = initial - set(unique_r.tolist())
+        state.prefetched_rowids = untouched_initial | survivors | set(stray_adds)
+        return hits

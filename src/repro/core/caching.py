@@ -5,13 +5,38 @@ dbTouch caches the values (or summary windows) produced for recently
 touched rowid ranges so a revisit is served without re-reading base data.
 The cache is granularity-aware: entries remember the stride they were read
 at, and a revisit at the same or coarser granularity is a hit.
+
+Cache-key scheme
+----------------
+The kernel namespaces entries by a ``(object, read-descriptor)`` tuple so
+that logically different reads of the same object never collide, and the
+object component stays exactly recoverable (object names may themselves
+contain ``":"``):
+
+``(object, "<action-kind>")``
+    scans, running aggregates and select-where plans over one object;
+``(object, "<action-kind>:a<attribute-index>")``
+    table reads that depend on which attribute the finger is over;
+``(object, "summary:k<effective-k>")``
+    interactive summaries, keyed by the *effective* half-window so values
+    computed before the adaptive optimizer shrank ``k`` are never served
+    for the new window size.
+
+Within a namespace, entries are keyed by (rowid bucket, stride bucket):
+rowids are grouped into buckets of ``bucket_rows`` and strides into powers
+of two, so a revisit of a nearby rowid at a similar granularity hits.
+:meth:`TouchCache.invalidate` matches on the object segment of the
+namespace, so mutating an object's data drops every entry derived from it
+regardless of action kind or summary window.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Any, Hashable
+from typing import Any, Hashable, Sequence
+
+import numpy as np
 
 from repro.errors import DbTouchError
 
@@ -67,8 +92,44 @@ class TouchCache:
             bucket *= 2
         return bucket
 
+    @staticmethod
+    def _stride_exponents(strides) -> np.ndarray:
+        """Power-of-two stride-bucket exponents, vectorized.
+
+        The single source of the bucketing rule for every vectorized
+        helper (:meth:`stride_buckets`, :meth:`collapsed_keys`);
+        ``tests`` lock its agreement with the scalar :meth:`_stride_bucket`.
+        """
+        s = np.maximum(1, np.asarray(strides, dtype=np.int64))
+        return np.floor(np.log2(s.astype(np.float64))).astype(np.int64)
+
+    @classmethod
+    def stride_buckets(cls, strides: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`_stride_bucket`: power-of-two bucket per stride."""
+        return np.left_shift(np.int64(1), cls._stride_exponents(strides))
+
     def _key(self, object_name: str, rowid: int, stride: int) -> Hashable:
         return (object_name, rowid // self.bucket_rows, self._stride_bucket(stride))
+
+    #: Stride-bucket exponents fit in 6 bits (strides < 2^63); the rowid
+    #: bucket is shifted past them when keys are collapsed to integers.
+    _COLLAPSE_SHIFT = 64
+
+    def collapsed_keys(
+        self,
+        rowids: Sequence[int] | np.ndarray,
+        strides: Sequence[int] | np.ndarray,
+    ) -> np.ndarray:
+        """Collapse (rowid bucket, stride bucket) pairs into one int64 each.
+
+        The vectorized mirror of :meth:`_key` within one object namespace:
+        two (rowid, stride) pairs collapse to the same integer exactly when
+        ``_key`` maps them to the same tuple.  The batch slide executor
+        uses these integers for its first-writer replay, so the collapse
+        must stay derived from the cache's own bucketing parameters.
+        """
+        buckets = np.asarray(rowids, dtype=np.int64) // self.bucket_rows
+        return buckets * np.int64(self._COLLAPSE_SHIFT) + self._stride_exponents(strides)
 
     # ------------------------------------------------------------------ #
     # cache protocol
@@ -87,6 +148,22 @@ class TouchCache:
         """Whether a value is cached, without affecting hit/miss statistics."""
         return self._key(object_name, rowid, stride) in self._entries
 
+    def collapsed_namespace_keys(self, object_name: str) -> np.ndarray:
+        """Collapsed integer keys of every entry in one object namespace.
+
+        The inverse view of :meth:`collapsed_keys` over the live entries:
+        iterating the (capacity-bounded) cache once is how the batch
+        executor probes presence for a whole gesture without touching
+        statistics or LRU order.
+        """
+        shift = self._COLLAPSE_SHIFT
+        collapsed = [
+            bucket * shift + (sbucket.bit_length() - 1)
+            for name, bucket, sbucket in self._entries
+            if name == object_name
+        ]
+        return np.asarray(collapsed, dtype=np.int64)
+
     def put(self, object_name: str, rowid: int, value: Any, stride: int = 1) -> None:
         """Insert (or refresh) a cached value, evicting LRU entries if full."""
         key = self._key(object_name, rowid, stride)
@@ -98,9 +175,129 @@ class TouchCache:
             self._entries.popitem(last=False)
             self.stats.evictions += 1
 
+    def get_many(
+        self,
+        object_name: str,
+        rowids: Sequence[int] | np.ndarray,
+        strides: Sequence[int] | np.ndarray,
+        count_stats: bool = True,
+        touch_lru: bool = True,
+    ) -> tuple[list[Any], np.ndarray]:
+        """Bulk probe: cached values plus a hit mask, one entry per rowid.
+
+        Misses leave ``None`` in the value list (a ``None`` with a ``True``
+        mask bit is a genuinely cached ``None``).  With ``count_stats``,
+        statistics are updated per probed element, mirroring a loop of
+        :meth:`get` calls; the batch executor disables it (and the LRU
+        refresh, via ``touch_lru=False``) and replays per-touch statistics
+        and recency order itself through :meth:`record_external` and
+        :meth:`replay_lru`.
+        """
+        rowid_arr = np.asarray(rowids, dtype=np.int64)
+        buckets = (rowid_arr // self.bucket_rows).tolist()
+        sbuckets = self.stride_buckets(strides).tolist()
+        values: list[Any] = []
+        hits = np.zeros(len(buckets), dtype=bool)
+        entries = self._entries
+        for i, (bucket, sbucket) in enumerate(zip(buckets, sbuckets)):
+            key = (object_name, bucket, sbucket)
+            if key in entries:
+                if touch_lru:
+                    entries.move_to_end(key)
+                values.append(entries[key])
+                hits[i] = True
+            else:
+                values.append(None)
+        if count_stats:
+            num_hits = int(hits.sum())
+            self.stats.hits += num_hits
+            self.stats.misses += len(buckets) - num_hits
+        return values, hits
+
+    def put_many(
+        self,
+        object_name: str,
+        rowids: Sequence[int] | np.ndarray,
+        values: Sequence[Any],
+        strides: Sequence[int] | np.ndarray,
+    ) -> None:
+        """Bulk insert, equivalent to a loop of :meth:`put` calls in order."""
+        rowid_arr = np.asarray(rowids, dtype=np.int64)
+        buckets = (rowid_arr // self.bucket_rows).tolist()
+        sbuckets = self.stride_buckets(strides).tolist()
+        entries = self._entries
+        for bucket, sbucket, value in zip(buckets, sbuckets, values):
+            key = (object_name, bucket, sbucket)
+            if key in entries:
+                entries.move_to_end(key)
+            entries[key] = value
+            self.stats.insertions += 1
+        while len(entries) > self.capacity:
+            entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def replay_lru(
+        self,
+        object_name: str,
+        rowids: Sequence[int] | np.ndarray,
+        strides: Sequence[int] | np.ndarray,
+        values: Sequence[Any],
+        writes: Sequence[bool] | np.ndarray,
+    ) -> None:
+        """Apply an ordered sequence of writes and LRU refreshes.
+
+        Element ``i`` is a :meth:`put` when ``writes[i]`` (inserting
+        ``values[i]``) and otherwise a pure LRU refresh of an existing
+        entry (a hit's ``move_to_end``, with no statistics).  The batch
+        slide executor orders one event per touched entry — its last
+        insertion or hit — so the cache's recency order ends up exactly as
+        the per-touch loop would leave it.
+        """
+        rowid_arr = np.asarray(rowids, dtype=np.int64)
+        buckets = (rowid_arr // self.bucket_rows).tolist()
+        sbuckets = self.stride_buckets(strides).tolist()
+        entries = self._entries
+        for bucket, sbucket, value, write in zip(buckets, sbuckets, values, writes):
+            key = (object_name, bucket, sbucket)
+            if write:
+                if key in entries:
+                    entries.move_to_end(key)
+                entries[key] = value
+                self.stats.insertions += 1
+                while len(entries) > self.capacity:
+                    entries.popitem(last=False)
+                    self.stats.evictions += 1
+            elif key in entries:
+                entries.move_to_end(key)
+
+    def record_external(self, hits: int = 0, misses: int = 0) -> None:
+        """Fold hit/miss accounting performed outside the cache into stats.
+
+        The batch slide executor resolves intra-gesture reuse (a touch served
+        by a value another touch of the same gesture just produced) without
+        probing the cache per touch; this keeps the statistics equivalent to
+        the per-touch reference path.
+        """
+        self.stats.hits += hits
+        self.stats.misses += misses
+
     def invalidate(self, object_name: str) -> int:
-        """Drop every entry belonging to ``object_name`` (data changed)."""
-        doomed = [k for k in self._entries if k[0] == object_name]
+        """Drop every entry belonging to ``object_name`` (data changed).
+
+        Kernel namespaces are ``(object_name, read_descriptor)`` tuples,
+        so matching is on the object component exactly — an object whose
+        name merely shares a prefix (or that embeds ``":"``) is never
+        conflated.  Bare namespaces equal to ``object_name`` are matched
+        as well.
+        """
+        doomed = [
+            k
+            for k in self._entries
+            if (
+                (isinstance(k[0], tuple) and k[0] and k[0][0] == object_name)
+                or k[0] == object_name
+            )
+        ]
         for key in doomed:
             del self._entries[key]
         return len(doomed)
@@ -147,6 +344,18 @@ class HashTableCache:
         while len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
             self.stats.evictions += 1
+
+    def invalidate_participant(self, name: str) -> int:
+        """Drop every cached hash-table pair one participant took part in.
+
+        Called when a participant's underlying data mutates (a reload):
+        its hash tables index values that no longer exist, so reusing them
+        would serve stale join matches.
+        """
+        doomed = [key for key in self._entries if name in key[:2]]
+        for key in doomed:
+            del self._entries[key]
+        return len(doomed)
 
     def __len__(self) -> int:
         return len(self._entries)

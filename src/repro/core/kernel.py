@@ -7,6 +7,26 @@ attached to the touched data object, and emits result values that appear
 in place and fade away.  It also hosts the adaptive machinery: sample
 hierarchies, the touched-range cache, the gesture-extrapolating prefetcher,
 the per-touch latency budget and incremental layout rotation.
+
+Slide gestures have two execution strategies.  The per-touch loop
+(`_handle_slide` → `_process_touch`) is the reference implementation and
+handles every action; when ``KernelConfig.batch_execution`` is on (the
+default), eligible slides — column scans, running aggregates, interactive
+summaries and select-where plans — are executed by
+:class:`repro.core.batch.BatchSlideExecutor`, which maps, deduplicates,
+reads, filters and aggregates the whole touch stream as numpy arrays and
+produces the same deterministic outcome counters at a fraction of the
+per-touch interpreter cost (see :mod:`repro.core.batch` for the two
+timing-dependent deviations: amortized per-touch latencies, and summary
+windows adapting per gesture rather than per violating touch).
+
+Touched-range cache keys are namespaced per object *and* per logical read
+as ``(object, read-descriptor)`` tuples: the descriptor is the action
+kind, extended with ``:a<attribute>`` for attribute-dependent table reads
+and ``:k<effective-k>`` for interactive summaries (so values computed
+before the adaptive optimizer resized the summary window are never served
+for the new window).  See :mod:`repro.core.caching` for the full key
+scheme.
 """
 
 from __future__ import annotations
@@ -61,6 +81,12 @@ class KernelConfig:
     rotation_sample_fraction:
         Fraction of a table converted immediately when a rotate gesture
         triggers an incremental layout change.
+    batch_execution:
+        Execute eligible slide gestures as one vectorized batch
+        (:class:`repro.core.batch.BatchSlideExecutor`) instead of the
+        per-touch Python loop.  On by default; the per-touch loop remains
+        the reference path and still serves joins, group-bys and
+        attribute-dependent table scans.
     """
 
     latency_budget_s: float = 0.05
@@ -72,6 +98,7 @@ class KernelConfig:
     fade_seconds: float = 1.5
     touch_granularity: int = 1
     rotation_sample_fraction: float = 0.05
+    batch_execution: bool = True
 
 
 @dataclass
@@ -150,6 +177,7 @@ class _ObjectState:
     object_name: str
     column: Column | None
     table: Table | None
+    column_name: str | None = None
     action: QueryAction = field(default_factory=QueryAction)
     hierarchy: SampleHierarchy | None = None
     summarizer: InteractiveSummarizer | None = None
@@ -186,6 +214,10 @@ class DbTouchKernel:
         )
         self._states: dict[str, _ObjectState] = {}
         self._joins: dict[frozenset[str], SymmetricHashJoin] = {}
+        # deferred import: repro.core.batch imports GestureOutcome from here
+        from repro.core.batch import BatchSlideExecutor
+
+        self._batch_executor = BatchSlideExecutor(self)
 
     # ------------------------------------------------------------------ #
     # placing data objects on the screen
@@ -203,6 +235,7 @@ class DbTouchKernel:
         """Place a column-shaped data object on the device screen."""
         column = self.catalog.resolve_column(object_name, column_name)
         name = view_name if view_name is not None else f"{object_name}-view"
+        self._forget_view(name)
         view = make_column_view(
             name=name,
             object_name=object_name,
@@ -225,6 +258,7 @@ class DbTouchKernel:
             object_name=object_name,
             column=column,
             table=None,
+            column_name=column_name,
             hierarchy=hierarchy,
             results=ResultStream(fade_seconds=self.config.fade_seconds),
             prefetcher=GesturePrefetcher() if self.config.enable_prefetch else None,
@@ -243,6 +277,7 @@ class DbTouchKernel:
         """Place a fat-rectangle table object on the device screen."""
         table = self.catalog.table(table_name)
         name = view_name if view_name is not None else f"{table_name}-view"
+        self._forget_view(name)
         view = make_table_view(
             name=name,
             object_name=table_name,
@@ -273,11 +308,103 @@ class DbTouchKernel:
         return self._states[view_name]
 
     # ------------------------------------------------------------------ #
+    # object-data mutation hooks
+    # ------------------------------------------------------------------ #
+    def invalidate_object(self, object_name: str) -> int:
+        """Drop every cached read derived from ``object_name``.
+
+        Called whenever an object's data or physical representation
+        mutates (reloads, layout rotations); returns how many cache
+        entries were dropped.  Prefetched-rowid bookkeeping is cleared
+        alongside, since it tracks exactly those cache entries.
+        """
+        dropped = self.cache.invalidate(object_name)
+        for state in self._states.values():
+            if state.object_name == object_name:
+                state.prefetched_rowids.clear()
+        return dropped
+
+    def refresh_object(self, object_name: str) -> int:
+        """Re-bind shown views of ``object_name`` after its data changed.
+
+        Used by the data-reload path: the catalog already holds the new
+        table/column under the same name; this re-resolves every shown
+        state's storage references, rebuilds sample hierarchies and
+        operators, and invalidates the touched-range cache so no stale
+        value survives the reload.
+        """
+        dropped = self.invalidate_object(object_name)
+        # the catalog caches hierarchies per (object, column); they sample
+        # the pre-reload arrays and must be rebuilt from the new data
+        self.catalog.drop_hierarchies_for(object_name)
+        for view_name, state in self._states.items():
+            if state.object_name != object_name:
+                continue
+            # joins over the old data index values that no longer exist:
+            # drop them (and any cached hash tables) without snapshotting,
+            # so set_action below rebuilds the join from scratch
+            for key in [k for k in self._joins if view_name in k]:
+                del self._joins[key]
+            self.hash_table_cache.invalidate_participant(view_name)
+            properties = state.view.properties
+            if state.table is not None:
+                state.table = self.catalog.table(object_name)
+                # an in-progress incremental rotation was converting the
+                # discarded table; drop it, and keep layout reporting
+                # paired with the view's orientation (vertical <->
+                # COLUMN_STORE everywhere in the kernel)
+                state.rotation = None
+                state.layout_kind = (
+                    LayoutKind.ROW_STORE
+                    if properties is not None and properties.orientation == "horizontal"
+                    else LayoutKind.COLUMN_STORE
+                )
+                if properties is not None:
+                    properties.num_tuples = len(state.table)
+                    properties.num_attributes = state.table.num_columns
+                    properties.dtype_names = tuple(
+                        c.dtype.name for c in state.table.columns
+                    )
+                    properties.size_bytes = state.table.size_bytes
+            else:
+                state.column = self.catalog.resolve_column(
+                    object_name, state.column_name
+                )
+                state.hierarchy = None
+                if self.config.enable_samples and state.column.is_numeric:
+                    state.hierarchy = self.catalog.hierarchy_for(
+                        object_name,
+                        state.column_name,
+                        factor=self.config.sample_factor,
+                    )
+                # the touch->rowid mapping works off the view metadata; a
+                # reload with a different shape must re-scale it
+                if properties is not None:
+                    properties.num_tuples = len(state.column)
+                    properties.dtype_names = (state.column.dtype.name,)
+                    properties.size_bytes = state.column.size_bytes
+            # rebuild the action's operators against the new data
+            self.set_action(view_name, state.action)
+        return dropped
+
+    # ------------------------------------------------------------------ #
     # configuring actions
     # ------------------------------------------------------------------ #
     def set_action(self, view_name: str, action: QueryAction) -> None:
-        """Attach a query action to the data object shown in ``view_name``."""
+        """Attach a query action to the data object shown in ``view_name``.
+
+        Replacing a JOIN action tears the view's symmetric join down and
+        snapshots its hash tables into the :class:`HashTableCache`, so a
+        later re-attachment of the join resumes with the tables already
+        built (the paper's hash-table reuse across sample copies).  A join
+        is a pairwise agreement: tearing it down from either side ends it
+        for the partner view too — the partner's slides stop producing
+        join matches until one side re-attaches a JOIN action, which
+        restores the cached tables.
+        """
         state = self.state_of(view_name)
+        if state.action.kind is ActionKind.JOIN:
+            self._teardown_join(view_name)
         state.action = action
         state.aggregate = None
         state.summarizer = None
@@ -313,13 +440,38 @@ class DbTouchKernel:
             partner_view = self._view_for_object(action.join_partner)
             key = frozenset({view_name, partner_view})
             if key not in self._joins:
-                cached = self.hash_table_cache.get(view_name, partner_view)
+                # the lexicographically smaller view plays the left input
+                # (see _process_touch), so cache lookups use sorted order
+                left_name, right_name = sorted((view_name, partner_view))
+                cached = self.hash_table_cache.get(left_name, right_name)
                 join = SymmetricHashJoin()
                 if cached is not None:
                     left, right = cached
                     join._left.update({k: list(v) for k, v in left.items()})
                     join._right.update({k: list(v) for k, v in right.items()})
                 self._joins[key] = join
+
+    def _teardown_join(self, view_name: str) -> None:
+        """Detach ``view_name``'s join, caching its hash tables for reuse."""
+        for key in [k for k in self._joins if view_name in k]:
+            join = self._joins.pop(key)
+            names = sorted(key)
+            if len(names) == 2 and (join.left_cardinality or join.right_cardinality):
+                self.hash_table_cache.put(names[0], names[1], join.hash_table_snapshot())
+
+    def _forget_view(self, view_name: str) -> None:
+        """Drop join state tied to a view being re-bound to a new object.
+
+        Cached hash-table snapshots are keyed by view names; when a view
+        name is reused for a different data object, both the live joins
+        and the snapshots built from the previously shown data would
+        otherwise leak into the next join attached under that name.
+        """
+        if view_name not in self._states:
+            return
+        for key in [k for k in self._joins if view_name in k]:
+            del self._joins[key]
+        self.hash_table_cache.invalidate_participant(view_name)
 
     def _view_for_object(self, object_name: str | None) -> str:
         for view_name, state in self._states.items():
@@ -392,6 +544,12 @@ class DbTouchKernel:
             duration_s=gesture.duration,
         )
         join = self._join_for(gesture.view_name)
+        if self.config.batch_execution and self._batch_executor.supports(state, join):
+            batch_outcome = self._batch_executor.execute(state, gesture)
+            if batch_outcome is not None:
+                return batch_outcome
+            # the executor proved it cannot replay this gesture exactly
+            # (cache evictions possible mid-gesture); run the reference loop
         for event in gesture.events:
             if event.phase is TouchPhase.ENDED or event.phase is TouchPhase.CANCELLED:
                 continue
@@ -502,6 +660,36 @@ class DbTouchKernel:
                 return others[0] if others else None
         return None
 
+    def _effective_summary_k(self, state: _ObjectState) -> int:
+        """The summary half-window after the optimizer's latency allowance.
+
+        The adaptive optimizer may shrink the summary window while the
+        latency budget is being violated; the user's requested k is scaled
+        by the optimizer's current allowance.
+        """
+        allowance = self.optimizer.current_summary_k / max(1, self.optimizer.base_summary_k)
+        return max(1, int(round(state.action.summary_k * allowance)))
+
+    def _cache_namespace(self, state: _ObjectState, attribute_index: int = 0):
+        """Cache namespace for one logical read (see module docstring).
+
+        The namespace is a ``(object_name, read_descriptor)`` tuple — the
+        object segment stays a separate component so
+        :meth:`TouchCache.invalidate` can match it exactly even when
+        object names themselves contain ``":"``.  Interactive summaries
+        embed the *effective* half-window in the descriptor so entries
+        computed at a different ``k`` are never served; attribute-dependent
+        table reads embed the attribute index so sliding over different
+        attributes of one table cannot poison each other.
+        """
+        action = state.action
+        descriptor = action.kind.value
+        if action.kind is ActionKind.SUMMARY:
+            descriptor = f"{descriptor}:k{self._effective_summary_k(state)}"
+        elif state.table is not None and action.kind is not ActionKind.SELECT_WHERE:
+            descriptor = f"{descriptor}:a{attribute_index}"
+        return (state.object_name, descriptor)
+
     def _read_value(
         self,
         state: _ObjectState,
@@ -514,7 +702,7 @@ class DbTouchKernel:
         Returns (value, tuples_read, sample_level_served_from).
         """
         action = state.action
-        cache_key_object = f"{state.object_name}:{action.kind.value}"
+        cache_key_object = self._cache_namespace(state, mapped.attribute_index)
         if self.config.enable_cache:
             cached = self.cache.get(cache_key_object, mapped.rowid, stride)
             if cached is not None:
@@ -524,11 +712,7 @@ class DbTouchKernel:
 
         level = 0
         if action.kind is ActionKind.SUMMARY and state.summarizer is not None:
-            # the adaptive optimizer may shrink the summary window while the
-            # latency budget is being violated; scale the user's requested k
-            # by the optimizer's current allowance
-            allowance = self.optimizer.current_summary_k / max(1, self.optimizer.base_summary_k)
-            state.summarizer.k = max(1, int(round(action.summary_k * allowance)))
+            state.summarizer.k = self._effective_summary_k(state)
             summary = state.summarizer.summarize_at(mapped.rowid, stride_hint=stride)
             value: object = summary.value
             tuples_read = summary.values_aggregated
@@ -573,7 +757,10 @@ class DbTouchKernel:
         )
         proposals = state.prefetcher.propose(num_tuples, stride=stride)
         action = state.action
-        cache_key_object = f"{state.object_name}:{action.kind.value}"
+        # prefetch must warm the cache with exactly the column _read_value
+        # will read under the same namespace: the where attribute for
+        # select-where plans, the touched attribute for other table reads
+        cache_key_object = self._cache_namespace(state, mapped.attribute_index)
         for rowid in proposals:
             if self.config.enable_cache and self.cache.contains(cache_key_object, rowid, stride):
                 continue
@@ -581,8 +768,10 @@ class DbTouchKernel:
                 value = state.summarizer.summarize_at(rowid, stride_hint=stride).value
             elif state.column is not None:
                 value = state.column.value_at(rowid)
+            elif action.kind is ActionKind.SELECT_WHERE and action.where_attribute is not None:
+                value = state.table.column(action.where_attribute).value_at(rowid)
             else:
-                value = state.table.column_at(0).value_at(rowid)
+                value = state.table.column_at(mapped.attribute_index).value_at(rowid)
             if self.config.enable_cache:
                 self.cache.put(cache_key_object, rowid, value, stride)
             state.prefetched_rowids.add(rowid)
@@ -624,6 +813,9 @@ class DbTouchKernel:
             state.rotation = IncrementalRotation(state.table, source_kind=source)
             state.rotation.convert_rows_for_sample(self.config.rotation_sample_fraction)
             state.layout_kind = new_kind
+            # the physical representation is mutating incrementally from
+            # here on; cached reads of the old layout must not survive
+            self.invalidate_object(state.object_name)
         return GestureOutcome(
             gesture_type=GestureType.ROTATE,
             view_name=gesture.view_name,

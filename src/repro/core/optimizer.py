@@ -146,8 +146,41 @@ class AdaptiveOptimizer:
             self._recent_strides.pop(0)
         if len(self._recent_latencies) > 32:
             self._recent_latencies.pop(0)
+        self._adjust_summary_k(latency_s, violations=1)
+
+    def observe_batch(self, strides, latency_s: float) -> None:
+        """Batch equivalent of :meth:`observe_touch` for one whole gesture.
+
+        ``strides`` is the per-touch stride sequence of a gesture executed
+        by the vectorized batch path and ``latency_s`` the amortized
+        per-touch latency (batch wall time / touches).  The stride window
+        is updated exactly as a loop of ``observe_touch`` calls would;
+        the summary window ``k`` is adjusted once per batch rather than
+        once per violating touch, because individual touch latencies do
+        not exist on the batch path.
+        """
+        if latency_s < 0:
+            raise OptimizationError("latency cannot be negative")
+        count = len(strides)
+        tail = [max(1, int(s)) for s in strides[-32:]]
+        if not tail:
+            return
+        self._recent_strides.extend(tail)
+        del self._recent_strides[:-32]
+        self._recent_latencies.extend([latency_s] * len(tail))
+        del self._recent_latencies[:-32]
+        self._adjust_summary_k(latency_s, violations=count)
+
+    def _adjust_summary_k(self, latency_s: float, violations: int) -> None:
+        """The shared budget-violation / window-adjustment policy.
+
+        Shrink the summary window while the budget is violated (counting
+        ``violations`` touches), restore it gradually when there is ample
+        slack; both observers apply this one rule so the per-touch and
+        batch paths cannot drift apart.
+        """
         if latency_s > self.latency_budget_s:
-            self.budget_violations += 1
+            self.budget_violations += violations
             if self._current_k > 1:
                 self._current_k = max(1, self._current_k // 2)
                 self.k_adjustments += 1

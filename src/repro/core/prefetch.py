@@ -13,6 +13,8 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.errors import OptimizationError
 
 
@@ -125,6 +127,105 @@ class GesturePrefetcher:
             proposals.append(rowid)
         self.prefetches_issued += len(proposals)
         return proposals
+
+    def propose_batch(
+        self,
+        timestamps: np.ndarray,
+        rowids: np.ndarray,
+        strides: np.ndarray,
+        num_tuples: int,
+        commit: bool = True,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Vectorized replay of per-touch ``observe()`` + ``propose()``.
+
+        Given the (timestamp, rowid, stride) sequence of one gesture's
+        processed touches, this produces every rowid the sequential loop
+        would have proposed, flattened as three parallel arrays:
+
+        ``proposal_rowids``
+            the proposed rowids;
+        ``proposer_index``
+            index (into the input arrays) of the touch that proposed each;
+        ``proposal_rank``
+            1-based position of the proposal within its touch's proposal
+            list (sequential proposals are emitted nearest-first).
+
+        With ``commit`` (the default), the observation history and
+        ``prefetches_issued`` are updated as if the touches had been
+        observed one at a time; with ``commit=False`` the proposals are
+        computed without mutating any state, so a caller can inspect them
+        first and apply the updates later via :meth:`commit_observations`
+        (the batch executor's fall-back-to-reference-path probe).
+        """
+        t = np.asarray(timestamps, dtype=np.float64)
+        r = np.asarray(rowids, dtype=np.int64)
+        s = np.maximum(1, np.asarray(strides, dtype=np.int64))
+        n = r.size
+        empty = (
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.int64),
+        )
+        if n == 0:
+            return empty
+        if self._observations and t[0] < self._observations[-1][0]:
+            raise OptimizationError("gesture observations must have non-decreasing timestamps")
+        if n > 1 and np.any(np.diff(t) < 0):
+            raise OptimizationError("gesture observations must have non-decreasing timestamps")
+
+        prior_t = np.asarray([obs[0] for obs in self._observations], dtype=np.float64)
+        prior_r = np.asarray([obs[1] for obs in self._observations], dtype=np.int64)
+        all_t = np.concatenate([prior_t, t])
+        all_r = np.concatenate([prior_r, r])
+        # after observing touch j the history window is the deque's contents:
+        # the last `history` observations ending at global index g
+        g = prior_t.size + np.arange(n)
+        w = np.maximum(0, g - (self.history - 1))
+        dt = all_t[g] - all_t[w]
+        velocity = np.zeros(n, dtype=np.float64)
+        confident = (g >= 1) & (dt > 1e-9)
+        np.divide(
+            (all_r[g] - all_r[w]).astype(np.float64), dt, out=velocity, where=confident
+        )
+        direction = np.zeros(n, dtype=np.int64)
+        direction[velocity > 1e-9] = 1
+        direction[velocity < -1e-9] = -1
+        active = confident & (direction != 0) & (num_tuples > 0)
+
+        lookahead = np.abs(velocity) * self.horizon_seconds
+        counts = np.minimum(
+            self.max_prefetch,
+            np.maximum(1, np.floor(lookahead / s).astype(np.int64)),
+        )
+        # the sequential loop stops at the first out-of-range rowid
+        room = np.where(direction > 0, (num_tuples - 1 - r) // s, r // s)
+        counts = np.where(active, np.minimum(counts, np.maximum(0, room)), 0)
+
+        total = int(counts.sum())
+        if commit:
+            self.commit_observations(t, r, total)
+        if total == 0:
+            return empty
+        proposer = np.repeat(np.arange(n), counts)
+        offsets = np.cumsum(counts) - counts
+        rank = np.arange(total) - np.repeat(offsets, counts) + 1
+        proposal_rowids = r[proposer] + direction[proposer] * s[proposer] * rank
+        return proposal_rowids, proposer, rank
+
+    def commit_observations(
+        self, timestamps: np.ndarray, rowids: np.ndarray, issued: int
+    ) -> None:
+        """Apply the state updates of an uncommitted :meth:`propose_batch`.
+
+        Replays the per-touch observes (the deque ends up exactly as a
+        sequential loop would leave it) and accounts the issued proposals.
+        """
+        t = np.asarray(timestamps, dtype=np.float64)
+        r = np.asarray(rowids, dtype=np.int64)
+        tail = min(self.history, int(r.size))
+        for pair in zip(t[-tail:].tolist(), r[-tail:].tolist()):
+            self._observations.append(pair)
+        self.prefetches_issued += issued
 
     def reset(self) -> None:
         """Forget the gesture history (a new gesture starts)."""

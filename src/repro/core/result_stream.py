@@ -12,6 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any
 
+import numpy as np
+
 from repro.errors import VisualizationError
 
 
@@ -84,6 +86,49 @@ class ResultStream:
         )
         self._results.append(result)
         return result
+
+    def emit_batch(self, values, rowids, position_fractions, timestamps) -> list[ResultValue]:
+        """Record a whole gesture's result values in one call.
+
+        Semantically a loop of :meth:`emit` calls: the same validation is
+        applied (fractions within [0, 1], non-decreasing timestamps,
+        including against the last already-recorded result), but the checks
+        run vectorized before any object is created, so a batch either
+        lands completely or not at all.  Accepts numpy arrays or plain
+        sequences for every argument.
+        """
+        fraction_arr = np.asarray(position_fractions, dtype=np.float64)
+        time_arr = np.asarray(timestamps, dtype=np.float64)
+        if fraction_arr.size == 0:
+            return []
+        if fraction_arr.min() < 0.0 or fraction_arr.max() > 1.0:
+            raise VisualizationError("position_fraction must be within [0, 1]")
+        previous = self._results[-1].timestamp if self._results else None
+        if (previous is not None and time_arr[0] < previous) or (
+            time_arr.size > 1 and bool(np.any(np.diff(time_arr) < 0))
+        ):
+            raise VisualizationError("result timestamps must be non-decreasing")
+        value_list = values.tolist() if isinstance(values, np.ndarray) else values
+        rowid_list = (
+            rowids.tolist() if isinstance(rowids, np.ndarray) else [int(r) for r in rowids]
+        )
+        # bulk construction: __new__ + direct __dict__ fill skips the frozen
+        # dataclass __init__ (4 object.__setattr__ calls per result), which
+        # dominates dense-gesture emission
+        new = ResultValue.__new__
+        emitted: list[ResultValue] = []
+        append = emitted.append
+        for value, rowid, fraction, timestamp in zip(
+            value_list, rowid_list, fraction_arr.tolist(), time_arr.tolist()
+        ):
+            result = new(ResultValue)
+            result.__dict__["value"] = value
+            result.__dict__["rowid"] = rowid
+            result.__dict__["position_fraction"] = fraction
+            result.__dict__["timestamp"] = timestamp
+            append(result)
+        self._results.extend(emitted)
+        return emitted
 
     # ------------------------------------------------------------------ #
     # inspection

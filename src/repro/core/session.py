@@ -20,6 +20,7 @@ length.
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass, replace
 from typing import Iterable, Mapping, Sequence
 
@@ -56,6 +57,17 @@ from repro.storage.table import Table
 from repro.touchio.device import DeviceProfile, IPAD1
 from repro.touchio.synthesizer import SlideSegment
 from repro.touchio.views import View
+
+
+def _accepts_replace(loader) -> bool:
+    """Whether a backend loader takes the ``replace=`` keyword."""
+    try:
+        parameters = inspect.signature(loader).parameters
+    except (TypeError, ValueError):  # pragma: no cover - exotic callables
+        return False
+    return "replace" in parameters or any(
+        p.kind is inspect.Parameter.VAR_KEYWORD for p in parameters.values()
+    )
 
 
 @dataclass
@@ -221,12 +233,32 @@ class ExplorationSession:
     # ------------------------------------------------------------------ #
     # loading and showing data
     # ------------------------------------------------------------------ #
-    def load_column(self, name: str, values: Iterable) -> Column:
-        """Register a standalone column on the backend (host-side, not recorded)."""
+    def _replace_loader(self, method_name: str):
+        """The backend's loader if it supports ``replace=``, else raise."""
+        loader = getattr(self._service, method_name, None)
+        if loader is None or not _accepts_replace(loader):
+            raise QueryError(
+                f"the {getattr(self._service, 'backend', 'backing')!r} backend "
+                f"does not support replace-reloads via {method_name}()"
+            )
+        return loader
+
+    def load_column(self, name: str, values: Iterable, replace: bool = False) -> Column:
+        """Register a standalone column on the backend (host-side, not recorded).
+
+        ``replace`` reloads an already-registered column: shown views are
+        re-bound and stale caches invalidated (local backends only).
+        """
+        if replace:
+            return self._replace_loader("load_column")(name, values, replace=True)
         return self._service.load_column(name, values)
 
-    def load_table(self, name: str, data: Mapping[str, Iterable] | Table) -> Table:
+    def load_table(
+        self, name: str, data: Mapping[str, Iterable] | Table, replace: bool = False
+    ) -> Table:
         """Register a table on the backend (from arrays or an existing Table)."""
+        if replace:
+            return self._replace_loader("load_table")(name, data, replace=True)
         return self._service.load_table(name, data)
 
     def show_column(

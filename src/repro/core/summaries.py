@@ -119,6 +119,71 @@ class InteractiveSummarizer:
         """Summarize a sequence of touched rowids (one result per touch)."""
         return [self.summarize_at(r, stride_hint=stride_hint) for r in rowids]
 
+    # ------------------------------------------------------------------ #
+    # batched summaries (the vectorized slide path)
+    # ------------------------------------------------------------------ #
+    def summarize_batch(
+        self, rowids: np.ndarray, stride_hints: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Summarize a whole array of touched rowids in a few numpy passes.
+
+        Semantically equivalent to calling :meth:`summarize_at` per rowid
+        (same windows, same sample-level selection), but windows are
+        gathered as one index matrix per sample level and aggregated with
+        masked reductions, so the cost per touch is a handful of vector
+        operations instead of a Python-level window scan.  Sum-like
+        aggregates reduce with numpy's pairwise summation, so float results
+        can differ from the sequential fold in the last bits.
+
+        Returns ``(values, values_aggregated, served_from_levels)``.
+        """
+        centers = np.asarray(rowids, dtype=np.int64)
+        strides = np.asarray(stride_hints, dtype=np.int64)
+        if centers.size == 0:
+            empty_f = np.empty(0, dtype=np.float64)
+            empty_i = np.empty(0, dtype=np.int64)
+            return empty_f, empty_i, empty_i.copy()
+        if centers.min() < 0 or centers.max() >= len(self.column):
+            raise ExecutionError(
+                f"rowid out of range for column of length {len(self.column)}"
+            )
+        kind = (
+            AggregateKind(self.aggregate.lower())
+            if isinstance(self.aggregate, str)
+            else self.aggregate
+        )
+        values = np.empty(centers.size, dtype=np.float64)
+        counts = np.empty(centers.size, dtype=np.int64)
+        levels = np.zeros(centers.size, dtype=np.int64)
+
+        if self.hierarchy is None:
+            base = self.column.values
+            values[:], counts[:] = _aggregate_windows(base, centers, self.k, kind)
+        else:
+            # mirror summarize_at: strides of 1 read the base column, coarser
+            # strides go through the hierarchy's best-matching level
+            sampled = strides > 1
+            if np.any(~sampled):
+                sel = ~sampled
+                values[sel], counts[sel] = _aggregate_windows(
+                    self.column.values, centers[sel], self.k, kind
+                )
+            if np.any(sampled):
+                level_indices = self.hierarchy.level_index_for_strides(strides)
+                for index in np.unique(level_indices[sampled]):
+                    lvl = self.hierarchy.level(int(index))
+                    mask = sampled & (level_indices == index)
+                    lvl_centers = np.minimum(lvl.num_rows - 1, centers[mask] // lvl.step)
+                    half = self.k // lvl.step if lvl.step > 1 else self.k
+                    values[mask], counts[mask] = _aggregate_windows(
+                        lvl.column.values, lvl_centers, half, kind
+                    )
+                    levels[mask] = lvl.level
+
+        self.touches += centers.size
+        self.values_read += int(counts.sum())
+        return values, counts, levels
+
     def compare_areas(self, rowid_a: int, rowid_b: int, stride_hint: int = 1) -> float | None:
         """Difference between the summaries of two touched areas.
 
@@ -131,3 +196,56 @@ class InteractiveSummarizer:
         if a.value is None or b.value is None:
             return None
         return a.value - b.value
+
+
+#: Cap on the window-index matrix size (touches x window width) so batched
+#: summaries with huge half-windows stay within a bounded memory footprint.
+_WINDOW_MATRIX_BUDGET = 4_000_000
+
+
+def _aggregate_windows(
+    data: np.ndarray, centers: np.ndarray, half: int, kind: AggregateKind
+) -> tuple[np.ndarray, np.ndarray]:
+    """Aggregate the clamped windows ``[c - half, c + half]`` per center.
+
+    Builds an index matrix of shape (centers, 2*half + 1), masks the
+    positions that fall outside the array, and reduces each row with the
+    requested aggregate.  Processes the centers in chunks so the matrix
+    never exceeds :data:`_WINDOW_MATRIX_BUDGET` cells.
+    """
+    n = data.shape[0]
+    width = 2 * half + 1
+    values = np.empty(centers.size, dtype=np.float64)
+    counts = np.empty(centers.size, dtype=np.int64)
+    offsets = np.arange(-half, half + 1, dtype=np.int64)
+    chunk = max(1, _WINDOW_MATRIX_BUDGET // width)
+    for start in range(0, centers.size, chunk):
+        part = centers[start : start + chunk]
+        idx = part[:, None] + offsets[None, :]
+        valid = (idx >= 0) & (idx < n)
+        window = data[np.clip(idx, 0, n - 1)].astype(np.float64, copy=False)
+        cnt = valid.sum(axis=1)
+        safe_cnt = np.maximum(1, cnt)
+        if kind is AggregateKind.COUNT:
+            val = cnt.astype(np.float64)
+        elif kind is AggregateKind.SUM:
+            val = np.sum(window, axis=1, where=valid, initial=0.0)
+        elif kind is AggregateKind.AVG:
+            val = np.sum(window, axis=1, where=valid, initial=0.0) / safe_cnt
+        elif kind is AggregateKind.MIN:
+            val = np.min(window, axis=1, where=valid, initial=np.inf)
+        elif kind is AggregateKind.MAX:
+            val = np.max(window, axis=1, where=valid, initial=-np.inf)
+        elif kind is AggregateKind.STD:
+            # two-pass: center each window on its own mean before squaring,
+            # avoiding catastrophic cancellation on large-offset data
+            total = np.sum(window, axis=1, where=valid, initial=0.0)
+            mean = total / safe_cnt
+            centered = window - mean[:, None]
+            total_sq = np.sum(centered * centered, axis=1, where=valid, initial=0.0)
+            val = np.sqrt(np.maximum(0.0, total_sq / safe_cnt))
+        else:  # pragma: no cover - the enum is closed
+            raise ExecutionError(f"unsupported summary aggregate {kind!r}")
+        values[start : start + chunk] = val
+        counts[start : start + chunk] = cnt
+    return values, counts

@@ -75,6 +75,35 @@ class RunningAggregate(TouchOperator):
             self.stats.record(tuples=1, results=1)
         return self.current()
 
+    def on_batch(self, values: np.ndarray) -> np.ndarray:
+        """Fold a whole array of touched values in one call.
+
+        Returns the *running* aggregate after each value — element ``i`` is
+        what :meth:`on_touch` would have returned for the ``i``-th value —
+        so the batch slide path can display the same evolving results as
+        the per-touch loop.  Subclasses override ``_batch`` with a
+        vectorized scan; sum-like aggregates use ``np.cumsum`` (a
+        sequential accumulation, bit-identical to the per-touch fold),
+        while STD uses cumulative moments and may differ from Welford's
+        recurrence in the last float bits.
+        """
+        arr = np.asarray(values, dtype=np.float64)
+        if arr.size == 0:
+            return np.empty(0, dtype=np.float64)
+        running = self._batch(arr)
+        self.stats.record_batch(touches=arr.size, tuples=arr.size, results=arr.size)
+        return running
+
+    def _batch(self, arr: np.ndarray) -> np.ndarray:
+        """Fold ``arr`` into the state (including ``_count``) and return the
+        running values; the base implementation loops as a reference."""
+        running = np.empty(arr.size, dtype=np.float64)
+        for i, v in enumerate(arr):
+            self._update(float(v))
+            self._count += 1
+            running[i] = self.current()
+        return running
+
     def finish(self) -> float | None:
         return self.current()
 
@@ -92,6 +121,11 @@ class CountAggregate(RunningAggregate):
     def _update(self, value: float) -> None:
         pass  # count is tracked by the base class
 
+    def _batch(self, arr: np.ndarray) -> np.ndarray:
+        running = self._count + np.arange(1, arr.size + 1, dtype=np.float64)
+        self._count += arr.size
+        return running
+
     def current(self) -> float | None:
         return float(self._count)
 
@@ -108,6 +142,14 @@ class SumAggregate(RunningAggregate):
 
     def _update(self, value: float) -> None:
         self._sum += value
+
+    def _batch(self, arr: np.ndarray) -> np.ndarray:
+        # seed the scan with the prior sum so the additions associate
+        # exactly like the sequential fold: ((sum + a1) + a2) + ...
+        running = np.cumsum(np.concatenate(((self._sum,), arr)))[1:]
+        self._sum = float(running[-1])
+        self._count += arr.size
+        return running
 
     def current(self) -> float | None:
         return self._sum if self._count else None
@@ -129,6 +171,14 @@ class AvgAggregate(RunningAggregate):
 
     def _update(self, value: float) -> None:
         self._sum += value
+
+    def _batch(self, arr: np.ndarray) -> np.ndarray:
+        # seeded scan: identical association to the sequential fold
+        sums = np.cumsum(np.concatenate(((self._sum,), arr)))[1:]
+        counts = self._count + np.arange(1, arr.size + 1, dtype=np.float64)
+        self._sum = float(sums[-1])
+        self._count += arr.size
+        return sums / counts
 
     def current(self) -> float | None:
         if not self._count:
@@ -153,6 +203,12 @@ class MinAggregate(RunningAggregate):
     def _update(self, value: float) -> None:
         self._min = min(self._min, value)
 
+    def _batch(self, arr: np.ndarray) -> np.ndarray:
+        running = np.minimum(self._min, np.minimum.accumulate(arr))
+        self._min = float(running[-1])
+        self._count += arr.size
+        return running
+
     def current(self) -> float | None:
         return self._min if self._count else None
 
@@ -173,6 +229,12 @@ class MaxAggregate(RunningAggregate):
 
     def _update(self, value: float) -> None:
         self._max = max(self._max, value)
+
+    def _batch(self, arr: np.ndarray) -> np.ndarray:
+        running = np.maximum(self._max, np.maximum.accumulate(arr))
+        self._max = float(running[-1])
+        self._count += arr.size
+        return running
 
     def current(self) -> float | None:
         return self._max if self._count else None
@@ -199,6 +261,29 @@ class StdAggregate(RunningAggregate):
         delta = value - self._mean
         self._mean += delta / n
         self._m2 += delta * (value - self._mean)
+
+    def _batch(self, arr: np.ndarray) -> np.ndarray:
+        # cumulative-moment scan around a shift point: centering the data
+        # before squaring avoids the catastrophic cancellation of the naive
+        # E[x^2] - mean^2 formula on large-offset data; equal to the
+        # Welford recurrence up to float rounding (the per-touch path
+        # remains the reference)
+        shift = self._mean if self._count else float(arr[0])
+        centered = arr - shift
+        counts = self._count + np.arange(1, arr.size + 1, dtype=np.float64)
+        # prior state re-expressed around the shift: sum of (x - shift) and
+        # sum of (x - shift)^2 (M2 is shift-invariant)
+        prior_delta = self._mean - shift
+        sums = (self._count * prior_delta) + np.cumsum(centered)
+        sum_sqs = (
+            self._m2 + self._count * prior_delta * prior_delta
+        ) + np.cumsum(centered * centered)
+        means = sums / counts
+        m2s = np.maximum(0.0, sum_sqs - counts * means * means)
+        self._count += arr.size
+        self._mean = shift + float(means[-1])
+        self._m2 = float(m2s[-1])
+        return np.sqrt(m2s / counts)
 
     def current(self) -> float | None:
         if not self._count:

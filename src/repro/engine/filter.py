@@ -152,6 +152,27 @@ class FilterOperator(TouchOperator):
         self.stats.record(tuples=1, results=0)
         return None
 
+    def on_batch(self, values: np.ndarray) -> np.ndarray:
+        """Evaluate the predicate over a whole array of touched values.
+
+        Returns the boolean keep-mask (one bit per touch) so the batch
+        slide path can drop non-qualifying touches with one vector
+        operation; statistics are recorded as if each value had been a
+        separate touch.  Attribute-scoped filters expect dict-shaped
+        tuples and cannot run on a flat value array.
+        """
+        if self.attribute is not None:
+            raise QueryError(
+                "batched filters require value-level predicates; "
+                f"this filter is scoped to attribute {self.attribute!r}"
+            )
+        arr = np.asarray(values)
+        mask = self.predicate.mask(arr)
+        self.stats.record_batch(
+            touches=int(arr.size), tuples=int(arr.size), results=int(np.sum(mask))
+        )
+        return mask
+
 
 class CompositeFilter(TouchOperator):
     """Conjunction of several per-attribute predicates (AND semantics)."""
@@ -173,3 +194,25 @@ class CompositeFilter(TouchOperator):
                 return None
         self.stats.record(tuples=1, results=1)
         return value
+
+    def on_batch(self, values: np.ndarray) -> np.ndarray:
+        """Conjunction of all member predicates over an array of values.
+
+        Attribute-scoped members expect dict-shaped tuples and therefore
+        cannot run on a flat value array; batch evaluation is only offered
+        for value-level predicates.
+        """
+        arr = np.asarray(values)
+        mask = np.ones(arr.shape[0], dtype=bool)
+        for filt in self._filters:
+            if filt.attribute is not None:
+                raise QueryError(
+                    "batched composite filters require value-level predicates"
+                )
+            mask &= filt.predicate.mask(arr)
+        self.stats.record_batch(
+            touches=int(arr.shape[0]),
+            tuples=int(arr.shape[0]),
+            results=int(np.sum(mask)),
+        )
+        return mask

@@ -32,6 +32,12 @@ class OperatorStats:
         self.tuples_examined += tuples
         self.results_emitted += results
 
+    def record_batch(self, touches: int, tuples: int, results: int) -> None:
+        """Record the effect of a whole batch of touches at once."""
+        self.touches_processed += touches
+        self.tuples_examined += tuples
+        self.results_emitted += results
+
 
 class TouchOperator(ABC):
     """Base class for operators driven one touch at a time.

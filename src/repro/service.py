@@ -50,7 +50,8 @@ from repro.core.commands import (
     ZoomIn,
     ZoomOut,
 )
-from repro.core.kernel import DbTouchKernel, GestureOutcome, KernelConfig, update_stride
+from repro.core.batch import dedupe_slide_batch
+from repro.core.kernel import DbTouchKernel, GestureOutcome, KernelConfig
 from repro.core.schema_gestures import (
     SchemaGestureOutcome,
     SchemaGestures,
@@ -66,7 +67,7 @@ from repro.storage.catalog import Catalog
 from repro.storage.column import Column
 from repro.storage.table import Table
 from repro.touchio.device import DeviceProfile, IPAD1, TouchDevice
-from repro.touchio.events import TouchPhase, TouchStream
+from repro.touchio.events import TouchStream
 from repro.touchio.recognizer import GestureRecognizer, GestureType
 from repro.touchio.synthesizer import GestureSynthesizer
 from repro.touchio.views import View, make_column_view
@@ -239,16 +240,31 @@ class LocalExplorationService:
     # ------------------------------------------------------------------ #
     # host-side data management (not part of the command vocabulary)
     # ------------------------------------------------------------------ #
-    def load_column(self, name: str, values: Iterable) -> Column:
-        """Register a standalone column in the service's catalog."""
+    def load_column(self, name: str, values: Iterable, replace: bool = False) -> Column:
+        """Register a standalone column in the service's catalog.
+
+        With ``replace``, an already-registered column of the same name is
+        overwritten (a data reload): stale sample hierarchies are dropped,
+        shown views are re-bound to the new data and every touched-range
+        cache entry derived from the object is invalidated.
+        """
         column = _as_named_column(name, values)
-        self.catalog.register_column(column)
+        self.catalog.register_column(column, replace=replace)
+        if replace:
+            self.kernel.refresh_object(name)
         return column
 
-    def load_table(self, name: str, data: Mapping[str, Iterable] | Table) -> Table:
-        """Register a table in the service's catalog."""
+    def load_table(
+        self, name: str, data: Mapping[str, Iterable] | Table, replace: bool = False
+    ) -> Table:
+        """Register a table in the service's catalog.
+
+        ``replace`` reloads an existing table; see :meth:`load_column`.
+        """
         table = data if isinstance(data, Table) else Table.from_arrays(name, data)
-        self.catalog.register_table(table)
+        self.catalog.register_table(table, replace=replace)
+        if replace:
+            self.kernel.refresh_object(name)
         return table
 
     # ------------------------------------------------------------------ #
@@ -586,28 +602,28 @@ class RemoteExplorationService:
             object_name=state.object_name,
             duration_s=gesture.duration,
         )
-        events = (
-            [gesture.events[-1]]
-            if gesture.gesture_type is GestureType.TAP
-            else gesture.events
-        )
-        for event in events:
-            if gesture.gesture_type is not GestureType.TAP and event.phase in (
-                TouchPhase.ENDED,
-                TouchPhase.CANCELLED,
-            ):
-                continue
-            mapped = self.mapper.map_touch(state.view, event.primary)
-            if gesture.gesture_type is GestureType.TAP:
-                # a tap asks for the exact value under the finger and, like
-                # the local kernel, leaves the slide-tracking state untouched
-                stride = 1
-            else:
-                if state.last_rowid == mapped.rowid:
-                    continue  # a paused finger reports the same position
-                stride = update_stride(state, mapped.rowid)
-                state.last_rowid = mapped.rowid
-            self._answer_touch(state, mapped.rowid, stride, outcome)
+        if gesture.gesture_type is GestureType.TAP:
+            # a tap asks for the exact value under the finger and, like
+            # the local kernel, leaves the slide-tracking state untouched
+            mapped = self.mapper.map_touch(state.view, gesture.events[-1].primary)
+            self._answer_touch(state, mapped.rowid, 1, outcome)
+        else:
+            # the whole slide is mapped and deduplicated in one numpy pass
+            # (the same batched mapping the local kernel uses); each touch
+            # is then answered under the remote policy as before
+            mapped_batch = self.mapper.map_batch(
+                state.view, gesture.events, active_only=True
+            )
+            if len(mapped_batch):
+                keep, strides = dedupe_slide_batch(
+                    mapped_batch.rowids, state.last_rowid, state.current_stride
+                )
+                kept = mapped_batch.rowids[keep]
+                for rowid, stride in zip(kept.tolist(), strides.tolist()):
+                    self._answer_touch(state, int(rowid), int(stride), outcome)
+                if kept.size:
+                    state.last_rowid = int(kept[-1])
+                    state.current_stride = int(strides[-1])
         if state.aggregate is not None:
             outcome.final_aggregate = state.aggregate.current()
         envelope = OutcomeEnvelope(

@@ -65,14 +65,11 @@ class Catalog:
         """Remove the table or column registered under ``name``."""
         if name in self._tables:
             del self._tables[name]
-            self._hierarchies = {
-                key: h for key, h in self._hierarchies.items() if key[0] != name
-            }
         elif name in self._columns:
             del self._columns[name]
-            self._hierarchies.pop((name, name), None)
         else:
             raise CatalogError(f"no data object named {name!r}")
+        self.drop_hierarchies_for(name)
 
     # ------------------------------------------------------------------ #
     # lookup
@@ -173,3 +170,9 @@ class Catalog:
     def drop_hierarchies(self) -> None:
         """Discard every cached sample hierarchy (frees auxiliary storage)."""
         self._hierarchies.clear()
+
+    def drop_hierarchies_for(self, object_name: str) -> None:
+        """Discard the cached hierarchies of one object (its data changed)."""
+        self._hierarchies = {
+            key: h for key, h in self._hierarchies.items() if key[0] != object_name
+        }

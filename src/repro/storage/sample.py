@@ -11,7 +11,7 @@ matches the gesture's effective sampling rate.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 import numpy as np
 
@@ -146,6 +146,43 @@ class SampleHierarchy:
         sample_rowid = lvl.sample_rowid(base_rowid)
         return lvl.column.value_at(sample_rowid), lvl
 
+    def level_index_for_strides(self, strides: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`level_for_stride`: one level index per stride.
+
+        ``_levels`` is kept sorted by step (the base level has step 1), so
+        the coarsest level whose step still resolves each stride is found
+        with one ``searchsorted`` pass.
+        """
+        steps = np.asarray([lvl.step for lvl in self._levels], dtype=np.int64)
+        wanted = np.maximum(1, np.asarray(strides, dtype=np.int64))
+        return np.maximum(0, np.searchsorted(steps, wanted, side="right") - 1)
+
+    def read_batch(
+        self, base_rowids: np.ndarray, stride_hints: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Batched :meth:`read_at`: serve a whole rowid array in one pass.
+
+        Each touch selects its own level from its stride hint; rowids are
+        then gathered per level with fancy indexing, so a gesture of N
+        touches costs one numpy gather per distinct level instead of N
+        Python-level reads.  Returns ``(values, level_numbers)``.
+        """
+        rowids = np.asarray(base_rowids, dtype=np.int64)
+        if rowids.size and (rowids.min() < 0 or rowids.max() >= len(self.base)):
+            raise SampleError(
+                f"base rowid out of range for column of length {len(self.base)}"
+            )
+        indices = self.level_index_for_strides(stride_hints)
+        values = np.empty(rowids.size, dtype=self.base.values.dtype)
+        level_numbers = np.empty(rowids.size, dtype=np.int64)
+        for index in np.unique(indices):
+            lvl = self._levels[index]
+            mask = indices == index
+            sample_rowids = np.minimum(lvl.num_rows - 1, rowids[mask] // lvl.step)
+            values[mask] = lvl.column.values[sample_rowids]
+            level_numbers[mask] = lvl.level
+        return values, level_numbers
+
     def read_window(self, base_rowid: int, half_window: int, stride_hint: int = 1) -> tuple[np.ndarray, SampleLevel]:
         """Read the window ``[base_rowid - half_window, base_rowid + half_window]``.
 
@@ -173,7 +210,12 @@ class SampleHierarchy:
             if lvl.step == stride:
                 return lvl
         sampled = self.base.take_every(stride)
-        new_level = SampleLevel(level=self.num_levels, step=stride, column=sampled)
-        self._levels.append(new_level)
+        self._levels.append(SampleLevel(level=self.num_levels, step=stride, column=sampled))
         self._levels.sort(key=lambda lvl: lvl.step)
-        return new_level
+        # renumber so level(i).level == i survives mid-stride insertions;
+        # served-level reporting counts by these numbers
+        self._levels = [
+            lvl if lvl.level == i else replace(lvl, level=i)
+            for i, lvl in enumerate(self._levels)
+        ]
+        return next(lvl for lvl in self._levels if lvl.step == stride)

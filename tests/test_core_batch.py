@@ -1,0 +1,527 @@
+"""Unit and parity tests for the vectorized batch slide machinery."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.batch import dedupe_slide_batch
+from repro.core.caching import TouchCache
+from repro.core.kernel import KernelConfig
+from repro.core.prefetch import GesturePrefetcher
+from repro.core.result_stream import ResultStream
+from repro.core.session import ExplorationSession
+from repro.core.summaries import InteractiveSummarizer
+from repro.core.touch_mapping import TouchMapper
+from repro.engine.aggregate import make_aggregate
+from repro.engine.filter import Comparison, FilterOperator, Predicate
+from repro.errors import VisualizationError
+from repro.storage.column import Column
+from repro.storage.sample import SampleHierarchy
+from repro.touchio.device import DeviceProfile
+from repro.touchio.synthesizer import GestureSynthesizer, SlideSegment
+from repro.touchio.views import make_column_view, make_table_view
+
+
+@pytest.fixture
+def profile() -> DeviceProfile:
+    return DeviceProfile(
+        name="batch-device",
+        screen_width_cm=20.0,
+        screen_height_cm=15.0,
+        sampling_rate_hz=60.0,
+        finger_width_cm=0.08,
+    )
+
+
+# --------------------------------------------------------------------- #
+# mapping
+# --------------------------------------------------------------------- #
+class TestMapBatch:
+    def _stream(self, view, profile, segments=None):
+        synthesizer = GestureSynthesizer(profile)
+        if segments is None:
+            return synthesizer.slide(view, duration=1.0)
+        return synthesizer.slide_path(view, segments)
+
+    def test_matches_per_touch_mapping_on_column(self, profile):
+        view = make_column_view("v", "c", num_tuples=123_457, height_cm=10.0, width_cm=2.0)
+        stream = self._stream(view, profile)
+        mapper = TouchMapper()
+        batch = mapper.map_batch(view, stream.events)
+        for i, event in enumerate(stream.events):
+            mapped = mapper.map_touch(view, event.primary)
+            assert batch.rowids[i] == mapped.rowid
+            assert batch.attribute_indices[i] == mapped.attribute_index
+            assert batch.fractions[i] == mapped.fraction
+            assert batch.timestamps[i] == event.timestamp
+
+    def test_matches_per_touch_mapping_on_table(self, profile):
+        view = make_table_view(
+            "t", "tbl", num_tuples=997, num_attributes=4, height_cm=10.0, width_cm=8.0
+        )
+        stream = self._stream(view, profile)
+        mapper = TouchMapper()
+        batch = mapper.map_batch(view, stream.events)
+        for i, event in enumerate(stream.events):
+            mapped = mapper.map_touch(view, event.primary)
+            assert batch.rowids[i] == mapped.rowid
+            assert batch.attribute_indices[i] == mapped.attribute_index
+
+    def test_granularity_snapping(self, profile):
+        view = make_column_view("v", "c", num_tuples=10_000, height_cm=10.0, width_cm=2.0)
+        stream = self._stream(view, profile)
+        mapper = TouchMapper(granularity=16)
+        batch = mapper.map_batch(view, stream.events)
+        assert np.all(batch.rowids % 16 == 0)
+        for i, event in enumerate(stream.events):
+            assert batch.rowids[i] == mapper.map_touch(view, event.primary).rowid
+
+
+class TestDedupeSlideBatch:
+    def test_drops_runs_and_carries_stride(self):
+        rowids = np.array([5, 5, 9, 9, 9, 13, 20], dtype=np.int64)
+        keep, strides = dedupe_slide_batch(rowids, last_rowid=None, current_stride=3)
+        assert rowids[keep].tolist() == [5, 9, 13, 20]
+        # no previous rowid: the first touch keeps the carried stride
+        assert strides.tolist() == [3, 4, 4, 7]
+
+    def test_dedups_against_previous_gesture(self):
+        rowids = np.array([7, 7, 11], dtype=np.int64)
+        keep, strides = dedupe_slide_batch(rowids, last_rowid=7, current_stride=2)
+        assert rowids[keep].tolist() == [11]
+        assert strides.tolist() == [4]
+
+    def test_empty_after_dedup(self):
+        rowids = np.array([4, 4, 4], dtype=np.int64)
+        keep, strides = dedupe_slide_batch(rowids, last_rowid=4, current_stride=2)
+        assert rowids[keep].size == 0 and strides.size == 0
+
+
+# --------------------------------------------------------------------- #
+# storage / summaries / aggregates
+# --------------------------------------------------------------------- #
+class TestSampleReadBatch:
+    def test_matches_read_at(self):
+        rng = np.random.default_rng(7)
+        column = Column("c", rng.integers(0, 1000, size=65_536, dtype=np.int64))
+        hierarchy = SampleHierarchy(column, factor=4)
+        rowids = rng.integers(0, len(column), size=500)
+        strides = rng.integers(1, 600, size=500)
+        values, levels = hierarchy.read_batch(rowids, strides)
+        for i in range(rowids.size):
+            value, lvl = hierarchy.read_at(int(rowids[i]), int(strides[i]))
+            assert values[i] == value
+            assert levels[i] == lvl.level
+
+    def test_rejects_out_of_range(self):
+        column = Column("c", np.arange(100, dtype=np.int64))
+        hierarchy = SampleHierarchy(column, factor=4, min_rows=8)
+        from repro.errors import SampleError
+
+        with pytest.raises(SampleError):
+            hierarchy.read_batch(np.array([5, 100]), np.array([1, 1]))
+
+
+class TestSummarizeBatch:
+    @pytest.mark.parametrize("aggregate", ["avg", "sum", "count", "min", "max", "std"])
+    def test_matches_summarize_at(self, aggregate):
+        rng = np.random.default_rng(11)
+        column = Column("c", rng.integers(0, 10_000, size=50_000, dtype=np.int64))
+        hierarchy = SampleHierarchy(column, factor=4)
+        summarizer = InteractiveSummarizer(column, k=10, aggregate=aggregate, hierarchy=hierarchy)
+        rowids = rng.integers(0, len(column), size=200)
+        strides = rng.integers(1, 400, size=200)
+        values, counts, levels = summarizer.summarize_batch(rowids, strides)
+        reference = InteractiveSummarizer(column, k=10, aggregate=aggregate, hierarchy=hierarchy)
+        for i in range(rowids.size):
+            expected = reference.summarize_at(int(rowids[i]), int(strides[i]))
+            assert counts[i] == expected.values_aggregated
+            assert levels[i] == expected.served_from_level
+            assert values[i] == pytest.approx(expected.value, rel=1e-12, abs=1e-9)
+
+    def test_window_std_survives_large_offsets(self):
+        rng = np.random.default_rng(13)
+        column = Column("c", 1e8 + rng.normal(0.0, 1.0, size=2000))
+        batched = InteractiveSummarizer(column, k=100, aggregate="std")
+        reference = InteractiveSummarizer(column, k=100, aggregate="std")
+        values, _, _ = batched.summarize_batch(np.array([300, 1000, 1700]), np.ones(3, dtype=np.int64))
+        for i, rowid in enumerate((300, 1000, 1700)):
+            assert values[i] == pytest.approx(reference.summarize_at(rowid).value, abs=1e-6)
+
+    def test_counters_track_batch(self):
+        column = Column("c", np.arange(1000, dtype=np.int64))
+        summarizer = InteractiveSummarizer(column, k=5)
+        _, counts, _ = summarizer.summarize_batch(np.array([0, 500, 999]), np.array([1, 1, 1]))
+        assert summarizer.touches == 3
+        assert summarizer.values_read == int(counts.sum())
+        # edge windows clamp
+        assert counts.tolist() == [6, 11, 6]
+
+
+class TestAggregateOnBatch:
+    @pytest.mark.parametrize("kind", ["count", "sum", "avg", "min", "max", "std"])
+    def test_running_values_match_on_touch(self, kind):
+        rng = np.random.default_rng(3)
+        values = rng.normal(50.0, 20.0, size=300)
+        batched = make_aggregate(kind)
+        sequential = make_aggregate(kind)
+        running_batch = batched.on_batch(values)
+        running_seq = [sequential.on_touch(i, v) for i, v in enumerate(values)]
+        assert running_batch == pytest.approx(running_seq, rel=1e-9, abs=1e-9)
+        assert batched.current() == pytest.approx(sequential.current(), rel=1e-9)
+        assert batched.count == sequential.count
+
+    @pytest.mark.parametrize("kind", ["count", "sum", "avg", "min", "max"])
+    def test_exact_for_integer_inputs(self, kind):
+        values = np.arange(1, 1001, dtype=np.float64)
+        batched = make_aggregate(kind)
+        sequential = make_aggregate(kind)
+        running_batch = batched.on_batch(values)
+        running_seq = [sequential.on_touch(i, v) for i, v in enumerate(values)]
+        assert running_batch.tolist() == running_seq
+        assert batched.current() == sequential.current()
+
+    def test_resumes_from_existing_state(self):
+        agg = make_aggregate("avg")
+        agg.on_touch(0, 10.0)
+        running = agg.on_batch(np.array([20.0, 30.0]))
+        assert running.tolist() == [15.0, 20.0]
+        assert agg.count == 3
+
+    @pytest.mark.parametrize("kind", ["sum", "avg"])
+    def test_batch_fold_is_bit_identical_across_gestures(self, kind):
+        # the scan must associate additions exactly like the sequential
+        # fold even when resuming from prior state: ((sum + a1) + a2) ...
+        rng = np.random.default_rng(17)
+        first = rng.uniform(1e9, 1e10, size=50)
+        second = rng.uniform(0.1, 1.0, size=50)
+        batched = make_aggregate(kind)
+        sequential = make_aggregate(kind)
+        for chunk in (first, second):
+            running_batch = batched.on_batch(chunk)
+            running_seq = [sequential.on_touch(i, v) for i, v in enumerate(chunk)]
+            assert running_batch.tolist() == running_seq
+        assert batched.current() == sequential.current()
+
+    def test_std_survives_large_offsets(self):
+        # naive E[x^2] - mean^2 cancels catastrophically here; the shifted
+        # cumulative moments must stay on top of the Welford reference
+        rng = np.random.default_rng(9)
+        values = 1e8 + rng.normal(0.0, 1.0, size=400)
+        batched = make_aggregate("std")
+        sequential = make_aggregate("std")
+        running_batch = batched.on_batch(values)
+        running_seq = [sequential.on_touch(i, v) for i, v in enumerate(values)]
+        assert running_batch == pytest.approx(running_seq, abs=1e-6)
+        assert batched.current() == pytest.approx(sequential.current(), abs=1e-6)
+        # resume across batches with the shift anchored to prior state
+        resumed = make_aggregate("std")
+        resumed.on_batch(values[:100])
+        resumed.on_batch(values[100:])
+        assert resumed.current() == pytest.approx(sequential.current(), abs=1e-6)
+
+
+class TestFilterOnBatch:
+    def test_mask_and_stats(self):
+        operator = FilterOperator(Predicate(Comparison.GE, 10))
+        mask = operator.on_batch(np.array([5, 10, 15]))
+        assert mask.tolist() == [False, True, True]
+        assert operator.stats.touches_processed == 3
+        assert operator.stats.results_emitted == 2
+
+    def test_attribute_scoped_filter_rejected(self):
+        from repro.errors import QueryError
+
+        operator = FilterOperator(Predicate(Comparison.GE, 10), attribute="a")
+        with pytest.raises(QueryError):
+            operator.on_batch(np.array([1.0, 2.0]))
+
+
+# --------------------------------------------------------------------- #
+# cache, prefetch, results
+# --------------------------------------------------------------------- #
+class TestCacheBulkOps:
+    def test_put_many_get_many_round_trip(self):
+        cache = TouchCache(capacity=64, bucket_rows=4)
+        rowids = np.array([0, 4, 8, 200], dtype=np.int64)
+        cache.put_many("obj", rowids, [1.0, 2.0, 3.0, 4.0], np.ones(4, dtype=np.int64))
+        values, hits = cache.get_many("obj", rowids, np.ones(4, dtype=np.int64))
+        assert hits.all()
+        assert values == [1.0, 2.0, 3.0, 4.0]
+        # a different stride bucket misses
+        _, coarse_hits = cache.get_many("obj", rowids, np.full(4, 16, dtype=np.int64))
+        assert not coarse_hits.any()
+
+    def test_stride_buckets_match_scalar_rule(self):
+        strides = np.array([1, 2, 3, 4, 7, 8, 1023, 1024], dtype=np.int64)
+        buckets = TouchCache.stride_buckets(strides)
+        expected = [TouchCache._stride_bucket(int(s)) for s in strides]
+        assert buckets.tolist() == expected
+
+    def test_collapsed_keys_mirror_tuple_keys(self):
+        cache = TouchCache(capacity=64, bucket_rows=16)
+        rng = np.random.default_rng(2)
+        rowids = rng.integers(0, 10_000, size=400)
+        strides = rng.integers(1, 2_000, size=400)
+        collapsed = cache.collapsed_keys(rowids, strides)
+        tuples = [cache._key("o", int(r), int(s))[1:] for r, s in zip(rowids, strides)]
+        # two references collapse to the same int exactly when _key agrees
+        seen: dict[int, tuple] = {}
+        for c, t in zip(collapsed.tolist(), tuples):
+            assert seen.setdefault(c, t) == t
+        assert len(set(collapsed.tolist())) == len(set(tuples))
+
+    def test_collapsed_namespace_keys_round_trip(self):
+        cache = TouchCache(capacity=64, bucket_rows=16)
+        rowids = np.array([0, 40, 4000], dtype=np.int64)
+        strides = np.array([1, 7, 900], dtype=np.int64)
+        cache.put_many("obj", rowids, [1.0, 2.0, 3.0], strides)
+        cache.put("other", 5, 9.0, 1)
+        stored = set(cache.collapsed_namespace_keys("obj").tolist())
+        assert stored == set(cache.collapsed_keys(rowids, strides).tolist())
+
+    def test_bulk_ops_match_loop_semantics(self):
+        bulk = TouchCache(capacity=8, bucket_rows=4)
+        loop = TouchCache(capacity=8, bucket_rows=4)
+        rowids = list(range(0, 48, 4))  # 12 distinct buckets > capacity
+        values = [float(r) for r in rowids]
+        strides = [1] * len(rowids)
+        bulk.put_many("o", np.array(rowids), values, np.array(strides))
+        for r, v, s in zip(rowids, values, strides):
+            loop.put("o", r, v, s)
+        assert len(bulk) == len(loop) == 8
+        assert bulk._entries == loop._entries
+        assert bulk.stats.evictions == loop.stats.evictions
+
+
+class TestProposeBatch:
+    def test_matches_sequential_observe_propose(self):
+        rng = np.random.default_rng(5)
+        timestamps = np.cumsum(rng.uniform(0.01, 0.05, size=120))
+        steps = rng.integers(-300, 600, size=120)
+        rowids = np.clip(np.cumsum(steps) + 50_000, 0, 99_999)
+        strides = np.maximum(1, np.abs(np.diff(np.concatenate([[50_000], rowids]))))
+        num_tuples = 100_000
+
+        sequential = GesturePrefetcher()
+        expected = []
+        for t, r, s in zip(timestamps, rowids, strides):
+            sequential.observe(float(t), int(r))
+            for rank, proposal in enumerate(sequential.propose(num_tuples, stride=int(s)), start=1):
+                expected.append((proposal, rank))
+
+        batched = GesturePrefetcher()
+        rows, src, rank = batched.propose_batch(timestamps, rowids, strides, num_tuples)
+        assert list(zip(rows.tolist(), rank.tolist())) == expected
+        assert batched.prefetches_issued == sequential.prefetches_issued
+        assert list(batched._observations) == list(sequential._observations)
+
+    def test_continues_across_gestures(self):
+        sequential = GesturePrefetcher()
+        batched = GesturePrefetcher()
+        for prefetcher in (sequential, batched):
+            prefetcher.observe(0.0, 100)
+            prefetcher.observe(0.1, 200)
+        sequential.observe(0.2, 300)
+        expected = sequential.propose(10_000, stride=100)
+        rows, _, _ = batched.propose_batch(
+            np.array([0.2]), np.array([300]), np.array([100]), 10_000
+        )
+        assert rows.tolist() == expected
+
+
+class TestEmitBatch:
+    def test_matches_sequential_emit(self):
+        batch_stream = ResultStream(fade_seconds=1.0)
+        loop_stream = ResultStream(fade_seconds=1.0)
+        values = [1, 2, 3]
+        rowids = [10, 20, 30]
+        fractions = [0.1, 0.5, 0.9]
+        times = [0.0, 0.5, 1.0]
+        emitted = batch_stream.emit_batch(values, rowids, fractions, times)
+        for v, r, f, t in zip(values, rowids, fractions, times):
+            loop_stream.emit(v, r, f, t)
+        assert emitted == loop_stream.all_results
+        assert batch_stream.all_results == loop_stream.all_results
+
+    def test_validates_before_mutating(self):
+        stream = ResultStream()
+        stream.emit(1, 0, 0.5, 5.0)
+        with pytest.raises(VisualizationError):
+            stream.emit_batch([2], [1], [0.5], [4.0])  # goes back in time
+        with pytest.raises(VisualizationError):
+            stream.emit_batch([2, 3], [1, 2], [0.5, 1.5], [6.0, 7.0])
+        assert len(stream) == 1
+
+
+# --------------------------------------------------------------------- #
+# end-to-end parity of the batch slide path
+# --------------------------------------------------------------------- #
+CONFIG_MATRIX = [
+    dict(enable_cache=False, enable_prefetch=False, enable_samples=False),
+    dict(enable_cache=True, enable_prefetch=False, enable_samples=False),
+    dict(enable_cache=True, enable_prefetch=True, enable_samples=False),
+    dict(enable_cache=True, enable_prefetch=True, enable_samples=True),
+    dict(enable_cache=False, enable_prefetch=True, enable_samples=True),
+]
+
+
+def _deterministic_fields(outcome):
+    return dict(
+        rowids=outcome.rowids_touched,
+        tuples=outcome.tuples_examined,
+        entries=outcome.entries_returned,
+        cache_hits=outcome.cache_hits,
+        cache_misses=outcome.cache_misses,
+        prefetch_hits=outcome.prefetch_hits,
+        levels=outcome.served_level_counts,
+        final=outcome.final_aggregate,
+        values=[r.value for r in outcome.results],
+        duration=outcome.duration_s,
+        latencies=len(outcome.per_touch_latencies_s),
+    )
+
+
+class TestBatchSlideParity:
+    def _run(self, profile, batch, config_kwargs, drive):
+        session = ExplorationSession(
+            profile=profile,
+            config=KernelConfig(batch_execution=batch, **config_kwargs),
+        )
+        session.load_column("c", np.arange(200_000, dtype=np.int64))
+        view = session.show_column("c", height_cm=10.0)
+        return drive(session, view)
+
+    @pytest.mark.parametrize("config_kwargs", CONFIG_MATRIX)
+    def test_scan_back_and_forth(self, profile, config_kwargs):
+        def drive(session, view):
+            session.choose_scan(view)
+            return [
+                session.slide_path(
+                    view,
+                    [
+                        SlideSegment(0.0, 1.0, duration=1.0, pause_after=0.5),
+                        SlideSegment(1.0, 0.3, duration=1.0),
+                    ],
+                ),
+                session.slide(view, duration=0.7),
+            ]
+
+        loop = self._run(profile, False, config_kwargs, drive)
+        batch = self._run(profile, True, config_kwargs, drive)
+        for a, b in zip(loop, batch):
+            assert _deterministic_fields(a) == _deterministic_fields(b)
+
+    @pytest.mark.parametrize("config_kwargs", CONFIG_MATRIX)
+    def test_summary_parity(self, profile, config_kwargs):
+        def drive(session, view):
+            session.choose_summary(view, k=10)
+            return [session.slide(view, duration=1.5)]
+
+        loop = self._run(profile, False, config_kwargs, drive)
+        batch = self._run(profile, True, config_kwargs, drive)
+        assert _deterministic_fields(loop[0]) == _deterministic_fields(batch[0])
+
+    def test_aggregate_with_predicate_parity(self, profile):
+        from repro.core.actions import aggregate_action
+
+        def drive(session, view):
+            session.choose_action(
+                view,
+                aggregate_action("avg", predicate=Predicate(Comparison.GE, 50_000)),
+            )
+            return [session.slide(view, duration=1.5)]
+
+        loop = self._run(profile, False, {}, drive)
+        batch = self._run(profile, True, {}, drive)
+        assert _deterministic_fields(loop[0]) == _deterministic_fields(batch[0])
+
+    def test_kernel_state_matches_after_slide(self, profile):
+        def drive(session, view):
+            session.choose_scan(view)
+            session.slide(view, duration=1.0)
+            state = session.kernel.state_of(view.name)
+            return [(state.last_rowid, state.current_stride, state.last_timestamp)]
+
+        loop = self._run(profile, False, {}, drive)
+        batch = self._run(profile, True, {}, drive)
+        assert loop == batch
+
+    @pytest.mark.parametrize("prefetch", [False, True])
+    def test_lru_end_state_matches_reference_loop(self, profile, prefetch):
+        # the recency order decides which entries later gestures evict, so
+        # a multi-gesture session on a tiny cache must see identical
+        # counters AND an identical final LRU key order on both paths
+        rng = np.random.default_rng(21)
+        legs = [
+            (float(a), float(b), float(d))
+            for a, b, d in zip(
+                rng.uniform(0, 1, 5), rng.uniform(0, 1, 5), rng.uniform(0.2, 0.6, 5)
+            )
+        ]
+
+        def run(batch):
+            session = ExplorationSession(
+                profile=profile,
+                config=KernelConfig(
+                    batch_execution=batch,
+                    cache_capacity=5,
+                    enable_prefetch=prefetch,
+                    enable_samples=False,
+                ),
+            )
+            session.load_column("c", np.arange(100_000, dtype=np.int64))
+            view = session.show_column("c", height_cm=10.0)
+            session.choose_scan(view)
+            outcomes = [
+                session.slide(view, duration=d, start_fraction=a, end_fraction=b)
+                for a, b, d in legs
+            ]
+            counters = [
+                (o.cache_hits, o.cache_misses, o.prefetch_hits) for o in outcomes
+            ]
+            return counters, list(session.kernel.cache._entries)
+
+        loop_counters, loop_keys = run(False)
+        batch_counters, batch_keys = run(True)
+        assert loop_counters == batch_counters
+        assert loop_keys == batch_keys
+
+    @pytest.mark.parametrize("capacity", [8, 64, 512])
+    def test_parity_survives_tiny_cache_capacities(self, profile, capacity):
+        # when mid-gesture evictions become possible the executor must
+        # fall back to the reference loop rather than serve wrong values
+        def drive(session, view):
+            session.choose_aggregate(view, "avg")
+            return [
+                session.slide(view, duration=1.5),
+                session.slide(view, duration=1.0, start_fraction=1.0, end_fraction=0.0),
+            ]
+
+        config_kwargs = dict(cache_capacity=capacity)
+        loop = self._run(profile, False, config_kwargs, drive)
+        batch = self._run(profile, True, config_kwargs, drive)
+        for a, b in zip(loop, batch):
+            assert _deterministic_fields(a) == _deterministic_fields(b)
+
+    def test_group_by_and_join_fall_back_to_reference_path(self, profile):
+        # the batch executor must decline actions it does not implement
+        session = ExplorationSession(
+            profile=profile,
+            config=KernelConfig(enable_cache=False, enable_prefetch=False, enable_samples=False),
+        )
+        session.load_table(
+            "t",
+            {
+                "key": np.arange(500, dtype=np.int64) % 5,
+                "value": np.arange(500, dtype=np.int64),
+            },
+        )
+        view = session.show_table("t", height_cm=10.0, width_cm=8.0)
+        from repro.core.actions import group_by_action
+
+        session.choose_action(view, group_by_action("key", "value"))
+        outcome = session.slide(view, duration=1.0)
+        assert session.kernel.state_of(view.name).group_by.num_groups > 1
+        assert outcome.entries_returned > 0

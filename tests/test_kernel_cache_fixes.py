@@ -1,0 +1,358 @@
+"""Regression tests for the cache / prefetch / sample correctness fixes.
+
+Each test class pins one bug that the PR-2 audit surfaced; every test
+fails on the pre-fix code:
+
+* prefetch warming the select-where cache from the wrong column,
+* the never-populated join hash-table cache,
+* ``TouchCache.invalidate`` matching nothing against composite kernel keys
+  (and never being called),
+* interactive-summary cache entries surviving adaptive ``k`` changes,
+* ``SampleHierarchy.materialize_level_for`` breaking the level-numbering
+  invariant.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.actions import join_action, scan_action, select_where_action, summary_action
+from repro.core.caching import TouchCache
+from repro.core.kernel import KernelConfig
+from repro.core.session import ExplorationSession
+from repro.engine.filter import Comparison, Predicate
+from repro.storage.column import Column
+from repro.storage.sample import SampleHierarchy
+from repro.storage.table import Table
+from repro.touchio.device import DeviceProfile
+
+
+@pytest.fixture
+def profile() -> DeviceProfile:
+    return DeviceProfile(
+        name="fix-device",
+        screen_width_cm=20.0,
+        screen_height_cm=15.0,
+        sampling_rate_hz=60.0,
+        finger_width_cm=0.08,
+    )
+
+
+class TestPrefetchReadsActionColumn:
+    """_maybe_prefetch must warm the cache from the column the action reads."""
+
+    @pytest.mark.parametrize("batch_execution", [False, True])
+    def test_select_where_prefetch_does_not_poison_cache(self, profile, batch_execution):
+        # column 0 holds values that PASS the predicate, the where attribute
+        # holds values that FAIL it: pre-fix, prefetch cached column-0 values
+        # under the select-where key, so prefetched touches wrongly qualified
+        n = 5000
+        table = Table.from_arrays(
+            "orders",
+            {
+                "id": np.full(n, 100, dtype=np.int64),
+                "amount": np.full(n, 5, dtype=np.int64),
+            },
+        )
+        session = ExplorationSession(
+            profile=profile,
+            config=KernelConfig(
+                enable_cache=True,
+                enable_prefetch=True,
+                enable_samples=False,
+                batch_execution=batch_execution,
+            ),
+        )
+        session.load_table("orders", table)
+        view = session.show_table("orders", height_cm=10.0, width_cm=8.0)
+        session.choose_action(
+            view,
+            select_where_action("amount", Predicate(Comparison.GT, 10), ["id"]),
+        )
+        outcome = session.slide(view, duration=2.0)
+        # the slide must have exercised the prefetch machinery for the test
+        # to be meaningful
+        assert session.kernel.state_of(view.name).prefetcher.prefetches_issued > 0
+        # no amount satisfies "> 10": nothing may qualify, prefetched or not
+        assert outcome.entries_returned == 0
+
+
+class TestHashTableCacheReuse:
+    """Tearing a join down caches its hash tables; re-attaching reuses them."""
+
+    def _join_session(self, profile):
+        session = ExplorationSession(
+            profile=profile,
+            config=KernelConfig(enable_cache=False, enable_prefetch=False, enable_samples=False),
+        )
+        keys = np.arange(500, dtype=np.int64) % 50
+        session.load_column("left", keys)
+        session.load_column("right", keys)
+        left = session.show_column("left", height_cm=10.0, x=0.0)
+        right = session.show_column("right", height_cm=10.0, x=5.0)
+        session.choose_action(left, join_action("right"))
+        session.choose_action(right, join_action("left"))
+        session.slide(left, duration=1.0)
+        session.slide(right, duration=1.0)
+        return session, left, right
+
+    def test_replacing_join_action_populates_cache(self, profile):
+        session, left, right = self._join_session(profile)
+        assert len(session.kernel.hash_table_cache) == 0
+        session.choose_action(left, scan_action())
+        assert len(session.kernel.hash_table_cache) == 1
+
+    def test_teardown_ends_join_for_partner_until_reattach(self, profile):
+        # a join is a pairwise agreement: one side replacing its action
+        # ends it for the partner too (documented set_action semantics)
+        session, left, right = self._join_session(profile)
+        session.choose_action(left, scan_action())
+        partner_outcome = session.slide(right, duration=0.5)
+        assert partner_outcome.join_matches == 0
+        session.choose_action(left, join_action("right"))
+        resumed = session.slide(right, duration=0.5)
+        assert resumed.join_matches > 0
+
+    def test_rebinding_view_name_discards_cached_tables(self, profile):
+        # hash-table snapshots are keyed by view names; reusing a view
+        # name for a different object must not resurrect the old tables
+        session, left, right = self._join_session(profile)
+        session.choose_action(left, scan_action())  # snapshots under (left, right)
+        assert len(session.kernel.hash_table_cache) == 1
+        session.load_column("other", np.full(500, 9_999, dtype=np.int64))
+        session.show_column("other", view_name=left.name, height_cm=10.0)
+        session.choose_action(left.name, join_action("right"))
+        rebuilt = session.kernel._join_for(left.name)
+        # the join starts empty: the cached tables indexed the old object
+        assert rebuilt.left_cardinality == 0 and rebuilt.right_cardinality == 0
+
+    def test_reattached_join_starts_from_cached_tables(self, profile):
+        session, left, right = self._join_session(profile)
+        join_before = session.kernel._join_for(left.name)
+        built_left = join_before.left_cardinality
+        built_right = join_before.right_cardinality
+        assert built_left > 0 and built_right > 0
+        session.choose_action(left, scan_action())
+        session.choose_action(left, join_action("right"))
+        rebuilt = session.kernel._join_for(left.name)
+        assert rebuilt is not join_before
+        # the cached hash tables were reloaded before any new touch arrived
+        assert session.kernel.hash_table_cache.stats.hits >= 1
+        assert sum(len(v) for v in rebuilt._left.values()) >= built_left
+        assert sum(len(v) for v in rebuilt._right.values()) >= built_right
+
+
+class TestTouchCacheInvalidate:
+    """invalidate() must match the kernel's composite object namespaces."""
+
+    def test_invalidate_matches_namespaced_keys(self):
+        cache = TouchCache(capacity=16)
+        cache.put(("ramp", "scan"), 10, 1.0, 1)
+        cache.put(("ramp", "summary:k8"), 10, 2.0, 1)
+        cache.put(("rampart", "scan"), 10, 3.0, 1)
+        cache.put("ramp", 10, 4.0, 1)
+        dropped = cache.invalidate("ramp")
+        assert dropped == 3
+        assert len(cache) == 1
+        assert cache.get(("rampart", "scan"), 10, 1) == 3.0
+
+    def test_invalidate_never_conflates_colon_names(self):
+        # object names may themselves contain ':'; the tuple namespace
+        # keeps the object segment exactly recoverable
+        cache = TouchCache(capacity=16)
+        cache.put(("sales", "scan"), 10, 1.0, 1)
+        cache.put(("sales:eu", "scan"), 10, 2.0, 1)
+        cache.put("sales:eu", 10, 3.0, 1)
+        assert cache.invalidate("sales") == 1
+        assert cache.get(("sales:eu", "scan"), 10, 1) == 2.0
+        assert cache.get("sales:eu", 10, 1) == 3.0
+
+    @pytest.mark.parametrize("batch_execution", [False, True])
+    def test_rotation_invalidates_cached_reads(self, profile, batch_execution):
+        session = ExplorationSession(
+            profile=profile,
+            config=KernelConfig(
+                enable_prefetch=False, enable_samples=False, batch_execution=batch_execution
+            ),
+        )
+        session.load_table(
+            "events",
+            {
+                "a": np.arange(1000, dtype=np.int64),
+                "b": np.arange(1000, dtype=np.int64) * 2,
+            },
+        )
+        view = session.show_table("events", height_cm=10.0, width_cm=8.0)
+        session.choose_action(
+            view, select_where_action("a", Predicate(Comparison.GE, 0), ["b"])
+        )
+        session.slide(view, duration=1.0)
+        assert len(session.kernel.cache) > 0
+        session.rotate(view)
+        assert len(session.kernel.cache) == 0
+
+    def test_data_reload_drops_stale_join_state(self, profile):
+        session = ExplorationSession(
+            profile=profile,
+            config=KernelConfig(enable_cache=False, enable_prefetch=False, enable_samples=False),
+        )
+        keys = np.arange(500, dtype=np.int64) % 50
+        session.load_column("left", keys)
+        session.load_column("right", keys)
+        left = session.show_column("left", height_cm=10.0, x=0.0)
+        right = session.show_column("right", height_cm=10.0, x=5.0)
+        session.choose_action(left, join_action("right"))
+        session.choose_action(right, join_action("left"))
+        session.slide(left, duration=1.0)
+        assert session.kernel._join_for(left.name).left_cardinality > 0
+        # reload the left column with values that share no join keys
+        session.load_column("left", np.full(500, 10_000, dtype=np.int64), replace=True)
+        rebuilt = session.kernel._join_for(left.name)
+        # the join must restart empty: the old hash tables indexed values
+        # that no longer exist
+        assert rebuilt.left_cardinality == 0 and rebuilt.right_cardinality == 0
+        outcome = session.slide(right, duration=1.0)
+        assert outcome.join_matches == 0
+
+    def test_data_reload_resets_incremental_rotation(self, profile):
+        from repro.storage.layout import LayoutKind
+
+        session = ExplorationSession(profile=profile)
+        session.load_table(
+            "t",
+            {
+                "a": np.arange(1000, dtype=np.int64),
+                "b": np.arange(1000, dtype=np.int64),
+            },
+        )
+        view = session.show_table("t", height_cm=10.0, width_cm=8.0)
+        session.rotate(view)
+        state = session.kernel.state_of(view.name)
+        assert state.rotation is not None
+        session.load_table(
+            "t",
+            {
+                "a": np.arange(50, dtype=np.int64),
+                "b": np.arange(50, dtype=np.int64),
+            },
+            replace=True,
+        )
+        # the rotation was converting the discarded table; it is dropped,
+        # and layout reporting stays paired with the (still horizontal)
+        # view orientation
+        assert state.rotation is None
+        assert state.layout_kind is LayoutKind.ROW_STORE
+        assert view.properties.orientation == "horizontal"
+        assert state.table is session.kernel.catalog.table("t")
+        # a further rotate flips both back in sync
+        session.rotate(view)
+        assert view.properties.orientation == "vertical"
+        assert state.layout_kind is LayoutKind.COLUMN_STORE
+
+    def test_data_reload_rescales_view_mapping(self, profile):
+        session = ExplorationSession(profile=profile)
+        session.load_column("c", np.arange(1000, dtype=np.float64))
+        view = session.show_column("c", height_cm=10.0)
+        session.choose_scan(view)
+        session.slide(view, duration=1.0)
+        # reload with a different row count: the view metadata must re-scale
+        # or every later touch maps through the stale extent
+        session.load_column("c", np.arange(100, dtype=np.float64), replace=True)
+        assert view.properties.num_tuples == 100
+        outcome = session.slide(view, duration=1.0)
+        assert 0 <= min(outcome.rowids_touched)
+        assert max(outcome.rowids_touched) == 99
+
+    def test_replace_on_remote_backend_raises_library_error(self):
+        from repro.service import RemoteExplorationService
+
+        session = ExplorationSession(service=RemoteExplorationService())
+        session.load_column("c", np.arange(100, dtype=np.int64))
+        from repro.errors import DbTouchError
+
+        with pytest.raises(DbTouchError):
+            session.load_column("c", np.arange(100, dtype=np.int64), replace=True)
+
+    def test_data_reload_drops_stale_entries_and_values(self, profile):
+        session = ExplorationSession(
+            profile=profile,
+            config=KernelConfig(enable_prefetch=False, enable_samples=False),
+        )
+        session.load_column("c", np.zeros(10_000, dtype=np.int64))
+        view = session.show_column("c", height_cm=10.0)
+        session.choose_scan(view)
+        first = session.slide(view, duration=1.0)
+        assert all(r.value == 0 for r in first.results)
+        session.load_column("c", np.ones(10_000, dtype=np.int64), replace=True)
+        second = session.slide(view, duration=1.0)
+        # stale cached zeros must not survive the reload
+        assert second.cache_hits == 0
+        assert all(r.value == 1 for r in second.results)
+
+
+class TestSummaryCacheTracksEffectiveK:
+    """Cached summaries computed at one k must not serve a different k."""
+
+    @pytest.mark.parametrize("batch_execution", [False, True])
+    def test_shrunk_k_bypasses_stale_entries(self, profile, batch_execution):
+        session = ExplorationSession(
+            profile=profile,
+            config=KernelConfig(
+                enable_prefetch=False, enable_samples=False, batch_execution=batch_execution
+            ),
+        )
+        session.load_column("c", np.arange(100_000, dtype=np.int64))
+        view = session.show_column("c", height_cm=10.0)
+        session.choose_action(view, summary_action(k=10))
+        first = session.slide(view, duration=1.0, start_fraction=0.3, end_fraction=0.7)
+        assert first.tuples_examined == 21 * first.entries_returned
+
+        # simulate sustained latency-budget violations: the optimizer
+        # shrinks its summary allowance, changing the effective k; the
+        # budget is pinned below any real touch latency so the allowance
+        # cannot recover while the second slide runs
+        optimizer = session.kernel.optimizer
+        optimizer.latency_budget_s = 1e-9
+        while optimizer.current_summary_k > 1:
+            optimizer.observe_touch(1, optimizer.latency_budget_s * 10)
+        k_eff = session.kernel._effective_summary_k(session.kernel.state_of(view.name))
+        assert k_eff < 10
+
+        second = session.slide(view, duration=1.0, start_fraction=0.3, end_fraction=0.7)
+        # pre-fix the whole revisit was served from k=10 entries
+        # (cache_hits > 0, tuples_examined == 0); now the shrunk window
+        # forces fresh, smaller reads
+        assert second.cache_hits == 0
+        assert second.entries_returned > 0
+        assert second.tuples_examined == (2 * k_eff + 1) * second.entries_returned
+
+
+class TestMaterializeLevelInvariant:
+    """materialize_level_for must keep level(i).level == i."""
+
+    def test_mid_stride_level_is_renumbered(self):
+        column = Column("c", np.arange(4096, dtype=np.int64))
+        hierarchy = SampleHierarchy(column, factor=4, min_rows=64)
+        steps_before = [lvl.step for lvl in hierarchy.levels]
+        assert steps_before == sorted(steps_before)
+        new_level = hierarchy.materialize_level_for(8)  # between steps 4 and 16
+        assert new_level.step == 8
+        steps_after = [lvl.step for lvl in hierarchy.levels]
+        assert steps_after == sorted(steps_after)
+        for index in range(hierarchy.num_levels):
+            assert hierarchy.level(index).level == index
+        # lookups through the hierarchy resolve to the new level
+        value, served = hierarchy.read_at(100, stride_hint=8)
+        assert served.step == 8
+        assert hierarchy.level(served.level) is served
+
+    def test_rematerializing_existing_stride_is_stable(self):
+        column = Column("c", np.arange(4096, dtype=np.int64))
+        hierarchy = SampleHierarchy(column, factor=4, min_rows=64)
+        before = hierarchy.num_levels
+        again = hierarchy.materialize_level_for(4)
+        assert hierarchy.num_levels == before
+        assert again.step == 4
+        for index in range(hierarchy.num_levels):
+            assert hierarchy.level(index).level == index
