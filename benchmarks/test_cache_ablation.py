@@ -9,7 +9,6 @@ revisit was served from cached results.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.core.kernel import KernelConfig
 from repro.core.session import ExplorationSession

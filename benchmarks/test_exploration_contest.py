@@ -14,7 +14,6 @@ interactions.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.metrics.reporting import format_comparison
 from repro.workloads.contest import run_contest

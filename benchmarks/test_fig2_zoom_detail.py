@@ -13,7 +13,6 @@ screenshot) and asserts both effects.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.core.session import ExplorationSession
 from repro.metrics.reporting import format_comparison

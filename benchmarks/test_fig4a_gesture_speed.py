@@ -18,7 +18,6 @@ approximately linear in gesture duration — is asserted.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.core.kernel import KernelConfig
 from repro.metrics.reporting import ExperimentSeries
@@ -45,7 +44,10 @@ def run_speed_sweep(column) -> ExperimentSeries:
         # caching and prefetching are disabled so tuples_examined reflects the
         # window each summary actually aggregates (2k+1 values per entry)
         session = make_fig4_session(
-            column, config=KernelConfig(enable_cache=False, enable_prefetch=False, enable_samples=False)
+            column,
+            config=KernelConfig(
+                enable_cache=False, enable_prefetch=False, enable_samples=False
+            ),
         )
         view = session.show_column(column.name, height_cm=FIG4_OBJECT_HEIGHT_CM)
         session.choose_summary(view, k=FIG4_SUMMARY_K, aggregate="avg")

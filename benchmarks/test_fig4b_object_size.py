@@ -13,7 +13,6 @@ up to ~55 entries for a 25 cm object.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.metrics.reporting import ExperimentSeries
 

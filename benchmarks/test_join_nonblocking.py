@@ -14,7 +14,6 @@ result and (b) how results accumulate as the gesture progresses.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.engine.join import BlockingHashJoin, SymmetricHashJoin
 from repro.metrics.reporting import ExperimentSeries, format_comparison

@@ -11,7 +11,6 @@ full-scan latency grows linearly.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.baseline.engine import MonolithicEngine
 from repro.core.kernel import KernelConfig

@@ -12,7 +12,6 @@ served from prefetched data (and the work done at touch time).
 
 from __future__ import annotations
 
-import pytest
 
 from repro.core.kernel import KernelConfig
 from repro.core.session import ExplorationSession

@@ -15,7 +15,6 @@ per-touch response time and on the total simulated network time of a
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.metrics.reporting import ExperimentSeries
 from repro.remote.client import RemoteExplorationClient, RemotePolicy

@@ -13,7 +13,6 @@ be copied before the *first* touch on the new object can be answered and
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.metrics.reporting import ExperimentSeries, format_comparison
 from repro.storage.incremental import IncrementalRotation

@@ -12,7 +12,6 @@ bytes that must be read per returned entry with and without the hierarchy.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.metrics.reporting import ExperimentSeries
 from repro.storage.sample import SampleHierarchy

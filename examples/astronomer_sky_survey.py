@@ -79,7 +79,11 @@ def main() -> None:
         print(f"  {attribute:>17}: {value:.4f}")
 
     ground_truth = scenario.patterns[0]
-    found = ground_truth.start_fraction - 0.05 <= brightest_fraction <= ground_truth.end_fraction + 0.05
+    found = (
+        ground_truth.start_fraction - 0.05
+        <= brightest_fraction
+        <= ground_truth.end_fraction + 0.05
+    )
     print(
         f"\nplanted transient lives in fractions "
         f"[{ground_truth.start_fraction:.2f}, {ground_truth.end_fraction:.2f}] — "

@@ -61,14 +61,19 @@ def main() -> None:
     groups = session.kernel.state_of(table_view.name).group_by.snapshot()
     print("\nrunning per-service averages after one slide over the table object:")
     for group in sorted(groups, key=lambda g: -(g.value or 0.0)):
-        print(f"  service {group.key}: avg latency {group.value:7.1f} ms over {group.count} touched events")
+        print(
+            f"  service {group.key}: avg latency {group.value:7.1f} ms "
+            f"over {group.count} touched events"
+        )
     worst = max(groups, key=lambda g: g.value or 0.0)
     print(f"service {worst.key} looks misbehaving (planted culprit: service 5)")
 
     # ---------------------------------------------------------------- #
     # drag the interesting column out of the fat table (projection gesture)
     # ---------------------------------------------------------------- #
-    dragged = session.drag_column_out(table_view, "latency_ms", new_object_name="latency_only", x=14.0)
+    dragged = session.drag_column_out(
+        table_view, "latency_ms", new_object_name="latency_only", x=14.0
+    )
     small_view = session.device.view(f"{dragged.created_objects[0]}-view")
     session.choose_summary(small_view, k=10)
     fast = session.slide(small_view, duration=1.0)

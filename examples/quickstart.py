@@ -60,7 +60,11 @@ def main() -> None:
     scan = session.slide(view, duration=2.0)
     print(f"\nslide-to-scan for 2.0 s returned {scan.entries_returned} entries")
     stream = session.kernel.state_of(view.name).results
-    print(render_results(shape_from_view(view, "blue"), stream, now=session.device.now, max_rows=12))
+    print(
+        render_results(
+            shape_from_view(view, "blue"), stream, now=session.device.now, max_rows=12
+        )
+    )
 
     # ---------------------------------------------------------------- #
     # slide to aggregate: a running average, continuously refined

@@ -1,0 +1,115 @@
+"""Post-process a pytest-benchmark JSON report into BENCH_<name>.json files.
+
+CI runs the benchmark suite with ``--benchmark-json=bench.json`` and then
+invokes this script to turn the raw report into the repository's perf
+*trajectory*: one small ``BENCH_<benchmark>.json`` per benchmark (timing
+stats plus whatever the benchmark put into ``extra_info`` — for
+``test_concurrent_serving_three_x_throughput`` that is the serial and
+concurrent throughput and the speedup), and one ``BENCH_trajectory.json``
+index summarizing the whole run.  The files are uploaded as a workflow
+artifact, so the numbers survive the run instead of being thrown away with
+the logs.
+
+Usage::
+
+    python scripts/bench_trajectory.py bench.json --out-dir bench-artifacts
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+
+
+def short_name(benchmark_name: str) -> str:
+    """Strip the ``test_`` prefix and any parametrization suffix."""
+    name = re.sub(r"\[.*\]$", "", benchmark_name)
+    return name.removeprefix("test_")
+
+
+def summarize(report: dict) -> list[dict]:
+    """One compact record per benchmark in the report."""
+    records = []
+    for bench in report.get("benchmarks", []):
+        stats = bench.get("stats", {})
+        records.append(
+            {
+                "name": short_name(bench.get("name", "unknown")),
+                "fullname": bench.get("fullname", ""),
+                "datetime": report.get("datetime"),
+                "machine": {
+                    "node": report.get("machine_info", {}).get("node"),
+                    "cpu_count": report.get("machine_info", {}).get("cpu", {}).get("count")
+                    if isinstance(report.get("machine_info", {}).get("cpu"), dict)
+                    else None,
+                    "python": report.get("machine_info", {}).get("python_version"),
+                },
+                "stats": {
+                    key: stats.get(key)
+                    for key in ("min", "max", "mean", "stddev", "median", "ops", "rounds")
+                },
+                "extra_info": bench.get("extra_info", {}),
+            }
+        )
+    return records
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("report", type=Path, help="pytest-benchmark --benchmark-json output")
+    parser.add_argument(
+        "--out-dir",
+        type=Path,
+        default=Path("bench-artifacts"),
+        help="directory receiving the BENCH_*.json files",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        report = json.loads(args.report.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"cannot read benchmark report {args.report}: {exc}", file=sys.stderr)
+        return 1
+
+    records = summarize(report)
+    if not records:
+        print(f"no benchmarks found in {args.report}", file=sys.stderr)
+        return 1
+
+    args.out_dir.mkdir(parents=True, exist_ok=True)
+    for record in records:
+        path = args.out_dir / f"BENCH_{record['name']}.json"
+        path.write_text(json.dumps(record, indent=2) + "\n")
+        headline = record["extra_info"] or {
+            "mean_s": record["stats"]["mean"],
+            "ops": record["stats"]["ops"],
+        }
+        print(f"{path}: {json.dumps(headline)}")
+
+    index = args.out_dir / "BENCH_trajectory.json"
+    index.write_text(
+        json.dumps(
+            {
+                "datetime": report.get("datetime"),
+                "benchmarks": [
+                    {
+                        "name": record["name"],
+                        "mean_s": record["stats"]["mean"],
+                        "extra_info": record["extra_info"],
+                    }
+                    for record in records
+                ],
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+    print(f"{index}: {len(records)} benchmarks")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

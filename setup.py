@@ -1,21 +1,12 @@
-"""Setup shim for environments without the ``wheel`` package installed.
+"""Setup shim for environments without PEP 660 editable-install support.
 
-The project metadata lives in ``pyproject.toml``; this file only enables
-legacy ``pip install -e .`` (setup.py develop) in offline environments
-where PEP 660 editable builds are unavailable.
+All project metadata lives in ``pyproject.toml`` (PEP 621); setuptools
+reads it from there, including the ``test`` extra CI installs via
+``pip install -e .[test]``.  This file only enables legacy
+``python setup.py develop`` in offline environments where pip's isolated
+build (or the ``wheel`` package) is unavailable.
 """
 
-from setuptools import find_packages, setup
+from setuptools import setup
 
-setup(
-    name="repro",
-    version="0.1.0",
-    description=(
-        "dbTouch: Analytics at your Fingertips — a Python reproduction of the "
-        "CIDR 2013 touch-driven database kernel"
-    ),
-    package_dir={"": "src"},
-    packages=find_packages(where="src"),
-    python_requires=">=3.10",
-    install_requires=["numpy>=1.24"],
-)
+setup()

@@ -85,13 +85,15 @@ from repro.core.commands import (
     Slide,
     SlidePath,
     Tap,
+    TimedCommand,
     UngroupTable,
     ZoomIn,
     ZoomOut,
 )
 from repro.core.kernel import DbTouchKernel, GestureOutcome, KernelConfig
+from repro.core.scheduler import GestureScheduler, SchedulerConfig, SchedulerStats
 from repro.core.session import ExplorationSession, SessionSummary
-from repro.errors import DbTouchError
+from repro.errors import AdmissionError, DbTouchError
 from repro.service import (
     ExplorationService,
     LocalExplorationService,
@@ -115,6 +117,7 @@ __version__ = "0.2.0"
 
 __all__ = [
     "ActionKind",
+    "AdmissionError",
     "Catalog",
     "ChooseAction",
     "Column",
@@ -126,6 +129,7 @@ __all__ = [
     "ExplorationSession",
     "GestureCommand",
     "GestureOutcome",
+    "GestureScheduler",
     "GestureScript",
     "GroupColumns",
     "IPAD1",
@@ -140,6 +144,8 @@ __all__ = [
     "QueryAction",
     "RemoteExplorationService",
     "Rotate",
+    "SchedulerConfig",
+    "SchedulerStats",
     "SessionMetrics",
     "SessionSummary",
     "ShowColumn",
@@ -148,6 +154,7 @@ __all__ = [
     "SlidePath",
     "Table",
     "Tap",
+    "TimedCommand",
     "UngroupTable",
     "ZoomIn",
     "ZoomOut",

@@ -16,7 +16,7 @@ comparisons do not depend solely on Python-level timing noise.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Mapping, Sequence
 
 import numpy as np

@@ -16,7 +16,7 @@ deliberately strict: anything outside the supported grammar raises
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import BaselineError
 from repro.baseline.engine import MonolithicEngine, QueryResult

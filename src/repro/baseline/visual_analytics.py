@@ -110,7 +110,9 @@ class VisualAnalyticsInterface:
         predicates = spec.filters if spec.filters else None
         dimensions = spec.dimensions()
         if spec.measure is None:
-            result = self.engine.select(spec.table, columns=dimensions or None, predicates=predicates)
+            result = self.engine.select(
+                spec.table, columns=dimensions or None, predicates=predicates
+            )
             chart_type = "table"
             marks = result.rows
         elif not dimensions:

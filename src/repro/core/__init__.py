@@ -11,6 +11,8 @@ The core subpackage maps touch gestures onto query-processing actions:
 * :mod:`repro.core.optimizer` — adaptive, on-the-fly optimization;
 * :mod:`repro.core.result_stream` — in-place, fading result presentation;
 * :mod:`repro.core.kernel` — the kernel that executes gestures;
+* :mod:`repro.core.scheduler` — the concurrent multi-session gesture
+  scheduler (worker pool, per-session FIFO, admission control);
 * :mod:`repro.core.session` — the high-level exploration facade.
 """
 
@@ -38,6 +40,7 @@ from repro.core.commands import (
     Slide,
     SlidePath,
     Tap,
+    TimedCommand,
     UngroupTable,
     ZoomIn,
     ZoomOut,
@@ -51,6 +54,7 @@ from repro.core.optimizer import (
 )
 from repro.core.prefetch import GestureEstimate, GesturePrefetcher
 from repro.core.result_stream import ResultStream, ResultValue, VisibleResult
+from repro.core.scheduler import GestureScheduler, SchedulerConfig, SchedulerStats
 from repro.core.schema_gestures import SchemaGestureOutcome, SchemaGestures
 from repro.core.session import ExplorationSession, SessionSummary
 from repro.core.summaries import InteractiveSummarizer, SummaryResult
@@ -69,6 +73,7 @@ __all__ = [
     "GestureEstimate",
     "GestureOutcome",
     "GesturePrefetcher",
+    "GestureScheduler",
     "GestureScript",
     "GroupColumns",
     "HashTableCache",
@@ -82,6 +87,8 @@ __all__ = [
     "ResultStream",
     "ResultValue",
     "Rotate",
+    "SchedulerConfig",
+    "SchedulerStats",
     "SchemaGestureOutcome",
     "SchemaGestures",
     "SessionSummary",
@@ -91,6 +98,7 @@ __all__ = [
     "SlidePath",
     "SummaryResult",
     "Tap",
+    "TimedCommand",
     "TouchCache",
     "TouchMapper",
     "UngroupTable",

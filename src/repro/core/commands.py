@@ -304,6 +304,48 @@ class UngroupTable(GestureCommand):
 
 
 # --------------------------------------------------------------------- #
+# paced commands (serving traces)
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class TimedCommand:
+    """One gesture command plus the think-time that precedes it.
+
+    ``think_s`` is the gap a user leaves between receiving the previous
+    result and issuing this command — the pacing unit of a serving trace.
+    A serial server must wait it out inline; the concurrent scheduler
+    (:class:`repro.core.scheduler.GestureScheduler`) overlaps one session's
+    think-time with other sessions' work.
+    """
+
+    command: GestureCommand
+    think_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.command, GestureCommand):
+            raise CommandError(
+                f"expected a GestureCommand, got {type(self.command).__name__}"
+            )
+        if self.think_s < 0:
+            raise CommandError("think_s cannot be negative")
+
+    def to_dict(self) -> dict[str, Any]:
+        """Encode the paced command as plain JSON-compatible data."""
+        return {"command": self.command.to_dict(), "think_s": self.think_s}
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "TimedCommand":
+        """Rebuild a paced command from :meth:`to_dict` output."""
+        if "command" not in payload:
+            raise CommandError("timed-command payload must contain a 'command'")
+        return cls(
+            command=GestureCommand.from_dict(payload["command"]),
+            think_s=float(payload.get("think_s", 0.0)),
+        )
+
+
+# --------------------------------------------------------------------- #
 # scripts
 # --------------------------------------------------------------------- #
 

@@ -87,6 +87,12 @@ class KernelConfig:
         per-touch Python loop.  On by default; the per-touch loop remains
         the reference path and still serves joins, group-bys and
         attribute-dependent table scans.
+    max_retained_results:
+        Retention bound handed to every view's
+        :class:`repro.core.result_stream.ResultStream`: the oldest
+        (long-faded) displayed values are dropped beyond it.  ``None``
+        (the default) retains the full history; serving deployments set
+        it so unserviced sessions stay memory-bounded.
     """
 
     latency_budget_s: float = 0.05
@@ -99,6 +105,7 @@ class KernelConfig:
     touch_granularity: int = 1
     rotation_sample_fraction: float = 0.05
     batch_execution: bool = True
+    max_retained_results: int | None = None
 
 
 @dataclass
@@ -260,7 +267,7 @@ class DbTouchKernel:
             table=None,
             column_name=column_name,
             hierarchy=hierarchy,
-            results=ResultStream(fade_seconds=self.config.fade_seconds),
+            results=self._make_result_stream(),
             prefetcher=GesturePrefetcher() if self.config.enable_prefetch else None,
         )
         return view
@@ -296,16 +303,34 @@ class DbTouchKernel:
             object_name=table_name,
             column=None,
             table=table,
-            results=ResultStream(fade_seconds=self.config.fade_seconds),
+            results=self._make_result_stream(),
             prefetcher=GesturePrefetcher() if self.config.enable_prefetch else None,
         )
         return view
+
+    def _make_result_stream(self) -> ResultStream:
+        return ResultStream(
+            fade_seconds=self.config.fade_seconds,
+            max_retained=self.config.max_retained_results,
+        )
 
     def state_of(self, view_name: str) -> _ObjectState:
         """Return the kernel state attached to a view (primarily for tests)."""
         if view_name not in self._states:
             raise ExecutionError(f"no data object is shown under view {view_name!r}")
         return self._states[view_name]
+
+    def iter_result_streams(self):
+        """Yield ``(view_name, ResultStream)`` for every shown data object.
+
+        The serving layer uses this for result-stream backpressure: after a
+        session's command executes (still under the scheduler's session
+        affinity, so no lock is needed) the server trims each stream to the
+        configured retention bound.
+        """
+        for view_name, state in self._states.items():
+            if state.results is not None:
+                yield view_name, state.results
 
     # ------------------------------------------------------------------ #
     # object-data mutation hooks
@@ -786,8 +811,9 @@ class DbTouchKernel:
         state.view.resize(scale)
         # a rotated table mid-conversion retrieves more data on zoom-in
         if state.rotation is not None and scale > 1.0 and not state.rotation.progress.complete:
+            converted = state.rotation.progress.fraction_converted
             state.rotation.convert_rows_for_sample(
-                min(1.0, state.rotation.progress.fraction_converted + self.config.rotation_sample_fraction)
+                min(1.0, converted + self.config.rotation_sample_fraction)
             )
         return GestureOutcome(
             gesture_type=gesture.gesture_type,

@@ -12,7 +12,7 @@ steady the gesture velocity has been.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import OptimizationError
 from repro.engine.filter import Predicate

@@ -9,7 +9,7 @@ now, and how faded is it?".
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any
 
 import numpy as np
@@ -58,21 +58,46 @@ class ResultStream:
     max_visible:
         Upper bound on simultaneously visible values (older values are
         considered fully faded once the bound is exceeded).
+    max_retained:
+        Optional retention bound on the stored history: once exceeded, the
+        oldest (long-faded) values are dropped and counted in
+        :attr:`total_dropped`.  This is the per-session backpressure knob
+        the concurrent serving engine uses — a session whose display is
+        never serviced cannot grow its stream without bound.  ``None``
+        (the default) retains everything, preserving the single-user
+        behaviour.
+
+    Threading: a stream is single-writer by contract.  Under the
+    concurrent serving engine the :class:`repro.core.scheduler.GestureScheduler`
+    guarantees session affinity (at most one worker inside a session at a
+    time), so emission, trimming and inspection never race.
     """
 
-    def __init__(self, fade_seconds: float = 1.5, max_visible: int = 50):
+    def __init__(
+        self,
+        fade_seconds: float = 1.5,
+        max_visible: int = 50,
+        max_retained: int | None = None,
+    ):
         if fade_seconds <= 0:
             raise VisualizationError("fade_seconds must be positive")
         if max_visible < 1:
             raise VisualizationError("max_visible must be at least 1")
+        if max_retained is not None and max_retained < 1:
+            raise VisualizationError("max_retained must be at least 1 (or None)")
         self.fade_seconds = fade_seconds
         self.max_visible = max_visible
+        self.max_retained = max_retained
+        self.total_emitted = 0
+        self.total_dropped = 0
         self._results: list[ResultValue] = []
 
     # ------------------------------------------------------------------ #
     # emission
     # ------------------------------------------------------------------ #
-    def emit(self, value: Any, rowid: int, position_fraction: float, timestamp: float) -> ResultValue:
+    def emit(
+        self, value: Any, rowid: int, position_fraction: float, timestamp: float
+    ) -> ResultValue:
         """Record a new result value appearing on screen."""
         if not 0.0 <= position_fraction <= 1.0:
             raise VisualizationError("position_fraction must be within [0, 1]")
@@ -85,6 +110,8 @@ class ResultStream:
             timestamp=timestamp,
         )
         self._results.append(result)
+        self.total_emitted += 1
+        self._enforce_retention()
         return result
 
     def emit_batch(self, values, rowids, position_fractions, timestamps) -> list[ResultValue]:
@@ -128,7 +155,43 @@ class ResultStream:
             result.__dict__["timestamp"] = timestamp
             append(result)
         self._results.extend(emitted)
+        self.total_emitted += len(emitted)
+        self._enforce_retention()
         return emitted
+
+    def _enforce_retention(self) -> int:
+        """Drop the oldest values beyond ``max_retained``; returns the count."""
+        if self.max_retained is None:
+            return 0
+        overflow = len(self._results) - self.max_retained
+        if overflow <= 0:
+            return 0
+        del self._results[:overflow]
+        self.total_dropped += overflow
+        return overflow
+
+    def trim(self, max_retained: int | None = None) -> int:
+        """Trim the retained history to ``max_retained`` values (or the
+        stream's own bound when omitted); returns how many were dropped.
+
+        The serving engine calls this after every executed command for
+        sessions configured with result backpressure.
+        """
+        if max_retained is None:
+            return self._enforce_retention()
+        if max_retained < 1:
+            raise VisualizationError("max_retained must be at least 1")
+        overflow = len(self._results) - max_retained
+        if overflow <= 0:
+            return 0
+        del self._results[:overflow]
+        self.total_dropped += overflow
+        return overflow
+
+    @property
+    def backlog(self) -> int:
+        """How many result values the stream currently retains."""
+        return len(self._results)
 
     # ------------------------------------------------------------------ #
     # inspection
@@ -171,3 +234,5 @@ class ResultStream:
     def clear(self) -> None:
         """Forget everything (a new exploration starts)."""
         self._results.clear()
+        self.total_emitted = 0
+        self.total_dropped = 0

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.errors import QueryError, ViewError
+from repro.errors import QueryError
 from repro.storage.column import Column
 from repro.storage.table import Table
 from repro.touchio.views import Rect, View

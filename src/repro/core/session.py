@@ -20,7 +20,7 @@ length.
 
 from __future__ import annotations
 
-import inspect
+import time
 from dataclasses import dataclass, replace
 from typing import Iterable, Mapping, Sequence
 
@@ -43,6 +43,7 @@ from repro.core.commands import (
     Slide,
     SlidePath,
     Tap,
+    TimedCommand,
     UngroupTable,
     ZoomIn,
     ZoomOut,
@@ -50,24 +51,18 @@ from repro.core.commands import (
 from repro.core.kernel import GestureOutcome, KernelConfig
 from repro.core.schema_gestures import SchemaGestureOutcome
 from repro.errors import QueryError
-from repro.service import ExplorationService, LocalExplorationService, OutcomeEnvelope
+from repro.service import (
+    ExplorationService,
+    LocalExplorationService,
+    OutcomeEnvelope,
+    _accepts_replace,
+)
 from repro.storage.catalog import ObjectInfo
 from repro.storage.column import Column
 from repro.storage.table import Table
 from repro.touchio.device import DeviceProfile, IPAD1
 from repro.touchio.synthesizer import SlideSegment
 from repro.touchio.views import View
-
-
-def _accepts_replace(loader) -> bool:
-    """Whether a backend loader takes the ``replace=`` keyword."""
-    try:
-        parameters = inspect.signature(loader).parameters
-    except (TypeError, ValueError):  # pragma: no cover - exotic callables
-        return False
-    return "replace" in parameters or any(
-        p.kind is inspect.Parameter.VAR_KEYWORD for p in parameters.values()
-    )
 
 
 @dataclass
@@ -120,6 +115,8 @@ class ExplorationSession:
         self.history: list[GestureOutcome] = []
         self._summary = SessionSummary()
         self._recording: GestureScript | None = None
+        self._trace: list[TimedCommand] | None = None
+        self._last_trace_t: float | None = None
 
     # ------------------------------------------------------------------ #
     # the backing service
@@ -161,9 +158,15 @@ class ExplorationSession:
         failed gesture (typo'd view name, bad geometry) never poisons the
         script for replay.
         """
+        think_s = 0.0
+        if self._trace is not None and self._last_trace_t is not None:
+            think_s = max(0.0, time.monotonic() - self._last_trace_t)
         envelope = self._service.execute(command)
         if self._recording is not None:
             self._recording.append(command)
+        if self._trace is not None:
+            self._trace.append(TimedCommand(command=command, think_s=think_s))
+            self._last_trace_t = time.monotonic()
         if isinstance(envelope.payload, GestureOutcome):
             self._record(envelope.payload)
         return envelope
@@ -191,6 +194,28 @@ class ExplorationSession:
         """Stop recording and return the finished script."""
         script, self._recording = self._recording, None
         return script
+
+    def record_trace(self) -> list[TimedCommand]:
+        """Start recording a *paced* trace: commands plus real think-times.
+
+        Like :meth:`record`, but each accepted command is captured as a
+        :class:`repro.core.commands.TimedCommand` whose ``think_s`` is the
+        wall-clock gap since the previous command completed — the pacing a
+        human (or driver) actually left between gestures.  The resulting
+        trace replays on a :class:`repro.service.MultiSessionServer` via
+        ``replay_traces``, turning one interactive exploration into a
+        serving workload.  The returned list is live and grows as the
+        session executes commands.
+        """
+        self._trace = []
+        self._last_trace_t = None
+        return self._trace
+
+    def stop_trace(self) -> list[TimedCommand] | None:
+        """Stop trace recording and return the finished paced trace."""
+        trace, self._trace = self._trace, None
+        self._last_trace_t = None
+        return trace
 
     def run(self, script: GestureScript) -> list[OutcomeEnvelope]:
         """Replay a script through this session (outcomes land in history)."""
@@ -222,6 +247,8 @@ class ExplorationSession:
         self.history = []
         self._summary = SessionSummary()
         self._recording = None
+        self._trace = None
+        self._last_trace_t = None
 
     def __enter__(self) -> "ExplorationSession":
         return self
@@ -464,7 +491,9 @@ class ExplorationSession:
         )
         return envelope.payload
 
-    def ungroup_table(self, table_view: View | str, height_cm: float = 10.0) -> SchemaGestureOutcome:
+    def ungroup_table(
+        self, table_view: View | str, height_cm: float = 10.0
+    ) -> SchemaGestureOutcome:
         """Split a table object into one standalone object per attribute."""
         envelope = self._execute(
             UngroupTable(table_view=self._view_name(table_view), height_cm=height_cm)

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass
-from typing import Any, Hashable, Iterable
+from typing import Hashable, Iterable
 
 import numpy as np
 
@@ -154,7 +154,9 @@ class BlockingHashJoin:
         self.stats.record(tuples=count, results=len(matches))
         return matches
 
-    def join(self, left_keys: Iterable[Hashable], right_keys: Iterable[Hashable]) -> list[JoinMatch]:
+    def join(
+        self, left_keys: Iterable[Hashable], right_keys: Iterable[Hashable]
+    ) -> list[JoinMatch]:
         """Run the full blocking join (build on left, probe with right)."""
         self.build(left_keys)
         return self.probe(right_keys)

@@ -12,7 +12,7 @@ remain interactive regardless of data size.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any
 
 from repro.errors import ExecutionError

@@ -68,6 +68,10 @@ class ServiceError(DbTouchError):
     """An exploration service could not execute a command or host a session."""
 
 
+class AdmissionError(ServiceError):
+    """The serving engine refused new work (queues full or backpressure timeout)."""
+
+
 class RemoteError(DbTouchError):
     """The simulated remote-processing layer failed."""
 

@@ -10,7 +10,7 @@ benchmarks stay readable.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import MetricsError
 from repro.core.kernel import GestureOutcome

@@ -10,7 +10,7 @@ linearity, who-wins comparisons).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -118,7 +118,9 @@ class ExperimentSeries:
         return "\n".join(lines)
 
 
-def format_comparison(name: str, rows: dict[str, dict[str, float]], float_format: str = "{:.3f}") -> str:
+def format_comparison(
+    name: str, rows: dict[str, dict[str, float]], float_format: str = "{:.3f}"
+) -> str:
     """Format a system-vs-system comparison (rows = system → metric → value)."""
     if not rows:
         raise MetricsError("comparison needs at least one row")

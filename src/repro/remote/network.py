@@ -11,7 +11,7 @@ trade-off the paper describes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import NetworkTimeoutError, RemoteError
 

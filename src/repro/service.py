@@ -25,10 +25,12 @@ imperative method builds a command and calls ``execute``.
 
 from __future__ import annotations
 
+import inspect
 import itertools
+import threading
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterable, Mapping, Protocol, runtime_checkable
+from typing import Any, Callable, Iterable, Mapping, Protocol, Sequence, runtime_checkable
 
 import numpy as np
 
@@ -46,12 +48,14 @@ from repro.core.commands import (
     Slide,
     SlidePath,
     Tap,
+    TimedCommand,
     UngroupTable,
     ZoomIn,
     ZoomOut,
 )
 from repro.core.batch import dedupe_slide_batch
 from repro.core.kernel import DbTouchKernel, GestureOutcome, KernelConfig
+from repro.core.scheduler import GestureScheduler, SchedulerConfig
 from repro.core.schema_gestures import (
     SchemaGestureOutcome,
     SchemaGestures,
@@ -197,6 +201,22 @@ def _as_named_column(name: str, values: Iterable) -> Column:
     if column.name != name:
         column = column.rename(name)
     return column
+
+
+def _accepts_replace(loader: Callable) -> bool:
+    """Whether a backend loader takes the ``replace=`` keyword.
+
+    Both built-in backends do; the check exists so a custom backend
+    without reload support fails with a clean :class:`ServiceError`
+    instead of a ``TypeError`` from an unexpected keyword.
+    """
+    try:
+        parameters = inspect.signature(loader).parameters
+    except (TypeError, ValueError):  # pragma: no cover - exotic callables
+        return False
+    return "replace" in parameters or any(
+        p.kind is inspect.Parameter.VAR_KEYWORD for p in parameters.values()
+    )
 
 
 # --------------------------------------------------------------------- #
@@ -345,6 +365,44 @@ class LocalExplorationService:
         return [self.execute(command) for command in script]
 
     # ------------------------------------------------------------------ #
+    # result-stream backpressure (used by the concurrent serving engine)
+    # ------------------------------------------------------------------ #
+    def result_backlog(self) -> int:
+        """Total result values currently retained across all shown views."""
+        return sum(stream.backlog for _, stream in self.kernel.iter_result_streams())
+
+    def result_drops(self) -> int:
+        """Total result values dropped by retention across all shown views."""
+        return sum(
+            stream.total_dropped for _, stream in self.kernel.iter_result_streams()
+        )
+
+    def set_result_retention(self, max_retained: int | None) -> None:
+        """Bound every result stream (current and future) to ``max_retained``.
+
+        Retention is then enforced at emission time by
+        :class:`repro.core.result_stream.ResultStream` itself — the
+        mechanism :class:`MultiSessionServer` arms once per session at
+        ``open_session`` when ``SchedulerConfig.result_retention`` is set.
+        """
+        self.kernel.config.max_retained_results = max_retained
+        for _, stream in self.kernel.iter_result_streams():
+            stream.max_retained = max_retained
+            stream.trim()
+
+    def trim_results(self, max_retained: int) -> int:
+        """One-off trim of every view's result stream to ``max_retained``.
+
+        Returns how many (long-faded) values were dropped.  Manual
+        variant of :meth:`set_result_retention` for drivers that want to
+        reclaim memory without changing the standing bound.
+        """
+        return sum(
+            stream.trim(max_retained)
+            for _, stream in self.kernel.iter_result_streams()
+        )
+
+    # ------------------------------------------------------------------ #
     # helpers
     # ------------------------------------------------------------------ #
     def _target_view(self, view_name: str) -> View:
@@ -483,11 +541,50 @@ class RemoteExplorationService:
     # ------------------------------------------------------------------ #
     # host-side data management
     # ------------------------------------------------------------------ #
-    def load_column(self, name: str, values: Iterable) -> Column:
-        """Host a column on the remote server (mirrors the local signature)."""
+    def load_column(self, name: str, values: Iterable, replace: bool = False) -> Column:
+        """Host a column on the remote server (mirrors the local signature).
+
+        Hosting is idempotent per name (``RemoteServer.ensure_hosted``):
+        when many device sessions share one server, the first load pays the
+        hierarchy build and later loads of the same name reuse the hosted
+        data — swapping the data intentionally is what ``replace`` is for.
+
+        With ``replace``, an already-hosted column is swapped for the new
+        data (a reload): the server rebuilds its sample hierarchy, and
+        every device-side view of the object gets a fresh exploration
+        client — its local sample was drawn from the old data and must not
+        answer touches against the reload — plus re-scaled view metadata
+        and reset slide-tracking state, mirroring the local backend's
+        ``refresh_object`` path.
+        """
         column = _as_named_column(name, values)
-        self.server.host_column(column)
-        return column
+        if replace and self.server.hosts(name):
+            self.server.host_column(column, replace=True)
+            self._refresh_remote_states(name, column)
+            return column
+        return self.server.ensure_hosted(column)
+
+    def _refresh_remote_states(self, name: str, column: Column) -> None:
+        """Re-bind shown views of ``name`` after its hosted data changed."""
+        for state in self._states.values():
+            if state.object_name != name:
+                continue
+            state.client = RemoteExplorationClient(
+                self.server,
+                self.link,
+                name,
+                policy=self.policy,
+                local_sample_rows=self.local_sample_rows,
+            )
+            state.last_rowid = None
+            state.current_stride = 1
+            if state.aggregate is not None:
+                state.aggregate = make_aggregate(state.action.aggregate)
+            properties = state.view.properties
+            if properties is not None:
+                properties.num_tuples = len(column)
+                properties.dtype_names = (column.dtype.name,)
+                properties.size_bytes = column.size_bytes
 
     # ------------------------------------------------------------------ #
     # the service protocol
@@ -755,16 +852,33 @@ class RemoteExplorationService:
 
 @dataclass
 class SessionMetrics:
-    """Per-session accounting kept by :class:`MultiSessionServer`."""
+    """Per-session accounting kept by :class:`MultiSessionServer`.
+
+    The deterministic counters (``commands``, ``entries_returned``,
+    ``tuples_examined``, ``cache_hits``, ``prefetch_hits``) depend only on
+    the session's command sequence, so a concurrent run must reproduce a
+    serial run's values exactly; the wall-clock fields
+    (latencies, throughput) describe host-side performance.  All mutation
+    happens under a private lock, so the serving engine's workers and any
+    monitoring thread can touch one session's metrics concurrently.
+    """
 
     commands: int = 0
     entries_returned: int = 0
     tuples_examined: int = 0
+    cache_hits: int = 0
+    prefetch_hits: int = 0
     remote_requests: int = 0
     network_seconds: float = 0.0
     simulated_seconds: float = 0.0
     wall_seconds: float = 0.0
     max_command_wall_s: float = 0.0
+    first_command_monotonic: float | None = field(default=None, repr=False)
+    last_command_monotonic: float | None = field(default=None, repr=False)
+    _latencies_s: list[float] = field(default_factory=list, repr=False, compare=False)
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     @property
     def mean_command_wall_s(self) -> float:
@@ -773,114 +887,485 @@ class SessionMetrics:
             return 0.0
         return self.wall_seconds / self.commands
 
+    @property
+    def p50_command_wall_s(self) -> float:
+        """Median host-side command latency."""
+        return self.latency_quantile(0.5)
+
+    @property
+    def p95_command_wall_s(self) -> float:
+        """95th-percentile host-side command latency."""
+        return self.latency_quantile(0.95)
+
+    @property
+    def throughput_cps(self) -> float:
+        """Observed commands per second over the session's active span."""
+        with self._lock:
+            commands = self.commands
+            first = self.first_command_monotonic
+            last = self.last_command_monotonic
+            wall = self.wall_seconds
+        if not commands:
+            return 0.0
+        span = (last - first) if (first is not None and last is not None) else 0.0
+        if span > 0.0:
+            return commands / span
+        return commands / wall if wall > 0.0 else 0.0
+
+    def latency_quantile(self, q: float) -> float:
+        """Nearest-rank quantile of per-command wall latencies (0 < q <= 1)."""
+        with self._lock:
+            ordered = sorted(self._latencies_s)
+        return _nearest_rank(ordered, q)
+
+    def latencies(self) -> list[float]:
+        """A copy of every observed per-command wall latency."""
+        with self._lock:
+            return list(self._latencies_s)
+
+    def counters_snapshot(self) -> dict[str, int]:
+        """The deterministic counters only — the serial-vs-concurrent
+        parity surface (wall-clock fields intentionally excluded)."""
+        with self._lock:
+            return {
+                "commands": self.commands,
+                "entries_returned": self.entries_returned,
+                "tuples_examined": self.tuples_examined,
+                "cache_hits": self.cache_hits,
+                "prefetch_hits": self.prefetch_hits,
+            }
+
     def observe(self, envelope: OutcomeEnvelope, wall_s: float) -> None:
-        """Fold one executed command into the running totals."""
-        self.commands += 1
-        self.entries_returned += envelope.entries_returned
-        self.tuples_examined += envelope.tuples_examined
-        self.remote_requests += envelope.remote_requests
-        self.network_seconds += envelope.network_seconds
-        self.simulated_seconds += envelope.duration_s
-        self.wall_seconds += wall_s
-        self.max_command_wall_s = max(self.max_command_wall_s, wall_s)
+        """Fold one executed command into the running totals (thread-safe)."""
+        now = time.monotonic()
+        with self._lock:
+            self.commands += 1
+            self.entries_returned += envelope.entries_returned
+            self.tuples_examined += envelope.tuples_examined
+            self.cache_hits += envelope.cache_hits
+            self.prefetch_hits += envelope.prefetch_hits
+            self.remote_requests += envelope.remote_requests
+            self.network_seconds += envelope.network_seconds
+            self.simulated_seconds += envelope.duration_s
+            self.wall_seconds += wall_s
+            self.max_command_wall_s = max(self.max_command_wall_s, wall_s)
+            self._latencies_s.append(wall_s)
+            if self.first_command_monotonic is None:
+                self.first_command_monotonic = now
+            self.last_command_monotonic = now
+
+
+def _nearest_rank(ordered: Sequence[float], q: float) -> float:
+    """Nearest-rank quantile of an already-sorted sequence (0 < q <= 1).
+
+    The one quantile rule shared by per-session and aggregate metrics, so
+    the two reports can never silently diverge.
+    """
+    if not 0.0 < q <= 1.0:
+        raise ServiceError("quantile must be within (0, 1]")
+    if not ordered:
+        return 0.0
+    rank = max(1, int(np.ceil(q * len(ordered))))
+    return ordered[rank - 1]
 
 
 class MultiSessionServer:
     """Hosts N independent exploration sessions behind the service protocol.
 
     Each session gets its own service instance from ``service_factory`` —
-    its own catalog, device, kernel and clock — so concurrent explorations
-    cannot bleed state into each other.  The server tracks per-session and
-    aggregate metrics; later PRs can shard session IDs across processes
-    without changing the protocol.
+    its own device, kernel, caches and clock — so concurrent explorations
+    cannot bleed state into each other.  Two serving modes share one API:
+
+    **Serial (default, ``scheduler=None``).**  ``execute`` runs the command
+    inline on the calling thread — the PR-1 behaviour.  One thread serves
+    everyone, so a session's think-time (the pause between a user's
+    gestures) stalls the whole server.
+
+    **Concurrent (``scheduler=SchedulerConfig(...)`` or a worker count).**
+    Commands are queued per session and executed by a
+    :class:`repro.core.scheduler.GestureScheduler` worker pool: different
+    sessions run in parallel, each session stays strictly FIFO on one
+    worker at a time, and think-time parks the session without occupying a
+    worker.  Data loads (including ``replace=True`` reloads) route through
+    the same per-session queue, so a reload lands at a well-defined point
+    in the session's command order.  Per-session deterministic counters
+    (see :meth:`SessionMetrics.counters_snapshot`) are bit-identical to a
+    serial replay of the same traces.
+
+    **Shared base storage.**  Columns/tables registered once via
+    :meth:`load_shared_column` / :meth:`load_shared_table` are attached to
+    every subsequently opened session *by reference*: N sessions over the
+    same 1M-row dataset share one numpy buffer instead of copying it N
+    times.  Shared objects are read-only by convention; everything mutable
+    (views, sample hierarchies, touch caches, result streams) stays
+    private per session.  A session that ``load_column(replace=True)``-s a
+    shared name merely rebinds its *private* catalog entry — other
+    sessions keep the shared data.
     """
 
     def __init__(
-        self, service_factory: Callable[[], ExplorationService] | None = None
+        self,
+        service_factory: Callable[[], ExplorationService] | None = None,
+        scheduler: SchedulerConfig | int | None = None,
     ) -> None:
         self._factory = service_factory if service_factory is not None else LocalExplorationService
+        self._lock = threading.RLock()
         self._services: dict[str, ExplorationService] = {}
         self._metrics: dict[str, SessionMetrics] = {}
         self._ids = itertools.count(1)
+        self._shared_columns: dict[str, Column] = {}
+        self._shared_tables: dict[str, Table] = {}
+        if isinstance(scheduler, int):
+            scheduler = SchedulerConfig(num_workers=scheduler)
+        self._scheduler_config = scheduler
+        self._scheduler: GestureScheduler | None = None
+        if scheduler is not None:
+            self._scheduler = GestureScheduler(config=scheduler)
+
+    # ------------------------------------------------------------------ #
+    # serving-mode introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def concurrent(self) -> bool:
+        """Whether commands execute on the scheduler's worker pool."""
+        return self._scheduler is not None
+
+    @property
+    def scheduler(self) -> GestureScheduler | None:
+        """The gesture scheduler (``None`` in serial mode)."""
+        return self._scheduler
+
+    def scheduler_stats(self) -> dict[str, int] | None:
+        """Snapshot of the scheduler's counters (``None`` in serial mode)."""
+        if self._scheduler is None:
+            return None
+        return self._scheduler.stats.snapshot()
+
+    def queue_depth(self, session_id: str | None = None) -> int:
+        """Commands queued or executing (one session, or server-wide)."""
+        if self._scheduler is None:
+            return 0
+        return self._scheduler.queue_depth(session_id)
 
     # ------------------------------------------------------------------ #
     # session lifecycle
     # ------------------------------------------------------------------ #
-    def open_session(self, session_id: str | None = None) -> str:
-        """Create a fresh, isolated session and return its identifier."""
-        if session_id is None:
-            session_id = f"session-{next(self._ids)}"
-        if session_id in self._services:
-            raise ServiceError(f"session {session_id!r} is already open")
-        self._services[session_id] = self._factory()
-        self._metrics[session_id] = SessionMetrics()
+    def open_session(
+        self, session_id: str | None = None, attach_shared: bool = True
+    ) -> str:
+        """Create a fresh, isolated session and return its identifier.
+
+        With ``attach_shared`` (the default), every shared column/table
+        already loaded on the server is registered into the new session's
+        catalog by reference (local backends only — backends without a
+        catalog skip the attachment).
+        """
+        with self._lock:
+            if session_id is None:
+                session_id = f"session-{next(self._ids)}"
+            if session_id in self._services:
+                raise ServiceError(f"session {session_id!r} is already open")
+            service = self._factory()
+            if attach_shared:
+                self._attach_shared(service)
+            config = self._scheduler_config
+            if config is not None and config.result_retention is not None:
+                set_retention = getattr(service, "set_result_retention", None)
+                if set_retention is not None:
+                    # result backpressure: streams enforce the bound at
+                    # emission time for the session's whole lifetime
+                    set_retention(config.result_retention)
+            self._services[session_id] = service
+            self._metrics[session_id] = SessionMetrics()
+        if self._scheduler is not None:
+            try:
+                self._scheduler.register_session(session_id)
+            except ServiceError:
+                with self._lock:
+                    del self._services[session_id]
+                    del self._metrics[session_id]
+                raise
         return session_id
 
     def close_session(self, session_id: str) -> SessionMetrics:
-        """Drop a session's service and return its final metrics."""
+        """Drop a session's service and return its final metrics.
+
+        In concurrent mode the session's queued-but-unstarted commands are
+        cancelled and its in-flight command (if any) is waited out first.
+        """
         self.service(session_id)
-        del self._services[session_id]
-        return self._metrics.pop(session_id)
+        if self._scheduler is not None:
+            self._scheduler.unregister_session(session_id)
+        with self._lock:
+            del self._services[session_id]
+            return self._metrics.pop(session_id)
 
     def service(self, session_id: str) -> ExplorationService:
         """The backing service of one session."""
-        if session_id not in self._services:
-            raise ServiceError(f"no open session named {session_id!r}")
-        return self._services[session_id]
+        with self._lock:
+            if session_id not in self._services:
+                raise ServiceError(f"no open session named {session_id!r}")
+            return self._services[session_id]
 
     @property
     def session_ids(self) -> list[str]:
         """Identifiers of all open sessions."""
-        return sorted(self._services)
+        with self._lock:
+            return sorted(self._services)
 
     def __len__(self) -> int:
-        return len(self._services)
+        with self._lock:
+            return len(self._services)
+
+    def __enter__(self) -> "MultiSessionServer":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> bool:
+        self.shutdown(wait=exc_type is None)
+        return False
+
+    # ------------------------------------------------------------------ #
+    # shared read-only base storage
+    # ------------------------------------------------------------------ #
+    def load_shared_column(self, name: str, values: Iterable) -> Column:
+        """Register one column to be shared, by reference, by all sessions.
+
+        The column is registered into each subsequently opened session's
+        private catalog without copying the underlying numpy buffer.
+        Shared objects are read-only by convention; sessions opened before
+        the load do not see it.
+        """
+        column = _as_named_column(name, values)
+        with self._lock:
+            if name in self._shared_tables:
+                raise ServiceError(f"shared name {name!r} already used by a table")
+            self._shared_columns[name] = column
+        return column
+
+    def load_shared_table(self, name: str, data: Mapping[str, Iterable] | Table) -> Table:
+        """Register one table to be shared, by reference, by all sessions."""
+        table = data if isinstance(data, Table) else Table.from_arrays(name, data)
+        with self._lock:
+            if name in self._shared_columns:
+                raise ServiceError(f"shared name {name!r} already used by a column")
+            self._shared_tables[name] = table
+        return table
+
+    @property
+    def shared_object_names(self) -> list[str]:
+        """Names of every shared column and table."""
+        with self._lock:
+            return sorted([*self._shared_columns, *self._shared_tables])
+
+    def _attach_shared(self, service: ExplorationService) -> None:
+        """Register shared objects into a fresh service's private catalog."""
+        catalog = getattr(service, "catalog", None)
+        if catalog is None:
+            return  # remote-style backend: nothing to attach into
+        for column in self._shared_columns.values():
+            catalog.register_column(column)
+        for table in self._shared_tables.values():
+            catalog.register_table(table)
 
     # ------------------------------------------------------------------ #
     # data loading and execution
     # ------------------------------------------------------------------ #
-    def load_column(self, session_id: str, name: str, values: Iterable) -> Column:
-        """Load a column into one session's backend."""
-        return self.service(session_id).load_column(name, values)
+    def load_column(
+        self, session_id: str, name: str, values: Iterable, replace: bool = False
+    ) -> Column:
+        """Load a column into one session's backend (session-private).
 
-    def execute(self, session_id: str, command: GestureCommand) -> OutcomeEnvelope:
-        """Execute one command in one session, tracking its latency."""
+        In concurrent mode the load routes through the session's FIFO
+        queue, so a mid-traffic ``replace=True`` reload lands *after*
+        every previously submitted command and *before* every later one —
+        no update can be lost between interleaved gestures.
+        """
+
+        def load() -> Column:
+            service = self.service(session_id)
+            if replace:
+                if not _accepts_replace(service.load_column):
+                    raise ServiceError(
+                        f"the {getattr(service, 'backend', '?')!r} backend does "
+                        "not support replace-reloads via load_column()"
+                    )
+                return service.load_column(name, values, replace=True)
+            return service.load_column(name, values)
+
+        if self._scheduler is not None:
+            return self._scheduler.submit(session_id, load).result()
+        return load()
+
+    def load_table(
+        self,
+        session_id: str,
+        name: str,
+        data: Mapping[str, Iterable] | Table,
+        replace: bool = False,
+    ) -> Table:
+        """Load a table into one session's backend (local backends only)."""
+
+        def load() -> Table:
+            service = self.service(session_id)
+            loader = getattr(service, "load_table", None)
+            if loader is None:
+                raise ServiceError(
+                    f"the {getattr(service, 'backend', '?')!r} backend has no load_table"
+                )
+            if replace:
+                return loader(name, data, replace=True)
+            return loader(name, data)
+
+        if self._scheduler is not None:
+            return self._scheduler.submit(session_id, load).result()
+        return load()
+
+    def _execute_direct(self, session_id: str, command: GestureCommand) -> OutcomeEnvelope:
+        """Execute one command inline, recording its latency."""
         service = self.service(session_id)
+        metrics = self.metrics(session_id)
         started = time.perf_counter()
         envelope = service.execute(command)
-        self._metrics[session_id].observe(envelope, time.perf_counter() - started)
+        metrics.observe(envelope, time.perf_counter() - started)
         return envelope
+
+    def execute(self, session_id: str, command: GestureCommand) -> OutcomeEnvelope:
+        """Execute one command in one session and wait for its outcome.
+
+        In concurrent mode this submits to the session's queue and blocks
+        for the result, so it composes correctly with earlier ``submit``
+        calls (FIFO order is preserved).
+        """
+        if self._scheduler is not None:
+            return self.submit(session_id, command).result()
+        return self._execute_direct(session_id, command)
+
+    def submit(self, session_id: str, command: GestureCommand, think_s: float = 0.0):
+        """Queue one command for asynchronous execution; returns its future.
+
+        ``think_s`` is the user's pause before this command (enforced from
+        the completion of the session's previous command).  Concurrent
+        mode only.
+        """
+        if self._scheduler is None:
+            raise ServiceError(
+                "submit() needs a concurrent server; construct "
+                "MultiSessionServer(scheduler=SchedulerConfig(...))"
+            )
+        return self._scheduler.submit(
+            session_id, lambda: self._execute_direct(session_id, command), think_s
+        )
+
+    def submit_script(self, session_id: str, script: GestureScript, think_s: float = 0.0):
+        """Queue a whole script; returns one future per command."""
+        return [self.submit(session_id, command, think_s=think_s) for command in script]
 
     def run(self, session_id: str, script: GestureScript) -> list[OutcomeEnvelope]:
         """Execute a whole script in one session."""
         return [self.execute(session_id, command) for command in script]
+
+    def replay_traces(
+        self, traces: Mapping[str, Sequence[TimedCommand]]
+    ) -> dict[str, list[OutcomeEnvelope]]:
+        """Drive a multi-user trace set to completion; envelopes per session.
+
+        The one entry point both serving modes share, so a benchmark can
+        compare identical workloads.  Serial mode interleaves sessions
+        round-robin on the calling thread and must *sleep out* every
+        command's think-time inline; concurrent mode submits each trace to
+        its session queue, where think-times overlap across sessions.
+        """
+        order = [sid for sid in traces]
+        if self._scheduler is not None:
+            futures = {
+                sid: [
+                    self.submit(sid, timed.command, think_s=timed.think_s)
+                    for timed in traces[sid]
+                ]
+                for sid in order
+            }
+            return {sid: [f.result() for f in futures[sid]] for sid in order}
+        envelopes: dict[str, list[OutcomeEnvelope]] = {sid: [] for sid in order}
+        longest = max((len(traces[sid]) for sid in order), default=0)
+        for index in range(longest):
+            for sid in order:
+                trace = traces[sid]
+                if index >= len(trace):
+                    continue
+                timed = trace[index]
+                if timed.think_s > 0:
+                    time.sleep(timed.think_s)
+                envelopes[sid].append(self.execute(sid, timed.command))
+        return envelopes
+
+    def drain(self, timeout: float | None = None) -> bool:
+        """Wait until every queued command has executed (concurrent mode)."""
+        if self._scheduler is None:
+            return True
+        return self._scheduler.drain(timeout=timeout)
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop the worker pool (no-op in serial mode).
+
+        With ``wait`` the pool drains every queue first; otherwise queued
+        commands are cancelled and only in-flight ones complete.
+        """
+        if self._scheduler is not None:
+            self._scheduler.shutdown(wait=wait, cancel_pending=not wait)
 
     # ------------------------------------------------------------------ #
     # metrics
     # ------------------------------------------------------------------ #
     def metrics(self, session_id: str) -> SessionMetrics:
         """Per-session metrics for one open session."""
-        if session_id not in self._metrics:
-            raise ServiceError(f"no open session named {session_id!r}")
-        return self._metrics[session_id]
+        with self._lock:
+            if session_id not in self._metrics:
+                raise ServiceError(f"no open session named {session_id!r}")
+            return self._metrics[session_id]
 
     def aggregate_metrics(self) -> dict[str, float]:
-        """Totals and latency statistics across every open session."""
-        sessions = list(self._metrics.values())
+        """Totals, latency percentiles and throughput across open sessions."""
+        with self._lock:
+            sessions = list(self._metrics.values())
+            services = list(self._services.values())
+        pooled: list[float] = []
+        firsts: list[float] = []
+        lasts: list[float] = []
+        for m in sessions:
+            pooled.extend(m.latencies())
+            if m.first_command_monotonic is not None:
+                firsts.append(m.first_command_monotonic)
+            if m.last_command_monotonic is not None:
+                lasts.append(m.last_command_monotonic)
         totals = {
             "sessions": float(len(sessions)),
             "commands": float(sum(m.commands for m in sessions)),
             "entries_returned": float(sum(m.entries_returned for m in sessions)),
             "tuples_examined": float(sum(m.tuples_examined for m in sessions)),
+            "cache_hits": float(sum(m.cache_hits for m in sessions)),
+            "prefetch_hits": float(sum(m.prefetch_hits for m in sessions)),
             "remote_requests": float(sum(m.remote_requests for m in sessions)),
             "network_seconds": sum(m.network_seconds for m in sessions),
             "wall_seconds": sum(m.wall_seconds for m in sessions),
+            "results_dropped": float(
+                sum(
+                    drops()
+                    for s in services
+                    if (drops := getattr(s, "result_drops", None)) is not None
+                )
+            ),
             "max_command_wall_s": max(
                 (m.max_command_wall_s for m in sessions), default=0.0
             ),
+            "queue_depth": float(self.queue_depth()),
         }
         total_commands = totals["commands"]
         totals["mean_command_wall_s"] = (
             totals["wall_seconds"] / total_commands if total_commands else 0.0
         )
+        pooled.sort()
+        totals["p50_command_wall_s"] = _nearest_rank(pooled, 0.5)
+        totals["p95_command_wall_s"] = _nearest_rank(pooled, 0.95)
+        span = (max(lasts) - min(firsts)) if firsts and lasts else 0.0
+        totals["throughput_cps"] = total_commands / span if span > 0.0 else 0.0
         return totals

@@ -15,7 +15,7 @@ falling back to the source layout for not-yet-converted rows.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -205,7 +205,9 @@ class HybridLayout(PhysicalLayout):
         return values
 
 
-def build_layout(table: Table, kind: LayoutKind, groups: Sequence[Sequence[str]] | None = None) -> PhysicalLayout:
+def build_layout(
+    table: Table, kind: LayoutKind, groups: Sequence[Sequence[str]] | None = None
+) -> PhysicalLayout:
     """Materialize ``table`` under the requested physical design."""
     if kind is LayoutKind.COLUMN_STORE:
         return ColumnStoreLayout(table)

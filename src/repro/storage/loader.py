@@ -13,7 +13,7 @@ from __future__ import annotations
 import csv
 import io
 from pathlib import Path
-from typing import Callable, Iterable, Mapping, Sequence
+from typing import Callable, Iterable, Mapping
 
 import numpy as np
 

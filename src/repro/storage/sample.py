@@ -183,7 +183,9 @@ class SampleHierarchy:
             level_numbers[mask] = lvl.level
         return values, level_numbers
 
-    def read_window(self, base_rowid: int, half_window: int, stride_hint: int = 1) -> tuple[np.ndarray, SampleLevel]:
+    def read_window(
+        self, base_rowid: int, half_window: int, stride_hint: int = 1
+    ) -> tuple[np.ndarray, SampleLevel]:
         """Read the window ``[base_rowid - half_window, base_rowid + half_window]``.
 
         The window is expressed in base rowids; the values are served from

@@ -173,7 +173,9 @@ class Table:
         """Return a single cell value."""
         return self.column(column_name).value_at(rowid)
 
-    def gather(self, rowids: Sequence[int] | np.ndarray, columns: Sequence[str] | None = None) -> dict[str, np.ndarray]:
+    def gather(
+        self, rowids: Sequence[int] | np.ndarray, columns: Sequence[str] | None = None
+    ) -> dict[str, np.ndarray]:
         """Return values at the given rowids for the requested columns."""
         wanted = columns if columns is not None else self.column_names
         return {name: self.column(name).gather(rowids) for name in wanted}

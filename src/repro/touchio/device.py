@@ -10,7 +10,7 @@ limits are precisely what gives the paper's Figure 4 its shape.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import TouchError
 from repro.touchio.views import Rect, View

@@ -16,7 +16,7 @@ from dataclasses import dataclass
 from enum import Enum
 
 from repro.errors import GestureError
-from repro.touchio.events import TouchEvent, TouchPhase, TouchStream
+from repro.touchio.events import TouchEvent, TouchStream
 
 
 class GestureType(Enum):

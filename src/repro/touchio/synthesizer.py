@@ -10,7 +10,7 @@ optional pauses, direction reversals and positional jitter.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np
@@ -54,7 +54,9 @@ class SlideSegment:
 class GestureSynthesizer:
     """Generate synthetic touch streams for a given device profile."""
 
-    def __init__(self, profile: DeviceProfile = IPAD1, jitter_cm: float = 0.0, seed: int = 11) -> None:
+    def __init__(
+        self, profile: DeviceProfile = IPAD1, jitter_cm: float = 0.0, seed: int = 11
+    ) -> None:
         if jitter_cm < 0:
             raise GestureError("jitter must be non-negative")
         self.profile = profile
@@ -71,7 +73,9 @@ class GestureSynthesizer:
             return view.width
         raise GestureError(f"unknown slide axis {axis!r}")
 
-    def _point_on_axis(self, view: View, axis: str, fraction: float, cross_fraction: float) -> TouchPoint:
+    def _point_on_axis(
+        self, view: View, axis: str, fraction: float, cross_fraction: float
+    ) -> TouchPoint:
         jitter = float(self._rng.normal(0.0, self.jitter_cm)) if self.jitter_cm else 0.0
         if axis == "vertical":
             y = min(view.height, max(0.0, fraction * view.height + jitter))
@@ -121,7 +125,9 @@ class GestureSynthesizer:
         effect Figure 4(a) measures.
         """
         segment = SlideSegment(start_fraction, end_fraction, duration)
-        return self.slide_path(view, [segment], axis=axis, cross_fraction=cross_fraction, start_time=start_time)
+        return self.slide_path(
+            view, [segment], axis=axis, cross_fraction=cross_fraction, start_time=start_time
+        )
 
     def slide_path(
         self,

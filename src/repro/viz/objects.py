@@ -9,7 +9,7 @@ rendering technology; :mod:`repro.viz.render` turns them into text.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from itertools import cycle
 
 from repro.errors import VisualizationError

@@ -9,12 +9,14 @@ from repro.workloads.contest import (
 )
 from repro.workloads.generators import (
     GeneratedDataset,
+    MultiUserWorkload,
     PatternKind,
     PlantedPattern,
     make_clustered_column,
     make_contest_dataset,
     make_correlated_pair,
     make_pattern_column,
+    make_serving_workload,
 )
 from repro.workloads.scenarios import (
     Scenario,
@@ -29,6 +31,7 @@ __all__ = [
     "DbTouchExplorer",
     "ExplorerReport",
     "GeneratedDataset",
+    "MultiUserWorkload",
     "PatternKind",
     "PlantedPattern",
     "Scenario",
@@ -39,6 +42,7 @@ __all__ = [
     "make_contest_dataset",
     "make_correlated_pair",
     "make_pattern_column",
+    "make_serving_workload",
     "run_contest",
     "sky_survey_scenario",
     "sky_survey_script",

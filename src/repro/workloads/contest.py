@@ -17,7 +17,7 @@ benchmark can run repeatedly.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -6,7 +6,6 @@ import numpy as np
 import pytest
 
 from repro.core.actions import (
-    QueryAction,
     aggregate_action,
     group_by_action,
     join_action,
@@ -40,7 +39,9 @@ from repro.touchio.synthesizer import SlideSegment
 
 #: One representative instance per command type, with non-default values.
 ALL_COMMANDS = [
-    ShowColumn(object_name="m", column_name=None, height_cm=12.0, width_cm=3.0, x=1.0, y=2.0, view_name="v"),
+    ShowColumn(
+        object_name="m", column_name=None, height_cm=12.0, width_cm=3.0, x=1.0, y=2.0, view_name="v"
+    ),
     ShowColumn(object_name="t", column_name="a"),
     ShowTable(table_name="t", height_cm=8.0, width_cm=6.0, x=0.5, y=0.5, view_name="tv"),
     ChooseAction(view="v", action=summary_action(k=7, aggregate="max")),
@@ -52,7 +53,14 @@ ALL_COMMANDS = [
         view="v",
         action=select_where_action("a", Predicate(Comparison.BETWEEN, 1.0, 5.0), ["b", "c"]),
     ),
-    Slide(view="v", duration=2.5, start_fraction=0.1, end_fraction=0.9, axis="horizontal", cross_fraction=0.3),
+    Slide(
+        view="v",
+        duration=2.5,
+        start_fraction=0.1,
+        end_fraction=0.9,
+        axis="horizontal",
+        cross_fraction=0.3,
+    ),
     SlidePath(
         view="v",
         segments=(SlideSegment(0.0, 0.6, 0.5, pause_after=0.2), SlideSegment(0.6, 0.3, 0.5)),
@@ -63,7 +71,9 @@ ALL_COMMANDS = [
     ZoomOut(view="v", duration=0.6),
     Rotate(view="v", duration=0.7),
     Pan(view="v", dx_cm=3.0, dy_cm=-1.0),
-    DragColumnOut(table_view="tv", column_name="a", new_object_name="a_solo", x=4.0, y=0.0, height_cm=9.0),
+    DragColumnOut(
+        table_view="tv", column_name="a", new_object_name="a_solo", x=4.0, y=0.0, height_cm=9.0
+    ),
     GroupColumns(column_object_names=("a", "b"), table_name="grouped", x=1.0, y=1.0),
     UngroupTable(table_view="tv", height_cm=7.0),
 ]

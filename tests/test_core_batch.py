@@ -145,7 +145,9 @@ class TestSummarizeBatch:
         column = Column("c", 1e8 + rng.normal(0.0, 1.0, size=2000))
         batched = InteractiveSummarizer(column, k=100, aggregate="std")
         reference = InteractiveSummarizer(column, k=100, aggregate="std")
-        values, _, _ = batched.summarize_batch(np.array([300, 1000, 1700]), np.ones(3, dtype=np.int64))
+        values, _, _ = batched.summarize_batch(
+            np.array([300, 1000, 1700]), np.ones(3, dtype=np.int64)
+        )
         for i, rowid in enumerate((300, 1000, 1700)):
             assert values[i] == pytest.approx(reference.summarize_at(rowid).value, abs=1e-6)
 

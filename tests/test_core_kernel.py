@@ -4,11 +4,9 @@ import numpy as np
 import pytest
 
 from repro.core.actions import (
-    aggregate_action,
     group_by_action,
     join_action,
     scan_action,
-    summary_action,
 )
 from repro.core.kernel import KernelConfig
 from repro.errors import ExecutionError, QueryError

@@ -15,7 +15,9 @@ def column_view():
 
 @pytest.fixture
 def table_view():
-    return make_table_view("t", "tab", num_tuples=1000, num_attributes=4, height_cm=10.0, width_cm=8.0)
+    return make_table_view(
+        "t", "tab", num_tuples=1000, num_attributes=4, height_cm=10.0, width_cm=8.0
+    )
 
 
 class TestRuleOfThree:

@@ -264,15 +264,18 @@ class TestTouchCacheInvalidate:
         assert 0 <= min(outcome.rowids_touched)
         assert max(outcome.rowids_touched) == 99
 
-    def test_replace_on_remote_backend_raises_library_error(self):
+    def test_replace_on_remote_backend_rehosts_and_rescales(self):
+        # replace-reloads used to be a local-only feature; the serving
+        # engine's reload path now re-hosts on the server, rebuilds the
+        # device-side sample clients and re-scales shown view metadata
         from repro.service import RemoteExplorationService
 
         session = ExplorationSession(service=RemoteExplorationService())
-        session.load_column("c", np.arange(100, dtype=np.int64))
-        from repro.errors import DbTouchError
-
-        with pytest.raises(DbTouchError):
-            session.load_column("c", np.arange(100, dtype=np.int64), replace=True)
+        session.load_column("c", np.arange(1000, dtype=np.int64))
+        view = session.show_column("c", height_cm=10.0)
+        session.load_column("c", np.arange(100, dtype=np.int64), replace=True)
+        assert view.properties.num_tuples == 100
+        assert session.service.server.read_value("c", 99).values[0] == 99
 
     def test_data_reload_drops_stale_entries_and_values(self, profile):
         session = ExplorationSession(

@@ -37,7 +37,9 @@ class TestRuleOfThreeProperties:
 
     @given(
         n=st.integers(min_value=1, max_value=10**7),
-        fractions=st.lists(st.floats(min_value=0.0, max_value=1.0, allow_nan=False), min_size=2, max_size=20),
+        fractions=st.lists(
+            st.floats(min_value=0.0, max_value=1.0, allow_nan=False), min_size=2, max_size=20
+        ),
     )
     def test_mapping_is_monotone_in_position(self, n, fractions):
         """Touching lower on the object never maps to an earlier tuple."""
@@ -47,7 +49,10 @@ class TestRuleOfThreeProperties:
         rowids = [mapper.map_touch(view, TouchPoint(1.0, f * 10.0)).rowid for f in ordered]
         assert rowids == sorted(rowids)
 
-    @given(n=st.integers(min_value=1, max_value=10**7), fraction=st.floats(min_value=0.0, max_value=1.0, allow_nan=False))
+    @given(
+        n=st.integers(min_value=1, max_value=10**7),
+        fraction=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    )
     def test_zoom_does_not_change_fraction_semantics(self, n, fraction):
         """The same *fractional* position maps to the same rowid at any zoom."""
         view = make_column_view("v", "o", num_tuples=n, height_cm=10.0)
@@ -81,7 +86,10 @@ class TestAggregateProperties:
         agg.update_many(arr)
         assert agg.current() == pytest.approx(arr.std(), rel=1e-6, abs=1e-6)
 
-    @given(values=st.lists(finite_floats, min_size=1, max_size=100), split=st.integers(min_value=0, max_value=100))
+    @given(
+        values=st.lists(finite_floats, min_size=1, max_size=100),
+        split=st.integers(min_value=0, max_value=100),
+    )
     def test_order_of_batching_does_not_matter(self, values, split):
         arr = np.asarray(values, dtype=np.float64)
         split = min(split, len(arr))
@@ -97,7 +105,11 @@ class TestPredicateProperties:
     @given(values=st.lists(finite_floats, min_size=1, max_size=100), operand=finite_floats)
     def test_mask_agrees_with_matches(self, values, operand):
         arr = np.asarray(values, dtype=np.float64)
-        for comparison in (Comparison.LT, Comparison.LE, Comparison.GT, Comparison.GE, Comparison.EQ, Comparison.NE):
+        comparisons = (
+            Comparison.LT, Comparison.LE, Comparison.GT,
+            Comparison.GE, Comparison.EQ, Comparison.NE,
+        )
+        for comparison in comparisons:
             pred = Predicate(comparison, operand)
             mask = pred.mask(arr)
             assert list(mask) == [pred.matches(float(v)) for v in arr]
@@ -114,7 +126,10 @@ class TestSampleHierarchyProperties:
         level = hierarchy.level_for_stride(stride)
         assert level.step <= max(1, stride)
 
-    @given(n=st.integers(min_value=64, max_value=5000), rowid_fraction=st.floats(min_value=0.0, max_value=0.999))
+    @given(
+        n=st.integers(min_value=64, max_value=5000),
+        rowid_fraction=st.floats(min_value=0.0, max_value=0.999),
+    )
     def test_read_at_returns_nearby_value(self, n, rowid_fraction):
         column = Column("c", np.arange(n))
         hierarchy = SampleHierarchy(column, factor=4, min_rows=8)
@@ -169,7 +184,9 @@ class TestCrackerProperties:
 class TestCacheProperties:
     @given(
         operations=st.lists(
-            st.tuples(st.integers(min_value=0, max_value=500), st.integers(min_value=1, max_value=64)),
+            st.tuples(
+                st.integers(min_value=0, max_value=500), st.integers(min_value=1, max_value=64)
+            ),
             min_size=1,
             max_size=200,
         )
@@ -191,7 +208,11 @@ class TestCacheProperties:
 
 
 class TestResultStreamProperties:
-    @given(timestamps=st.lists(st.floats(min_value=0.0, max_value=100.0, allow_nan=False), min_size=1, max_size=50))
+    @given(
+        timestamps=st.lists(
+            st.floats(min_value=0.0, max_value=100.0, allow_nan=False), min_size=1, max_size=50
+        )
+    )
     def test_visible_results_have_valid_opacity(self, timestamps):
         stream = ResultStream(fade_seconds=2.0)
         for i, t in enumerate(sorted(timestamps)):

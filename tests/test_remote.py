@@ -153,3 +153,78 @@ class TestClientPolicies:
         client = self._client(server, RemotePolicy.HYBRID)
         client.slide([0, 1000, 2000, 3000])
         assert client.stats.touches == 4
+
+
+class TestSharedRemoteServerHosting:
+    def test_ensure_hosted_is_idempotent(self):
+        server = RemoteServer()
+        first = Column("shared", np.arange(1_000))
+        hosted = server.ensure_hosted(first)
+        assert hosted is first
+        # a second session offering the same name reuses the hosted data
+        again = server.ensure_hosted(Column("shared", np.arange(1_000) * 2))
+        assert again is first
+        assert server.hosted_columns == ["shared"]
+
+    def test_host_column_replace_swaps_data_and_hierarchy(self):
+        server = RemoteServer()
+        server.host_column(Column("c", np.arange(100)))
+        with pytest.raises(RemoteError):
+            server.host_column(Column("c", np.arange(100)))
+        server.host_column(Column("c", np.arange(100) * 10), replace=True)
+        assert server.read_value("c", 7).values[0] == 70
+
+    def test_concurrent_hosting_and_reads_are_safe(self):
+        import threading
+
+        server = RemoteServer()
+        errors: list[BaseException] = []
+
+        def host(index: int) -> None:
+            try:
+                server.ensure_hosted(Column(f"col-{index % 4}", np.arange(5_000)))
+                for _ in range(50):
+                    server.read_value(f"col-{index % 4}", 123)
+            except BaseException as exc:
+                errors.append(exc)
+
+        threads = [threading.Thread(target=host, args=(i,)) for i in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert len(server.hosted_columns) == 4
+        assert server.requests_served == 8 * 50
+
+
+class TestRemoteReplaceReload:
+    def _shown_service(self, values):
+        from repro.core.actions import aggregate_action
+        from repro.core.commands import ChooseAction, ShowColumn
+        from repro.service import RemoteExplorationService
+
+        service = RemoteExplorationService(network_profile=LAN)
+        service.load_column("c", values)
+        service.execute(ShowColumn(object_name="c", view_name="v"))
+        service.execute(ChooseAction(view="v", action=aggregate_action("avg")))
+        return service
+
+    def test_replace_reload_refreshes_device_side_state(self):
+        from repro.core.commands import Tap
+
+        service = self._shown_service(np.arange(10_000))
+        before = service.execute(Tap(view="v", fraction=0.5)).payload.final_aggregate
+        assert before > 0
+        service.load_column("c", np.arange(10_000) * 3, replace=True)
+        after = service.execute(Tap(view="v", fraction=0.5)).payload.final_aggregate
+        # the device-local sample was rebuilt from the reloaded data: the
+        # same touch answers from the new values, with no stale refinement
+        assert after == before * 3
+
+    def test_replace_on_unhosted_name_just_hosts(self):
+        from repro.service import RemoteExplorationService
+
+        service = RemoteExplorationService(network_profile=LAN)
+        service.load_column("fresh", np.arange(100), replace=True)
+        assert service.server.hosts("fresh")

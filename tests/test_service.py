@@ -26,7 +26,6 @@ from repro.service import (
     ExplorationService,
     LocalExplorationService,
     MultiSessionServer,
-    OutcomeEnvelope,
     RemoteExplorationService,
 )
 from repro.storage.column import Column

@@ -1,6 +1,5 @@
 """Unit tests for the catalog."""
 
-import numpy as np
 import pytest
 
 from repro.errors import CatalogError

@@ -58,7 +58,9 @@ class TestStringType:
 
 
 class TestTypeFromName:
-    @pytest.mark.parametrize("name", ["int8", "int16", "int32", "int64", "float32", "float64", "bool"])
+    @pytest.mark.parametrize(
+        "name", ["int8", "int16", "int32", "int64", "float32", "float64", "bool"]
+    )
     def test_builtin_lookup(self, name):
         assert type_from_name(name).name == name
 

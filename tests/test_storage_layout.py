@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.errors import LayoutError
-from repro.storage.column import Column
 from repro.storage.layout import (
     ColumnStoreLayout,
     HybridLayout,

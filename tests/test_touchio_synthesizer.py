@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import GestureError
-from repro.touchio.device import IPAD1, DeviceProfile
+from repro.touchio.device import IPAD1
 from repro.touchio.events import TouchPhase
 from repro.touchio.synthesizer import GestureSynthesizer, SlideSegment
 from repro.touchio.views import make_column_view

@@ -16,7 +16,13 @@ from repro.viz.objects import (
     shape_from_info,
     shape_from_view,
 )
-from repro.viz.render import RenderConfig, fade_character, render_object, render_results, render_screen
+from repro.viz.render import (
+    RenderConfig,
+    fade_character,
+    render_object,
+    render_results,
+    render_screen,
+)
 
 
 class TestShapes:

@@ -32,7 +32,8 @@ class TestPatternColumns:
         column, patterns = make_pattern_column("c", 50_000, [PatternKind.LEVEL_SHIFT])
         n = len(column)
         start = int(patterns[0].start_fraction * n)
-        assert column.values[start:].mean() > column.values[:start].mean() + 2 * column.values[:start].std()
+        head = column.values[:start]
+        assert column.values[start:].mean() > head.mean() + 2 * head.std()
 
     def test_trend(self):
         column, _ = make_pattern_column("c", 50_000, [PatternKind.TREND])
@@ -157,7 +158,8 @@ class TestExplorationContest:
     def test_dbtouch_explorer_gives_up_on_flat_data(self):
         from repro.storage.column import Column
 
-        flat = Column("flat", np.full(20_000, 7.0) + np.random.default_rng(0).normal(0, 0.1, 20_000))
+        noise = np.random.default_rng(0).normal(0, 0.1, 20_000)
+        flat = Column("flat", np.full(20_000, 7.0) + noise)
         report = DbTouchExplorer(flat).explore()
         assert not report.found
 
@@ -169,3 +171,124 @@ class TestExplorationContest:
             DbTouchExplorer(col, deviation_threshold=0.0)
         with pytest.raises(ContestError):
             SqlExplorer(col, deviation_threshold=-1.0)
+
+
+class TestServingWorkload:
+    def test_generator_is_deterministic_per_seed(self):
+        from repro.workloads.generators import make_serving_workload
+
+        first = make_serving_workload(num_sessions=3, gestures_per_session=5, num_rows=2_000)
+        second = make_serving_workload(num_sessions=3, gestures_per_session=5, num_rows=2_000)
+        assert sorted(first.traces) == sorted(second.traces)
+        for session_id in first.traces:
+            a = [(t.command.to_dict(), t.think_s) for t in first.traces[session_id]]
+            b = [(t.command.to_dict(), t.think_s) for t in second.traces[session_id]]
+            assert a == b
+
+    def test_sessions_get_distinct_traffic(self):
+        from repro.workloads.generators import make_serving_workload
+
+        workload = make_serving_workload(
+            num_sessions=4, gestures_per_session=8, num_rows=2_000
+        )
+        encoded = {
+            session_id: [t.command.to_dict() for t in trace]
+            for session_id, trace in workload.traces.items()
+        }
+        assert len({str(commands) for commands in encoded.values()}) > 1
+
+    def test_traffic_mixes_slide_zoom_rotate_select_where(self):
+        from repro.workloads.generators import make_serving_workload
+
+        workload = make_serving_workload(
+            num_sessions=8, gestures_per_session=12, num_rows=2_000, seed=3
+        )
+        kinds = {
+            timed.command.kind
+            for trace in workload.traces.values()
+            for timed in trace
+        }
+        assert {"slide", "zoom-in", "rotate", "choose-action", "tap"} <= kinds
+        # every session carries a select-where plan on the shared table
+        for trace in workload.traces.values():
+            actions = [
+                t.command.action.kind.value
+                for t in trace
+                if t.command.kind == "choose-action"
+            ]
+            assert "select-where" in actions
+
+    def test_think_time_scales_with_mean(self):
+        from repro.workloads.generators import make_serving_workload
+
+        workload = make_serving_workload(
+            num_sessions=2, gestures_per_session=6, num_rows=2_000, mean_think_s=0.1
+        )
+        thinks = [
+            t.think_s for trace in workload.traces.values() for t in trace if t.think_s
+        ]
+        assert all(0.05 <= think <= 0.15 for think in thinks)
+        zeroed = workload.without_think()
+        assert zeroed.total_think_s == 0.0
+        assert zeroed.total_commands == workload.total_commands
+
+    def test_script_for_strips_pacing(self):
+        from repro.workloads.generators import make_serving_workload
+
+        workload = make_serving_workload(
+            num_sessions=1, gestures_per_session=4, num_rows=2_000
+        )
+        (session_id,) = workload.traces
+        script = workload.script_for(session_id)
+        assert len(script) == len(workload.traces[session_id])
+        with pytest.raises(WorkloadError):
+            workload.script_for("nobody")
+
+    def test_validation(self):
+        from repro.workloads.generators import make_serving_workload
+
+        with pytest.raises(WorkloadError):
+            make_serving_workload(num_sessions=0)
+        with pytest.raises(WorkloadError):
+            make_serving_workload(gestures_per_session=0)
+        with pytest.raises(WorkloadError):
+            make_serving_workload(mean_think_s=-0.1)
+
+
+class TestTimedCommandAndTraceRecording:
+    def test_timed_command_round_trip(self):
+        from repro.core.commands import Slide, TimedCommand
+
+        timed = TimedCommand(Slide(view="v", duration=0.7), think_s=0.25)
+        rebuilt = TimedCommand.from_dict(timed.to_dict())
+        assert rebuilt.command == timed.command
+        assert rebuilt.think_s == timed.think_s
+
+    def test_timed_command_validation(self):
+        from repro.core.commands import Slide, TimedCommand
+        from repro.errors import CommandError
+
+        with pytest.raises(CommandError):
+            TimedCommand("not-a-command")
+        with pytest.raises(CommandError):
+            TimedCommand(Slide(view="v"), think_s=-1.0)
+        with pytest.raises(CommandError):
+            TimedCommand.from_dict({"think_s": 1.0})
+
+    def test_session_records_paced_traces(self):
+        import time
+
+        from repro import ExplorationSession
+
+        session = ExplorationSession()
+        session.load_column("data", np.arange(1_000))
+        trace = session.record_trace()
+        view = session.show_column("data")
+        time.sleep(0.03)
+        session.tap(view)
+        finished = session.stop_trace()
+        assert finished is trace
+        assert [t.command.kind for t in finished] == ["show-column", "tap"]
+        assert finished[0].think_s == 0.0
+        assert finished[1].think_s >= 0.02
+        assert session.stop_trace() is None
