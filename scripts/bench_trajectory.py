@@ -5,10 +5,11 @@ invokes this script to turn the raw report into the repository's perf
 *trajectory*: one small ``BENCH_<benchmark>.json`` per benchmark (timing
 stats plus whatever the benchmark put into ``extra_info`` — for
 ``test_concurrent_serving_three_x_throughput`` that is the serial and
-concurrent throughput and the speedup), and one ``BENCH_trajectory.json``
-index summarizing the whole run.  The files are uploaded as a workflow
-artifact, so the numbers survive the run instead of being thrown away with
-the logs.
+concurrent throughput and the speedup; for the ``BENCH_out_of_core_*``
+family it is the chunk residency, chunk-cache hit rate and the snapshot
+cold-start speedup), and one ``BENCH_trajectory.json`` index summarizing
+the whole run.  The files are uploaded as a workflow artifact, so the
+numbers survive the run instead of being thrown away with the logs.
 
 Usage::
 

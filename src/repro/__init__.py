@@ -43,6 +43,10 @@ Subpackages
     multi-session).
 ``repro.storage``
     Fixed-width numpy columns, tables, layouts, sample hierarchies.
+``repro.persist``
+    The out-of-core tier: mmap-backed chunked column files, the
+    byte-budgeted chunk cache, snapshot catalogs for warm cold-starts
+    and background sample materialization.
 ``repro.touchio``
     The simulated touch OS: views, devices, gesture synthesis/recognition.
 ``repro.engine``
@@ -90,10 +94,24 @@ from repro.core.commands import (
     ZoomIn,
     ZoomOut,
 )
+from repro.core.caching import MemoryBudget
 from repro.core.kernel import DbTouchKernel, GestureOutcome, KernelConfig
 from repro.core.scheduler import GestureScheduler, SchedulerConfig, SchedulerStats
 from repro.core.session import ExplorationSession, SessionSummary
-from repro.errors import AdmissionError, DbTouchError
+from repro.errors import (
+    AdmissionError,
+    DbTouchError,
+    LoaderError,
+    PersistError,
+    SnapshotError,
+)
+from repro.persist import (
+    BackgroundMaterializer,
+    ChunkCache,
+    DiskColumnStore,
+    PagedColumn,
+    StoreCatalog,
+)
 from repro.service import (
     ExplorationService,
     LocalExplorationService,
@@ -113,17 +131,20 @@ from repro.touchio.device import (
     DeviceProfile,
 )
 
-__version__ = "0.2.0"
+__version__ = "0.4.0"
 
 __all__ = [
     "ActionKind",
     "AdmissionError",
+    "BackgroundMaterializer",
     "Catalog",
     "ChooseAction",
+    "ChunkCache",
     "Column",
     "DbTouchError",
     "DbTouchKernel",
     "DeviceProfile",
+    "DiskColumnStore",
     "DragColumnOut",
     "ExplorationService",
     "ExplorationSession",
@@ -135,12 +156,16 @@ __all__ = [
     "IPAD1",
     "IPAD1_PROTOTYPE",
     "KernelConfig",
+    "LoaderError",
     "LocalExplorationService",
     "MODERN_TABLET",
+    "MemoryBudget",
     "MultiSessionServer",
     "OutcomeEnvelope",
     "PHONE",
+    "PagedColumn",
     "Pan",
+    "PersistError",
     "QueryAction",
     "RemoteExplorationService",
     "Rotate",
@@ -152,6 +177,8 @@ __all__ = [
     "ShowTable",
     "Slide",
     "SlidePath",
+    "SnapshotError",
+    "StoreCatalog",
     "Table",
     "Tap",
     "TimedCommand",

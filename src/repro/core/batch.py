@@ -407,7 +407,7 @@ class BatchSlideExecutor:
             # dict.fromkeys mirrors the reference path's dict-collapse of
             # duplicate select attributes in the tuples_examined count
             names = list(dict.fromkeys(action.select_attributes))
-            selected = [state.table.column(name).values[pass_rowids] for name in names]
+            selected = [state.table.column(name).read_batch(pass_rowids) for name in names]
             display = [dict(zip(names, row)) for row in zip(*selected)]
             outcome.tuples_examined += len(names) * int(pass_rowids.size)
         elif action.kind is ActionKind.AGGREGATE and state.aggregate is not None:
@@ -439,9 +439,11 @@ class BatchSlideExecutor:
             return state.summarizer.summarize_batch(rowids, strides)
         ones = np.ones(m, dtype=np.int64)
         zeros = np.zeros(m, dtype=np.int64)
+        # reads go through Column.read_batch (not raw fancy indexing) so
+        # out-of-core paged columns fault in only the touched chunks
         if state.table is not None:
             column = state.table.column(action.where_attribute)
-            return column.values[rowids], ones, zeros
+            return column.read_batch(rowids), ones, zeros
         if (
             not prefetch
             and state.hierarchy is not None
@@ -449,7 +451,7 @@ class BatchSlideExecutor:
         ):
             values, levels = state.hierarchy.read_batch(rowids, strides)
             return values, ones, levels
-        return state.column.values[rowids], ones, zeros
+        return state.column.read_batch(rowids), ones, zeros
 
     def _value_dtype(self, state):
         action = state.action

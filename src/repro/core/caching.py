@@ -32,13 +32,166 @@ regardless of action kind or summary window.
 
 from __future__ import annotations
 
+import threading
+import weakref
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Any, Hashable, Sequence
+from typing import Any, Callable, Hashable, Sequence
 
 import numpy as np
 
 from repro.errors import DbTouchError
+
+
+class MemoryBudget:
+    """One byte budget shared by several caches, across threads.
+
+    The out-of-core tier introduces a second cache next to the kernel's
+    :class:`TouchCache`: the chunk cache of
+    :class:`repro.persist.diskstore.DiskColumnStore`.  On a memory-bounded
+    host the two must not size themselves independently, so both can be
+    handed the same ``MemoryBudget``: every insertion *charges* bytes
+    against the shared capacity, every eviction *releases* them, and when a
+    charge would overflow the budget the other participants are asked to
+    reclaim (evict) bytes first, the charging cache last.
+
+    Participants register a ``reclaim(nbytes) -> freed_bytes`` callback
+    that evicts from their own storage and returns how many bytes it
+    actually freed; the budget adjusts its accounting itself, so a reclaim
+    callback must not call :meth:`charge` or :meth:`release`.  A charge
+    larger than what reclaiming can free is still admitted (the budget is
+    a pressure mechanism, not a hard allocator): the overflow shows in
+    :attr:`used_bytes` until the oversized entry is evicted.
+
+    **Concurrency.**  A budget is shared by many sessions' caches while a
+    :class:`repro.core.scheduler.GestureScheduler` executes those sessions
+    on parallel workers, so all accounting happens under an internal lock.
+    Two rules keep the cross-cache call graph deadlock-free: the budget
+    never holds its lock while invoking a reclaim callback, and a cache
+    must never call :meth:`charge`/:meth:`release` while holding its own
+    lock (both built-in caches follow this).
+
+    **Lifecycle.**  Bound-method reclaimers are held via ``weakref``, so a
+    per-session cache that dies with its session is pruned automatically —
+    its charged bytes vanish with it (the memory really was freed by the
+    collector).  :meth:`unregister` does the same deterministically.
+
+    **Determinism caveat.**  A budget shared *across sessions* makes each
+    session's touch-cache contents depend on when its peers trigger
+    reclaims, so hit/miss-derived outcome counters become load-dependent —
+    like the adaptive latency budget, this intentionally trades replay
+    determinism for a resource bound.  Parity-sensitive runs give each
+    session its own budget (or none); sharing one budget between a single
+    kernel and its disk store keeps counters deterministic.
+    """
+
+    def __init__(self, capacity_bytes: int) -> None:
+        if capacity_bytes <= 0:
+            raise DbTouchError("memory budget capacity must be positive")
+        self.capacity_bytes = int(capacity_bytes)
+        self._lock = threading.RLock()
+        self._used: OrderedDict[str, int] = OrderedDict()
+        #: name -> zero-arg resolver returning the live callback or None
+        self._reclaimers: dict[str, Callable[[], Callable[[int], int] | None]] = {}
+
+    @property
+    def used_bytes(self) -> int:
+        """Bytes currently charged across all (live) participants."""
+        with self._lock:
+            self._prune_dead_locked()
+            return sum(self._used.values())
+
+    @property
+    def participants(self) -> list[str]:
+        """Registered participant names, in registration order."""
+        with self._lock:
+            self._prune_dead_locked()
+            return list(self._used)
+
+    def used_by(self, name: str) -> int:
+        """Bytes currently charged by one participant."""
+        with self._lock:
+            if name not in self._used:
+                raise DbTouchError(f"no budget participant named {name!r}")
+            return self._used[name]
+
+    def register(self, name: str, reclaim: Callable[[int], int]) -> None:
+        """Add a participant with its eviction callback.
+
+        Bound methods are referenced weakly (the participant may die with
+        its session); other callables are held strongly.
+        """
+        resolver: Callable[[], Callable[[int], int] | None]
+        try:
+            resolver = weakref.WeakMethod(reclaim)
+        except TypeError:
+
+            def resolver(hold=reclaim):
+                return hold
+        with self._lock:
+            # prune first: a dead participant's id()-derived name may be
+            # reused by the allocator for its successor cache
+            self._prune_dead_locked()
+            if name in self._used:
+                raise DbTouchError(f"budget participant {name!r} already registered")
+            self._used[name] = 0
+            self._reclaimers[name] = resolver
+
+    def unregister(self, name: str) -> None:
+        """Remove a participant, dropping whatever it still had charged."""
+        with self._lock:
+            if name not in self._used:
+                raise DbTouchError(f"no budget participant named {name!r}")
+            del self._used[name]
+            del self._reclaimers[name]
+
+    def _prune_dead_locked(self) -> None:
+        """Drop participants whose weakly-held reclaimer has died."""
+        for name in [n for n, resolve in self._reclaimers.items() if resolve() is None]:
+            del self._used[name]
+            del self._reclaimers[name]
+
+    def charge(self, name: str, nbytes: int) -> None:
+        """Account ``nbytes`` to ``name``, reclaiming from others if needed."""
+        if nbytes < 0:
+            raise DbTouchError("cannot charge a negative byte count")
+        with self._lock:
+            if name not in self._used:
+                raise DbTouchError(f"no budget participant named {name!r}")
+            self._prune_dead_locked()
+            self._used[name] += nbytes
+            overflow = sum(self._used.values()) - self.capacity_bytes
+            if overflow <= 0:
+                return
+            # other participants shed bytes first, the charging cache last,
+            # so a cache absorbing a new working set wins memory from peers
+            order = [p for p in self._used if p != name] + [name]
+        for participant in order:
+            if overflow <= 0:
+                break
+            with self._lock:
+                resolver = self._reclaimers.get(participant)
+                reclaim = resolver() if resolver is not None else None
+                if reclaim is None:
+                    if resolver is not None:  # died mid-flight: prune it
+                        self._prune_dead_locked()
+                    continue
+            # invoked WITHOUT the budget lock: the callback takes its own
+            # cache lock, and no cache calls back into charge()/release()
+            # while holding one — see the class docstring's two rules
+            freed = int(reclaim(overflow))
+            with self._lock:
+                freed = min(freed, self._used.get(participant, 0))
+                if participant in self._used:
+                    self._used[participant] -= freed
+            overflow -= freed
+
+    def release(self, name: str, nbytes: int) -> None:
+        """Return ``nbytes`` previously charged by ``name``."""
+        with self._lock:
+            if name not in self._used:
+                raise DbTouchError(f"no budget participant named {name!r}")
+            self._used[name] = max(0, self._used[name] - max(0, nbytes))
 
 
 @dataclass
@@ -71,15 +224,37 @@ class TouchCache:
     revisit at a similar granularity still hits.
     """
 
-    def __init__(self, capacity: int = 4096, bucket_rows: int = 64):
+    def __init__(
+        self,
+        capacity: int = 4096,
+        bucket_rows: int = 64,
+        budget: MemoryBudget | None = None,
+        entry_cost_bytes: int = 256,
+    ):
         if capacity <= 0:
             raise DbTouchError("cache capacity must be positive")
         if bucket_rows <= 0:
             raise DbTouchError("bucket_rows must be positive")
+        if entry_cost_bytes <= 0:
+            raise DbTouchError("entry_cost_bytes must be positive")
         self.capacity = capacity
         self.bucket_rows = bucket_rows
         self.stats = CacheStats()
         self._entries: OrderedDict[Hashable, Any] = OrderedDict()
+        #: optional shared budget (see :class:`MemoryBudget`): each entry is
+        #: accounted at the flat ``entry_cost_bytes`` estimate, so the touch
+        #: cache and the out-of-core chunk cache can split one allowance.
+        #: Inserts stay owner-thread-only (the scheduler's session affinity),
+        #: but a shared budget may call :meth:`_reclaim_bytes` from another
+        #: session's worker, so entry mutations happen under ``_lock`` and
+        #: budget calls are made only while the lock is NOT held (the
+        #: deadlock-freedom rule documented on :class:`MemoryBudget`).
+        self.entry_cost_bytes = entry_cost_bytes
+        self._lock = threading.RLock()
+        self._budget = budget
+        self._budget_key = f"touch-cache-{id(self):x}"
+        if budget is not None:
+            budget.register(self._budget_key, self._reclaim_bytes)
 
     # ------------------------------------------------------------------ #
     # key construction
@@ -132,21 +307,65 @@ class TouchCache:
         return buckets * np.int64(self._COLLAPSE_SHIFT) + self._stride_exponents(strides)
 
     # ------------------------------------------------------------------ #
+    # shared-budget accounting
+    # ------------------------------------------------------------------ #
+    def _settle(self, entry_delta: int) -> None:
+        """Charge/release an entry-count change against the shared budget.
+
+        Never called while ``_lock`` is held (the deadlock-freedom rule on
+        :class:`MemoryBudget`).  Writers pre-charge their prospective new
+        entries *before* inserting and settle the correction afterwards:
+        a cross-session reclaim that evicts a just-inserted entry must
+        find its bytes already on the books, or the clamped release makes
+        usage drift upward forever.
+        """
+        if self._budget is None or entry_delta == 0:
+            return
+        nbytes = abs(entry_delta) * self.entry_cost_bytes
+        if entry_delta > 0:
+            self._budget.charge(self._budget_key, nbytes)
+        else:
+            self._budget.release(self._budget_key, nbytes)
+
+    def _reclaim_bytes(self, nbytes: int) -> int:
+        """Budget eviction hook: drop LRU entries until ``nbytes`` are freed.
+
+        Called by the shared :class:`MemoryBudget` when another participant
+        (e.g. the out-of-core chunk cache) needs room — possibly from a
+        different session's worker thread; the budget adjusts its own
+        accounting from the return value.
+        """
+        freed = 0
+        with self._lock:
+            while freed < nbytes and self._entries:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+                freed += self.entry_cost_bytes
+        return freed
+
+    def _evict_to_capacity_locked(self) -> None:
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    # ------------------------------------------------------------------ #
     # cache protocol
     # ------------------------------------------------------------------ #
     def get(self, object_name: str, rowid: int, stride: int = 1) -> Any | None:
         """Look up a cached value; returns ``None`` on a miss."""
         key = self._key(object_name, rowid, stride)
-        if key in self._entries:
-            self._entries.move_to_end(key)
-            self.stats.hits += 1
-            return self._entries[key]
-        self.stats.misses += 1
-        return None
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self.stats.hits += 1
+                return self._entries[key]
+            self.stats.misses += 1
+            return None
 
     def contains(self, object_name: str, rowid: int, stride: int = 1) -> bool:
         """Whether a value is cached, without affecting hit/miss statistics."""
-        return self._key(object_name, rowid, stride) in self._entries
+        with self._lock:
+            return self._key(object_name, rowid, stride) in self._entries
 
     def collapsed_namespace_keys(self, object_name: str) -> np.ndarray:
         """Collapsed integer keys of every entry in one object namespace.
@@ -157,23 +376,29 @@ class TouchCache:
         statistics or LRU order.
         """
         shift = self._COLLAPSE_SHIFT
-        collapsed = [
-            bucket * shift + (sbucket.bit_length() - 1)
-            for name, bucket, sbucket in self._entries
-            if name == object_name
-        ]
+        with self._lock:
+            collapsed = [
+                bucket * shift + (sbucket.bit_length() - 1)
+                for name, bucket, sbucket in self._entries
+                if name == object_name
+            ]
         return np.asarray(collapsed, dtype=np.int64)
 
     def put(self, object_name: str, rowid: int, value: Any, stride: int = 1) -> None:
         """Insert (or refresh) a cached value, evicting LRU entries if full."""
         key = self._key(object_name, rowid, stride)
-        if key in self._entries:
-            self._entries.move_to_end(key)
-        self._entries[key] = value
-        self.stats.insertions += 1
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
-            self.stats.evictions += 1
+        with self._lock:
+            prospective = 0 if key in self._entries else 1
+        self._settle(prospective)  # charge BEFORE inserting
+        with self._lock:
+            before = len(self._entries)
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = value
+            self.stats.insertions += 1
+            self._evict_to_capacity_locked()
+            delta = len(self._entries) - before
+        self._settle(delta - prospective)
 
     def get_many(
         self,
@@ -198,20 +423,21 @@ class TouchCache:
         sbuckets = self.stride_buckets(strides).tolist()
         values: list[Any] = []
         hits = np.zeros(len(buckets), dtype=bool)
-        entries = self._entries
-        for i, (bucket, sbucket) in enumerate(zip(buckets, sbuckets)):
-            key = (object_name, bucket, sbucket)
-            if key in entries:
-                if touch_lru:
-                    entries.move_to_end(key)
-                values.append(entries[key])
-                hits[i] = True
-            else:
-                values.append(None)
-        if count_stats:
-            num_hits = int(hits.sum())
-            self.stats.hits += num_hits
-            self.stats.misses += len(buckets) - num_hits
+        with self._lock:
+            entries = self._entries
+            for i, (bucket, sbucket) in enumerate(zip(buckets, sbuckets)):
+                key = (object_name, bucket, sbucket)
+                if key in entries:
+                    if touch_lru:
+                        entries.move_to_end(key)
+                    values.append(entries[key])
+                    hits[i] = True
+                else:
+                    values.append(None)
+            if count_stats:
+                num_hits = int(hits.sum())
+                self.stats.hits += num_hits
+                self.stats.misses += len(buckets) - num_hits
         return values, hits
 
     def put_many(
@@ -225,16 +451,21 @@ class TouchCache:
         rowid_arr = np.asarray(rowids, dtype=np.int64)
         buckets = (rowid_arr // self.bucket_rows).tolist()
         sbuckets = self.stride_buckets(strides).tolist()
-        entries = self._entries
-        for bucket, sbucket, value in zip(buckets, sbuckets, values):
-            key = (object_name, bucket, sbucket)
-            if key in entries:
-                entries.move_to_end(key)
-            entries[key] = value
-            self.stats.insertions += 1
-        while len(entries) > self.capacity:
-            entries.popitem(last=False)
-            self.stats.evictions += 1
+        keys = [(object_name, b, s) for b, s in zip(buckets, sbuckets)]
+        with self._lock:
+            prospective = len({key for key in keys if key not in self._entries})
+        self._settle(prospective)  # charge BEFORE inserting
+        with self._lock:
+            entries = self._entries
+            before = len(entries)
+            for key, value in zip(keys, values):
+                if key in entries:
+                    entries.move_to_end(key)
+                entries[key] = value
+                self.stats.insertions += 1
+            self._evict_to_capacity_locked()
+            delta = len(entries) - before
+        self._settle(delta - prospective)
 
     def replay_lru(
         self,
@@ -256,19 +487,26 @@ class TouchCache:
         rowid_arr = np.asarray(rowids, dtype=np.int64)
         buckets = (rowid_arr // self.bucket_rows).tolist()
         sbuckets = self.stride_buckets(strides).tolist()
-        entries = self._entries
-        for bucket, sbucket, value, write in zip(buckets, sbuckets, values, writes):
-            key = (object_name, bucket, sbucket)
-            if write:
-                if key in entries:
+        keys = [(object_name, b, s) for b, s in zip(buckets, sbuckets)]
+        with self._lock:
+            prospective = len(
+                {key for key, write in zip(keys, writes) if write and key not in self._entries}
+            )
+        self._settle(prospective)  # charge BEFORE inserting
+        with self._lock:
+            entries = self._entries
+            before = len(entries)
+            for key, value, write in zip(keys, values, writes):
+                if write:
+                    if key in entries:
+                        entries.move_to_end(key)
+                    entries[key] = value
+                    self.stats.insertions += 1
+                    self._evict_to_capacity_locked()
+                elif key in entries:
                     entries.move_to_end(key)
-                entries[key] = value
-                self.stats.insertions += 1
-                while len(entries) > self.capacity:
-                    entries.popitem(last=False)
-                    self.stats.evictions += 1
-            elif key in entries:
-                entries.move_to_end(key)
+            delta = len(entries) - before
+        self._settle(delta - prospective)
 
     def record_external(self, hits: int = 0, misses: int = 0) -> None:
         """Fold hit/miss accounting performed outside the cache into stats.
@@ -290,25 +528,31 @@ class TouchCache:
         conflated.  Bare namespaces equal to ``object_name`` are matched
         as well.
         """
-        doomed = [
-            k
-            for k in self._entries
-            if (
-                (isinstance(k[0], tuple) and k[0] and k[0][0] == object_name)
-                or k[0] == object_name
-            )
-        ]
-        for key in doomed:
-            del self._entries[key]
+        with self._lock:
+            doomed = [
+                k
+                for k in self._entries
+                if (
+                    (isinstance(k[0], tuple) and k[0] and k[0][0] == object_name)
+                    or k[0] == object_name
+                )
+            ]
+            for key in doomed:
+                del self._entries[key]
+        self._settle(-len(doomed))
         return len(doomed)
 
     def clear(self) -> None:
         """Empty the cache and reset statistics."""
-        self._entries.clear()
-        self.stats = CacheStats()
+        with self._lock:
+            removed = len(self._entries)
+            self._entries.clear()
+            self.stats = CacheStats()
+        self._settle(-removed)
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
 
 class HashTableCache:

@@ -37,7 +37,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.actions import ActionKind, QueryAction
-from repro.core.caching import HashTableCache, TouchCache
+from repro.core.caching import HashTableCache, MemoryBudget, TouchCache
 from repro.core.optimizer import AdaptiveOptimizer
 from repro.core.prefetch import GesturePrefetcher
 from repro.core.result_stream import ResultStream, ResultValue
@@ -93,6 +93,16 @@ class KernelConfig:
         (long-faded) displayed values are dropped beyond it.  ``None``
         (the default) retains the full history; serving deployments set
         it so unserviced sessions stay memory-bounded.
+    memory_budget:
+        Optional :class:`repro.core.caching.MemoryBudget` the kernel's
+        touched-range cache registers with.  Out-of-core deployments hand
+        the same budget to a
+        :class:`repro.persist.diskstore.DiskColumnStore`, so the touch
+        cache and the disk store's chunk cache evict against one shared
+        byte allowance instead of sizing themselves independently.  Note
+        that sharing one budget across *sessions* makes cache-derived
+        outcome counters load-dependent (cross-session reclaims evict
+        mid-trace); see the determinism caveat on ``MemoryBudget``.
     """
 
     latency_budget_s: float = 0.05
@@ -106,6 +116,7 @@ class KernelConfig:
     rotation_sample_fraction: float = 0.05
     batch_execution: bool = True
     max_retained_results: int | None = None
+    memory_budget: MemoryBudget | None = None
 
 
 @dataclass
@@ -214,7 +225,9 @@ class DbTouchKernel:
         self.config = config if config is not None else KernelConfig()
         self.recognizer = GestureRecognizer()
         self.mapper = TouchMapper(granularity=self.config.touch_granularity)
-        self.cache = TouchCache(capacity=self.config.cache_capacity)
+        self.cache = TouchCache(
+            capacity=self.config.cache_capacity, budget=self.config.memory_budget
+        )
         self.hash_table_cache = HashTableCache()
         self.optimizer = AdaptiveOptimizer(
             latency_budget_s=self.config.latency_budget_s,

@@ -55,6 +55,12 @@ from typing import Any, Callable
 
 from repro.errors import AdmissionError, ServiceError
 
+#: Reserved lane for host-side maintenance work (sample materialization,
+#: snapshot writes).  It behaves like a session — FIFO, at most one worker
+#: at a time — so with two or more workers, background items can never
+#: occupy more than one worker and gesture traffic keeps flowing.
+BACKGROUND_LANE = "__background__"
+
 
 @dataclass
 class SchedulerConfig:
@@ -197,6 +203,10 @@ class GestureScheduler:
     # ------------------------------------------------------------------ #
     def register_session(self, session_id: str) -> None:
         """Create the FIFO queue for a new session."""
+        if session_id == BACKGROUND_LANE:
+            raise ServiceError(
+                f"session id {BACKGROUND_LANE!r} is reserved for the background lane"
+            )
         with self._lock:
             if self._stop:
                 raise ServiceError("scheduler is shut down")
@@ -213,6 +223,8 @@ class GestureScheduler:
         teardown are rejected (``ServiceError``) from the moment this is
         called, so no accepted future can be silently dropped.
         """
+        if session_id == BACKGROUND_LANE:
+            raise ServiceError("the background lane cannot be unregistered")
         with self._lock:
             queue = self._queues.get(session_id)
             if queue is None or session_id in self._closing:
@@ -247,9 +259,9 @@ class GestureScheduler:
 
     @property
     def session_ids(self) -> list[str]:
-        """Identifiers of every registered session."""
+        """Identifiers of every registered session (the lane excluded)."""
         with self._lock:
-            return sorted(self._queues)
+            return sorted(sid for sid in self._queues if sid != BACKGROUND_LANE)
 
     # ------------------------------------------------------------------ #
     # submission
@@ -304,6 +316,24 @@ class GestureScheduler:
                 # idle session: its new head becomes runnable after think_s
                 self._schedule_session(session_id, item.think_s)
             return item.future
+
+    def submit_background(self, work: Callable[[], Any]) -> Future:
+        """Queue maintenance work on the scheduler's background lane.
+
+        The lane (:data:`BACKGROUND_LANE`) is registered lazily on first
+        use and shares the pool under the ordinary session rules: strictly
+        FIFO, dispatched to at most one worker at a time, subject to the
+        same admission bounds.  Session affinity is what keeps gesture
+        traffic unblocked — however much materialization work is queued,
+        it can monopolize only a single worker while every other worker
+        stays available for gestures.
+        """
+        with self._lock:
+            if self._stop:
+                raise ServiceError("scheduler is shut down")
+            if BACKGROUND_LANE not in self._queues:
+                self._queues[BACKGROUND_LANE] = deque()
+        return self.submit(BACKGROUND_LANE, work)
 
     def _schedule_session(self, session_id: str, delay_s: float) -> None:
         """Mark a session runnable now or after ``delay_s`` (lock held)."""

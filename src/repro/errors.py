@@ -32,6 +32,22 @@ class SampleError(StorageError):
     """A sample-hierarchy operation failed."""
 
 
+class LoaderError(StorageError):
+    """Input data could not be read or decoded by a loader."""
+
+
+class PersistError(StorageError):
+    """Problems in the out-of-core persistent storage tier."""
+
+
+class PersistFormatError(PersistError):
+    """An on-disk column file is malformed, truncated or of a foreign version."""
+
+
+class SnapshotError(PersistError):
+    """A store-catalog manifest is missing, corrupted or of a foreign version."""
+
+
 class TouchError(DbTouchError):
     """Problems in the simulated touch OS layer."""
 

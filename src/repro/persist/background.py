@@ -1,0 +1,81 @@
+"""Background materialization of sample levels for persisted objects.
+
+Ingesting a large dataset wants to return control to the user immediately
+— dbTouch's "no initialization before you can touch" promise — but the
+sample hierarchies that make coarse gestures cheap still have to be built
+and snapshotted at some point.  :class:`BackgroundMaterializer` defers
+exactly that: tables and columns are persisted *without* hierarchies
+(``hierarchies=False``), exploration starts at base granularity right
+away, and the hierarchy build + snapshot runs on the
+:data:`repro.core.scheduler.BACKGROUND_LANE` of a
+:class:`repro.core.scheduler.GestureScheduler`, where it can occupy at
+most one worker while gesture traffic keeps flowing on the others.
+
+Without a scheduler the same work runs synchronously (the futures are
+returned already resolved), so tooling and tests share one code path.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import Future
+
+from repro.core.scheduler import GestureScheduler
+from repro.persist.snapshot import StoreCatalog
+
+
+class BackgroundMaterializer:
+    """Build + snapshot sample hierarchies without blocking gestures.
+
+    Parameters
+    ----------
+    catalog:
+        The snapshot catalog whose persisted objects get hierarchies.
+    scheduler:
+        The serving engine's scheduler; its background lane executes the
+        builds.  ``None`` runs each build synchronously on the caller.
+    """
+
+    def __init__(
+        self, catalog: StoreCatalog, scheduler: GestureScheduler | None = None
+    ) -> None:
+        self.catalog = catalog
+        self.scheduler = scheduler
+
+    def _run(self, work) -> Future:
+        if self.scheduler is not None:
+            return self.scheduler.submit_background(work)
+        future: Future = Future()
+        try:
+            future.set_result(work())
+        except Exception as exc:  # delivered through the future, like the lane
+            future.set_exception(exc)
+        return future
+
+    def schedule_column(
+        self,
+        object_name: str,
+        column_name: str | None = None,
+        factor: int = 4,
+        min_rows: int = 64,
+    ) -> Future:
+        """Queue one column's hierarchy build; resolves to its level steps."""
+        return self._run(
+            lambda: self.catalog.persist_hierarchy(
+                object_name, column_name, factor=factor, min_rows=min_rows
+            )
+        )
+
+    def schedule_table(
+        self, table_name: str, factor: int = 4, min_rows: int = 64
+    ) -> dict[str, Future]:
+        """Queue hierarchy builds for every attribute of a persisted table.
+
+        Returns one future per attribute name; non-numeric attributes
+        resolve to an empty step list (nothing to materialize).
+        """
+        return {
+            column_name: self.schedule_column(
+                table_name, column_name, factor=factor, min_rows=min_rows
+            )
+            for column_name in self.catalog.table_column_names(table_name)
+        }

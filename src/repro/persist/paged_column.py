@@ -1,0 +1,205 @@
+"""Paged columns: the ``Column`` read surface over an mmap-backed file.
+
+A :class:`PagedColumn` satisfies everything the kernel expects of a
+:class:`repro.storage.column.Column` — ``values``, ``value_at``,
+``slice``, ``gather``, ``read_batch``, ``take_every``, statistics — while
+its data lives on disk:
+
+* :attr:`values` is a *read-only* ``np.memmap`` over the file's data
+  region.  Touching it faults in only the pages actually read, and every
+  session opening the same column through one
+  :class:`repro.persist.diskstore.DiskColumnStore` shares the single
+  mapping — N users over one dataset cost one copy of nothing.
+* The scalar/batched read methods route through the store's
+  :class:`repro.persist.diskstore.ChunkCache` at *chunk* granularity:
+  the chunk under the finger is materialized once, revisits are cache
+  hits, and the cache's byte budget bounds how much of the column is ever
+  resident regardless of on-disk size.
+* ``min()``/``max()`` answer from the persisted per-chunk zonemap without
+  faulting any data page, and :meth:`chunk_range` exposes the zonemap so
+  scans can skip chunks whose ``[min, max]`` cannot satisfy a predicate.
+
+Because a ``PagedColumn`` *is* a ``Column``, everything downstream —
+catalogs, sample hierarchies, the batch slide executor, gesture services,
+the multi-session server — explores out-of-core data unchanged, with
+bit-identical gesture outcomes.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Hashable, Sequence
+
+import numpy as np
+
+from repro.errors import StorageError
+from repro.persist.format import ColumnFormat, chunk_min_max
+from repro.storage.column import Column
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.persist.diskstore import ChunkCache
+
+
+class PagedColumn(Column):
+    """A named, typed column whose values are faulted in chunk by chunk.
+
+    Built by :meth:`repro.persist.diskstore.DiskColumnStore.open_column`;
+    not constructed directly.  ``data`` is the read-only memmap (or a
+    plain array for zero-row columns), ``fmt`` the decoded
+    :class:`repro.persist.format.ColumnFormat`, ``cache`` the store's
+    shared chunk cache and ``cache_key`` the column's namespace within it;
+    ``chunk_mins``/``chunk_maxs`` are the persisted zonemap arrays.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        data: np.ndarray,
+        fmt: ColumnFormat,
+        cache: "ChunkCache",
+        cache_key: Hashable,
+        chunk_mins: np.ndarray,
+        chunk_maxs: np.ndarray,
+    ) -> None:
+        self.name = name
+        self.dtype = fmt.dtype
+        self._data = data
+        self._format = fmt
+        self._cache = cache
+        self._cache_key = cache_key
+        self._chunk_mins = chunk_mins
+        self._chunk_maxs = chunk_maxs
+        self._touched_chunks: set[int] = set()
+
+    # ------------------------------------------------------------------ #
+    # chunk plumbing
+    # ------------------------------------------------------------------ #
+    @property
+    def format(self) -> ColumnFormat:
+        """The on-disk layout this column is served from."""
+        return self._format
+
+    @property
+    def num_chunks(self) -> int:
+        """How many chunks the column is divided into."""
+        return self._format.num_chunks
+
+    @property
+    def chunk_rows(self) -> int:
+        """Rows per chunk (the last chunk may be shorter)."""
+        return self._format.chunk_rows
+
+    @property
+    def chunks_touched(self) -> int:
+        """Distinct chunks this column has ever faulted in."""
+        return len(self._touched_chunks)
+
+    @property
+    def fraction_chunks_touched(self) -> float:
+        """Fraction of the column's chunks ever faulted in."""
+        total = self.num_chunks
+        return (len(self._touched_chunks) / total) if total else 1.0
+
+    def chunk_range(self, index: int) -> tuple[object, object]:
+        """The persisted zonemap ``(min, max)`` of chunk ``index``."""
+        if not 0 <= index < self.num_chunks:
+            raise StorageError(
+                f"chunk {index} out of range for column {self.name!r} "
+                f"with {self.num_chunks} chunks"
+            )
+        return self._chunk_mins[index], self._chunk_maxs[index]
+
+    def chunks_for_predicate(self, low, high) -> list[int]:
+        """Chunk indices whose ``[min, max]`` overlaps ``[low, high]``.
+
+        The zonemap pruning primitive: a select-where over a paged column
+        need only fault in the chunks this returns.  Exclusion-form so it
+        is conservative under NaN: a float chunk containing NaN has NaN
+        zonemap bounds, every comparison on which is False — such a chunk
+        is therefore *included*, never wrongly pruned.
+        """
+        excluded = (self._chunk_maxs < low) | (self._chunk_mins > high)
+        return np.nonzero(~excluded)[0].tolist()
+
+    def _chunk(self, index: int) -> np.ndarray:
+        """Return chunk ``index``, faulting it into the chunk cache."""
+        cached = self._cache.get(self._cache_key, index)
+        if cached is not None:
+            return cached
+        start, stop = self._format.chunk_bounds(index)
+        chunk = np.array(self._data[start:stop])
+        self._cache.put(self._cache_key, index, chunk)
+        self._touched_chunks.add(index)
+        return chunk
+
+    # ------------------------------------------------------------------ #
+    # the Column read surface, chunk-granular
+    # ------------------------------------------------------------------ #
+    def value_at(self, rowid: int):
+        """Return the value at ``rowid``, faulting in only its chunk."""
+        if not 0 <= rowid < len(self):
+            raise StorageError(
+                f"rowid {rowid} out of range for column {self.name!r} of length {len(self)}"
+            )
+        index = self._format.chunk_of(rowid)
+        chunk = self._chunk(index)
+        return chunk[rowid - index * self.chunk_rows]
+
+    def slice(self, start: int, stop: int) -> np.ndarray:
+        """Values in ``[start, stop)``, assembled from the touched chunks."""
+        start = max(0, int(start))
+        stop = min(len(self), int(stop))
+        if stop <= start:
+            return self._data[:0]
+        first = self._format.chunk_of(start)
+        last = self._format.chunk_of(stop - 1)
+        parts = []
+        for index in range(first, last + 1):
+            chunk_start = index * self.chunk_rows
+            chunk = self._chunk(index)
+            lo = max(0, start - chunk_start)
+            hi = min(len(chunk), stop - chunk_start)
+            parts.append(chunk[lo:hi])
+        if len(parts) == 1:
+            return parts[0]
+        return np.concatenate(parts)
+
+    def read_batch(self, rowids: Sequence[int] | np.ndarray) -> np.ndarray:
+        """Gather rowids with one chunk fault per distinct touched chunk."""
+        idx = np.asarray(rowids, dtype=np.int64)
+        out = np.empty(idx.size, dtype=self._data.dtype)
+        if not idx.size:
+            return out
+        chunk_ids = idx // self.chunk_rows
+        for index in np.unique(chunk_ids):
+            mask = chunk_ids == index
+            chunk = self._chunk(int(index))
+            out[mask] = chunk[idx[mask] - int(index) * self.chunk_rows]
+        return out
+
+    def gather(self, rowids: Sequence[int] | np.ndarray) -> np.ndarray:
+        """Bounds-checked :meth:`read_batch` (the ``Column.gather`` contract)."""
+        idx = np.asarray(rowids, dtype=np.int64)
+        if idx.size and (idx.min() < 0 or idx.max() >= len(self)):
+            raise StorageError(
+                f"rowids out of range for column {self.name!r} of length {len(self)}"
+            )
+        return self.read_batch(idx)
+
+    def head(self, n: int = 10) -> np.ndarray:
+        """First ``n`` values, served through the chunk cache."""
+        return self.slice(0, max(0, n))
+
+    # ------------------------------------------------------------------ #
+    # statistics from the zonemap (no data pages faulted)
+    # ------------------------------------------------------------------ #
+    def min(self):
+        """Column minimum, answered from the persisted zonemap."""
+        if not len(self):
+            return None
+        return chunk_min_max(self._chunk_mins)[0]
+
+    def max(self):
+        """Column maximum, answered from the persisted zonemap."""
+        if not len(self):
+            return None
+        return chunk_min_max(self._chunk_maxs)[1]

@@ -64,11 +64,13 @@ from repro.core.schema_gestures import (
 from repro.core.touch_mapping import TouchMapper
 from repro.engine.aggregate import AggregateKind, make_aggregate
 from repro.errors import RemoteError, ServiceError
+from repro.persist.snapshot import StoreCatalog
 from repro.remote.client import RemoteExplorationClient, RemotePolicy
 from repro.remote.network import WAN, NetworkProfile, SimulatedLink
 from repro.remote.server import RemoteServer
 from repro.storage.catalog import Catalog
 from repro.storage.column import Column
+from repro.storage.sample import SampleHierarchy
 from repro.storage.table import Table
 from repro.touchio.device import DeviceProfile, IPAD1, TouchDevice
 from repro.touchio.events import TouchStream
@@ -1015,6 +1017,7 @@ class MultiSessionServer:
         self._ids = itertools.count(1)
         self._shared_columns: dict[str, Column] = {}
         self._shared_tables: dict[str, Table] = {}
+        self._shared_hierarchies: dict[tuple[str, str | None], SampleHierarchy] = {}
         if isinstance(scheduler, int):
             scheduler = SchedulerConfig(num_workers=scheduler)
         self._scheduler_config = scheduler
@@ -1151,6 +1154,36 @@ class MultiSessionServer:
             self._shared_tables[name] = table
         return table
 
+    def load_shared_store(self, snapshot: StoreCatalog) -> list[str]:
+        """Attach a persisted snapshot as shared, out-of-core base storage.
+
+        Every table and standalone column in the
+        :class:`repro.persist.snapshot.StoreCatalog` is registered shared:
+        sessions opened afterwards explore
+        :class:`repro.persist.paged_column.PagedColumn`-backed objects over
+        *one* read-only mapping per column — N sessions, zero copies, and
+        resident bytes bounded by the store's chunk-cache budget rather
+        than the dataset size.  The snapshot's materialized sample
+        hierarchies ride along: each new session adopts them (via
+        :meth:`repro.storage.sample.SampleHierarchy.share`, so level lists
+        stay session-private), which is the warm cold-start — no CSV
+        re-ingest, no sample re-striding, first gesture served from mmap.
+        Returns the shared object names.
+        """
+        names: list[str] = []
+        for table_name in snapshot.table_names:
+            self.load_shared_table(table_name, snapshot.load_table(table_name))
+            names.append(table_name)
+        for column_name in snapshot.column_names:
+            self.load_shared_column(column_name, snapshot.load_column(column_name))
+            names.append(column_name)
+        with self._lock:
+            for key in snapshot.iter_hierarchy_keys():
+                hierarchy = snapshot.load_hierarchy(*key)
+                if hierarchy is not None:
+                    self._shared_hierarchies[key] = hierarchy
+        return names
+
     @property
     def shared_object_names(self) -> list[str]:
         """Names of every shared column and table."""
@@ -1166,6 +1199,9 @@ class MultiSessionServer:
             catalog.register_column(column)
         for table in self._shared_tables.values():
             catalog.register_table(table)
+        for (object_name, column_name), hierarchy in self._shared_hierarchies.items():
+            # share(): same materialized sample columns, private level list
+            catalog.adopt_hierarchy(object_name, column_name, hierarchy.share())
 
     # ------------------------------------------------------------------ #
     # data loading and execution

@@ -167,6 +167,29 @@ class Catalog:
             self._hierarchies[key] = SampleHierarchy(col, factor=factor, min_rows=min_rows)
         return self._hierarchies[key]
 
+    def adopt_hierarchy(
+        self,
+        object_name: str,
+        column_name: str | None,
+        hierarchy: SampleHierarchy,
+    ) -> None:
+        """Install a pre-built sample hierarchy for a registered column.
+
+        The warm cold-start hook: snapshots persist materialized sample
+        levels, and reopening a store hands the reassembled hierarchies to
+        the catalog so :meth:`hierarchy_for` serves them without paying the
+        rebuild.  The object must already be registered and the hierarchy's
+        base must be the very column the catalog resolves for the pair.
+        """
+        col = self.resolve_column(object_name, column_name)
+        if hierarchy.base is not col:
+            raise CatalogError(
+                f"hierarchy base is not the registered column for "
+                f"({object_name!r}, {column_name!r})"
+            )
+        key = (object_name, column_name if column_name is not None else object_name)
+        self._hierarchies[key] = hierarchy
+
     def drop_hierarchies(self) -> None:
         """Discard every cached sample hierarchy (frees auxiliary storage)."""
         self._hierarchies.clear()

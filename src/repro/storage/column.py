@@ -124,6 +124,20 @@ class Column:
             )
         return self._data[idx]
 
+    def read_batch(self, rowids: Sequence[int] | np.ndarray) -> np.ndarray:
+        """Gather values for an array of already-validated rowids.
+
+        The batched read primitive of the kernel's vectorized paths
+        (:meth:`repro.storage.sample.SampleHierarchy.read_batch`, the batch
+        slide executor): semantically ``values[rowids]``, but overridable —
+        :class:`repro.persist.paged_column.PagedColumn` reroutes it through
+        chunk-granular faulting so a gesture over an out-of-core column
+        touches only the chunks under the finger.  Callers are expected to
+        have bounds-checked ``rowids``; use :meth:`gather` for the checked
+        variant.
+        """
+        return self._data[np.asarray(rowids, dtype=np.int64)]
+
     def head(self, n: int = 10) -> np.ndarray:
         """Return the first ``n`` values (for quick inspection)."""
         return self._data[: max(0, n)]

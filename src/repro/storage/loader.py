@@ -13,13 +13,17 @@ from __future__ import annotations
 import csv
 import io
 from pathlib import Path
-from typing import Callable, Iterable, Mapping
+from typing import TYPE_CHECKING, Callable, Iterable, Mapping
 
 import numpy as np
 
-from repro.errors import StorageError
+from repro.errors import LoaderError, StorageError
 from repro.storage.column import Column
 from repro.storage.table import Table
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
+    from repro.persist.diskstore import DiskColumnStore
+    from repro.persist.paged_column import PagedColumn
 
 
 def load_table_from_arrays(name: str, data: Mapping[str, Iterable]) -> Table:
@@ -64,10 +68,32 @@ def load_table_from_csv_text(name: str, text: str, delimiter: str = ",") -> Tabl
     return Table(name, columns)
 
 
-def load_table_from_csv_file(name: str, path: str | Path, delimiter: str = ",") -> Table:
-    """Load a CSV file from disk into a table."""
-    with open(path, "r", encoding="utf-8") as handle:
-        return load_table_from_csv_text(name, handle.read(), delimiter=delimiter)
+def load_table_from_csv_file(
+    name: str,
+    path: str | Path,
+    delimiter: str = ",",
+    encoding: str = "utf-8",
+) -> Table:
+    """Load a CSV file from disk into a table.
+
+    ``encoding`` names the file's text encoding (default UTF-8).  A
+    missing/unreadable file or one that does not decode under the given
+    encoding raises :class:`repro.errors.LoaderError` with the path and
+    cause, never a raw ``FileNotFoundError``/``UnicodeDecodeError``.
+    """
+    try:
+        with open(path, "r", encoding=encoding) as handle:
+            text = handle.read()
+    except OSError as exc:
+        raise LoaderError(f"cannot read CSV file {path}: {exc}") from exc
+    except UnicodeDecodeError as exc:
+        raise LoaderError(
+            f"CSV file {path} is not valid {encoding}: {exc}; "
+            "pass encoding= to match the file"
+        ) from exc
+    except LookupError as exc:
+        raise LoaderError(f"unknown text encoding {encoding!r}") from exc
+    return load_table_from_csv_text(name, text, delimiter=delimiter)
 
 
 class AdaptiveLoader:
@@ -100,17 +126,21 @@ class AdaptiveLoader:
     def _chunk_index(self, rowid: int) -> int:
         return rowid // self.chunk_rows
 
+    def _produce_chunk(self, chunk_index: int) -> np.ndarray:
+        """Generate one chunk without retaining it (streaming reads)."""
+        start = chunk_index * self.chunk_rows
+        stop = min(self.num_rows, start + self.chunk_rows)
+        values = np.asarray(self._generator(start, stop))
+        if len(values) != stop - start:
+            raise StorageError(
+                f"chunk generator returned {len(values)} values for range "
+                f"[{start}, {stop})"
+            )
+        return values
+
     def _ensure_chunk(self, chunk_index: int) -> np.ndarray:
         if chunk_index not in self._chunks:
-            start = chunk_index * self.chunk_rows
-            stop = min(self.num_rows, start + self.chunk_rows)
-            values = np.asarray(self._generator(start, stop))
-            if len(values) != stop - start:
-                raise StorageError(
-                    f"chunk generator returned {len(values)} values for range "
-                    f"[{start}, {stop})"
-                )
-            self._chunks[chunk_index] = values
+            self._chunks[chunk_index] = self._produce_chunk(chunk_index)
             self.chunks_loaded += 1
         return self._chunks[chunk_index]
 
@@ -135,6 +165,69 @@ class AdaptiveLoader:
         parts = [self._ensure_chunk(i) for i in range(total)]
         values = np.concatenate(parts) if parts else np.empty(0)
         return Column(self.name, values)
+
+    # ------------------------------------------------------------------ #
+    # the out-of-core tier
+    # ------------------------------------------------------------------ #
+    def persist_to(self, store: "DiskColumnStore", name: str | None = None) -> "PagedColumn":
+        """Stream this loader's chunks into a persistent column store.
+
+        Chunks flow straight from the generator to disk — already-loaded
+        chunks are reused, missing ones are produced on the fly and *not*
+        retained — so a column far larger than RAM persists without ever
+        being fully resident.  Returns the freshly opened
+        :class:`repro.persist.paged_column.PagedColumn` over the written
+        file; the zonemap and chunk layout match this loader's chunking.
+        The dtype is inferred from the first chunk; a later chunk that
+        cannot be stored losslessly under it (e.g. floats after an
+        all-integer first chunk) fails the write with
+        :class:`repro.errors.PersistError` rather than truncating.
+        """
+        from repro.storage.dtypes import infer_type
+
+        target = name if name is not None else self.name
+        total = (self.num_rows + self.chunk_rows - 1) // self.chunk_rows
+        if total == 0:
+            raise StorageError(
+                f"cannot persist empty adaptive column {self.name!r}: "
+                "its dtype is unknown until a chunk exists"
+            )
+
+        first = self._chunks.get(0)
+        if first is None:
+            first = self._produce_chunk(0)  # generated once: inference + write
+        dtype = infer_type(first)
+
+        def stream():
+            yield first
+            for index in range(1, total):
+                cached = self._chunks.get(index)
+                yield cached if cached is not None else self._produce_chunk(index)
+        store.write_chunks(
+            target, dtype, self.num_rows, stream(), chunk_rows=self.chunk_rows
+        )
+        return store.open_column(target)
+
+    @classmethod
+    def load_from(
+        cls, store: "DiskColumnStore", name: str, chunk_rows: int | None = None
+    ) -> "AdaptiveLoader":
+        """An adaptive loader whose chunks come from a persistent store.
+
+        The inverse of :meth:`persist_to`: the returned loader registers
+        only metadata (the stored row count) and faults each chunk from
+        the store's paged column — through its chunk cache — the first
+        time a touch lands inside it.  ``chunk_rows`` defaults to the
+        stored chunk size, keeping loader chunks and disk chunks aligned.
+        """
+        paged = store.open_column(name)
+        rows = chunk_rows if chunk_rows is not None else paged.chunk_rows
+        return cls(
+            name,
+            len(paged),
+            lambda start, stop: paged.slice(start, stop),
+            chunk_rows=rows,
+        )
 
 
 def generate_integer_column(

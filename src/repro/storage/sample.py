@@ -12,6 +12,7 @@ matches the gesture's effective sampling rate.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from typing import Iterable
 
 import numpy as np
 
@@ -83,6 +84,56 @@ class SampleHierarchy:
             self._levels.append(SampleLevel(level, step, sampled))
             step *= self.factor
             level += 1
+
+    @classmethod
+    def from_levels(
+        cls,
+        column: Column,
+        levels: Iterable[SampleLevel],
+        factor: int = 4,
+        min_rows: int = 64,
+    ) -> "SampleHierarchy":
+        """Assemble a hierarchy from already-materialized sample levels.
+
+        This is the warm cold-start path: a
+        :class:`repro.persist.snapshot.StoreCatalog` snapshot stores every
+        sample level on disk, so reopening a persisted table rebuilds its
+        hierarchies by *mapping* the level columns instead of re-striding
+        the base data.  ``levels`` need not include the base (it is always
+        installed as level 0) and may arrive in any order; duplicate steps
+        raise :class:`repro.errors.SampleError`.
+        """
+        if factor < 2:
+            raise SampleError("sample factor must be at least 2")
+        hierarchy = cls.__new__(cls)
+        hierarchy.base = column
+        hierarchy.factor = factor
+        hierarchy.min_rows = min_rows
+        combined = [SampleLevel(0, 1, column)]
+        combined.extend(lvl for lvl in levels if lvl.step > 1)
+        combined.sort(key=lambda lvl: lvl.step)
+        steps = [lvl.step for lvl in combined]
+        if len(set(steps)) != len(steps):
+            raise SampleError(f"duplicate sample-level steps: {steps}")
+        hierarchy._levels = [
+            lvl if lvl.level == i else replace(lvl, level=i)
+            for i, lvl in enumerate(combined)
+        ]
+        return hierarchy
+
+    def share(self) -> "SampleHierarchy":
+        """A hierarchy over the same materialized levels, privately listed.
+
+        Multi-session serving attaches one snapshot hierarchy to many
+        sessions; sharing the *level list* would let one session's
+        :meth:`materialize_level_for` mutate every other session's view of
+        the hierarchy.  ``share`` hands each session its own list over the
+        same (read-only by convention) sample columns — zero data copies,
+        no cross-session mutation.
+        """
+        return SampleHierarchy.from_levels(
+            self.base, self._levels[1:], factor=self.factor, min_rows=self.min_rows
+        )
 
     # ------------------------------------------------------------------ #
     # inspection
@@ -179,7 +230,9 @@ class SampleHierarchy:
             lvl = self._levels[index]
             mask = indices == index
             sample_rowids = np.minimum(lvl.num_rows - 1, rowids[mask] // lvl.step)
-            values[mask] = lvl.column.values[sample_rowids]
+            # read_batch (not raw fancy indexing) so out-of-core paged
+            # columns serve the gather through chunk-granular faults
+            values[mask] = lvl.column.read_batch(sample_rowids)
             level_numbers[mask] = lvl.level
         return values, level_numbers
 

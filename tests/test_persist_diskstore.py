@@ -1,0 +1,343 @@
+"""Unit tests for the disk column store, chunk cache and paged columns."""
+
+import numpy as np
+import pytest
+
+from repro.core.caching import MemoryBudget, TouchCache
+from repro.errors import PersistError, StorageError
+from repro.persist.diskstore import ChunkCache, DiskColumnStore
+from repro.storage.column import Column
+from repro.storage.loader import AdaptiveLoader
+
+
+@pytest.fixture
+def store(tmp_path):
+    return DiskColumnStore(tmp_path / "store", cache_bytes=1 << 20)
+
+
+def make_column(n=10_000, name="m"):
+    return Column(name, np.arange(n, dtype=np.int64))
+
+
+class TestWriteOpenRoundTrip:
+    def test_values_identical(self, store):
+        column = make_column()
+        store.write_column(column, chunk_rows=1024)
+        reopened = store.open_column("m")
+        assert len(reopened) == len(column)
+        assert reopened.dtype.name == column.dtype.name
+        assert np.array_equal(reopened.values[:], column.values)
+
+    def test_read_surface_matches_in_memory(self, store):
+        column = Column("m", np.random.default_rng(3).integers(0, 999, 5000))
+        store.write_column(column, chunk_rows=512)
+        paged = store.open_column("m")
+        assert paged.value_at(4321) == column.value_at(4321)
+        assert np.array_equal(paged.slice(500, 1600), column.slice(500, 1600))
+        rowids = [0, 511, 512, 4999, 17]
+        assert np.array_equal(paged.gather(rowids), column.gather(rowids))
+        assert np.array_equal(paged.read_batch(rowids), column.read_batch(rowids))
+        assert paged.min() == column.min()
+        assert paged.max() == column.max()
+
+    def test_bounds_checked_like_a_column(self, store):
+        store.write_column(make_column(100), chunk_rows=16)
+        paged = store.open_column("m")
+        with pytest.raises(StorageError):
+            paged.value_at(100)
+        with pytest.raises(StorageError):
+            paged.gather([0, 100])
+
+    def test_open_is_memoized_one_mapping(self, store):
+        store.write_column(make_column())
+        assert store.open_column("m") is store.open_column("m")
+
+    def test_zero_row_column(self, store):
+        store.write_column(Column("empty", np.array([], dtype=np.int64)))
+        paged = store.open_column("empty")
+        assert len(paged) == 0
+        assert paged.min() is None and paged.max() is None
+
+    def test_string_column(self, store):
+        column = Column("labels", np.array(["pear", "apple", "plum", "fig"]))
+        store.write_column(column, chunk_rows=2)
+        paged = store.open_column("labels")
+        assert paged.value_at(1) == "apple"
+        assert paged.min() == "apple" and paged.max() == "plum"
+
+    def test_replace_required_for_overwrite(self, store):
+        store.write_column(make_column())
+        with pytest.raises(PersistError, match="replace"):
+            store.write_column(make_column())
+        store.write_column(Column("m", np.arange(5)), replace=True)
+        assert len(store.open_column("m")) == 5
+
+    def test_delete_column(self, store):
+        store.write_column(make_column())
+        store.delete_column("m")
+        assert not store.has_column("m")
+        with pytest.raises(PersistError):
+            store.open_column("m")
+
+    def test_names_with_separators_are_safe(self, store):
+        store.write_column(make_column(50, name="sky/objects#1"))
+        assert store.column_names == ["sky/objects#1"]
+        assert store.open_column("sky/objects#1").value_at(7) == 7
+
+    def test_streamed_chunks_must_match_declaration(self, store):
+        from repro.storage.dtypes import INT64
+
+        with pytest.raises(PersistError, match="expected"):
+            store.write_chunks("bad", INT64, 10, iter([np.arange(3)]), chunk_rows=4)
+        assert not store.has_column("bad")  # aborted write leaves nothing
+
+    def test_narrowing_string_chunks_rejected(self, store):
+        from repro.storage.dtypes import string_type
+
+        chunks = iter([np.array(["ab", "cd"]), np.array(["abcdefgh", "ij"])])
+        with pytest.raises(PersistError, match="losslessly"):
+            store.write_chunks("s", string_type(2), 4, chunks, chunk_rows=2)
+
+    def test_replace_reload_isolates_stale_readers(self, store):
+        store.write_column(make_column(1000), chunk_rows=256)
+        stale = store.open_column("m")
+        assert stale.value_at(10) == 10  # chunk 0 resident under gen 0
+        store.write_column(Column("m", np.arange(1000) * 2), replace=True)
+        fresh = store.open_column("m")
+        assert fresh is not stale
+        # the fresh mapping must never see the stale generation's chunks
+        assert fresh.value_at(10) == 20
+        # and the stale reader keeps its consistent pre-replace view
+        assert stale.value_at(20) == 20
+
+
+class TestZonemaps:
+    def test_chunk_ranges_persisted(self, store):
+        values = np.asarray([5, 1, 9, 3, 7, 7, 2, 8, 0, 6])
+        store.write_column(Column("z", values), chunk_rows=4)
+        paged = store.open_column("z")
+        assert paged.num_chunks == 3
+        assert paged.chunk_range(0) == (1, 9)
+        assert paged.chunk_range(2) == (0, 6)
+
+    def test_min_max_without_faulting_data(self, store):
+        store.write_column(make_column(), chunk_rows=1024)
+        paged = store.open_column("m")
+        assert paged.min() == 0 and paged.max() == 9999
+        assert paged.chunks_touched == 0  # answered from the zonemap alone
+
+    def test_predicate_pruning(self, store):
+        store.write_column(make_column(), chunk_rows=1000)
+        paged = store.open_column("m")
+        assert paged.chunks_for_predicate(2500, 4200) == [2, 3, 4]
+
+    def test_predicate_pruning_never_drops_nan_chunks(self, store):
+        values = np.asarray([1.0, np.nan, 5.0, 100.0, 200.0, 300.0])
+        store.write_column(Column("f", values), chunk_rows=3)
+        paged = store.open_column("f")
+        # chunk 0 has NaN zonemap bounds: it must be included, not pruned
+        assert paged.chunks_for_predicate(0.0, 10.0) == [0]
+        assert paged.chunks_for_predicate(150.0, 250.0) == [0, 1]
+
+
+class TestChunkCache:
+    def test_hits_and_misses_counted(self, store):
+        store.write_column(make_column(), chunk_rows=1024)
+        paged = store.open_column("m")
+        paged.value_at(10)
+        paged.value_at(20)  # same chunk: hit
+        paged.value_at(2048)  # different chunk: miss
+        assert store.cache.stats.misses == 2
+        assert store.cache.stats.hits == 1
+
+    def test_byte_budget_evicts_lru(self, tmp_path):
+        store = DiskColumnStore(tmp_path, cache_bytes=3 * 1024 * 8)
+        store.write_column(make_column(), chunk_rows=1024)  # 8 KiB per chunk
+        paged = store.open_column("m")
+        for chunk in range(5):
+            paged.value_at(chunk * 1024)
+        assert store.cache.current_bytes <= 3 * 1024 * 8
+        assert store.cache.stats.evictions >= 2
+        assert paged.chunks_touched == 5
+
+    def test_oversized_chunk_still_served(self, tmp_path):
+        store = DiskColumnStore(tmp_path, cache_bytes=16)
+        store.write_column(make_column(100), chunk_rows=100)
+        assert store.open_column("m").value_at(50) == 50
+
+    def test_resident_reads_are_copies_of_disk(self, store):
+        column = make_column(2000)
+        store.write_column(column, chunk_rows=512)
+        paged = store.open_column("m")
+        window = paged.slice(0, 512)
+        assert np.array_equal(window, column.values[:512])
+        # served from the cache's materialized chunk, not the raw memmap
+        assert not isinstance(window, np.memmap)
+
+    def test_invalid_capacity(self):
+        with pytest.raises(PersistError):
+            ChunkCache(0)
+
+
+class TestConcurrentSharedCache:
+    """The chunk cache is shared by parallel scheduler workers."""
+
+    def test_parallel_readers_race_safely(self, tmp_path):
+        import threading
+
+        store = DiskColumnStore(tmp_path, cache_bytes=6 * 512 * 8)
+        store.write_column(make_column(20_000), chunk_rows=512)
+        paged = store.open_column("m")
+        errors = []
+
+        def hammer(seed):
+            rng = np.random.default_rng(seed)
+            try:
+                for _ in range(300):
+                    rowid = int(rng.integers(0, 20_000))
+                    assert paged.value_at(rowid) == rowid
+            except Exception as exc:  # pragma: no cover - the assertion target
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer, args=(s,)) for s in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        assert store.cache.stats.lookups == 8 * 300
+
+    def test_racing_double_put_releases_replaced_budget(self, tmp_path):
+        budget = MemoryBudget(1 << 20)
+        store = DiskColumnStore(tmp_path, cache_bytes=1 << 20, budget=budget)
+        store.write_column(make_column(1024), chunk_rows=512)
+        chunk = np.arange(512, dtype=np.int64)
+        # two workers materialize the same chunk and both put it
+        store.cache.put("m", 0, chunk)
+        store.cache.put("m", 0, chunk.copy())
+        assert store.cache.current_bytes == 512 * 8
+        assert budget.used_bytes == 512 * 8  # the replaced copy was released
+        assert store.cache.stats.evictions == 0  # a swap is not an eviction
+
+
+class TestMemoryBudgetLifecycle:
+    def test_unregister_drops_usage(self):
+        budget = MemoryBudget(10_000)
+        budget.register("a", lambda n: 0)
+        budget.charge("a", 4_000)
+        budget.unregister("a")
+        assert budget.used_bytes == 0
+        assert "a" not in budget.participants
+        with pytest.raises(Exception):
+            budget.charge("a", 1)
+
+    def test_dead_participants_pruned_automatically(self):
+        import gc
+
+        budget = MemoryBudget(100_000)
+        cache = TouchCache(capacity=64, budget=budget, entry_cost_bytes=256)
+        for i in range(10):
+            cache.put("obj", i * 64, float(i))
+        key = cache._budget_key
+        assert budget.used_by(key) == 10 * 256
+        del cache  # the session closed; its kernel cache dies with it
+        gc.collect()
+        assert key not in budget.participants
+        assert budget.used_bytes == 0
+
+    def test_session_churn_reuses_ids_without_collision(self):
+        import gc
+
+        budget = MemoryBudget(100_000)
+        # CPython reuses freed object addresses, hence id()-derived budget
+        # keys; register() must prune the dead predecessor, not crash
+        for _ in range(16):
+            cache = TouchCache(capacity=16, budget=budget, entry_cost_bytes=64)
+            cache.put("obj", 0, 1.0)
+            del cache
+            gc.collect()
+        assert budget.used_bytes == 0
+
+
+class TestSharedMemoryBudget:
+    def test_chunk_cache_charges_budget(self, tmp_path):
+        budget = MemoryBudget(1 << 20)
+        store = DiskColumnStore(tmp_path, cache_bytes=1 << 20, budget=budget)
+        store.write_column(make_column(), chunk_rows=1024)
+        store.open_column("m").value_at(0)
+        assert budget.used_bytes == 1024 * 8
+
+    def test_touch_cache_reclaims_for_chunks(self, tmp_path):
+        budget = MemoryBudget(10_000)
+        touch = TouchCache(capacity=64, budget=budget, entry_cost_bytes=256)
+        for i in range(30):
+            touch.put("obj", i * 64, float(i))
+        assert budget.used_bytes == 30 * 256
+        store = DiskColumnStore(tmp_path, cache_bytes=1 << 20, budget=budget)
+        store.write_column(make_column(), chunk_rows=1024)
+        store.open_column("m").value_at(0)  # 8 KiB chunk forces reclaim
+        assert budget.used_bytes <= 10_000
+        assert len(touch) < 30  # the touch cache shed entries
+        assert store.cache.current_bytes == 1024 * 8  # the chunk stayed
+
+    def test_chunk_cache_reclaims_for_touch_entries(self, tmp_path):
+        budget = MemoryBudget(9 * 1024)
+        store = DiskColumnStore(tmp_path, cache_bytes=1 << 20, budget=budget)
+        store.write_column(make_column(), chunk_rows=512)  # 4 KiB chunks
+        paged = store.open_column("m")
+        paged.value_at(0)
+        paged.value_at(512)
+        assert store.cache.current_bytes == 2 * 512 * 8
+        touch = TouchCache(capacity=64, budget=budget, entry_cost_bytes=2048)
+        touch.put("obj", 0, 1.0)  # overflow: chunk cache must shed its LRU
+        assert budget.used_bytes <= 9 * 1024
+        assert store.cache.current_bytes == 512 * 8
+
+
+class TestAdaptiveLoaderPersistence:
+    @staticmethod
+    def _generator(start, stop):
+        return np.arange(start, stop, dtype=np.int64)
+
+    def test_persist_to_streams_chunks(self, store):
+        loader = AdaptiveLoader("lazy", 5000, self._generator, chunk_rows=512)
+        paged = loader.persist_to(store)
+        assert store.has_column("lazy")
+        assert paged.chunk_rows == 512
+        assert np.array_equal(paged.values[:], np.arange(5000))
+        # streaming: persisting must not leave the column resident in the
+        # loader — that is the whole point of a larger-than-RAM ingest
+        assert loader.fraction_loaded == 0.0
+
+    def test_persist_to_reuses_already_loaded_chunks(self, store):
+        loader = AdaptiveLoader("lazy", 2000, self._generator, chunk_rows=512)
+        loader.value_at(600)  # chunk 1 becomes resident
+        assert loader.chunks_loaded == 1
+        loader.persist_to(store)
+        assert loader.chunks_loaded == 1  # nothing new retained
+        assert np.array_equal(store.open_column("lazy").values[:], np.arange(2000))
+
+    def test_persist_to_rejects_lossy_dtype_drift(self, store):
+        def drifting(start, stop):
+            if start == 0:
+                return np.arange(start, stop, dtype=np.int64)
+            return np.linspace(0.0, 1.0, stop - start)
+
+        loader = AdaptiveLoader("drift", 1024, drifting, chunk_rows=512)
+        with pytest.raises(PersistError, match="losslessly"):
+            loader.persist_to(store)
+        assert not store.has_column("drift")
+
+    def test_load_from_faults_chunks_through_store(self, store):
+        AdaptiveLoader("lazy", 5000, self._generator, chunk_rows=512).persist_to(store)
+        loader = AdaptiveLoader.load_from(store, "lazy")
+        assert loader.num_rows == 5000
+        assert loader.chunks_loaded == 0
+        assert loader.value_at(4321) == 4321
+        assert loader.chunks_loaded == 1
+        assert store.open_column("lazy").chunks_touched == 1
+
+    def test_empty_loader_cannot_persist(self, store):
+        loader = AdaptiveLoader("lazy", 0, self._generator)
+        with pytest.raises(StorageError):
+            loader.persist_to(store)

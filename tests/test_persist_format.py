@@ -1,0 +1,100 @@
+"""Unit tests for the on-disk chunked column format."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PersistFormatError
+from repro.persist.format import (
+    HEADER_SIZE,
+    ColumnFormat,
+    chunk_min_max,
+    compute_zonemap,
+    read_format,
+)
+
+
+class TestColumnFormat:
+    def test_header_round_trip(self):
+        fmt = ColumnFormat(dtype_name="int64", num_rows=1000, chunk_rows=128)
+        raw = fmt.to_header()
+        assert len(raw) == HEADER_SIZE
+        assert ColumnFormat.from_header(raw) == fmt
+
+    def test_layout_arithmetic(self):
+        fmt = ColumnFormat(dtype_name="int64", num_rows=1000, chunk_rows=128)
+        assert fmt.num_chunks == 8
+        assert fmt.chunk_bounds(0) == (0, 128)
+        assert fmt.chunk_bounds(7) == (896, 1000)  # short last chunk
+        assert fmt.chunk_of(0) == 0
+        assert fmt.chunk_of(999) == 7
+        assert fmt.data_offset == HEADER_SIZE
+        assert fmt.stats_offset == HEADER_SIZE + 1000 * 8
+        assert fmt.file_size == fmt.stats_offset + 2 * 8 * 8
+
+    def test_string_dtype_round_trip(self):
+        fmt = ColumnFormat(dtype_name="str12", num_rows=10, chunk_rows=4)
+        assert ColumnFormat.from_header(fmt.to_header()).dtype.name == "str12"
+
+    def test_chunk_index_out_of_range(self):
+        fmt = ColumnFormat(dtype_name="int64", num_rows=10, chunk_rows=4)
+        with pytest.raises(PersistFormatError):
+            fmt.chunk_bounds(3)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(PersistFormatError):
+            ColumnFormat(dtype_name="int64", num_rows=-1, chunk_rows=4)
+        with pytest.raises(PersistFormatError):
+            ColumnFormat(dtype_name="int64", num_rows=4, chunk_rows=0)
+
+    def test_bad_magic_rejected(self):
+        raw = bytearray(ColumnFormat("int64", 10, 4).to_header())
+        raw[:8] = b"NOTMAGIC"
+        with pytest.raises(PersistFormatError, match="bad magic"):
+            ColumnFormat.from_header(bytes(raw))
+
+    def test_foreign_version_rejected(self):
+        raw = bytearray(ColumnFormat("int64", 10, 4).to_header())
+        raw[8] = 99
+        with pytest.raises(PersistFormatError, match="version"):
+            ColumnFormat.from_header(bytes(raw))
+
+    def test_truncated_header_rejected(self):
+        with pytest.raises(PersistFormatError, match="truncated"):
+            ColumnFormat.from_header(b"DBTCOL01")
+
+    def test_unknown_dtype_rejected(self):
+        raw = bytearray(ColumnFormat("int64", 10, 4).to_header())
+        raw[48:80] = b"martian".ljust(32, b"\0")  # the 32s name field
+        with pytest.raises(PersistFormatError):
+            ColumnFormat.from_header(bytes(raw))
+
+
+class TestFileValidation:
+    def test_read_format_detects_truncation(self, tmp_path):
+        fmt = ColumnFormat(dtype_name="int64", num_rows=100, chunk_rows=32)
+        path = tmp_path / "col.dbtc"
+        path.write_bytes(fmt.to_header() + b"\0" * 16)  # data region missing
+        with pytest.raises(PersistFormatError, match="truncated"):
+            read_format(path)
+
+    def test_read_format_missing_file(self, tmp_path):
+        with pytest.raises(PersistFormatError, match="cannot read"):
+            read_format(tmp_path / "absent.dbtc")
+
+
+class TestZonemap:
+    def test_compute_per_chunk_min_max(self):
+        fmt = ColumnFormat(dtype_name="int64", num_rows=10, chunk_rows=4)
+        values = np.asarray([5, 1, 9, 3, 7, 7, 2, 8, 0, 6])
+        mins, maxs = compute_zonemap(values, fmt)
+        assert mins.tolist() == [1, 2, 0]
+        assert maxs.tolist() == [9, 8, 6]
+
+    def test_length_mismatch_rejected(self):
+        fmt = ColumnFormat(dtype_name="int64", num_rows=10, chunk_rows=4)
+        with pytest.raises(PersistFormatError):
+            compute_zonemap(np.arange(9), fmt)
+
+    def test_chunk_min_max_handles_strings(self):
+        low, high = chunk_min_max(np.asarray(["pear", "apple", "plum"]))
+        assert (low, high) == ("apple", "plum")

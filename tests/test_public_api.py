@@ -21,6 +21,7 @@ class TestTopLevelExports:
         import repro.engine
         import repro.indexing
         import repro.metrics
+        import repro.persist
         import repro.remote
         import repro.storage
         import repro.touchio
@@ -29,6 +30,7 @@ class TestTopLevelExports:
 
         for module in (
             repro.core,
+            repro.persist,
             repro.storage,
             repro.touchio,
             repro.engine,

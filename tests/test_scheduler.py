@@ -571,3 +571,51 @@ class TestSessionMetricsConcurrency:
             "cache_hits": 1,
             "prefetch_hits": 1,
         }
+
+
+class TestBackgroundLane:
+    def test_background_work_executes_fifo(self):
+        order: list[int] = []
+        with GestureScheduler(SchedulerConfig(num_workers=1)) as scheduler:
+            futures = [
+                scheduler.submit_background(lambda i=i: order.append(i))
+                for i in range(5)
+            ]
+            for future in futures:
+                future.result(timeout=5)
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_lane_is_not_a_session(self):
+        with GestureScheduler(SchedulerConfig(num_workers=1)) as scheduler:
+            scheduler.register_session("s1")
+            scheduler.submit_background(lambda: None).result(timeout=5)
+            assert scheduler.session_ids == ["s1"]
+
+    def test_lane_occupies_at_most_one_worker(self):
+        """Queued background work cannot starve session gestures."""
+        gate = threading.Event()
+        with GestureScheduler(SchedulerConfig(num_workers=2)) as scheduler:
+            scheduler.register_session("s1")
+            blockers = [
+                scheduler.submit_background(lambda: gate.wait(timeout=10))
+                for _ in range(4)
+            ]
+            gesture = scheduler.submit("s1", lambda: "served")
+            assert gesture.result(timeout=5) == "served"  # lane still blocked
+            gate.set()
+            for blocker in blockers:
+                blocker.result(timeout=5)
+
+    def test_background_errors_delivered_via_future(self):
+        with GestureScheduler(SchedulerConfig(num_workers=1)) as scheduler:
+            future = scheduler.submit_background(
+                lambda: (_ for _ in ()).throw(VisualizationError("boom"))
+            )
+            with pytest.raises(VisualizationError):
+                future.result(timeout=5)
+
+    def test_rejected_after_shutdown(self):
+        scheduler = GestureScheduler(SchedulerConfig(num_workers=1))
+        scheduler.shutdown(wait=True)
+        with pytest.raises(ServiceError):
+            scheduler.submit_background(lambda: None)

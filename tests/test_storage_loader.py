@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.errors import StorageError
+from repro.errors import LoaderError, StorageError
 from repro.storage.loader import (
     AdaptiveLoader,
     generate_integer_column,
@@ -55,6 +55,31 @@ class TestCsvLoading:
         path.write_text(self.CSV, encoding="utf-8")
         table = load_table_from_csv_file("t", path)
         assert len(table) == 3
+
+    def test_from_file_explicit_encoding(self, tmp_path):
+        path = tmp_path / "latin.csv"
+        path.write_bytes("id,label\n1,café\n".encode("latin-1"))
+        table = load_table_from_csv_file("t", path, encoding="latin-1")
+        assert table.value_at(0, "label") == "café"
+
+    def test_missing_file_raises_loader_error(self, tmp_path):
+        with pytest.raises(LoaderError, match="cannot read CSV file"):
+            load_table_from_csv_file("t", tmp_path / "absent.csv")
+
+    def test_unreadable_encoding_raises_loader_error(self, tmp_path):
+        path = tmp_path / "latin.csv"
+        path.write_bytes("id,label\n1,café\n".encode("latin-1"))
+        with pytest.raises(LoaderError, match="not valid utf-8"):
+            load_table_from_csv_file("t", path)
+
+    def test_unknown_encoding_raises_loader_error(self, tmp_path):
+        path = tmp_path / "data.csv"
+        path.write_text(self.CSV, encoding="utf-8")
+        with pytest.raises(LoaderError, match="unknown text encoding"):
+            load_table_from_csv_file("t", path, encoding="no-such-codec")
+
+    def test_loader_error_is_a_storage_error(self):
+        assert issubclass(LoaderError, StorageError)
 
 
 class TestAdaptiveLoader:
