@@ -52,7 +52,9 @@ Subpackages
 ``repro.engine``
     Touch-driven operators: scans, aggregates, filters, joins, group-by.
 ``repro.indexing``
-    Zone maps, per-sample-level indexes and touch-driven cracking.
+    Zone maps, per-sample-level indexes, touch-driven cracking and the
+    adaptive :class:`~repro.indexing.manager.IndexManager` tier refined
+    by gestures and consulted by bulk range selections.
 ``repro.baseline``
     The monolithic "traditional DBMS" comparison engine.
 ``repro.remote``
@@ -105,6 +107,7 @@ from repro.errors import (
     PersistError,
     SnapshotError,
 )
+from repro.indexing import IndexManager, RangeSelection
 from repro.persist import (
     BackgroundMaterializer,
     ChunkCache,
@@ -154,6 +157,7 @@ __all__ = [
     "GestureScript",
     "GroupColumns",
     "IPAD1",
+    "IndexManager",
     "IPAD1_PROTOTYPE",
     "KernelConfig",
     "LoaderError",
@@ -167,6 +171,7 @@ __all__ = [
     "Pan",
     "PersistError",
     "QueryAction",
+    "RangeSelection",
     "RemoteExplorationService",
     "Rotate",
     "SchedulerConfig",

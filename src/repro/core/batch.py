@@ -43,6 +43,14 @@ reproduce bit-exactly), a SUMMARY gesture's window sizes, and with them
 per-touch loop's touch-by-touch shrinking would have produced.  Counter
 parity is exact whenever the budget is honored.
 
+Adaptive-index refinement is *not* part of batch execution: the kernel
+cracks the touched column around a qualifying gesture's predicate bounds
+only after this executor (or the reference loop) has fully produced the
+outcome, so the counters above are bit-identical whether the indexing
+tier is enabled or not — the invariant the differential gesture harness
+(``tests/test_differential_gestures.py``) replays seeded scripts to lock
+down.
+
 Mid-gesture cache evictions are not simulated.  Instead, before touching
 any state the executor *proves* the gesture eviction-free: for every
 cache-key reference it bounds how many distinct keys the LRU could have

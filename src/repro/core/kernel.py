@@ -44,9 +44,11 @@ from repro.core.result_stream import ResultStream, ResultValue
 from repro.core.summaries import InteractiveSummarizer
 from repro.core.touch_mapping import MappedTouch, TouchMapper
 from repro.engine.aggregate import RunningAggregate, make_aggregate
+from repro.engine.filter import Predicate
 from repro.engine.groupby import IncrementalGroupBy
 from repro.engine.join import SymmetricHashJoin
 from repro.errors import ExecutionError, QueryError
+from repro.indexing.manager import IndexManager, RangeSelection
 from repro.storage.catalog import Catalog
 from repro.storage.column import Column
 from repro.storage.incremental import IncrementalRotation
@@ -87,6 +89,22 @@ class KernelConfig:
         per-touch Python loop.  On by default; the per-touch loop remains
         the reference path and still serves joins, group-bys and
         attribute-dependent table scans.
+    enable_indexing:
+        Maintain the adaptive indexing tier
+        (:class:`repro.indexing.manager.IndexManager`): every slide whose
+        action carries a range-shaped predicate refines the touched
+        column's cracker index as a side effect (outside the outcome
+        accounting, so ``GestureOutcome`` counters are bit-identical with
+        indexing on or off), and bulk :meth:`DbTouchKernel.select_where`
+        queries consult it instead of scanning the whole column.  On by
+        default.
+    index_manager:
+        Optional pre-built :class:`~repro.indexing.manager.IndexManager`
+        to use instead of a kernel-private one — the sharing hook for
+        serving deployments where many sessions explore the same base
+        storage by reference and should split one set of cracked indexes
+        (see ``MultiSessionServer(shared_index=...)``).  Ignored when
+        ``enable_indexing`` is off.
     max_retained_results:
         Retention bound handed to every view's
         :class:`repro.core.result_stream.ResultStream`: the oldest
@@ -117,6 +135,8 @@ class KernelConfig:
     batch_execution: bool = True
     max_retained_results: int | None = None
     memory_budget: MemoryBudget | None = None
+    enable_indexing: bool = True
+    index_manager: IndexManager | None = None
 
 
 @dataclass
@@ -232,6 +252,13 @@ class DbTouchKernel:
         self.optimizer = AdaptiveOptimizer(
             latency_budget_s=self.config.latency_budget_s,
         )
+        self.index_manager: IndexManager | None = None
+        if self.config.enable_indexing:
+            self.index_manager = (
+                self.config.index_manager
+                if self.config.index_manager is not None
+                else IndexManager(budget=self.config.memory_budget)
+            )
         self._states: dict[str, _ObjectState] = {}
         self._joins: dict[frozenset[str], SymmetricHashJoin] = {}
         # deferred import: repro.core.batch imports GestureOutcome from here
@@ -375,6 +402,10 @@ class DbTouchKernel:
         # the catalog caches hierarchies per (object, column); they sample
         # the pre-reload arrays and must be rebuilt from the new data
         self.catalog.drop_hierarchies_for(object_name)
+        # cracked indexes partition the pre-reload values; serving rowids
+        # computed from vanished data would be silent corruption
+        if self.index_manager is not None:
+            self.index_manager.invalidate(object_name)
         for view_name, state in self._states.items():
             if state.object_name != object_name:
                 continue
@@ -585,6 +616,7 @@ class DbTouchKernel:
         if self.config.batch_execution and self._batch_executor.supports(state, join):
             batch_outcome = self._batch_executor.execute(state, gesture)
             if batch_outcome is not None:
+                self._refine_index(state)
                 return batch_outcome
             # the executor proved it cannot replay this gesture exactly
             # (cache evictions possible mid-gesture); run the reference loop
@@ -604,7 +636,119 @@ class DbTouchKernel:
             outcome.final_aggregate = state.aggregate.current()
         if join is not None:
             outcome.join_matches = join.num_matches
+        self._refine_index(state)
         return outcome
+
+    # ------------------------------------------------------------------ #
+    # adaptive indexing: gesture-driven refinement + bulk consultation
+    # ------------------------------------------------------------------ #
+    def _index_target(self, state: _ObjectState) -> tuple[Column, str | None] | None:
+        """The (column, column-name) a state's predicate restricts, if any.
+
+        Select-where plans restrict the where attribute regardless of the
+        touched attribute; column objects restrict their own values.
+        Plain table scans and group-bys apply the predicate to whatever
+        attribute is under the finger, so no single column can be indexed
+        for them.
+        """
+        action = state.action
+        if (
+            action.kind is ActionKind.SELECT_WHERE
+            and state.table is not None
+            and action.where_attribute is not None
+        ):
+            return state.table.column(action.where_attribute), action.where_attribute
+        if state.column is not None:
+            return state.column, state.column_name
+        return None
+
+    def _refine_index(self, state: _ObjectState) -> None:
+        """Crack the touched column around a qualifying gesture's predicate.
+
+        Runs after the gesture's outcome is fully computed and mutates
+        only index-tier state, so outcome counters are bit-identical with
+        indexing enabled or disabled — the property the differential
+        gesture harness locks down.
+        """
+        if self.index_manager is None or state.action.predicate is None:
+            return
+        target = self._index_target(state)
+        if target is None:
+            return
+        column, column_name = target
+        if not column.is_numeric:
+            return
+        self.index_manager.observe_predicate(
+            state.object_name, column_name, column, state.action.predicate
+        )
+
+    def select_where(
+        self, view_name: str, predicate: Predicate | None = None
+    ) -> RangeSelection:
+        """Bulk range selection over the object shown in ``view_name``.
+
+        Where a slide evaluates its predicate touch by touch, this answers
+        the whole-object question — "every row where the predicate holds"
+        — in one call, consulting the adaptive indexing tier when it is
+        enabled: cracked pieces for in-memory columns, zonemap-pruned
+        chunks for paged ones, full scan otherwise (and always for
+        non-range predicates).  The returned rowids are bit-identical to
+        the full scan's in every strategy; the consultation itself further
+        refines the index, so repeating a predicate keeps getting cheaper.
+
+        For a table shown with a SELECT_WHERE action the predicate
+        restricts the action's where-attribute and the action's selected
+        attributes are projected into ``selected``; for a column object
+        the matching values are returned in ``values``.  ``predicate``
+        defaults to the one attached to the view's action.
+        """
+        state = self.state_of(view_name)
+        action = state.action
+        if predicate is None:
+            predicate = action.predicate
+        if predicate is None:
+            raise QueryError(
+                "select_where needs a predicate, either passed explicitly or "
+                "attached to the view's action"
+            )
+        select_names: list[str] = []
+        if state.table is not None:
+            if action.kind is not ActionKind.SELECT_WHERE or action.where_attribute is None:
+                raise QueryError(
+                    "bulk select_where over a table requires a SELECT_WHERE "
+                    "action naming the where attribute"
+                )
+            column = state.table.column(action.where_attribute)
+            column_name: str | None = action.where_attribute
+            select_names = list(dict.fromkeys(action.select_attributes))
+        else:
+            column = state.column
+            column_name = state.column_name
+        started = time.perf_counter()
+        selection: RangeSelection | None = None
+        if self.index_manager is not None:
+            selection = self.index_manager.select_rowids(
+                state.object_name, column_name, column, predicate
+            )
+        if selection is None:
+            mask = predicate.mask(column.values)
+            selection = RangeSelection(
+                object_name=state.object_name,
+                column_name=column_name,
+                predicate=predicate,
+                rowids=np.nonzero(mask)[0].astype(np.int64),
+                strategy="scan",
+                rows_scanned=len(column),
+            )
+        if select_names:
+            selection.selected = {
+                name: state.table.column(name).read_batch(selection.rowids)
+                for name in select_names
+            }
+        elif state.table is None:
+            selection.values = column.read_batch(selection.rowids)
+        selection.duration_s = time.perf_counter() - started
+        return selection
 
     def _join_for(self, view_name: str) -> SymmetricHashJoin | None:
         for key, join in self._joins.items():

@@ -359,6 +359,28 @@ class ExplorationSession:
         self.choose_action(view, summary_action(k=k, aggregate=aggregate))
 
     # ------------------------------------------------------------------ #
+    # bulk range selection
+    # ------------------------------------------------------------------ #
+    def select_where(self, view: View | str, predicate=None):
+        """Whole-object range selection over the object shown in ``view``.
+
+        Delegates to the backend's ``select_where`` extra (local backends
+        only): the adaptive indexing tier — refined as a side effect of
+        this session's filtered slides — answers repeated range predicates
+        from cracked pieces or zonemap-pruned chunks instead of full
+        scans.  Not a gesture, so it is neither recorded nor counted in
+        :meth:`summary`.  Returns a
+        :class:`repro.indexing.manager.RangeSelection`.
+        """
+        select = getattr(self._service, "select_where", None)
+        if select is None:
+            raise QueryError(
+                f"the {getattr(self._service, 'backend', '?')!r} backend does "
+                "not support bulk select_where"
+            )
+        return select(self._view_name(view), predicate)
+
+    # ------------------------------------------------------------------ #
     # gestures
     # ------------------------------------------------------------------ #
     def _view_name(self, view: View | str) -> str:

@@ -1,14 +1,31 @@
-"""Indexing support: zone maps, touch-driven cracking, per-sample indexes."""
+"""Indexing support: zone maps, touch-driven cracking, per-sample indexes.
 
-from repro.indexing.cracking import CrackerIndex, CrackPiece
+The adaptive tier (:class:`IndexManager`) lives here too: it owns
+per-column cracker/zonemap state, is refined by the gestures the kernel
+executes and consulted by bulk range selections — see
+:mod:`repro.indexing.manager`.
+"""
+
+from repro.indexing.cracking import CrackerIndex, CrackerState, CrackPiece
+from repro.indexing.manager import (
+    IndexManager,
+    IndexManagerStats,
+    RangeSelection,
+    predicate_range,
+)
 from repro.indexing.sample_index import RangeLookupResult, SampleLevelIndex
 from repro.indexing.zonemap import Zone, ZoneMap
 
 __all__ = [
     "CrackPiece",
     "CrackerIndex",
+    "CrackerState",
+    "IndexManager",
+    "IndexManagerStats",
     "RangeLookupResult",
+    "RangeSelection",
     "SampleLevelIndex",
     "Zone",
     "ZoneMap",
+    "predicate_range",
 ]

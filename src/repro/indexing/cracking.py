@@ -7,11 +7,26 @@ a value range is an opportunity to partition the index around that range.
 The cracker index below maintains a sorted set of cracked pieces over a
 *copy* of the column (the base data is never reordered) and narrows the
 region that must be scanned for subsequent predicates on the same column.
+
+NaN values need special care: ``x < pivot`` is False for NaN, so a naive
+two-way crack would sweep NaNs into whatever bounded piece happens to sit
+above the pivot — and a later range lookup that covers that piece
+wholesale would wrongly report the NaN rows as matches.  The index
+therefore segregates NaNs once, at construction: the cracker column keeps
+all non-NaN values in ``[0, num_valid)`` and parks the NaN rows behind
+them, outside every piece, so range lookups can never return a NaN row —
+exactly the semantics of ``Predicate.mask`` on the base data.
+
+The full cracked state (the reordered copy, the rowid permutation and the
+piece structure) can be exported with :meth:`CrackerIndex.export_state`
+and restored with :meth:`CrackerIndex.from_state`; the snapshot tier uses
+this to make cracked organization survive restarts.
 """
 
 from __future__ import annotations
 
 import bisect
+import math
 from dataclasses import dataclass
 
 import numpy as np
@@ -35,6 +50,26 @@ class CrackPiece:
         return self.stop - self.start
 
 
+@dataclass(frozen=True)
+class CrackerState:
+    """The exportable state of a :class:`CrackerIndex`.
+
+    ``values``/``rowids`` are the cracker column (a reordered float64 copy
+    of the base data) and its base-rowid permutation; ``pivots`` and
+    ``bounds`` describe the piece structure; ``num_valid`` is the number
+    of non-NaN rows (the prefix the pieces partition).  The snapshot tier
+    persists these fields and :meth:`CrackerIndex.from_state` revives them
+    against the live base column.
+    """
+
+    values: np.ndarray
+    rowids: np.ndarray
+    pivots: tuple[float, ...]
+    bounds: tuple[int, ...]
+    num_valid: int
+    cracks_performed: int = 0
+
+
 class CrackerIndex:
     """An adaptive index refined by the value ranges gestures touch.
 
@@ -51,12 +86,125 @@ class CrackerIndex:
         self.column = column
         self._values = column.values.astype(np.float64).copy()
         self._rowids = np.arange(len(column), dtype=np.int64)
+        # NaNs are segregated behind the valid prefix once, so no crack or
+        # wholesale piece-append can ever surface them (see module docstring)
+        nan_mask = np.isnan(self._values)
+        self._num_nan = int(nan_mask.sum())
+        if self._num_nan:
+            order = np.argsort(nan_mask, kind="stable")  # non-NaN first, stable
+            self._values = self._values[order]
+            self._rowids = self._rowids[order]
+        self._num_valid = len(column) - self._num_nan
         # crack boundaries: sorted positions; piece i spans [bounds[i], bounds[i+1])
-        self._bounds: list[int] = [0, len(column)]
+        self._bounds: list[int] = [0, self._num_valid]
         # the value pivots applied so far, kept sorted for piece bookkeeping
         self._pivots: list[float] = []
         self.cracks_performed = 0
         self.values_scanned_total = 0
+
+    # ------------------------------------------------------------------ #
+    # state export / restore (snapshot warm starts)
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_state(cls, column: Column, state: CrackerState) -> "CrackerIndex":
+        """Revive a cracker from exported state, bound to ``column``.
+
+        The arrays are copied (a snapshot hands in read-only memmaps) and
+        the structural invariants are validated: matching row counts, a
+        rowid permutation of the right length, sorted pivots and sorted
+        bounds spanning exactly the valid prefix — plus a sampled
+        value-consistency probe proving the state was built from this
+        column's data (not a same-shaped predecessor of a reload).  A
+        state that does not fit the live column raises
+        :class:`repro.errors.StorageError` — the caller (e.g. a snapshot
+        warm start against reloaded data) should fall back to a fresh
+        index.
+        """
+        if not column.is_numeric:
+            raise StorageError("cracking requires a numeric column")
+        values = np.array(state.values, dtype=np.float64, copy=True)
+        rowids = np.array(state.rowids, dtype=np.int64, copy=True)
+        pivots = [float(p) for p in state.pivots]
+        bounds = [int(b) for b in state.bounds]
+        num_valid = int(state.num_valid)
+        n = len(column)
+        if values.shape != (n,) or rowids.shape != (n,):
+            raise StorageError(
+                f"cracker state of {values.shape[0] if values.ndim else 0} rows "
+                f"does not fit column {column.name!r} of length {n}"
+            )
+        if not 0 <= num_valid <= n:
+            raise StorageError(f"cracker state num_valid {num_valid} out of range")
+        if len(bounds) != len(pivots) + 2 or bounds[0] != 0 or bounds[-1] != num_valid:
+            raise StorageError("cracker state bounds do not span the valid prefix")
+        if any(b > c for b, c in zip(bounds, bounds[1:])):
+            raise StorageError("cracker state bounds are not sorted")
+        if any(p >= q for p, q in zip(pivots, pivots[1:])):
+            raise StorageError("cracker state pivots are not strictly increasing")
+        if not all(map(math.isfinite, pivots)):
+            raise StorageError("cracker state pivots must be finite")
+        if rowids.size and not np.array_equal(
+            np.sort(rowids), np.arange(n, dtype=np.int64)
+        ):
+            raise StorageError("cracker state rowids are not a permutation")
+        # sampled data-consistency check: the state must actually derive
+        # from ``column``.  A snapshot taken against since-reloaded data
+        # passes every structural check above (same length, still a
+        # permutation) but would silently serve rowids for values the
+        # column no longer holds; probing evenly spaced positions catches
+        # any substantive data swap at the cost of a few reads.
+        if n:
+            probes = np.unique(np.linspace(0, n - 1, num=min(n, 64), dtype=np.int64))
+            for pos in probes.tolist():
+                expected = values[pos]
+                actual = float(np.float64(column.value_at(int(rowids[pos]))))
+                same = math.isnan(expected) if math.isnan(actual) else actual == expected
+                if not same:
+                    raise StorageError(
+                        f"cracker state does not match column {column.name!r}: "
+                        f"position {pos} holds {expected!r} but the column's "
+                        f"row {int(rowids[pos])} is {actual!r}"
+                    )
+        index = cls.__new__(cls)
+        index.column = column
+        index._values = values
+        index._rowids = rowids
+        index._num_nan = n - num_valid
+        index._num_valid = num_valid
+        index._bounds = bounds
+        index._pivots = pivots
+        index.cracks_performed = int(state.cracks_performed)
+        index.values_scanned_total = 0
+        return index
+
+    def export_state(self) -> CrackerState:
+        """Export a deep copy of the cracked state (see :class:`CrackerState`)."""
+        return CrackerState(
+            values=self._values.copy(),
+            rowids=self._rowids.copy(),
+            pivots=tuple(self._pivots),
+            bounds=tuple(self._bounds),
+            num_valid=self._num_valid,
+            cracks_performed=self.cracks_performed,
+        )
+
+    # ------------------------------------------------------------------ #
+    # inspection
+    # ------------------------------------------------------------------ #
+    @property
+    def num_valid(self) -> int:
+        """Rows the piece structure covers (everything but the NaN rows)."""
+        return self._num_valid
+
+    @property
+    def num_nan(self) -> int:
+        """NaN rows parked behind the valid prefix, outside every piece."""
+        return self._num_nan
+
+    @property
+    def size_bytes(self) -> int:
+        """Bytes held by the cracker column and its rowid permutation."""
+        return int(self._values.nbytes + self._rowids.nbytes)
 
     # ------------------------------------------------------------------ #
     # cracking
@@ -68,6 +216,12 @@ class CrackerIndex:
 
     def crack(self, pivot: float) -> None:
         """Partition the cracker column around ``pivot`` (two-way crack)."""
+        pivot = float(pivot)
+        if not math.isfinite(pivot):
+            raise StorageError(
+                f"crack pivots must be finite (got {pivot!r}); "
+                "infinite bounds need no crack"
+            )
         if pivot in self._pivots:
             return
         start, stop = self._piece_containing_value(pivot)
@@ -82,11 +236,17 @@ class CrackerIndex:
         self.cracks_performed += 1
 
     def crack_range(self, low: float, high: float) -> None:
-        """Crack on both bounds of ``[low, high)`` (as a range query would)."""
+        """Crack on both bounds of ``[low, high)`` (as a range query would).
+
+        Infinite bounds are skipped rather than cracked: a piece boundary
+        at ±inf can never shrink a scan.
+        """
         if high < low:
             raise StorageError("crack_range requires low <= high")
-        self.crack(low)
-        self.crack(high)
+        if math.isfinite(low):
+            self.crack(low)
+        if math.isfinite(high):
+            self.crack(high)
 
     # ------------------------------------------------------------------ #
     # lookups
@@ -116,8 +276,11 @@ class CrackerIndex:
 
         When ``crack`` is True (the default) the lookup also refines the
         index around the requested bounds, so the next similar lookup scans
-        less data — the essence of adaptive indexing.
+        less data — the essence of adaptive indexing.  An empty range
+        (``low == high``) returns no rowids; NaN rows are never returned.
         """
+        if math.isnan(low) or math.isnan(high):
+            return np.empty(0, dtype=np.int64)
         if high < low:
             raise StorageError("range lookup requires low <= high")
         if crack:

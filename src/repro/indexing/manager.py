@@ -1,0 +1,651 @@
+"""The adaptive indexing tier: per-column index state in the gesture hot path.
+
+The paper's core bet is that physical organization should adapt as a side
+effect of how users touch data.  :class:`IndexManager` is the seam that
+wires that bet into the kernel:
+
+* it owns per-``(object, column)`` index state — a
+  :class:`repro.indexing.cracking.CrackerIndex` for in-memory numeric
+  columns, zonemap chunk pruning for out-of-core
+  :class:`repro.persist.paged_column.PagedColumn` objects (their per-chunk
+  min/max ships with the on-disk format, so no build cost is paid at all);
+* every qualifying gesture — a slide whose action carries a range-shaped
+  predicate — *refines* the matching cracker via
+  :meth:`observe_predicate`, outside the gesture's outcome accounting, so
+  ``GestureOutcome`` counters stay bit-identical with indexing on or off;
+* bulk range selections (:meth:`repro.core.kernel.DbTouchKernel.select_where`)
+  *consult* the tier via :meth:`select_rowids`, scanning only the cracked
+  pieces / non-pruned chunks that can overlap the predicate instead of the
+  whole column;
+* cracker state is charged to an optional shared
+  :class:`repro.core.caching.MemoryBudget` (the same allowance the touch
+  cache and the disk chunk cache split), reclaimed least-recently-consulted
+  first when peers need room;
+* :meth:`invalidate` drops every index derived from an object whose data
+  was replace-reloaded, and :meth:`adopt_cracker` revives persisted state
+  from a :class:`repro.persist.snapshot.StoreCatalog` warm start.
+
+**Concurrency.**  One manager may be shared by every session of a
+:class:`repro.service.MultiSessionServer` whose sessions attach the same
+base storage by reference; refinement and consultation then run on
+parallel scheduler workers.  All piece mutation happens under a per-column
+lock; the manager-level lock only guards the state dictionary and the
+LRU/statistics bookkeeping, and is never held while a column lock is taken
+or the budget is called (the deadlock-freedom rule documented on
+``MemoryBudget``).  Budget reclaims drop a column's cracker by atomically
+unlinking it — an in-flight lookup keeps its own reference and completes
+on the orphaned (still self-consistent) index.
+
+**Exactness.**  Indexed selections must agree bit-for-bit with
+``Predicate.mask`` over the base data.  Three guards make that hold: NaN
+rows are segregated by the cracker and masked per-chunk by the zonemap
+path; inclusive/exclusive predicate bounds are mapped onto the cracker's
+half-open ranges with ``np.nextafter``; and integer columns whose extremes
+exceed 2**53 (where the cracker's float64 copy would round) refuse the
+cracker and fall back to a full scan.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import weakref
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.engine.filter import Comparison, Predicate
+from repro.indexing.cracking import CrackerIndex, CrackerState
+from repro.indexing.zonemap import ZoneMap
+from repro.storage.column import Column
+
+
+def _is_chunked(column: Column) -> bool:
+    """Whether ``column`` exposes the paged-column chunk surface.
+
+    Duck-typed (rather than ``isinstance`` against
+    :class:`repro.persist.paged_column.PagedColumn`) so the indexing tier
+    does not import the persist package — the snapshot module imports this
+    package for warm starts, and a class-level dependency both ways would
+    be an import cycle waiting to happen.
+    """
+    return callable(getattr(column, "chunks_for_predicate", None))
+
+#: Largest integer magnitude exactly representable in float64.  Integer
+#: columns with values beyond this cannot be cracked (the cracker keeps a
+#: float64 copy) without risking boundary misclassification.
+EXACT_INT_LIMIT = 2**53
+
+
+def predicate_range(predicate: Predicate) -> tuple[float, float] | None:
+    """The half-open ``[low, high)`` value range of a range-shaped predicate.
+
+    Inclusive upper bounds are mapped to half-open form with
+    ``np.nextafter`` so the cracker's ``>= low and < high`` test agrees
+    exactly with :meth:`repro.engine.filter.Predicate.matches`.  Returns
+    ``None`` for predicates that are not a contiguous range (``NE``) or
+    whose operands are NaN/infinite — those fall back to a full scan.
+    """
+    operand = float(predicate.operand)
+    if not math.isfinite(operand):
+        return None
+    comparison = predicate.comparison
+    if comparison is Comparison.BETWEEN:
+        upper = float(predicate.upper)
+        if not math.isfinite(upper):
+            return None
+        return operand, float(np.nextafter(upper, math.inf))
+    if comparison is Comparison.EQ:
+        return operand, float(np.nextafter(operand, math.inf))
+    if comparison is Comparison.LT:
+        return -math.inf, operand
+    if comparison is Comparison.LE:
+        return -math.inf, float(np.nextafter(operand, math.inf))
+    if comparison is Comparison.GT:
+        return float(np.nextafter(operand, math.inf)), math.inf
+    if comparison is Comparison.GE:
+        return operand, math.inf
+    return None  # NE is not a contiguous range
+
+
+@dataclass
+class RangeSelection:
+    """The result of one bulk range selection (indexed or scanned).
+
+    ``strategy`` records how the rowids were found: ``"cracker"`` (cracked
+    pieces), ``"zonemap"`` (chunk-pruned paged scan) or ``"scan"`` (full
+    scan of the base data).  ``rows_scanned`` is how many values were
+    actually inspected — the adaptive win is this number shrinking while
+    ``rowids`` stays exactly what a full scan returns.
+    """
+
+    object_name: str
+    column_name: str | None
+    predicate: Predicate
+    rowids: np.ndarray
+    strategy: str
+    rows_scanned: int
+    refined: bool = False
+    values: np.ndarray | None = None
+    selected: dict[str, np.ndarray] | None = None
+    duration_s: float = 0.0
+
+    @property
+    def matches(self) -> int:
+        """Number of qualifying rows."""
+        return int(self.rowids.size)
+
+
+@dataclass
+class IndexManagerStats:
+    """Counters describing the tier's activity (monotonic, lock-guarded)."""
+
+    consultations: int = 0
+    indexed_consultations: int = 0
+    refinements: int = 0
+    cracks_performed: int = 0
+    crackers_built: int = 0
+    crackers_adopted: int = 0
+    crackers_dropped: int = 0
+    invalidations: int = 0
+
+    def snapshot(self) -> dict[str, int]:
+        """A plain-dict copy of every counter."""
+        return {
+            "consultations": self.consultations,
+            "indexed_consultations": self.indexed_consultations,
+            "refinements": self.refinements,
+            "cracks_performed": self.cracks_performed,
+            "crackers_built": self.crackers_built,
+            "crackers_adopted": self.crackers_adopted,
+            "crackers_dropped": self.crackers_dropped,
+            "invalidations": self.invalidations,
+        }
+
+
+@dataclass
+class _ColumnIndexState:
+    """Index state bound to one concrete column object.
+
+    States are keyed by ``(object, column, id(column))`` — the identity
+    dimension lets same-named private columns of different sessions keep
+    separate index state under one shared manager instead of thrashing
+    each other's crackers.  The column itself is held weakly so a dead
+    session's private columns do not pin the manager's bookkeeping; a
+    live cracker keeps its column alive through ``CrackerIndex.column``,
+    so a state with a cracker never sees its weakref die.
+    """
+
+    key: tuple[str, str | None]
+    column_ref: "weakref.ref[Column]"
+    lock: threading.RLock = field(default_factory=threading.RLock)
+    cracker: CrackerIndex | None = None
+    cracker_bytes: int = 0
+    cracker_refused: bool = False  # e.g. int column beyond EXACT_INT_LIMIT
+    zonemap: ZoneMap | None = None
+
+
+class IndexManager:
+    """Owns, refines, consults and evicts per-column adaptive index state.
+
+    Parameters
+    ----------
+    budget:
+        Optional shared :class:`repro.core.caching.MemoryBudget`; every
+        cracker's bytes are charged to it and the least-recently-consulted
+        crackers are dropped when the budget asks this participant to
+        reclaim.
+    zone_block_rows:
+        Block size used when an in-memory :class:`ZoneMap` is requested
+        through :meth:`zonemap_for` (paged columns use their persisted
+        chunk zonemaps instead).
+    max_crackers:
+        Upper bound on simultaneously live crackers; beyond it the
+        least-recently-consulted cracker is dropped (and rebuilt on its
+        next consult).  This bounds the manager's memory even without a
+        shared budget — relevant for a long-lived shared manager serving
+        many sessions with private columns.
+    """
+
+    def __init__(
+        self, budget=None, zone_block_rows: int = 4096, max_crackers: int = 64
+    ) -> None:
+        self.zone_block_rows = zone_block_rows
+        self.max_crackers = max_crackers
+        self.stats = IndexManagerStats()
+        self._lock = threading.RLock()
+        #: keyed by (object, column, id(column)); insertion/consultation
+        #: order doubles as the reclaim/cap LRU
+        self._states: OrderedDict[
+            tuple[str, str | None, int], _ColumnIndexState
+        ] = OrderedDict()
+        self._budget = budget
+        self._budget_key = f"index-manager-{id(self):x}"
+        if budget is not None:
+            budget.register(self._budget_key, self._reclaim_bytes)
+
+    # ------------------------------------------------------------------ #
+    # state bookkeeping
+    # ------------------------------------------------------------------ #
+    @property
+    def tracked_keys(self) -> list[tuple[str, str | None]]:
+        """Every (object, column) pair the manager currently tracks."""
+        with self._lock:
+            self._prune_dead_locked()
+            seen: list[tuple[str, str | None]] = []
+            for state in self._states.values():
+                if state.key not in seen:
+                    seen.append(state.key)
+            return seen
+
+    @property
+    def index_bytes(self) -> int:
+        """Bytes currently held by cracker state across all columns."""
+        with self._lock:
+            return sum(state.cracker_bytes for state in self._states.values())
+
+    def has_cracker(self, object_name: str, column_name: str | None = None) -> bool:
+        """Whether any live cracker exists for the pair."""
+        with self._lock:
+            return any(
+                state.cracker is not None
+                for state in self._states.values()
+                if state.key == (object_name, column_name)
+            )
+
+    def cracker_for(
+        self, object_name: str, column_name: str | None = None
+    ) -> CrackerIndex | None:
+        """The most recently consulted live cracker of one pair (or ``None``)."""
+        with self._lock:
+            for key in reversed(self._states):
+                state = self._states[key]
+                if state.key == (object_name, column_name) and state.cracker is not None:
+                    return state.cracker
+            return None
+
+    def _prune_dead_locked(self) -> None:
+        """Drop states whose column has been garbage collected.
+
+        Caller holds the manager lock.  A state with a live cracker can
+        never be dead (the cracker strongly references its column), so
+        pruning releases no budget bytes.
+        """
+        doomed = [key for key, state in self._states.items() if state.column_ref() is None]
+        for key in doomed:
+            del self._states[key]
+
+    def _state_for(self, object_name: str, column_name: str | None, column: Column):
+        """Get-or-create the state for one concrete column object.
+
+        Keyed by identity on top of the name pair: sessions sharing base
+        storage by reference land on one state (and one cracker), while a
+        session with a *private* same-named column gets its own state —
+        serving it rowids cracked from different data would be a
+        correctness bug, and discarding the peer's cracker on every
+        access would be a quadratic performance one.
+        """
+        key = (object_name, column_name, id(column))
+        with self._lock:
+            self._prune_dead_locked()
+            state = self._states.get(key)
+            if state is None:
+                state = _ColumnIndexState(
+                    key=(object_name, column_name), column_ref=weakref.ref(column)
+                )
+                self._states[key] = state
+            self._states.move_to_end(key)  # LRU refresh
+        return state
+
+    def _enforce_cracker_cap(self, keep: _ColumnIndexState) -> None:
+        """Drop least-recently-consulted crackers beyond ``max_crackers``.
+
+        ``keep`` (the state just built or adopted) is never the victim.
+        Called with no locks held; bytes are released after unlinking.
+        """
+        released = 0
+        with self._lock:
+            live = [
+                state
+                for state in self._states.values()
+                if state.cracker is not None and state is not keep
+            ]
+            excess = (len(live) + 1) - self.max_crackers
+            for state in live[:max(0, excess)]:
+                state.cracker = None
+                released += state.cracker_bytes
+                state.cracker_bytes = 0
+                self.stats.crackers_dropped += 1
+        self._release_bytes(released)
+
+    # ------------------------------------------------------------------ #
+    # shared-budget accounting
+    # ------------------------------------------------------------------ #
+    def _charge_bytes(self, nbytes: int) -> None:
+        if self._budget is not None and nbytes > 0:
+            self._budget.charge(self._budget_key, nbytes)
+
+    def _release_bytes(self, nbytes: int) -> None:
+        if self._budget is not None and nbytes > 0:
+            self._budget.release(self._budget_key, nbytes)
+
+    def _reclaim_bytes(self, nbytes: int) -> int:
+        """Budget hook: drop least-recently-consulted crackers.
+
+        Crackers are unlinked without taking their column lock — a lookup
+        holding a reference to the orphaned index completes correctly on
+        it; the next consultation rebuilds.  Only charged state
+        (``cracker_bytes > 0``) is dropped, so a cracker built but not yet
+        charged is never double-counted.
+        """
+        freed = 0
+        with self._lock:
+            for state in list(self._states.values()):
+                if freed >= nbytes:
+                    break
+                if state.cracker is None or state.cracker_bytes == 0:
+                    continue
+                state.cracker = None
+                freed += state.cracker_bytes
+                state.cracker_bytes = 0
+                self.stats.crackers_dropped += 1
+        return freed
+
+    # ------------------------------------------------------------------ #
+    # building / adopting crackers
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _cracker_supported(column: Column) -> bool:
+        """Whether a cracker's float64 copy represents ``column`` exactly."""
+        if _is_chunked(column):
+            # materializing a full float64 copy would defeat out-of-core
+            # storage; paged columns use their chunk zonemaps instead
+            return False
+        if not column.is_numeric or not len(column):
+            return False
+        if np.issubdtype(column.values.dtype, np.integer):
+            lo, hi = column.values.min(), column.values.max()
+            if abs(int(lo)) > EXACT_INT_LIMIT or abs(int(hi)) > EXACT_INT_LIMIT:
+                return False
+        return True
+
+    def _ensure_cracker(
+        self, state: _ColumnIndexState, column: Column
+    ) -> CrackerIndex | None:
+        """Build (or return) the state's cracker.  Caller holds state.lock.
+
+        Returns ``None`` when the column cannot be cracked (paged, empty,
+        non-representable).  Budget charging happens after the caller
+        releases the column lock, via the returned state's
+        ``cracker_bytes == 0`` marker — see :meth:`_settle_cracker`.
+        """
+        if state.cracker is not None or state.cracker_refused:
+            return state.cracker
+        if not self._cracker_supported(column):
+            state.cracker_refused = True
+            return None
+        state.cracker = CrackerIndex(column)
+        with self._lock:
+            self.stats.crackers_built += 1
+        return state.cracker
+
+    def _settle_cracker(self, state: _ColumnIndexState) -> None:
+        """Charge a freshly built cracker's bytes (no locks held)."""
+        with state.lock:
+            cracker = state.cracker
+            if cracker is None or state.cracker_bytes:
+                return
+            nbytes = cracker.size_bytes
+        self._charge_bytes(nbytes)
+        with state.lock:
+            # record the charge only if the cracker survived AND no
+            # concurrent settle beat us to it — otherwise undo ours, or
+            # the budget carries phantom bytes forever
+            if state.cracker is cracker and state.cracker_bytes == 0:
+                state.cracker_bytes = nbytes
+                return
+        self._release_bytes(nbytes)
+
+    def adopt_cracker(
+        self,
+        object_name: str,
+        column_name: str | None,
+        column: Column,
+        cracker_state: CrackerState,
+    ) -> CrackerIndex:
+        """Revive persisted cracker state for a live column (warm start).
+
+        Raises :class:`repro.errors.StorageError` when the state does not
+        fit the column (length mismatch, malformed piece structure); the
+        snapshot attach path treats that as "start cold for this column".
+        """
+        cracker = CrackerIndex.from_state(column, cracker_state)
+        state = self._state_for(object_name, column_name, column)
+        with state.lock:
+            previous_bytes = state.cracker_bytes
+            state.cracker = cracker
+            state.cracker_bytes = 0
+            state.cracker_refused = False
+        self._release_bytes(previous_bytes)
+        with self._lock:
+            self.stats.crackers_adopted += 1
+        self._settle_cracker(state)
+        self._enforce_cracker_cap(keep=state)
+        return cracker
+
+    def cracked_states(self) -> list[tuple[tuple[str, str | None], CrackerState]]:
+        """Export live cracker state for snapshot persistence.
+
+        At most one export per (object, column) pair: when several column
+        identities share a name (private per-session copies), the most
+        recently consulted cracker wins.
+        """
+        with self._lock:
+            latest: dict[tuple[str, str | None], _ColumnIndexState] = {}
+            for state in self._states.values():  # LRU order: later = fresher
+                if state.cracker is not None:
+                    latest[state.key] = state
+            states = list(latest.values())
+        exported = []
+        for state in states:
+            with state.lock:
+                if state.cracker is not None:
+                    exported.append((state.key, state.cracker.export_state()))
+        return exported
+
+    # ------------------------------------------------------------------ #
+    # refinement (the gesture side effect)
+    # ------------------------------------------------------------------ #
+    def observe_predicate(
+        self,
+        object_name: str,
+        column_name: str | None,
+        column: Column,
+        predicate: Predicate,
+    ) -> bool:
+        """Refine the pair's index around a gesture's predicate bounds.
+
+        This is the touch-driven cracking hook the kernel calls after a
+        qualifying gesture executed.  It mutates only index-tier state —
+        never the gesture's outcome — and returns whether any new crack
+        was performed.
+        """
+        bounds = predicate_range(predicate)
+        if bounds is None or not column.is_numeric:
+            return False
+        state = self._state_for(object_name, column_name, column)
+        with state.lock:
+            cracker = self._ensure_cracker(state, column)
+            if cracker is None:
+                return False
+            before = cracker.cracks_performed
+            cracker.crack_range(*bounds)
+            new_cracks = cracker.cracks_performed - before
+        self._settle_cracker(state)
+        self._enforce_cracker_cap(keep=state)
+        with self._lock:
+            self.stats.refinements += 1
+            self.stats.cracks_performed += new_cracks
+        return new_cracks > 0
+
+    # ------------------------------------------------------------------ #
+    # consultation (the read side)
+    # ------------------------------------------------------------------ #
+    def select_rowids(
+        self,
+        object_name: str,
+        column_name: str | None,
+        column: Column,
+        predicate: Predicate,
+    ) -> RangeSelection | None:
+        """Rowids satisfying ``predicate``, scanning as little as possible.
+
+        Returns ``None`` when the tier has no strategy for this predicate
+        or column (non-range predicate, non-numeric or non-representable
+        column) — the caller then runs the full scan itself.  The returned
+        rowids are always sorted and bit-identical to
+        ``np.nonzero(predicate.mask(column.values))[0]``.
+        """
+        with self._lock:
+            self.stats.consultations += 1
+        bounds = predicate_range(predicate)
+        if bounds is None or not column.is_numeric:
+            return None
+        low, high = bounds
+        state = self._state_for(object_name, column_name, column)
+        refined = False
+        new_cracks = 0
+        strategy = None
+        with state.lock:
+            cracker = self._ensure_cracker(state, column)
+            if cracker is not None:
+                before = cracker.cracks_performed
+                scanned_before = cracker.values_scanned_total
+                cracker.crack_range(low, high)
+                rowids = cracker.rowids_in_range(low, high, crack=False)
+                rows_scanned = cracker.values_scanned_total - scanned_before
+                new_cracks = cracker.cracks_performed - before
+                refined = new_cracks > 0
+                strategy = "cracker"
+        if strategy is not None:
+            self._settle_cracker(state)
+            self._enforce_cracker_cap(keep=state)
+        elif _is_chunked(column) and len(column):
+            # chunk pruning touches no mutable index state: run the I/O
+            # and masking outside the column lock so concurrent sessions
+            # selecting over one shared paged column do not serialize
+            rowids, rows_scanned = self._chunk_pruned_select(column, predicate, low, high)
+            strategy = "zonemap"
+        else:
+            return None
+        with self._lock:
+            self.stats.indexed_consultations += 1
+            self.stats.cracks_performed += new_cracks
+            if refined:
+                self.stats.refinements += 1
+        return RangeSelection(
+            object_name=object_name,
+            column_name=column_name,
+            predicate=predicate,
+            rowids=rowids,
+            strategy=strategy,
+            rows_scanned=rows_scanned,
+            refined=refined,
+        )
+
+    @staticmethod
+    def _chunk_pruned_select(
+        column: Column, predicate: Predicate, low: float, high: float
+    ) -> tuple[np.ndarray, int]:
+        """Exact selection over a paged column, faulting only candidate chunks.
+
+        The persisted chunk zonemap excludes chunks whose ``[min, max]``
+        cannot overlap ``[low, high]``; the surviving chunks are read
+        through the store's chunk cache and masked with the *predicate
+        itself*, so inclusivity and NaN semantics are exactly the full
+        scan's.
+        """
+        chunk_rows = column.chunk_rows
+        n = len(column)
+        parts: list[np.ndarray] = []
+        scanned = 0
+        for index in column.chunks_for_predicate(low, high):
+            start = index * chunk_rows
+            stop = min(n, start + chunk_rows)
+            chunk = column.slice(start, stop)
+            scanned += len(chunk)
+            hits = np.nonzero(predicate.mask(chunk))[0]
+            if hits.size:
+                parts.append(hits.astype(np.int64) + start)
+        if not parts:
+            return np.empty(0, dtype=np.int64), scanned
+        return np.concatenate(parts), scanned
+
+    # ------------------------------------------------------------------ #
+    # zonemap introspection for in-memory columns
+    # ------------------------------------------------------------------ #
+    def zonemap_for(
+        self, object_name: str, column_name: str | None, column: Column
+    ) -> ZoneMap | None:
+        """The (lazily built) block zonemap of an in-memory numeric column.
+
+        Paged columns answer pruning questions from their persisted chunk
+        directory instead, so this returns ``None`` for them; callers
+        wanting chunk candidates should use
+        :meth:`repro.persist.paged_column.PagedColumn.chunks_for_predicate`.
+        """
+        if _is_chunked(column) or not column.is_numeric or not len(column):
+            return None
+        state = self._state_for(object_name, column_name, column)
+        with state.lock:
+            if state.zonemap is None:
+                state.zonemap = ZoneMap(column, block_rows=self.zone_block_rows)
+            return state.zonemap
+
+    # ------------------------------------------------------------------ #
+    # invalidation
+    # ------------------------------------------------------------------ #
+    def invalidate(self, object_name: str) -> int:
+        """Drop every index derived from ``object_name`` (its data changed).
+
+        Returns how many column states were discarded.  Called by the
+        kernel's replace-reload path; a shared manager invalidates for
+        every session at once, which is exactly right — the old data is
+        gone for all of them.
+        """
+        released = 0
+        dropped = 0
+        with self._lock:
+            doomed = [
+                key
+                for key, state in self._states.items()
+                if state.key[0] == object_name
+            ]
+            for key in doomed:
+                state = self._states.pop(key)
+                released += state.cracker_bytes
+                if state.cracker is not None:
+                    self.stats.crackers_dropped += 1
+                state.cracker = None
+                state.cracker_bytes = 0
+                dropped += 1
+            if dropped:
+                self.stats.invalidations += 1
+        self._release_bytes(released)
+        return dropped
+
+    def clear(self) -> int:
+        """Drop all index state (returns how many column states existed)."""
+        released = 0
+        with self._lock:
+            count = len(self._states)
+            for state in self._states.values():
+                released += state.cracker_bytes
+                if state.cracker is not None:
+                    self.stats.crackers_dropped += 1
+                state.cracker = None
+                state.cracker_bytes = 0
+            self._states.clear()
+        self._release_bytes(released)
+        return count

@@ -9,6 +9,7 @@ looking for.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 
@@ -35,11 +36,17 @@ class Zone:
         """Whether the zone could contain a value satisfying ``predicate``.
 
         Conservative: returns True whenever the predicate range overlaps the
-        zone's [min, max] envelope.
+        zone's [min, max] envelope.  A zone whose envelope is NaN (it holds
+        at least one NaN value, which poisons ``block.min()``/``max()``)
+        has an *unknown* envelope: every comparison against NaN is False,
+        so the inclusion tests below would wrongly prune it — such a zone
+        is always reported as a candidate instead.
         """
         # evaluate the predicate on the envelope's corners plus overlap logic
         from repro.engine.filter import Comparison  # local import to avoid cycle at module load
 
+        if math.isnan(self.minimum) or math.isnan(self.maximum):
+            return True  # unknown envelope: never prune
         comparison = predicate.comparison
         if comparison is Comparison.EQ:
             return self.minimum <= predicate.operand <= self.maximum

@@ -9,7 +9,11 @@ engine needs to resume exploration instantly*:
   files;
 * standalone columns;
 * every materialized :class:`repro.storage.sample.SampleHierarchy` level,
-  persisted as its own chunked column file.
+  persisted as its own chunked column file;
+* the cracked state of an :class:`repro.indexing.manager.IndexManager`
+  (:meth:`StoreCatalog.persist_index` / :meth:`StoreCatalog.attach_index`),
+  so the physical organization that gestures adapted keeps paying off
+  after a restart instead of being re-learned from scratch.
 
 Cold start then costs a manifest read plus a handful of ``mmap`` calls —
 no CSV parsing, no hierarchy re-striding — which is where the >=10x
@@ -27,7 +31,10 @@ import threading
 from pathlib import Path
 from typing import Iterable
 
-from repro.errors import SnapshotError
+import numpy as np
+
+from repro.errors import CatalogError, SnapshotError, StorageError
+from repro.indexing.cracking import CrackerState
 from repro.persist.diskstore import DiskColumnStore
 from repro.persist.format import DEFAULT_CHUNK_ROWS
 from repro.persist.paged_column import PagedColumn
@@ -69,6 +76,7 @@ class StoreCatalog:
         self._tables: dict[str, dict] = {}
         self._columns: dict[str, dict] = {}
         self._hierarchies: dict[tuple[str, str | None], dict] = {}
+        self._indexes: dict[tuple[str, str | None], dict] = {}
         if self.manifest_path.is_file():
             self._read_manifest()
 
@@ -141,6 +149,8 @@ class StoreCatalog:
                 "num_rows": len(column),
             }
             self._hierarchies.pop(_hierarchy_key(column.name, None), None)
+            # cracked state snapshotted from the previous data is stale now
+            self._indexes.pop(_hierarchy_key(column.name, None), None)
             self._persist_hierarchy_levels(
                 column, column.name, None, hierarchy, factor, min_rows, chunk_rows
             )
@@ -176,6 +186,7 @@ class StoreCatalog:
             self._tables[table.name] = {"num_rows": len(table), "columns": specs}
             for column in table.columns:
                 self._hierarchies.pop(_hierarchy_key(table.name, column.name), None)
+                self._indexes.pop(_hierarchy_key(table.name, column.name), None)
                 self._persist_hierarchy_levels(
                     column,
                     f"{table.name}/{column.name}",
@@ -351,6 +362,124 @@ class StoreCatalog:
             return list(self._hierarchies)
 
     # ------------------------------------------------------------------ #
+    # adaptive-index state (cracked organization survives restarts)
+    # ------------------------------------------------------------------ #
+    def index_keys(self) -> list[tuple[str, str | None]]:
+        """The ``(object, column)`` pairs with persisted cracker state."""
+        with self._lock:
+            return list(self._indexes)
+
+    def _store_name_for(self, object_name: str, column_name: str | None) -> str:
+        """The store file name backing one persisted (object, column) pair."""
+        if column_name is None:
+            record = self._columns.get(object_name)
+            if record is None:
+                raise SnapshotError(f"no persisted standalone column {object_name!r}")
+            return record["store_name"]
+        table = self._tables.get(object_name)
+        if table is None:
+            raise SnapshotError(f"no persisted table {object_name!r}")
+        for spec in table["columns"]:
+            if spec["name"] == column_name:
+                return spec["store_name"]
+        raise SnapshotError(f"table {object_name!r} has no column {column_name!r}")
+
+    def persist_index(self, manager, chunk_rows: int = DEFAULT_CHUNK_ROWS) -> list:
+        """Snapshot every live cracker of an :class:`IndexManager`.
+
+        The expensive part of a cracker — the reordered value copy and the
+        rowid permutation — is written as two chunked store columns
+        (``<store>#crk-v`` / ``<store>#crk-r``); the piece structure
+        (pivots, bounds) goes into the manifest.  Only crackers whose
+        ``(object, column)`` pair is already persisted in this catalog are
+        snapshotted (state for unknown objects is skipped — there is
+        nothing to warm-start it against).  Returns the persisted keys.
+        """
+        persisted = []
+        with self._lock:
+            for (object_name, column_name), state in manager.cracked_states():
+                try:
+                    base_store = self._store_name_for(object_name, column_name)
+                except SnapshotError:
+                    continue
+                values_store = f"{base_store}#crk-v"
+                rowids_store = f"{base_store}#crk-r"
+                self.store.write_column(
+                    Column(values_store, state.values),
+                    name=values_store,
+                    chunk_rows=chunk_rows,
+                    replace=True,
+                )
+                self.store.write_column(
+                    Column(rowids_store, state.rowids),
+                    name=rowids_store,
+                    chunk_rows=chunk_rows,
+                    replace=True,
+                )
+                key = _hierarchy_key(object_name, column_name)
+                self._indexes[key] = {
+                    "object": object_name,
+                    "column": column_name,
+                    "num_rows": int(state.values.shape[0]),
+                    "num_valid": int(state.num_valid),
+                    "cracks_performed": int(state.cracks_performed),
+                    "pivots": [float(p) for p in state.pivots],
+                    "bounds": [int(b) for b in state.bounds],
+                    "values_store": values_store,
+                    "rowids_store": rowids_store,
+                }
+                persisted.append(key)
+            if persisted:
+                self._write_manifest()
+        return persisted
+
+    def attach_index(self, manager, catalog: Catalog) -> list:
+        """Warm-start an :class:`IndexManager` from persisted cracker state.
+
+        For every snapshotted index whose object is registered in
+        ``catalog`` (typically right after :meth:`attach`), the cracked
+        arrays are loaded and adopted, so the first range selection after
+        a restart scans cracked pieces instead of the whole column.  This
+        also gives *paged* columns cracker-grade lookups — the adopted
+        arrays live in RAM (16 bytes/row), which is the explicit,
+        opt-in trade the warm start makes.  State that no longer fits the
+        registered data (a reload between snapshot and restart) is
+        skipped; returns the adopted keys.
+        """
+        with self._lock:
+            records = list(self._indexes.values())
+        adopted = []
+        for record in records:
+            object_name = record["object"]
+            column_name = record["column"]
+            try:
+                base = catalog.resolve_column(object_name, column_name)
+            except CatalogError:
+                continue
+            try:
+                values = np.array(
+                    self.store.open_column(record["values_store"]).values,
+                    dtype=np.float64,
+                )
+                rowids = np.array(
+                    self.store.open_column(record["rowids_store"]).values,
+                    dtype=np.int64,
+                )
+                state = CrackerState(
+                    values=values,
+                    rowids=rowids,
+                    pivots=tuple(record["pivots"]),
+                    bounds=tuple(record["bounds"]),
+                    num_valid=int(record["num_valid"]),
+                    cracks_performed=int(record["cracks_performed"]),
+                )
+                manager.adopt_cracker(object_name, column_name, base, state)
+            except StorageError:
+                continue  # stale or malformed state: start cold for this column
+            adopted.append(_hierarchy_key(object_name, column_name))
+        return adopted
+
+    # ------------------------------------------------------------------ #
     # the manifest
     # ------------------------------------------------------------------ #
     def _write_manifest(self) -> None:
@@ -361,6 +490,10 @@ class StoreCatalog:
             "hierarchies": [
                 self._hierarchies[key]
                 for key in sorted(self._hierarchies, key=lambda k: (k[0], k[1] or ""))
+            ],
+            "indexes": [
+                self._indexes[key]
+                for key in sorted(self._indexes, key=lambda k: (k[0], k[1] or ""))
             ],
         }
         tmp = self.manifest_path.with_suffix(".json.tmp")
@@ -385,10 +518,14 @@ class StoreCatalog:
         tables = payload.get("tables")
         columns = payload.get("columns")
         hierarchies = payload.get("hierarchies")
+        # "indexes" is optional: manifests written before the adaptive
+        # indexing tier simply have no cracked state to warm-start
+        indexes = payload.get("indexes", [])
         if (
             not isinstance(tables, dict)
             or not isinstance(columns, dict)
             or not isinstance(hierarchies, list)
+            or not isinstance(indexes, list)
         ):
             raise SnapshotError(
                 f"store manifest {self.manifest_path} is missing required sections"
@@ -431,6 +568,20 @@ class StoreCatalog:
                     ],
                 }
                 for record in hierarchies
+            }
+            self._indexes = {
+                _hierarchy_key(str(record["object"]), record.get("column")): {
+                    "object": str(record["object"]),
+                    "column": record.get("column"),
+                    "num_rows": int(record["num_rows"]),
+                    "num_valid": int(record["num_valid"]),
+                    "cracks_performed": int(record["cracks_performed"]),
+                    "pivots": [float(p) for p in record["pivots"]],
+                    "bounds": [int(b) for b in record["bounds"]],
+                    "values_store": str(record["values_store"]),
+                    "rowids_store": str(record["rowids_store"]),
+                }
+                for record in indexes
             }
         except (KeyError, TypeError, ValueError) as exc:
             raise SnapshotError(

@@ -63,7 +63,9 @@ from repro.core.schema_gestures import (
 )
 from repro.core.touch_mapping import TouchMapper
 from repro.engine.aggregate import AggregateKind, make_aggregate
+from repro.engine.filter import Predicate
 from repro.errors import RemoteError, ServiceError
+from repro.indexing.manager import IndexManager, RangeSelection
 from repro.persist.snapshot import StoreCatalog
 from repro.remote.client import RemoteExplorationClient, RemotePolicy
 from repro.remote.network import WAN, NetworkProfile, SimulatedLink
@@ -247,6 +249,7 @@ class LocalExplorationService:
         self.config = config
         self.jitter_cm = jitter_cm
         self.seed = seed
+        self._shared_index: IndexManager | None = None
         self.reset()
 
     def reset(self) -> None:
@@ -258,6 +261,23 @@ class LocalExplorationService:
             self.profile, jitter_cm=self.jitter_cm, seed=self.seed
         )
         self.schema_gestures = SchemaGestures(self.kernel)
+        if self._shared_index is not None and self.kernel.config.enable_indexing:
+            self.kernel.index_manager = self._shared_index
+
+    def adopt_index_manager(self, manager: IndexManager) -> None:
+        """Serve this session's adaptive indexing from a shared manager.
+
+        The hook :class:`MultiSessionServer` uses when sessions attach the
+        same base storage by reference: cracks performed by one session's
+        gestures then speed up every session's selections.  The adoption
+        survives :meth:`reset` (the kernel is rebuilt around the same
+        shared manager).  A kernel explicitly configured with
+        ``enable_indexing=False`` keeps its off switch: the shared
+        manager is remembered but never installed.
+        """
+        self._shared_index = manager
+        if self.kernel.config.enable_indexing:
+            self.kernel.index_manager = manager
 
     # ------------------------------------------------------------------ #
     # host-side data management (not part of the command vocabulary)
@@ -365,6 +385,22 @@ class LocalExplorationService:
     def run(self, script: GestureScript) -> list[OutcomeEnvelope]:
         """Execute a whole script in order."""
         return [self.execute(command) for command in script]
+
+    # ------------------------------------------------------------------ #
+    # bulk range selection (consults the adaptive indexing tier)
+    # ------------------------------------------------------------------ #
+    def select_where(
+        self, view: str, predicate: Predicate | None = None
+    ) -> RangeSelection:
+        """Whole-object range selection for the object shown in ``view``.
+
+        A backend extra outside the gesture-command vocabulary (like
+        ``load_table``): delegates to
+        :meth:`repro.core.kernel.DbTouchKernel.select_where`, so the
+        adaptive indexing tier is consulted when enabled and the result is
+        bit-identical to a full scan either way.
+        """
+        return self.kernel.select_where(view, predicate)
 
     # ------------------------------------------------------------------ #
     # result-stream backpressure (used by the concurrent serving engine)
@@ -1009,8 +1045,18 @@ class MultiSessionServer:
         self,
         service_factory: Callable[[], ExplorationService] | None = None,
         scheduler: SchedulerConfig | int | None = None,
+        shared_index: IndexManager | bool | None = None,
     ) -> None:
         self._factory = service_factory if service_factory is not None else LocalExplorationService
+        if shared_index is True:
+            shared_index = IndexManager()
+        elif shared_index is False:
+            shared_index = None
+        #: one adaptive-index manager adopted by every session that
+        #: attaches the shared base storage: cracks performed by one
+        #: session's gestures shrink every session's selections (the
+        #: manager's per-column locks make this scheduler-safe)
+        self._shared_index: IndexManager | None = shared_index
         self._lock = threading.RLock()
         self._services: dict[str, ExplorationService] = {}
         self._metrics: dict[str, SessionMetrics] = {}
@@ -1190,6 +1236,11 @@ class MultiSessionServer:
         with self._lock:
             return sorted([*self._shared_columns, *self._shared_tables])
 
+    @property
+    def index_manager(self) -> IndexManager | None:
+        """The shared adaptive-index manager (``None`` when not enabled)."""
+        return self._shared_index
+
     def _attach_shared(self, service: ExplorationService) -> None:
         """Register shared objects into a fresh service's private catalog."""
         catalog = getattr(service, "catalog", None)
@@ -1202,6 +1253,10 @@ class MultiSessionServer:
         for (object_name, column_name), hierarchy in self._shared_hierarchies.items():
             # share(): same materialized sample columns, private level list
             catalog.adopt_hierarchy(object_name, column_name, hierarchy.share())
+        if self._shared_index is not None:
+            adopt = getattr(service, "adopt_index_manager", None)
+            if adopt is not None:
+                adopt(self._shared_index)
 
     # ------------------------------------------------------------------ #
     # data loading and execution

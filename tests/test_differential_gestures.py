@@ -1,0 +1,319 @@
+"""Differential gesture harness: indexing on vs. indexing off, bit for bit.
+
+The adaptive indexing tier refines cracked state as a *side effect* of
+qualifying gestures and is consulted only by bulk ``select_where``
+queries — so replaying any gesture script with indexing enabled must
+produce exactly the outcomes of the same script with indexing disabled:
+identical counters, identical touched rowids, identical displayed values.
+This harness generates seeded random gesture scripts and replays each on
+a kernel-with-indexing and an indexing-disabled reference, across dtypes,
+dataset sizes and in-memory vs. paged columns, asserting bit-identical
+results; the bulk selections themselves are cross-checked against a
+brute-force scan.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.actions import (
+    aggregate_action,
+    scan_action,
+    select_where_action,
+    summary_action,
+)
+from repro.core.kernel import KernelConfig
+from repro.core.session import ExplorationSession
+from repro.engine.filter import Comparison, Predicate
+from repro.persist.diskstore import DiskColumnStore
+from repro.persist.snapshot import StoreCatalog
+from repro.storage.column import Column
+from repro.storage.table import Table
+from repro.touchio.device import DeviceProfile
+
+FAST_PROFILE = DeviceProfile(
+    name="diff-device",
+    screen_width_cm=20.0,
+    screen_height_cm=15.0,
+    sampling_rate_hz=25.0,
+    finger_width_cm=0.08,
+)
+
+COMPARISONS = [
+    Comparison.LT,
+    Comparison.LE,
+    Comparison.GT,
+    Comparison.GE,
+    Comparison.EQ,
+    Comparison.NE,
+    Comparison.BETWEEN,
+]
+
+
+def normalize(value):
+    """Recursively convert numpy scalars/arrays so ``==`` is structural.
+
+    NaN is mapped to a sentinel: two scripts that both display NaN at the
+    same position are identical, while ``nan != nan`` would flag them.
+    """
+    if isinstance(value, np.generic):
+        value = value.item()
+    if isinstance(value, float) and np.isnan(value):
+        return "<NaN>"
+    if isinstance(value, np.ndarray):
+        return [normalize(v) for v in value.tolist()]
+    if isinstance(value, dict):
+        return {k: normalize(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [normalize(v) for v in value]
+    return value
+
+
+def outcome_fingerprint(outcome) -> dict:
+    """Everything observable about a gesture outcome, normalized."""
+    return {
+        "gesture_type": outcome.gesture_type.value,
+        "view_name": outcome.view_name,
+        "object_name": outcome.object_name,
+        "entries_returned": outcome.entries_returned,
+        "tuples_examined": outcome.tuples_examined,
+        "cache_hits": outcome.cache_hits,
+        "cache_misses": outcome.cache_misses,
+        "prefetch_hits": outcome.prefetch_hits,
+        "rowids_touched": list(outcome.rowids_touched),
+        "served_level_counts": dict(outcome.served_level_counts),
+        "final_aggregate": normalize(outcome.final_aggregate),
+        "join_matches": outcome.join_matches,
+        "result_values": [normalize(r.value) for r in outcome.results],
+        "result_rowids": [r.rowid for r in outcome.results],
+    }
+
+
+def make_column_data(rng: np.random.Generator, kind: str, n: int) -> np.ndarray:
+    """Deterministic column contents for one dtype scenario."""
+    if kind == "int64":
+        return rng.integers(0, 1_000, size=n, dtype=np.int64)
+    if kind == "float64":
+        return rng.normal(500.0, 150.0, size=n)
+    if kind == "float64-nan":
+        values = rng.normal(500.0, 150.0, size=n)
+        values[rng.random(n) < 0.05] = np.nan
+        return values
+    raise AssertionError(f"unknown column kind {kind!r}")
+
+
+def random_predicate(rng: np.random.Generator) -> Predicate:
+    comparison = COMPARISONS[int(rng.integers(len(COMPARISONS)))]
+    operand = float(rng.integers(0, 1_000))
+    if comparison is Comparison.BETWEEN:
+        upper = operand + float(rng.integers(0, 300))
+        return Predicate(comparison, operand, upper=upper)
+    return Predicate(comparison, operand)
+
+
+def random_action(rng: np.random.Generator):
+    """A random column-object action, usually carrying a predicate."""
+    roll = rng.random()
+    predicate = random_predicate(rng) if rng.random() < 0.8 else None
+    if roll < 0.45:
+        return scan_action(predicate)
+    if roll < 0.75:
+        return aggregate_action("sum", predicate)
+    return summary_action(k=int(rng.integers(2, 9)), predicate=predicate)
+
+
+def drive_column_script(session: ExplorationSession, view, rng: np.random.Generator):
+    """Replay one seeded script of actions/gestures; return fingerprints."""
+    fingerprints = []
+    for _ in range(10):
+        move = rng.random()
+        if move < 0.3:
+            session.choose_action(view, random_action(rng))
+            continue
+        if move < 0.8:
+            a, b = rng.random(), rng.random()
+            outcome = session.slide(
+                view,
+                duration=float(rng.uniform(0.2, 0.8)),
+                start_fraction=min(a, b),
+                end_fraction=max(a, b),
+            )
+        elif move < 0.9:
+            outcome = session.tap(view, fraction=float(rng.random()))
+        else:
+            outcome = session.zoom_in(view, duration=0.3)
+        fingerprints.append(outcome_fingerprint(outcome))
+    return fingerprints
+
+
+def indexed_and_reference_sessions():
+    on = ExplorationSession(
+        profile=FAST_PROFILE, config=KernelConfig(enable_indexing=True)
+    )
+    off = ExplorationSession(
+        profile=FAST_PROFILE, config=KernelConfig(enable_indexing=False)
+    )
+    return on, off
+
+
+@pytest.mark.parametrize("kind", ["int64", "float64", "float64-nan"])
+@pytest.mark.parametrize("rows", [512, 20_000])
+@pytest.mark.parametrize("seed", [11, 29])
+def test_column_scripts_bit_identical(kind, rows, seed):
+    """Random scripts over in-memory columns replay identically on/off."""
+    data = make_column_data(np.random.default_rng(seed), kind, rows)
+    on, off = indexed_and_reference_sessions()
+    results = []
+    for session in (on, off):
+        session.load_column("data", data.copy())
+        view = session.show_column("data")
+        results.append(drive_column_script(session, view, np.random.default_rng(seed + 1)))
+    assert results[0] == results[1]
+    # the indexed session actually exercised the tier
+    assert on.kernel.index_manager is not None
+    assert off.kernel.index_manager is None
+
+
+@pytest.mark.parametrize("seed", [3, 17])
+def test_paged_column_scripts_bit_identical(tmp_path, seed):
+    """The same differential property holds over out-of-core paged columns."""
+    data = make_column_data(np.random.default_rng(seed), "int64", 30_000)
+    store = DiskColumnStore(tmp_path / "store", cache_bytes=1 << 20)
+    catalog = StoreCatalog(store)
+    catalog.persist_column(Column("data", data))
+    on, off = indexed_and_reference_sessions()
+    results = []
+    for session in (on, off):
+        session.service.catalog.register_column(catalog.load_column("data"))
+        view = session.show_column("data")
+        results.append(drive_column_script(session, view, np.random.default_rng(seed + 1)))
+    assert results[0] == results[1]
+
+
+@pytest.mark.parametrize("seed", [5, 23])
+def test_select_where_table_scripts_bit_identical(seed):
+    """Seeded select-where slides over tables are unchanged by indexing."""
+    rng = np.random.default_rng(seed)
+    n = 5_000
+    table_data = {
+        "amount": rng.integers(0, 1_000, size=n, dtype=np.int64),
+        "customer": rng.integers(0, 40, size=n, dtype=np.int64),
+        "score": rng.normal(0.0, 1.0, size=n),
+    }
+    on, off = indexed_and_reference_sessions()
+    results = []
+    for session in (on, off):
+        session.load_table("orders", Table.from_arrays("orders", dict(table_data)))
+        view = session.show_table("orders")
+        script_rng = np.random.default_rng(seed + 1)
+        fingerprints = []
+        for _ in range(8):
+            predicate = random_predicate(script_rng)
+            session.choose_action(
+                view, select_where_action("amount", predicate, ["customer", "score"])
+            )
+            a, b = script_rng.random(), script_rng.random()
+            outcome = session.slide(
+                view,
+                duration=float(script_rng.uniform(0.2, 0.6)),
+                start_fraction=min(a, b),
+                end_fraction=max(a, b),
+            )
+            fingerprints.append(outcome_fingerprint(outcome))
+        results.append(fingerprints)
+    assert results[0] == results[1]
+    # the slides refined the where-attribute's cracker as a side effect
+    assert on.kernel.index_manager.has_cracker("orders", "amount")
+
+
+@pytest.mark.parametrize("kind", ["int64", "float64-nan"])
+def test_bulk_selections_match_brute_force_and_reference(kind):
+    """select_where agrees with the scan reference and a brute-force mask."""
+    data = make_column_data(np.random.default_rng(41), kind, 20_000)
+    on, off = indexed_and_reference_sessions()
+    for session in (on, off):
+        session.load_column("data", data.copy())
+        session.show_column("data")
+    script_rng = np.random.default_rng(42)
+    for _ in range(12):
+        predicate = random_predicate(script_rng)
+        indexed = on.select_where("data-view", predicate)
+        reference = off.select_where("data-view", predicate)
+        brute = np.nonzero(predicate.mask(data))[0]
+        assert reference.strategy == "scan"
+        assert np.array_equal(indexed.rowids, brute)
+        assert np.array_equal(reference.rowids, brute)
+        assert np.array_equal(
+            indexed.values,
+            data[brute],
+            equal_nan=bool(np.issubdtype(data.dtype, np.floating)),
+        )
+    # repeated range predicates must have started scanning less than a scan
+    stats = on.kernel.index_manager.stats
+    assert stats.indexed_consultations > 0
+
+
+def test_serial_vs_concurrent_shared_index_counters(tmp_path):
+    """A shared index manager under the scheduler keeps counters identical.
+
+    Two servers replay the same per-session command sequences — one
+    serial without indexing, one concurrent with a shared index manager —
+    and every session's deterministic counters must match exactly.
+    """
+    from repro.core.commands import ChooseAction, ShowColumn, Slide
+    from repro.service import (
+        LocalExplorationService,
+        MultiSessionServer,
+        SchedulerConfig,
+    )
+
+    rng = np.random.default_rng(7)
+    data = rng.integers(0, 1_000, size=30_000, dtype=np.int64)
+
+    def commands_for(seed: int):
+        script_rng = np.random.default_rng(seed)
+        commands = [ShowColumn(object_name="data", view_name="v")]
+        for _ in range(6):
+            commands.append(
+                ChooseAction(view="v", action=scan_action(random_predicate(script_rng)))
+            )
+            a, b = script_rng.random(), script_rng.random()
+            commands.append(
+                Slide(
+                    view="v",
+                    duration=0.4,
+                    start_fraction=min(a, b),
+                    end_fraction=max(a, b),
+                )
+            )
+        return commands
+
+    def run(server: MultiSessionServer) -> dict[str, dict]:
+        server.load_shared_column("data", Column("data", data))
+        counters = {}
+        sessions = [server.open_session(f"s{i}") for i in range(4)]
+        for offset, sid in enumerate(sessions):
+            for command in commands_for(100 + offset):
+                server.execute(sid, command)
+        server.drain(timeout=30.0)
+        for sid in sessions:
+            counters[sid] = server.metrics(sid).counters_snapshot()
+        server.shutdown()
+        return counters
+
+    serial = run(
+        MultiSessionServer(
+            service_factory=lambda: LocalExplorationService(
+                profile=FAST_PROFILE, config=KernelConfig(enable_indexing=False)
+            )
+        )
+    )
+    concurrent = run(
+        MultiSessionServer(
+            service_factory=lambda: LocalExplorationService(profile=FAST_PROFILE),
+            scheduler=SchedulerConfig(num_workers=4),
+            shared_index=True,
+        )
+    )
+    assert serial == concurrent

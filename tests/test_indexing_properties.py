@@ -1,0 +1,228 @@
+"""Property-based invariants for the cracker index (seeded generators).
+
+Every test drives :class:`repro.indexing.cracking.CrackerIndex` with
+randomized (but seeded, hence reproducible) columns and crack/lookup
+sequences and checks the structural invariants the whole adaptive tier
+rests on:
+
+* the pieces always partition the column's valid (non-NaN) prefix;
+* piece bounds nest correctly after arbitrary crack sequences — bounds
+  sorted, pivots strictly increasing, every piece's values inside its
+  ``[low, high)`` envelope;
+* the rowid array stays a permutation of the base rowids;
+* range lookups return exactly the rowids a brute-force scan returns.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import StorageError
+from repro.indexing.cracking import CrackerIndex, CrackerState
+from repro.storage.column import Column
+
+SEEDS = [1, 7, 19, 83]
+
+
+def random_column(rng: np.random.Generator) -> Column:
+    """A randomized numeric column: dtype, size and NaN-ness vary."""
+    n = int(rng.integers(0, 4000))
+    kind = rng.integers(4)
+    if kind == 0:
+        values = rng.integers(-500, 500, size=n, dtype=np.int64)
+    elif kind == 1:
+        values = rng.normal(0.0, 200.0, size=n)
+    elif kind == 2:  # heavy duplication: many equal values
+        values = rng.integers(-5, 5, size=n, dtype=np.int64)
+    else:  # floats with NaN holes
+        values = rng.normal(0.0, 200.0, size=n)
+        values[rng.random(n) < 0.1] = np.nan
+    return Column("c", values)
+
+
+def random_pivots(rng: np.random.Generator, count: int) -> list[float]:
+    pivots = rng.normal(0.0, 250.0, size=count)
+    # include exact data-ish values and repeats to hit duplicate-pivot paths
+    extras = rng.integers(-500, 500, size=count // 2)
+    return [float(p) for p in np.concatenate([pivots, extras, extras[:2]])]
+
+
+def assert_invariants(index: CrackerIndex, column: Column) -> None:
+    values = column.values.astype(np.float64)
+    n = len(column)
+    # NaN segregation: valid prefix + parked NaNs account for every row
+    assert index.num_valid + index.num_nan == n
+    assert index.num_nan == int(np.isnan(values).sum())
+    # bounds nest: sorted, anchored at 0 and num_valid
+    bounds = index._bounds
+    assert bounds[0] == 0 and bounds[-1] == index.num_valid
+    assert all(a <= b for a, b in zip(bounds, bounds[1:]))
+    # pivots strictly increase and there is one piece per gap
+    pivots = index._pivots
+    assert all(a < b for a, b in zip(pivots, pivots[1:]))
+    assert len(bounds) == len(pivots) + 2
+    # pieces partition the valid prefix exactly
+    pieces = index.pieces
+    assert sum(p.num_rows for p in pieces) == index.num_valid
+    for previous, current in zip(pieces, pieces[1:]):
+        assert previous.stop == current.start
+        assert previous.high == current.low
+    # every piece's values lie inside its [low, high) envelope
+    for piece in pieces:
+        segment = index._values[piece.start : piece.stop]
+        assert not np.isnan(segment).any()
+        if segment.size:
+            assert segment.min() >= piece.low
+            assert segment.max() < piece.high
+    # the rowid array stays a permutation of the base rowids
+    assert np.array_equal(np.sort(index._rowids), np.arange(n, dtype=np.int64))
+
+
+def brute_force(column: Column, low: float, high: float) -> np.ndarray:
+    values = column.values.astype(np.float64)
+    return np.nonzero((values >= low) & (values < high))[0]
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_invariants_hold_under_arbitrary_crack_sequences(seed):
+    rng = np.random.default_rng(seed)
+    for _ in range(6):
+        column = random_column(rng)
+        index = CrackerIndex(column)
+        assert_invariants(index, column)
+        for pivot in random_pivots(rng, 12):
+            index.crack(pivot)
+            assert_invariants(index, column)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_lookups_equal_brute_force_scan(seed):
+    rng = np.random.default_rng(seed)
+    for _ in range(6):
+        column = random_column(rng)
+        index = CrackerIndex(column)
+        for _ in range(15):
+            a, b = sorted(rng.normal(0.0, 300.0, size=2))
+            crack = bool(rng.random() < 0.7)
+            result = index.rowids_in_range(float(a), float(b), crack=crack)
+            assert np.array_equal(result, brute_force(column, a, b))
+            assert_invariants(index, column)
+        # open-ended and empty ranges agree too
+        assert np.array_equal(
+            index.rowids_in_range(-np.inf, np.inf),
+            brute_force(column, -np.inf, np.inf),
+        )
+        probe = float(rng.normal())
+        assert index.rowids_in_range(probe, probe).size == 0
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_repeated_lookups_never_scan_more(seed):
+    """Adaptivity is monotone: repeating a range cannot scan more data."""
+    rng = np.random.default_rng(seed)
+    column = Column("c", rng.normal(0.0, 200.0, size=3000))
+    index = CrackerIndex(column)
+    for _ in range(10):
+        a, b = sorted(rng.normal(0.0, 300.0, size=2))
+        cost_before = index.scan_cost_for_range(a, b)
+        index.rowids_in_range(float(a), float(b))
+        assert index.scan_cost_for_range(a, b) <= cost_before
+        # and the range is exactly covered afterwards: zero residual cost
+        assert index.scan_cost_for_range(a, b) == 0
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_export_import_roundtrip_preserves_lookups(seed):
+    rng = np.random.default_rng(seed)
+    column = random_column(rng)
+    index = CrackerIndex(column)
+    for pivot in random_pivots(rng, 8):
+        index.crack(pivot)
+    revived = CrackerIndex.from_state(column, index.export_state())
+    assert_invariants(revived, column)
+    assert revived.cracks_performed == index.cracks_performed
+    for _ in range(10):
+        a, b = sorted(rng.normal(0.0, 300.0, size=2))
+        assert np.array_equal(
+            revived.rowids_in_range(float(a), float(b), crack=False),
+            index.rowids_in_range(float(a), float(b), crack=False),
+        )
+
+
+def test_from_state_rejects_malformed_states():
+    column = Column("c", np.arange(100, dtype=np.int64))
+    index = CrackerIndex(column)
+    index.crack(50.0)
+    good = index.export_state()
+
+    # wrong length for the bound column
+    with pytest.raises(StorageError):
+        CrackerIndex.from_state(Column("c", np.arange(99, dtype=np.int64)), good)
+    # rowids not a permutation
+    bad_rowids = good.rowids.copy()
+    bad_rowids[0] = bad_rowids[1]
+    with pytest.raises(StorageError):
+        CrackerIndex.from_state(
+            column,
+            CrackerState(good.values, bad_rowids, good.pivots, good.bounds, good.num_valid),
+        )
+    # unsorted bounds
+    with pytest.raises(StorageError):
+        CrackerIndex.from_state(
+            column,
+            CrackerState(
+                good.values, good.rowids, (40.0, 60.0), (0, 80, 50, 100), good.num_valid
+            ),
+        )
+    # bounds not spanning the valid prefix
+    with pytest.raises(StorageError):
+        CrackerIndex.from_state(
+            column,
+            CrackerState(good.values, good.rowids, good.pivots, (0, 50, 99), good.num_valid),
+        )
+    # non-increasing pivots
+    with pytest.raises(StorageError):
+        CrackerIndex.from_state(
+            column,
+            CrackerState(good.values, good.rowids, (50.0, 50.0), (0, 50, 50, 100), good.num_valid),
+        )
+    # non-finite pivots
+    with pytest.raises(StorageError):
+        CrackerIndex.from_state(
+            column,
+            CrackerState(good.values, good.rowids, (np.inf,), (0, 100, 100), good.num_valid),
+        )
+    # a non-numeric column cannot host a cracker at all
+    with pytest.raises(StorageError):
+        CrackerIndex.from_state(Column("s", ["a"] * 100), good)
+    # state built from *different data of the same shape* (a reload that
+    # raced past the snapshot) fails the sampled consistency probe
+    with pytest.raises(StorageError):
+        CrackerIndex.from_state(Column("c", np.arange(100, dtype=np.int64) + 1), good)
+
+
+def test_crack_rejects_non_finite_pivots():
+    index = CrackerIndex(Column("c", np.arange(10, dtype=np.int64)))
+    for pivot in (np.nan, np.inf, -np.inf):
+        with pytest.raises(StorageError):
+            index.crack(pivot)
+    # infinite range bounds are skipped, not cracked
+    index.crack_range(-np.inf, 5.0)
+    assert index.cracks_performed == 1
+
+
+def test_nan_rows_never_returned_even_from_fully_covered_pieces():
+    """Regression: NaNs used to ride along with wholesale piece appends."""
+    values = np.array([1.0, np.nan, 2.0, np.nan, 3.0, 0.0])
+    column = Column("c", values)
+    index = CrackerIndex(column)
+    # crack tightly around the data so lookups hit fully covered pieces
+    index.crack(0.0)
+    index.crack(4.0)
+    result = index.rowids_in_range(0.0, 4.0)
+    assert np.array_equal(result, np.array([0, 2, 4, 5]))
+    # an all-NaN column has an empty piece structure and empty lookups
+    all_nan = CrackerIndex(Column("n", np.full(16, np.nan)))
+    assert all_nan.num_valid == 0
+    assert all_nan.rowids_in_range(-np.inf, np.inf).size == 0
