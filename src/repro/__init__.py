@@ -105,7 +105,9 @@ from repro.errors import (
     DbTouchError,
     LoaderError,
     PersistError,
+    ProtocolError,
     SnapshotError,
+    WorkerCrashedError,
 )
 from repro.indexing import IndexManager, RangeSelection
 from repro.persist import (
@@ -123,6 +125,13 @@ from repro.service import (
     RemoteExplorationService,
     SessionMetrics,
 )
+from repro.serving import (
+    ShardedClient,
+    ShardedServer,
+    ShardedServerConfig,
+    WorkerConfig,
+    shard_for_session,
+)
 from repro.storage.catalog import Catalog
 from repro.storage.column import Column
 from repro.storage.table import Table
@@ -134,7 +143,7 @@ from repro.touchio.device import (
     DeviceProfile,
 )
 
-__version__ = "0.4.0"
+__version__ = "0.5.0"
 
 __all__ = [
     "ActionKind",
@@ -170,6 +179,7 @@ __all__ = [
     "PagedColumn",
     "Pan",
     "PersistError",
+    "ProtocolError",
     "QueryAction",
     "RangeSelection",
     "RemoteExplorationService",
@@ -178,6 +188,9 @@ __all__ = [
     "SchedulerStats",
     "SessionMetrics",
     "SessionSummary",
+    "ShardedClient",
+    "ShardedServer",
+    "ShardedServerConfig",
     "ShowColumn",
     "ShowTable",
     "Slide",
@@ -188,6 +201,8 @@ __all__ = [
     "Tap",
     "TimedCommand",
     "UngroupTable",
+    "WorkerConfig",
+    "WorkerCrashedError",
     "ZoomIn",
     "ZoomOut",
     "aggregate_action",
@@ -195,6 +210,7 @@ __all__ = [
     "join_action",
     "scan_action",
     "select_where_action",
+    "shard_for_session",
     "summary_action",
     "__version__",
 ]

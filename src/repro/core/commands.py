@@ -44,11 +44,13 @@ def predicate_to_dict(predicate: Predicate) -> dict[str, Any]:
 
 def predicate_from_dict(payload: dict[str, Any]) -> Predicate:
     """Rebuild a predicate from :func:`predicate_to_dict` output."""
+    if not isinstance(payload, dict):
+        raise CommandError(f"predicate payload must be an object, got {payload!r}")
     try:
         comparison = Comparison(payload["comparison"])
-    except (KeyError, ValueError) as exc:
+        return Predicate(comparison, float(payload["operand"]), payload.get("upper"))
+    except (KeyError, ValueError, TypeError) as exc:
         raise CommandError(f"malformed predicate payload {payload!r}") from exc
-    return Predicate(comparison, float(payload["operand"]), payload.get("upper"))
 
 
 def action_to_dict(action: QueryAction) -> dict[str, Any]:
@@ -68,23 +70,23 @@ def action_to_dict(action: QueryAction) -> dict[str, Any]:
 
 def action_from_dict(payload: dict[str, Any]) -> QueryAction:
     """Rebuild a query action from :func:`action_to_dict` output."""
+    predicate = payload.get("predicate")
     try:
         kind = ActionKind(payload["kind"])
         aggregate = AggregateKind(payload.get("aggregate", AggregateKind.AVG.value))
-    except (KeyError, ValueError) as exc:
+        return QueryAction(
+            kind=kind,
+            aggregate=aggregate,
+            summary_k=int(payload.get("summary_k", 0)),
+            predicate=None if predicate is None else predicate_from_dict(predicate),
+            group_key_attribute=payload.get("group_key_attribute"),
+            measure_attribute=payload.get("measure_attribute"),
+            join_partner=payload.get("join_partner"),
+            where_attribute=payload.get("where_attribute"),
+            select_attributes=tuple(payload.get("select_attributes", ())),
+        )
+    except (KeyError, ValueError, TypeError) as exc:
         raise CommandError(f"malformed action payload {payload!r}") from exc
-    predicate = payload.get("predicate")
-    return QueryAction(
-        kind=kind,
-        aggregate=aggregate,
-        summary_k=int(payload.get("summary_k", 0)),
-        predicate=None if predicate is None else predicate_from_dict(predicate),
-        group_key_attribute=payload.get("group_key_attribute"),
-        measure_attribute=payload.get("measure_attribute"),
-        join_partner=payload.get("join_partner"),
-        where_attribute=payload.get("where_attribute"),
-        select_attributes=tuple(payload.get("select_attributes", ())),
-    )
 
 
 # --------------------------------------------------------------------- #
@@ -122,7 +124,17 @@ class GestureCommand:
 
     @staticmethod
     def from_dict(payload: dict[str, Any]) -> "GestureCommand":
-        """Rebuild any registered command from its :meth:`to_dict` output."""
+        """Rebuild any registered command from its :meth:`to_dict` output.
+
+        Every malformed shape — non-dict payloads and garbage field values
+        included — raises :class:`repro.errors.CommandError`, never a bare
+        ``TypeError``/``AttributeError``: this method sits on the wire
+        path, where decode failures must stay typed protocol errors.
+        """
+        if not isinstance(payload, dict):
+            raise CommandError(
+                f"command payload must be an object, got {type(payload).__name__}"
+            )
         kind = payload.get("kind")
         cls = _COMMAND_TYPES.get(kind)
         if cls is None:
@@ -154,9 +166,16 @@ def _encode_value(value: Any) -> Any:
 
 def _decode_field(name: str, value: Any) -> Any:
     if name == "action":
+        if not isinstance(value, dict):
+            raise CommandError(f"field 'action' must be an object, got {value!r}")
         return action_from_dict(value)
     if name == "segments":
-        return tuple(SlideSegment(**segment) for segment in value)
+        if not isinstance(value, list) or not all(isinstance(s, dict) for s in value):
+            raise CommandError(f"field 'segments' must be a list of objects, got {value!r}")
+        try:
+            return tuple(SlideSegment(**segment) for segment in value)
+        except TypeError as exc:
+            raise CommandError(f"malformed slide segment: {exc}") from exc
     if isinstance(value, list):
         return tuple(value)
     return value
@@ -337,12 +356,13 @@ class TimedCommand:
     @classmethod
     def from_dict(cls, payload: dict[str, Any]) -> "TimedCommand":
         """Rebuild a paced command from :meth:`to_dict` output."""
-        if "command" not in payload:
+        if not isinstance(payload, dict) or "command" not in payload:
             raise CommandError("timed-command payload must contain a 'command'")
-        return cls(
-            command=GestureCommand.from_dict(payload["command"]),
-            think_s=float(payload.get("think_s", 0.0)),
-        )
+        try:
+            think_s = float(payload.get("think_s", 0.0))
+        except (TypeError, ValueError) as exc:
+            raise CommandError(f"malformed think_s {payload.get('think_s')!r}") from exc
+        return cls(command=GestureCommand.from_dict(payload["command"]), think_s=think_s)
 
 
 # --------------------------------------------------------------------- #
@@ -397,6 +417,10 @@ class GestureScript:
     @classmethod
     def from_dict(cls, payload: dict[str, Any]) -> "GestureScript":
         """Rebuild a script from :meth:`to_dict` output."""
+        if not isinstance(payload, dict):
+            raise CommandError(
+                f"script payload must be an object, got {type(payload).__name__}"
+            )
         commands = payload.get("commands")
         if not isinstance(commands, list):
             raise CommandError("script payload must contain a 'commands' list")

@@ -88,6 +88,26 @@ class AdmissionError(ServiceError):
     """The serving engine refused new work (queues full or backpressure timeout)."""
 
 
+class ProtocolError(DbTouchError):
+    """A wire-protocol frame or envelope violated the serving protocol."""
+
+
+class MalformedFrameError(ProtocolError):
+    """A frame could not be decoded (bad JSON, wrong shape, bad envelope)."""
+
+
+class FrameTooLargeError(ProtocolError):
+    """A frame exceeded the protocol's maximum frame size."""
+
+
+class UnknownVerbError(ProtocolError):
+    """A request named a verb the serving protocol does not define."""
+
+
+class WorkerCrashedError(ServiceError):
+    """A shard's worker process died; sessions pinned to it are lost."""
+
+
 class RemoteError(DbTouchError):
     """The simulated remote-processing layer failed."""
 

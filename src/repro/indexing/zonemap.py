@@ -20,12 +20,21 @@ from repro.storage.column import Column
 
 @dataclass(frozen=True)
 class Zone:
-    """Summary of one block of consecutive rowids."""
+    """Summary of one block of consecutive rowids.
+
+    The envelope keeps the block's native scalar type: integer columns
+    carry exact ``int`` bounds, float columns carry ``float``.  Coercing
+    int64 bounds through float64 would round values beyond 2**53 to the
+    nearest representable double — and a max rounded *down* (or a min
+    rounded *up*) makes :meth:`may_contain` prune a block that actually
+    holds matches, turning an optimization into wrong answers.  Python
+    compares int to float exactly, so mixed-type predicates stay correct.
+    """
 
     start: int
     stop: int
-    minimum: float
-    maximum: float
+    minimum: float | int
+    maximum: float | int
 
     @property
     def num_rows(self) -> int:
@@ -83,12 +92,14 @@ class ZoneMap:
         for start in range(0, n, self.block_rows):
             stop = min(n, start + self.block_rows)
             block = values[start:stop]
+            # .item() preserves the native scalar: exact int for integer
+            # dtypes (no 2**53 float64 rounding), float for float dtypes
             self._zones.append(
                 Zone(
                     start=start,
                     stop=stop,
-                    minimum=float(block.min()),
-                    maximum=float(block.max()),
+                    minimum=block.min().item(),
+                    maximum=block.max().item(),
                 )
             )
 

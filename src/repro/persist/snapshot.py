@@ -60,6 +60,12 @@ class StoreCatalog:
     ----------
     store:
         The chunk store holding (or receiving) the column files.
+    read_only:
+        Refuse every ``persist_*`` mutation.  This is the multi-attach
+        mode of the sharded serving tier: one publisher writes the
+        snapshot, N worker processes each :meth:`open_read_only` the same
+        root and map the same chunk files — safe precisely because no
+        attacher can rewrite the manifest out from under its siblings.
 
     An existing manifest in the store root is loaded and validated on
     construction; otherwise the catalog starts empty.  All ``persist_*``
@@ -70,8 +76,9 @@ class StoreCatalog:
     just-committed records.
     """
 
-    def __init__(self, store: DiskColumnStore) -> None:
+    def __init__(self, store: DiskColumnStore, read_only: bool = False) -> None:
         self.store = store
+        self.read_only = read_only
         self._lock = threading.RLock()
         self._tables: dict[str, dict] = {}
         self._columns: dict[str, dict] = {}
@@ -79,6 +86,37 @@ class StoreCatalog:
         self._indexes: dict[tuple[str, str | None], dict] = {}
         if self.manifest_path.is_file():
             self._read_manifest()
+
+    @classmethod
+    def open_read_only(
+        cls,
+        root: str | os.PathLike,
+        cache_bytes: int | None = None,
+        budget=None,
+    ) -> "StoreCatalog":
+        """Attach an already-published snapshot, immutably.
+
+        Requires an existing manifest — a read-only catalog over an empty
+        root would be a typo'd path silently serving nothing, so it raises
+        :class:`repro.errors.SnapshotError` instead.  ``cache_bytes`` and
+        ``budget`` configure the attacher-private chunk cache (the mapped
+        file bytes themselves are shared between attachers by the OS).
+        """
+        root = Path(root)
+        if not (root / MANIFEST_NAME).is_file():
+            raise SnapshotError(
+                f"no snapshot manifest at {root / MANIFEST_NAME}; "
+                "publish the snapshot before attaching read-only"
+            )
+        kwargs = {} if cache_bytes is None else {"cache_bytes": cache_bytes}
+        store = DiskColumnStore(root, budget=budget, **kwargs)
+        return cls(store, read_only=True)
+
+    def _ensure_writable(self, operation: str) -> None:
+        if self.read_only:
+            raise SnapshotError(
+                f"{operation} refused: this StoreCatalog is attached read-only"
+            )
 
     @property
     def manifest_path(self) -> Path:
@@ -139,6 +177,7 @@ class StoreCatalog:
         e.g. when a :class:`BackgroundMaterializer` will build it later),
         or an existing :class:`SampleHierarchy` to snapshot as-is.
         """
+        self._ensure_writable("persist_column")
         with self._lock:
             if column.name in self._tables:
                 raise SnapshotError(f"name {column.name!r} already persisted as a table")
@@ -171,6 +210,7 @@ class StoreCatalog:
         snapshotted for every numeric attribute, so reopening the table
         skips both the CSV parse *and* the sample re-striding.
         """
+        self._ensure_writable("persist_table")
         with self._lock:
             if table.name in self._columns:
                 raise SnapshotError(f"name {table.name!r} already persisted as a column")
@@ -214,6 +254,7 @@ class StoreCatalog:
         needs the full column in RAM) and appended to the manifest.
         Returns the persisted level steps.
         """
+        self._ensure_writable("persist_hierarchy")
         with self._lock:
             base, store_name = self._resolve_base(object_name, column_name)
             if not base.is_numeric:
@@ -395,6 +436,7 @@ class StoreCatalog:
         snapshotted (state for unknown objects is skipped — there is
         nothing to warm-start it against).  Returns the persisted keys.
         """
+        self._ensure_writable("persist_index")
         persisted = []
         with self._lock:
             for (object_name, column_name), state in manager.cracked_states():

@@ -108,21 +108,53 @@ class OutcomeEnvelope:
     payload: Any = None
 
     def to_dict(self) -> dict[str, Any]:
-        """The envelope's wire format: metrics only, no live objects."""
+        """The envelope's wire format: metrics only, no live objects.
+
+        Counter fields are coerced to plain ``int``/``float`` so the dict
+        is always JSON-encodable — the kernel accumulates some counters as
+        numpy scalars, which ``json.dumps`` refuses.
+        """
         return {
             "command_kind": self.command_kind,
             "backend": self.backend,
             "view_name": self.view_name,
             "object_name": self.object_name,
-            "entries_returned": self.entries_returned,
-            "tuples_examined": self.tuples_examined,
-            "cache_hits": self.cache_hits,
-            "prefetch_hits": self.prefetch_hits,
-            "duration_s": self.duration_s,
-            "max_touch_latency_s": self.max_touch_latency_s,
-            "remote_requests": self.remote_requests,
-            "network_seconds": self.network_seconds,
+            "entries_returned": int(self.entries_returned),
+            "tuples_examined": int(self.tuples_examined),
+            "cache_hits": int(self.cache_hits),
+            "prefetch_hits": int(self.prefetch_hits),
+            "duration_s": float(self.duration_s),
+            "max_touch_latency_s": float(self.max_touch_latency_s),
+            "remote_requests": int(self.remote_requests),
+            "network_seconds": float(self.network_seconds),
         }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "OutcomeEnvelope":
+        """Rebuild an envelope from :meth:`to_dict` output (wire side).
+
+        The ``payload`` attribute stays ``None`` — live outcome objects
+        never cross the wire; only the measurement surface does.  Raises
+        :class:`repro.errors.ServiceError` on a malformed payload so
+        protocol clients surface a typed error instead of a ``KeyError``.
+        """
+        try:
+            return cls(
+                command_kind=str(payload["command_kind"]),
+                backend=str(payload["backend"]),
+                view_name=payload.get("view_name"),
+                object_name=payload.get("object_name"),
+                entries_returned=int(payload.get("entries_returned", 0)),
+                tuples_examined=int(payload.get("tuples_examined", 0)),
+                cache_hits=int(payload.get("cache_hits", 0)),
+                prefetch_hits=int(payload.get("prefetch_hits", 0)),
+                duration_s=float(payload.get("duration_s", 0.0)),
+                max_touch_latency_s=float(payload.get("max_touch_latency_s", 0.0)),
+                remote_requests=int(payload.get("remote_requests", 0)),
+                network_seconds=float(payload.get("network_seconds", 0.0)),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ServiceError(f"malformed outcome-envelope payload: {exc}") from exc
 
 
 def default_axis(view: View) -> str:
@@ -1413,6 +1445,18 @@ class MultiSessionServer:
             if session_id not in self._metrics:
                 raise ServiceError(f"no open session named {session_id!r}")
             return self._metrics[session_id]
+
+    def counters_report(self) -> dict[str, dict[str, int]]:
+        """Per-session deterministic counters for every open session.
+
+        The serving tier's parity surface: a sharded worker answers the
+        ``stats`` protocol verb with this, and the front door merges the
+        reports across workers — the counters must match a serial replay
+        of the same traces bit for bit.
+        """
+        with self._lock:
+            metrics = dict(self._metrics)
+        return {sid: m.counters_snapshot() for sid, m in sorted(metrics.items())}
 
     def aggregate_metrics(self) -> dict[str, float]:
         """Totals, latency percentiles and throughput across open sessions."""

@@ -1,0 +1,303 @@
+"""The serving wire protocol: newline-delimited JSON frames.
+
+One frame is one JSON object on one line, terminated by ``\\n``.  Frames
+carry the *existing* serializable payloads of the command protocol —
+:meth:`repro.core.commands.GestureCommand.to_dict`,
+:meth:`repro.core.commands.GestureScript.to_dict`,
+:meth:`repro.service.OutcomeEnvelope.to_dict` — wrapped in typed
+request/response envelopes with request ids, so responses can be matched
+to requests and errors arrive as data instead of dropped connections:
+
+* request:  ``{"id": 7, "verb": "execute", "session": "u1", "payload": {...}}``
+* success:  ``{"id": 7, "ok": true, "payload": {...}}``
+* failure:  ``{"id": 7, "ok": false, "error": {"kind": "admission", "message": "..."}}``
+
+Every decoding failure is a *typed* exception from the
+:class:`repro.errors.ProtocolError` hierarchy — oversized frames, bad
+JSON, non-object frames and malformed envelopes each have their own class
+— which is what lets the front door turn hostile bytes into error
+responses instead of crashing a worker (see
+``tests/test_serving_protocol.py`` for the fuzz suite).  The ``error.kind``
+string maps back to the same exception classes on the client side via
+:func:`exception_from_payload`, so a :class:`repro.errors.AdmissionError`
+shed at the front door is raised as an ``AdmissionError`` in the client
+process too.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import (
+    AdmissionError,
+    CommandError,
+    DbTouchError,
+    FrameTooLargeError,
+    MalformedFrameError,
+    ProtocolError,
+    ServiceError,
+    SnapshotError,
+    UnknownVerbError,
+    WorkerCrashedError,
+)
+
+#: Version tag carried by ``hello`` responses; a client refuses to talk to
+#: a server speaking a different protocol generation.
+PROTOCOL_VERSION = 1
+
+#: Default upper bound on one encoded frame (request or response).
+DEFAULT_MAX_FRAME_BYTES = 1 << 20
+
+#: The request vocabulary of the sharded serving protocol.
+VERBS = frozenset(
+    {
+        "hello",  # protocol handshake: server version + topology
+        "open-session",  # create a session (pinned to a shard)
+        "close-session",  # tear a session down, returning final counters
+        "execute",  # one GestureCommand -> one OutcomeEnvelope
+        "run-script",  # a whole GestureScript -> envelopes, in order
+        "load-column",  # host a small session-private column by value
+        "stats",  # aggregate per-worker SessionMetrics + scheduler stats
+        "drain",  # finish all in-flight gestures, then refuse new work
+    }
+)
+
+#: ``error.kind`` wire tags for the typed errors the protocol can carry.
+#: The mapping is deliberately explicit (no ``__name__`` reflection): wire
+#: tags are a compatibility surface and must not drift with refactors.
+_ERROR_KINDS: dict[str, type[DbTouchError]] = {
+    "protocol": ProtocolError,
+    "malformed-frame": MalformedFrameError,
+    "frame-too-large": FrameTooLargeError,
+    "unknown-verb": UnknownVerbError,
+    "admission": AdmissionError,
+    "worker-crashed": WorkerCrashedError,
+    "command": CommandError,
+    "snapshot": SnapshotError,
+    "service": ServiceError,
+    "error": DbTouchError,
+}
+_KIND_BY_TYPE: dict[type[DbTouchError], str] = {
+    cls: kind for kind, cls in reversed(_ERROR_KINDS.items())
+}
+
+
+def error_payload(exc: BaseException) -> dict[str, str]:
+    """Encode an exception as a wire error: most-specific known kind wins.
+
+    Unknown exception types degrade to the generic ``"error"`` kind rather
+    than leaking arbitrary class names onto the wire.
+    """
+    for cls in type(exc).__mro__:
+        kind = _KIND_BY_TYPE.get(cls)
+        if kind is not None:
+            return {"kind": kind, "message": str(exc)}
+    return {"kind": "error", "message": f"{type(exc).__name__}: {exc}"}
+
+
+def exception_from_payload(payload: Any) -> DbTouchError:
+    """Rebuild the typed exception an ``error`` payload describes."""
+    if not isinstance(payload, dict):
+        return DbTouchError(f"malformed error payload: {payload!r}")
+    kind = payload.get("kind")
+    message = str(payload.get("message", ""))
+    cls = _ERROR_KINDS.get(kind, DbTouchError)
+    return cls(message)
+
+
+# --------------------------------------------------------------------- #
+# framing
+# --------------------------------------------------------------------- #
+
+
+def encode_frame(payload: dict[str, Any], max_bytes: int = DEFAULT_MAX_FRAME_BYTES) -> bytes:
+    """Encode one JSON object as a newline-terminated frame."""
+    try:
+        line = json.dumps(payload, separators=(",", ":"), allow_nan=False)
+    except (TypeError, ValueError) as exc:
+        raise MalformedFrameError(f"payload is not JSON-encodable: {exc}") from exc
+    data = line.encode("utf-8") + b"\n"
+    if len(data) > max_bytes:
+        raise FrameTooLargeError(
+            f"encoded frame is {len(data)} bytes (limit {max_bytes})"
+        )
+    return data
+
+
+def decode_frame(line: bytes | str) -> dict[str, Any]:
+    """Decode one frame line into a JSON object (newline optional)."""
+    if isinstance(line, bytes):
+        try:
+            line = line.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise MalformedFrameError(f"frame is not valid UTF-8: {exc}") from exc
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise MalformedFrameError(f"frame is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise MalformedFrameError(
+            f"frame must be a JSON object, got {type(payload).__name__}"
+        )
+    return payload
+
+
+class FrameDecoder:
+    """Incremental frame decoder for a byte stream.
+
+    Feed it whatever the transport produced — half a frame, three frames,
+    a frame split across ten TCP segments — and it yields complete decoded
+    objects in order.  A partial frame simply stays buffered (truncated
+    input never errors until the peer disconnects mid-frame), while a
+    frame that grows past ``max_bytes`` without a newline raises
+    :class:`repro.errors.FrameTooLargeError` *before* buffering unbounded
+    garbage, which is the protocol's memory-safety property.
+    """
+
+    def __init__(self, max_bytes: int = DEFAULT_MAX_FRAME_BYTES) -> None:
+        if max_bytes < 2:
+            raise ProtocolError("max_bytes must allow at least one byte plus newline")
+        self.max_bytes = max_bytes
+        self._buffer = bytearray()
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered waiting for their frame's newline."""
+        return len(self._buffer)
+
+    def feed(self, data: bytes) -> list[dict[str, Any]]:
+        """Buffer ``data`` and return every frame it completed."""
+        self._buffer.extend(data)
+        frames: list[dict[str, Any]] = []
+        while True:
+            newline = self._buffer.find(b"\n")
+            if newline < 0:
+                if len(self._buffer) > self.max_bytes:
+                    self._buffer.clear()
+                    raise FrameTooLargeError(
+                        f"frame exceeded {self.max_bytes} bytes without a newline"
+                    )
+                return frames
+            line = bytes(self._buffer[:newline])
+            del self._buffer[: newline + 1]
+            if len(line) > self.max_bytes:
+                raise FrameTooLargeError(
+                    f"frame is {len(line)} bytes (limit {self.max_bytes})"
+                )
+            if not line.strip():
+                continue  # bare keep-alive newline
+            frames.append(decode_frame(line))
+
+
+# --------------------------------------------------------------------- #
+# envelopes
+# --------------------------------------------------------------------- #
+
+
+def _require_str(payload: dict, key: str, optional: bool = False) -> str | None:
+    value = payload.get(key)
+    if value is None and optional:
+        return None
+    if not isinstance(value, str) or not value:
+        raise MalformedFrameError(f"envelope field {key!r} must be a non-empty string")
+    return value
+
+
+def _require_id(payload: dict) -> int:
+    value = payload.get("id")
+    if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+        raise MalformedFrameError("envelope field 'id' must be a non-negative integer")
+    return value
+
+
+@dataclass(frozen=True)
+class Request:
+    """One client request: a verb plus its payload, tagged with an id."""
+
+    id: int
+    verb: str
+    session: str | None = None
+    payload: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        """The request's wire form."""
+        wire: dict[str, Any] = {"id": self.id, "verb": self.verb}
+        if self.session is not None:
+            wire["session"] = self.session
+        if self.payload:
+            wire["payload"] = self.payload
+        return wire
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "Request":
+        """Validate and rebuild a request envelope from wire data.
+
+        Raises :class:`repro.errors.MalformedFrameError` for structural
+        problems and :class:`repro.errors.UnknownVerbError` for a
+        well-formed envelope naming a verb outside :data:`VERBS` — the
+        distinction matters to the front door, which can still answer an
+        unknown verb *by id* but must drop an envelope with no usable id.
+        """
+        request_id = _require_id(payload)
+        verb = _require_str(payload, "verb")
+        body = payload.get("payload", {})
+        if not isinstance(body, dict):
+            raise MalformedFrameError("request 'payload' must be an object")
+        session = _require_str(payload, "session", optional=True)
+        if verb not in VERBS:
+            raise UnknownVerbError(f"unknown verb {verb!r} (request id {request_id})")
+        return cls(id=request_id, verb=verb, session=session, payload=body)
+
+
+@dataclass(frozen=True)
+class Response:
+    """One server response: success payload or a typed error, by request id."""
+
+    id: int
+    ok: bool
+    payload: dict[str, Any] = field(default_factory=dict)
+    error: dict[str, str] | None = None
+
+    def to_dict(self) -> dict[str, Any]:
+        """The response's wire form."""
+        wire: dict[str, Any] = {"id": self.id, "ok": self.ok}
+        if self.ok:
+            wire["payload"] = self.payload
+        else:
+            wire["error"] = self.error if self.error is not None else {}
+        return wire
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "Response":
+        """Validate and rebuild a response envelope from wire data."""
+        response_id = _require_id(payload)
+        ok = payload.get("ok")
+        if not isinstance(ok, bool):
+            raise MalformedFrameError("response field 'ok' must be a boolean")
+        if ok:
+            body = payload.get("payload", {})
+            if not isinstance(body, dict):
+                raise MalformedFrameError("response 'payload' must be an object")
+            return cls(id=response_id, ok=True, payload=body)
+        error = payload.get("error")
+        if not isinstance(error, dict):
+            raise MalformedFrameError("error response must carry an 'error' object")
+        return cls(id=response_id, ok=False, error=error)
+
+    @classmethod
+    def success(cls, request_id: int, payload: dict[str, Any] | None = None) -> "Response":
+        """A success response for ``request_id``."""
+        return cls(id=request_id, ok=True, payload=payload if payload is not None else {})
+
+    @classmethod
+    def failure(cls, request_id: int, exc: BaseException) -> "Response":
+        """A typed error response for ``request_id``."""
+        return cls(id=request_id, ok=False, error=error_payload(exc))
+
+    def raise_if_error(self) -> dict[str, Any]:
+        """Return the payload, or raise the typed error this response carries."""
+        if self.ok:
+            return self.payload
+        raise exception_from_payload(self.error)

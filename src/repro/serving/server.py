@@ -1,0 +1,376 @@
+"""The front door: an asyncio TCP server over the shard fleet.
+
+:class:`ShardedServer` accepts connections, decodes newline-delimited
+JSON frames (:mod:`repro.serving.protocol`), validates each request
+envelope, and routes session-scoped verbs to the pinned shard via
+:class:`repro.serving.shards.ShardManager`.  Responses stream back
+per-connection in completion order — slow gestures from one session never
+head-of-line-block another session sharing the socket.
+
+The front door is also the shed layer: a server-wide bound on in-flight
+requests reuses the existing :class:`repro.errors.AdmissionError`
+contract, so overload turns into an immediate typed refusal on the wire
+(exactly like the in-process scheduler's ``max_pending``) instead of
+unbounded queueing.  And it is the *armor* layer: every decode failure is
+answered (or, with no usable request id, the connection dropped) at the
+boundary — hostile bytes never reach a worker process, which is what the
+fuzz suite in ``tests/test_serving_protocol.py`` pins down.
+
+The asyncio loop runs on a background thread so blocking clients and
+tests can drive the server without owning an event loop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from concurrent.futures import Future
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import (
+    AdmissionError,
+    DbTouchError,
+    MalformedFrameError,
+    ProtocolError,
+    ServiceError,
+)
+from repro.serving.protocol import (
+    DEFAULT_MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    FrameDecoder,
+    Request,
+    Response,
+    encode_frame,
+)
+from repro.serving.shards import ShardManager, shard_for_session
+from repro.serving.worker import WorkerConfig
+
+
+@dataclass(frozen=True)
+class ShardedServerConfig:
+    """Tuning knobs of the front door.
+
+    Attributes
+    ----------
+    host / port:
+        Listen address; port ``0`` asks the OS for a free port (read the
+        bound one back from :attr:`ShardedServer.port`).
+    num_workers:
+        Shard (worker process) count.
+    worker:
+        Per-worker config, shipped to every shard at spawn.
+    max_frame_bytes:
+        Per-frame byte bound, both directions.
+    max_inflight:
+        Server-wide cap on requests admitted but not yet answered — the
+        front-door shed layer.  ``None`` disables shedding here (the
+        per-worker scheduler admission still applies).
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    num_workers: int = 4
+    worker: WorkerConfig = WorkerConfig()
+    max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES
+    max_inflight: int | None = 1024
+    start_method: str | None = None
+
+
+#: Verbs the front door forwards to a shard, keyed to the worker-side op.
+_FORWARDED_OPS = {
+    "open-session": "open",
+    "close-session": "close",
+    "execute": "execute",
+    "run-script": "run",
+    "load-column": "load-column",
+}
+
+
+class ShardedServer:
+    """Accepts TCP clients and serves them off the worker fleet."""
+
+    def __init__(self, config: ShardedServerConfig | None = None) -> None:
+        self.config = config if config is not None else ShardedServerConfig()
+        # fork the whole fleet before the asyncio loop thread exists
+        self.shards = ShardManager(
+            num_workers=self.config.num_workers,
+            config=self.config.worker,
+            start_method=self.config.start_method,
+        )
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._server: asyncio.Server | None = None
+        self._port: int | None = None
+        self._started = threading.Event()
+        self._start_error: BaseException | None = None
+        self._lock = threading.Lock()
+        self._inflight = 0
+        self._draining = False
+        self._idle = threading.Event()
+        self._idle.set()
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    @property
+    def port(self) -> int:
+        """The bound listen port (valid after :meth:`start`)."""
+        if self._port is None:
+            raise ServiceError("server is not started")
+        return self._port
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)`` pair."""
+        return (self.config.host, self.port)
+
+    def start(self, timeout: float = 30.0) -> "ShardedServer":
+        """Bind the listen socket on a background event-loop thread."""
+        if self._thread is not None:
+            raise ServiceError("server is already started")
+        self._thread = threading.Thread(
+            target=self._run_loop, name="repro-sharded-server", daemon=True
+        )
+        self._thread.start()
+        if not self._started.wait(timeout=timeout):
+            raise ServiceError("server failed to start in time")
+        if self._start_error is not None:
+            raise ServiceError(f"server failed to bind: {self._start_error}")
+        return self
+
+    def _run_loop(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+
+        async def bootstrap() -> None:
+            try:
+                self._server = await asyncio.start_server(
+                    self._serve_connection, self.config.host, self.config.port
+                )
+                self._port = self._server.sockets[0].getsockname()[1]
+            except OSError as exc:
+                self._start_error = exc
+            finally:
+                self._started.set()
+
+        loop.run_until_complete(bootstrap())
+        if self._start_error is None:
+            loop.run_forever()
+        # cancel whatever the stop left behind, then close down cleanly
+        pending = asyncio.all_tasks(loop)
+        for task in pending:
+            task.cancel()
+        if pending:
+            loop.run_until_complete(asyncio.gather(*pending, return_exceptions=True))
+        loop.close()
+
+    def drain(self, timeout: float | None = None) -> bool:
+        """Stop admitting work, finish what is in flight, drain every shard.
+
+        Returns ``True`` when every admitted request was answered and
+        every shard finished its queued gestures within ``timeout``.
+        """
+        with self._lock:
+            self._draining = True
+            if self._inflight == 0:
+                self._idle.set()
+        finished = self._idle.wait(timeout=timeout)
+        return self.shards.drain(timeout=timeout) and finished
+
+    def shutdown(self) -> None:
+        """Close the listen socket, stop the loop, stop every worker."""
+        loop = self._loop
+        if loop is not None and loop.is_running():
+
+            def stop() -> None:
+                if self._server is not None:
+                    self._server.close()
+                loop.stop()
+
+            loop.call_soon_threadsafe(stop)
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+        self.shards.shutdown()
+
+    def __enter__(self) -> "ShardedServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc_value, traceback) -> bool:
+        self.shutdown()
+        return False
+
+    # ------------------------------------------------------------------ #
+    # admission
+    # ------------------------------------------------------------------ #
+    def _admit(self) -> None:
+        with self._lock:
+            if self._draining:
+                raise AdmissionError("server is draining; no new work admitted")
+            limit = self.config.max_inflight
+            if limit is not None and self._inflight >= limit:
+                raise AdmissionError(
+                    f"server is at its in-flight limit ({limit}); retry later"
+                )
+            self._inflight += 1
+            self._idle.clear()
+
+    def _release(self) -> None:
+        with self._lock:
+            self._inflight -= 1
+            if self._inflight == 0:
+                self._idle.set()
+
+    @property
+    def inflight(self) -> int:
+        """Requests admitted but not yet answered."""
+        with self._lock:
+            return self._inflight
+
+    # ------------------------------------------------------------------ #
+    # per-connection protocol loop
+    # ------------------------------------------------------------------ #
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        decoder = FrameDecoder(max_bytes=self.config.max_frame_bytes)
+        write_lock = asyncio.Lock()  # responses interleave from many tasks
+        try:
+            while True:
+                data = await reader.read(64 * 1024)
+                if not data:
+                    return
+                try:
+                    frames = decoder.feed(data)
+                except ProtocolError as exc:
+                    # undecodable stream: answer once (id 0), then hang up —
+                    # resynchronizing inside a corrupt byte stream is a lie
+                    await self._send(writer, write_lock, Response.failure(0, exc))
+                    return
+                for frame in frames:
+                    if not await self._handle_frame(frame, writer, write_lock):
+                        return
+        except (ConnectionResetError, BrokenPipeError, asyncio.IncompleteReadError):
+            pass
+        except asyncio.CancelledError:
+            return  # shutdown cancelled us mid-read: close quietly below
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    async def _send(
+        self, writer: asyncio.StreamWriter, write_lock: asyncio.Lock, response: Response
+    ) -> None:
+        try:
+            data = encode_frame(response.to_dict(), max_bytes=self.config.max_frame_bytes)
+        except ProtocolError as exc:
+            # a response too large for the wire degrades to a typed error
+            data = encode_frame(
+                Response.failure(response.id, exc).to_dict(),
+                max_bytes=self.config.max_frame_bytes,
+            )
+        async with write_lock:
+            writer.write(data)
+            await writer.drain()
+
+    async def _handle_frame(
+        self, frame: dict, writer: asyncio.StreamWriter, write_lock: asyncio.Lock
+    ) -> bool:
+        """Answer one decoded frame; ``False`` drops the connection."""
+        try:
+            request = Request.from_dict(frame)
+        except DbTouchError as exc:
+            # a malformed envelope may still carry a usable id to answer on
+            request_id = frame.get("id")
+            if not isinstance(request_id, int) or isinstance(request_id, bool) or request_id < 0:
+                await self._send(writer, write_lock, Response.failure(0, exc))
+                return False  # no id the client could match: drop the line
+            await self._send(writer, write_lock, Response.failure(request_id, exc))
+            return True
+        await self._handle_request(request, writer, write_lock)
+        return True
+
+    async def _handle_request(
+        self, request: Request, writer: asyncio.StreamWriter, write_lock: asyncio.Lock
+    ) -> None:
+        loop = asyncio.get_running_loop()
+        try:
+            if request.verb == "hello":
+                await self._send(
+                    writer, write_lock, Response.success(request.id, self._hello_payload())
+                )
+                return
+            if request.verb == "stats":
+                self._admit()
+                try:
+                    stats = await loop.run_in_executor(None, self.shards.stats)
+                finally:
+                    self._release()
+                await self._send(writer, write_lock, Response.success(request.id, stats))
+                return
+            if request.verb == "drain":
+                timeout = request.payload.get("timeout")
+                drained = await loop.run_in_executor(
+                    None, lambda: self.drain(None if timeout is None else float(timeout))
+                )
+                await self._send(
+                    writer, write_lock, Response.success(request.id, {"drained": drained})
+                )
+                return
+            # everything else is session-scoped and runs on a shard
+            op = _FORWARDED_OPS[request.verb]
+            if request.session is None:
+                raise MalformedFrameError(f"verb {request.verb!r} needs a 'session'")
+            self._admit()
+            future = self.shards.submit(op, request.session, request.payload)
+            self._stream_back(future, request.id, writer, write_lock, loop)
+        except DbTouchError as exc:
+            await self._send(writer, write_lock, Response.failure(request.id, exc))
+
+    def _stream_back(
+        self,
+        future: Future,
+        request_id: int,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+        loop: asyncio.AbstractEventLoop,
+    ) -> None:
+        """Forward a shard future's outcome to the connection when it lands.
+
+        The callback fires on a shard reader thread; the actual socket
+        write is marshalled back onto the event loop, so many outstanding
+        gestures stream back in completion order without blocking the
+        connection's read loop.
+        """
+
+        def deliver(done: Future) -> None:
+            self._release()
+            try:
+                payload = done.result()
+            except Exception as exc:  # noqa: BLE001 - typed onto the wire
+                response = Response.failure(request_id, exc)
+            else:
+                response = Response.success(request_id, payload)
+            try:
+                asyncio.run_coroutine_threadsafe(
+                    self._send(writer, write_lock, response), loop
+                )
+            except RuntimeError:
+                pass  # loop already closed mid-shutdown: nobody to answer
+
+        future.add_done_callback(deliver)
+
+    def _hello_payload(self) -> dict[str, Any]:
+        return {
+            "protocol": PROTOCOL_VERSION,
+            "num_workers": self.shards.num_workers,
+            "alive_workers": self.shards.alive_workers,
+            "max_frame_bytes": self.config.max_frame_bytes,
+        }
+
+
+__all__ = ["ShardedServer", "ShardedServerConfig", "shard_for_session"]

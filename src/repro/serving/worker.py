@@ -1,0 +1,305 @@
+"""The shard worker: one process, one MultiSessionServer, one pipe.
+
+A worker process is the unit of CPU scale-out in the sharded serving
+topology.  :func:`worker_main` runs in a child process spawned by
+:class:`repro.serving.shards.ShardManager` and does three things:
+
+* **attach the published snapshot read-only** — the
+  :class:`repro.persist.snapshot.StoreCatalog` opened via
+  :meth:`~repro.persist.snapshot.StoreCatalog.open_read_only` maps the
+  same on-disk chunk files every sibling worker maps (the ILDG "publish
+  once, attach everywhere" pattern), so N workers share base data through
+  the page cache instead of holding N copies;
+* **host a scheduler-mode** :class:`repro.service.MultiSessionServer` —
+  sessions pinned to this worker run concurrently on its thread pool with
+  the usual per-session FIFO and admission guarantees;
+* **serve the command pipe** — requests arrive as plain dicts over a
+  :mod:`multiprocessing` pipe, gesture work is queued on the scheduler
+  (the pipe loop never blocks on a gesture), and responses are written
+  back from completion callbacks under a send lock, tagged with the
+  request id so the parent can match them out of order.
+
+Every failure path answers with a typed error payload
+(:func:`repro.serving.protocol.error_payload`); the worker loop itself
+only exits on an explicit ``stop`` or a closed pipe, so malformed or
+hostile requests can never take the process down with them.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future
+from dataclasses import dataclass
+from multiprocessing.connection import Connection
+from typing import Any
+
+from repro.core.commands import GestureCommand, GestureScript
+from repro.core.kernel import KernelConfig
+from repro.core.scheduler import SchedulerConfig
+from repro.errors import DbTouchError, MalformedFrameError, UnknownVerbError
+from repro.persist.snapshot import StoreCatalog
+from repro.serving.protocol import error_payload
+from repro.service import LocalExplorationService, MultiSessionServer
+
+#: Pipe operations a worker understands (the pipe-side protocol mirror).
+WORKER_OPS = frozenset(
+    {"open", "close", "execute", "run", "load-column", "stats", "drain", "ping", "stop"}
+)
+
+
+@dataclass(frozen=True)
+class WorkerConfig:
+    """Everything a worker process needs to build its serving stack.
+
+    The config crosses the process boundary at spawn time, so it holds
+    only picklable scalars — the snapshot is referenced by path and
+    attached inside the worker, never shipped.
+
+    Attributes
+    ----------
+    snapshot_path:
+        Root directory of a published :class:`StoreCatalog` to attach
+        read-only as shared base storage (``None`` serves without one).
+    scheduler_workers / max_pending / max_session_pending:
+        The worker-local :class:`repro.core.scheduler.SchedulerConfig`
+        knobs; admission here is the per-shard backstop behind the front
+        door's shed layer.
+    result_retention:
+        Per-session result-stream bound (``None`` leaves streams
+        unbounded).
+    latency_budget_s:
+        Pin for :attr:`repro.core.kernel.KernelConfig.latency_budget_s`.
+        The default pins it effectively-infinite so outcome counters stay
+        a pure function of the command sequence — the cross-process parity
+        contract; pass ``None`` to keep the kernel's adaptive default.
+    shared_index:
+        Whether sessions on this worker share one adaptive
+        :class:`repro.indexing.manager.IndexManager`.
+    cache_bytes:
+        Chunk-cache byte budget for the attached snapshot's store.
+    """
+
+    snapshot_path: str | None = None
+    scheduler_workers: int = 4
+    max_pending: int = 4096
+    max_session_pending: int = 512
+    result_retention: int | None = 4096
+    latency_budget_s: float | None = 1e6
+    shared_index: bool = False
+    cache_bytes: int = 64 << 20
+
+
+def _build_server(config: WorkerConfig) -> MultiSessionServer:
+    """Construct the worker's serving stack from its config."""
+
+    def factory() -> LocalExplorationService:
+        kernel_config = None
+        if config.latency_budget_s is not None:
+            kernel_config = KernelConfig(latency_budget_s=config.latency_budget_s)
+        return LocalExplorationService(config=kernel_config)
+
+    server = MultiSessionServer(
+        service_factory=factory,
+        scheduler=SchedulerConfig(
+            num_workers=config.scheduler_workers,
+            max_pending=config.max_pending,
+            max_session_pending=config.max_session_pending,
+            result_retention=config.result_retention,
+        ),
+        shared_index=config.shared_index,
+    )
+    if config.snapshot_path is not None:
+        snapshot = StoreCatalog.open_read_only(
+            config.snapshot_path, cache_bytes=config.cache_bytes
+        )
+        server.load_shared_store(snapshot)
+    return server
+
+
+class _WorkerRuntime:
+    """The in-process state of one worker: server, pipe, send lock."""
+
+    def __init__(self, conn: Connection, worker_id: int, config: WorkerConfig) -> None:
+        self.conn = conn
+        self.worker_id = worker_id
+        self.config = config
+        self.server = _build_server(config)
+        self._send_lock = threading.Lock()
+
+    # ------------------------------------------------------------------ #
+    # responses
+    # ------------------------------------------------------------------ #
+    def _send(self, message: dict[str, Any]) -> None:
+        # completion callbacks run on scheduler worker threads while the
+        # pipe loop may be answering an inline op: one pipe, one lock
+        with self._send_lock:
+            try:
+                self.conn.send(message)
+            except (OSError, ValueError, BrokenPipeError):
+                pass  # parent is gone; the loop will notice EOF and exit
+
+    def _reply(self, request_id: int, payload: dict[str, Any]) -> None:
+        self._send({"id": request_id, "ok": True, "payload": payload})
+
+    def _reply_error(self, request_id: int, exc: BaseException) -> None:
+        self._send({"id": request_id, "ok": False, "error": error_payload(exc)})
+
+    # ------------------------------------------------------------------ #
+    # ops
+    # ------------------------------------------------------------------ #
+    def _op_open(self, request_id: int, session: str, payload: dict) -> None:
+        self.server.open_session(session)
+        self._reply(request_id, {"session": session, "worker": self.worker_id})
+
+    def _op_close(self, request_id: int, session: str, payload: dict) -> None:
+        metrics = self.server.close_session(session)
+        self._reply(request_id, {"counters": metrics.counters_snapshot()})
+
+    def _op_execute(self, request_id: int, session: str, payload: dict) -> None:
+        command = GestureCommand.from_dict(_require_dict(payload, "command"))
+        future = self.server.submit(session, command)
+
+        def deliver(done: Future) -> None:
+            try:
+                envelope = done.result()
+            except BaseException as exc:  # noqa: BLE001 - typed over the pipe
+                self._reply_error(request_id, exc)
+            else:
+                self._reply(request_id, {"envelope": envelope.to_dict()})
+
+        future.add_done_callback(deliver)
+
+    def _op_run(self, request_id: int, session: str, payload: dict) -> None:
+        script = GestureScript.from_dict(_require_dict(payload, "script"))
+        if not len(script):
+            self._reply(request_id, {"envelopes": []})
+            return
+        futures = self.server.submit_script(session, script)
+
+        def deliver(_: Future) -> None:
+            # same session, FIFO queue: when the last future resolves,
+            # every earlier one already has — collecting cannot block
+            try:
+                envelopes = [f.result().to_dict() for f in futures]
+            except BaseException as exc:  # noqa: BLE001 - typed over the pipe
+                self._reply_error(request_id, exc)
+            else:
+                self._reply(request_id, {"envelopes": envelopes})
+
+        futures[-1].add_done_callback(deliver)
+
+    def _op_load_column(self, request_id: int, session: str, payload: dict) -> None:
+        name = payload.get("name")
+        values = payload.get("values")
+        if not isinstance(name, str) or not name:
+            raise MalformedFrameError("load-column needs a non-empty 'name'")
+        if not isinstance(values, list):
+            raise MalformedFrameError("load-column needs a 'values' list")
+        column = self.server.load_column(
+            session, name, values, replace=bool(payload.get("replace", False))
+        )
+        self._reply(request_id, {"name": name, "rows": len(column)})
+
+    def _op_stats(self, request_id: int, session: str | None, payload: dict) -> None:
+        self._reply(
+            request_id,
+            {
+                "worker": self.worker_id,
+                "sessions": self.server.counters_report(),
+                "aggregate": self.server.aggregate_metrics(),
+                "scheduler": self.server.scheduler_stats(),
+                "shared_objects": self.server.shared_object_names,
+            },
+        )
+
+    def _op_drain(self, request_id: int, session: str | None, payload: dict) -> None:
+        timeout = payload.get("timeout")
+        drained = self.server.drain(timeout=None if timeout is None else float(timeout))
+        self._reply(request_id, {"drained": bool(drained)})
+
+    def _op_ping(self, request_id: int, session: str | None, payload: dict) -> None:
+        self._reply(request_id, {"worker": self.worker_id})
+
+    # ------------------------------------------------------------------ #
+    # the loop
+    # ------------------------------------------------------------------ #
+    _SESSION_OPS = frozenset({"open", "close", "execute", "run", "load-column"})
+
+    def handle(self, message: Any) -> bool:
+        """Dispatch one pipe message; ``False`` means exit the loop."""
+        if not isinstance(message, dict):
+            # no id to answer under: report on id 0 rather than dying
+            self._reply_error(0, MalformedFrameError("pipe message must be a dict"))
+            return True
+        request_id = message.get("id")
+        if not isinstance(request_id, int) or isinstance(request_id, bool):
+            self._reply_error(0, MalformedFrameError("pipe message needs an integer id"))
+            return True
+        op = message.get("op")
+        session = message.get("session")
+        payload = message.get("payload")
+        payload = payload if isinstance(payload, dict) else {}
+        try:
+            if op == "stop":
+                self._reply(request_id, {"stopped": True})
+                return False
+            if op not in WORKER_OPS:
+                raise UnknownVerbError(f"worker does not understand op {op!r}")
+            if op in self._SESSION_OPS and (not isinstance(session, str) or not session):
+                raise MalformedFrameError(f"op {op!r} needs a 'session' string")
+            handler = {
+                "open": self._op_open,
+                "close": self._op_close,
+                "execute": self._op_execute,
+                "run": self._op_run,
+                "load-column": self._op_load_column,
+                "stats": self._op_stats,
+                "drain": self._op_drain,
+                "ping": self._op_ping,
+            }[op]
+            handler(request_id, session, payload)
+        except BaseException as exc:  # noqa: BLE001 - the worker must survive anything
+            self._reply_error(request_id, exc)
+        return True
+
+
+def _require_dict(payload: dict, key: str) -> dict:
+    value = payload.get(key)
+    if not isinstance(value, dict):
+        raise MalformedFrameError(f"payload field {key!r} must be an object")
+    return value
+
+
+def worker_main(conn: Connection, worker_id: int, config: WorkerConfig) -> None:
+    """Entry point of a shard worker process.
+
+    Builds the serving stack, then answers pipe requests until told to
+    ``stop`` or the parent disappears (EOF on the pipe).  Setup failures
+    (an unreadable snapshot, say) are reported as an error on the reserved
+    id ``-1`` before exiting, so the parent can surface *why* the shard
+    never came up instead of seeing a silent early EOF.
+    """
+    try:
+        runtime = _WorkerRuntime(conn, worker_id, config)
+    except BaseException as exc:  # noqa: BLE001 - surfaced to the parent
+        try:
+            conn.send({"id": -1, "ok": False, "error": error_payload(exc)})
+        finally:
+            conn.close()
+        return
+    # the parent waits for this to confirm the shard is serving
+    runtime._send({"id": -1, "ok": True, "payload": {"worker": worker_id}})
+    try:
+        while True:
+            try:
+                message = conn.recv()
+            except (EOFError, OSError):
+                break
+            if not runtime.handle(message):
+                break
+    finally:
+        try:
+            runtime.server.shutdown(wait=False)
+        except DbTouchError:
+            pass
+        conn.close()

@@ -73,6 +73,46 @@ class TestZoneMap:
         with pytest.raises(StorageError):
             ZoneMap(Column("s", ["a", "b"]))
 
+    def test_int64_bounds_are_exact(self):
+        # envelopes keep native int scalars, not lossy float64 coercions
+        column = Column("big", np.arange(2**60, 2**60 + 100, dtype=np.int64))
+        zm = ZoneMap(column, block_rows=100)
+        zone = zm.zones[0]
+        assert isinstance(zone.minimum, int) and isinstance(zone.maximum, int)
+        assert zone.minimum == 2**60 and zone.maximum == 2**60 + 99
+
+    def test_no_false_prune_beyond_2_to_53(self):
+        # 2**53 + 1 is not float64-representable: a float envelope rounds
+        # the block max down to 2**53, and GT-2**53 then wrongly prunes a
+        # block that is nothing *but* matches
+        boundary = 2**53
+        column = Column("edge", np.full(256, boundary + 1, dtype=np.int64))
+        zm = ZoneMap(column, block_rows=256)
+        pred = Predicate(Comparison.GT, boundary)
+        assert zm.zones[0].may_contain(pred)
+        assert zm.count_matches(pred) == 256
+        assert zm.pruned_fraction(pred) == pytest.approx(0.0)
+
+    def test_exact_bounds_eq_at_boundary(self):
+        # EQ on the unrepresentable neighbour must keep the right block
+        value = 2**53 + 1
+        data = np.concatenate(
+            [
+                np.full(128, 2**53 - 1, dtype=np.int64),
+                np.full(128, value, dtype=np.int64),
+            ]
+        )
+        zm = ZoneMap(Column("eq", data), block_rows=128)
+        pred = Predicate(Comparison.EQ, value)
+        candidates = zm.candidate_zones(pred)
+        assert [z.start for z in candidates] == [128]
+
+    def test_float_columns_keep_float_bounds(self):
+        rng = np.random.default_rng(3)
+        zm = ZoneMap(Column("f", rng.normal(size=1000)), block_rows=500)
+        for zone in zm.zones:
+            assert isinstance(zone.minimum, float) and isinstance(zone.maximum, float)
+
 
 class TestCrackerIndex:
     def test_range_lookup_correct(self, random_column):

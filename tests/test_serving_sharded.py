@@ -1,0 +1,427 @@
+"""Integration tests for the sharded multi-process serving tier.
+
+One module-scoped snapshot + server fixture serves most tests (spawning
+worker processes is the expensive part); the lifecycle tests that kill
+workers or drain the fleet build their own private servers so they cannot
+poison the shared one.
+"""
+
+import socket
+import time
+
+import numpy as np
+import pytest
+
+from repro import (
+    ChooseAction,
+    GestureScript,
+    ShowColumn,
+    Slide,
+    summary_action,
+)
+from repro.core.session import ExplorationSession
+from repro.errors import (
+    AdmissionError,
+    DbTouchError,
+    ProtocolError,
+    ServiceError,
+    SnapshotError,
+    WorkerCrashedError,
+)
+from repro.persist.diskstore import DiskColumnStore
+from repro.persist.snapshot import StoreCatalog
+from repro.serving import (
+    ShardedClient,
+    ShardedServer,
+    ShardedServerConfig,
+    WorkerConfig,
+    shard_for_session,
+)
+from repro.storage.column import Column
+
+NUM_ROWS = 20_000
+
+
+def make_script(view: str = "v") -> GestureScript:
+    return GestureScript(
+        [
+            ShowColumn(object_name="telemetry", view_name=view, height_cm=10.0),
+            ChooseAction(view=view, action=summary_action(k=10)),
+            Slide(view=view, duration=1.0, start_fraction=0.1, end_fraction=0.7),
+            Slide(view=view, duration=0.8, start_fraction=0.7, end_fraction=0.3),
+        ]
+    )
+
+
+@pytest.fixture(scope="module")
+def snapshot_root(tmp_path_factory):
+    root = tmp_path_factory.mktemp("sharded-snap")
+    rng = np.random.default_rng(17)
+    catalog = StoreCatalog(DiskColumnStore(root))
+    catalog.persist_column(Column("telemetry", rng.normal(size=NUM_ROWS)))
+    return root
+
+
+def server_config(snapshot_root, num_workers: int = 2, **kwargs) -> ShardedServerConfig:
+    return ShardedServerConfig(
+        num_workers=num_workers,
+        worker=WorkerConfig(snapshot_path=str(snapshot_root), scheduler_workers=2),
+        **kwargs,
+    )
+
+
+@pytest.fixture(scope="module")
+def server(snapshot_root):
+    with ShardedServer(server_config(snapshot_root)) as running:
+        yield running
+
+
+class TestConsistentHashing:
+    def test_stable_and_in_range(self):
+        for n in (1, 2, 4, 7):
+            for sid in ("alice", "bob", "session-123", ""):
+                shard = shard_for_session(sid, n)
+                assert 0 <= shard < n
+                assert shard == shard_for_session(sid, n)  # stable across calls
+
+    def test_spreads_sessions(self):
+        shards = {shard_for_session(f"user-{i}", 4) for i in range(64)}
+        assert shards == {0, 1, 2, 3}
+
+    def test_rejects_empty_fleet(self):
+        with pytest.raises(ServiceError):
+            shard_for_session("x", 0)
+
+
+class TestReadOnlySnapshot:
+    def test_open_read_only_refuses_mutation(self, snapshot_root):
+        catalog = StoreCatalog.open_read_only(snapshot_root)
+        assert catalog.read_only
+        assert catalog.column_names == ["telemetry"]
+        with pytest.raises(SnapshotError, match="read-only"):
+            catalog.persist_column(Column("x", np.arange(10)))
+        with pytest.raises(SnapshotError, match="read-only"):
+            catalog.persist_hierarchy("telemetry")
+
+    def test_open_read_only_requires_manifest(self, tmp_path):
+        with pytest.raises(SnapshotError, match="manifest"):
+            StoreCatalog.open_read_only(tmp_path / "nowhere")
+
+    def test_many_attachers_share_one_snapshot(self, snapshot_root):
+        first = StoreCatalog.open_read_only(snapshot_root)
+        second = StoreCatalog.open_read_only(snapshot_root)
+        a = first.load_column("telemetry")
+        b = second.load_column("telemetry")
+        np.testing.assert_array_equal(a.values[:100], b.values[:100])
+
+
+class TestWireServing:
+    def test_hello_reports_topology(self, server):
+        with ShardedClient("127.0.0.1", server.port, session_id="hello-1") as client:
+            hello = client.hello()
+        assert hello["protocol"] == 1
+        assert hello["num_workers"] == 2
+        assert hello["alive_workers"] == [0, 1]
+
+    def test_script_over_the_wire(self, server):
+        with ShardedClient("127.0.0.1", server.port, session_id="wire-1") as client:
+            envelopes = client.run(make_script())
+            counters = client.close_session()
+        assert len(envelopes) == 4
+        assert envelopes[2].entries_returned > 0
+        assert counters["commands"] == 4
+        assert counters["entries_returned"] == sum(e.entries_returned for e in envelopes)
+
+    def test_execute_single_commands(self, server):
+        with ShardedClient("127.0.0.1", server.port, session_id="wire-2") as client:
+            for command in make_script():
+                envelope = client.execute(command)
+                assert envelope.command_kind == command.kind
+            client.close_session()
+
+    def test_exploration_session_works_unchanged(self, server):
+        with ShardedClient("127.0.0.1", server.port, session_id="wire-3") as client:
+            session = ExplorationSession(service=client)
+            session.show_column("telemetry", view_name="v", height_cm=10.0)
+            session.choose_summary("v", k=10)
+            outcome = session.slide("v", duration=1.0, start_fraction=0.2, end_fraction=0.8)
+            assert outcome.entries_returned > 0
+            summary = session.summary()
+            assert summary.gestures == 1
+            assert summary.entries_returned == outcome.entries_returned
+            client.close_session()
+
+    def test_load_column_by_value(self, server):
+        with ShardedClient("127.0.0.1", server.port, session_id="wire-4") as client:
+            reply = client.load_column("mine", [float(i) for i in range(500)])
+            assert reply == {"name": "mine", "rows": 500}
+            envelope = client.execute(ShowColumn(object_name="mine", view_name="m"))
+            assert envelope.object_name == "mine"
+            client.close_session()
+
+    def test_sessions_are_isolated(self, server):
+        with (
+            ShardedClient("127.0.0.1", server.port, session_id="iso-a") as a,
+            ShardedClient("127.0.0.1", server.port, session_id="iso-b") as b,
+        ):
+            a.load_column("private", [1.0, 2.0, 3.0])
+            a.execute(ShowColumn(object_name="private", view_name="p"))
+            with pytest.raises(DbTouchError):
+                b.execute(ShowColumn(object_name="private", view_name="p"))
+            a.close_session()
+            b.close_session()
+
+    def test_counters_match_serial_replay(self, server):
+        """The parity contract: wire counters == in-process serial counters."""
+        from repro.core.kernel import KernelConfig
+        from repro.service import LocalExplorationService
+
+        script = make_script()
+        serial = LocalExplorationService(config=KernelConfig(latency_budget_s=1e6))
+        snapshot = StoreCatalog.open_read_only(server.config.worker.snapshot_path)
+        snapshot.attach(serial.catalog)
+        expected = serial.run(script)
+
+        with ShardedClient("127.0.0.1", server.port, session_id="parity-1") as client:
+            got = client.run(script)
+            client.close_session()
+        for wire, local in zip(got, expected):
+            assert wire.entries_returned == local.entries_returned
+            assert wire.tuples_examined == local.tuples_examined
+            assert wire.cache_hits == local.cache_hits
+            assert wire.prefetch_hits == local.prefetch_hits
+
+    def test_stats_aggregates_across_workers(self, server):
+        sessions = [f"stats-{i}" for i in range(6)]
+        shards_used = {shard_for_session(s, 2) for s in sessions}
+        assert shards_used == {0, 1}  # the fixture sessions span both shards
+        clients = [
+            ShardedClient("127.0.0.1", server.port, session_id=sid) for sid in sessions
+        ]
+        try:
+            for client in clients:
+                client.run(make_script())
+            stats = clients[0].stats()
+            assert set(stats["sessions"]) >= set(sessions)
+            for sid in sessions:
+                assert stats["sessions"][sid]["commands"] == 4
+            assert stats["alive_workers"] == [0, 1]
+            assert set(stats["workers"]) == {"0", "1"}
+        finally:
+            for client in clients:
+                client.close_session()
+                client.close()
+
+    def test_typed_errors_cross_the_wire(self, server):
+        with ShardedClient("127.0.0.1", server.port, session_id="err-1") as client:
+            with pytest.raises(DbTouchError, match="no data object"):
+                client.execute(Slide(view="ghost", duration=0.5))
+            # the session (and connection) survive the failed gesture
+            envelope = client.execute(
+                ShowColumn(object_name="telemetry", view_name="v")
+            )
+            assert envelope.command_kind == "show-column"
+            client.close_session()
+
+    def test_reset_recreates_session(self, server):
+        with ShardedClient("127.0.0.1", server.port, session_id="reset-1") as client:
+            client.run(make_script())
+            client.reset()
+            # fresh session: the old view is gone
+            with pytest.raises(DbTouchError):
+                client.execute(Slide(view="v", duration=0.5))
+            client.close_session()
+
+
+class TestFrontDoorFuzz:
+    """Hostile bytes on a live socket: typed replies, workers untouched."""
+
+    def raw(self, server, payload: bytes, timeout: float = 10.0) -> bytes:
+        with socket.create_connection(("127.0.0.1", server.port), timeout=timeout) as sock:
+            sock.sendall(payload)
+            try:
+                return sock.recv(1 << 16)
+            except TimeoutError:
+                return b""  # keepalive-only frames legitimately get no reply
+
+    def test_binary_garbage_gets_typed_reply(self, server):
+        reply = self.raw(server, b"\x00\xff\xfe binary trash\n")
+        assert b'"kind":"malformed-frame"' in reply
+
+    def test_bad_json_gets_typed_reply(self, server):
+        reply = self.raw(server, b"{this is not json}\n")
+        assert b'"kind":"malformed-frame"' in reply
+
+    def test_non_object_frame_gets_typed_reply(self, server):
+        reply = self.raw(server, b"[1, 2, 3]\n")
+        assert b'"kind":"malformed-frame"' in reply
+
+    def test_oversized_frame_gets_typed_reply(self, server):
+        reply = self.raw(server, b"x" * (server.config.max_frame_bytes + 2))
+        assert b'"kind":"frame-too-large"' in reply
+
+    def test_unknown_verb_answered_by_id(self, server):
+        reply = self.raw(server, b'{"id": 41, "verb": "explode"}\n')
+        assert b'"id":41' in reply and b'"kind":"unknown-verb"' in reply
+
+    def test_missing_session_gets_typed_reply(self, server):
+        reply = self.raw(server, b'{"id": 7, "verb": "execute"}\n')
+        assert b'"id":7' in reply and b'"ok":false' in reply
+
+    def test_malformed_command_payload_gets_typed_reply(self, server):
+        frame = b'{"id": 8, "verb": "execute", "session": "fz", "payload": {"command": 3}}\n'
+        reply = self.raw(server, frame)
+        assert b'"id":8' in reply and b'"ok":false' in reply
+
+    def test_workers_survive_the_whole_fuzz_barrage(self, server):
+        attacks = [
+            b"\n\n\n",
+            b'{"id": true, "verb": "hello"}\n',
+            b'{"id": -3, "verb": "hello"}\n',
+            b'{"id": 1, "verb": 9}\n',
+            b'{"verb": "hello"}\n',
+            b'{"id": 2, "verb": "run-script", "session": "fz", "payload": {"script": []}}\n',
+            b'{"id": 3, "verb": "load-column", "session": "fz", "payload": {"name": 5}}\n',
+        ]
+        for attack in attacks:
+            self.raw(server, attack, timeout=2.0)
+        # after all of it: both workers alive, normal service continues
+        with ShardedClient("127.0.0.1", server.port, session_id="post-fuzz") as client:
+            assert client.hello()["alive_workers"] == [0, 1]
+            assert len(client.run(make_script())) == 4
+            client.close_session()
+
+
+class TestWorkerCrash:
+    def test_crash_surfaces_typed_error_and_others_keep_serving(self, snapshot_root):
+        with ShardedServer(server_config(snapshot_root)) as server:
+            # pick two sessions pinned to different shards
+            doomed = next(
+                f"crash-{i}" for i in range(100) if shard_for_session(f"crash-{i}", 2) == 0
+            )
+            survivor = next(
+                f"safe-{i}" for i in range(100) if shard_for_session(f"safe-{i}", 2) == 1
+            )
+            with (
+                ShardedClient("127.0.0.1", server.port, session_id=doomed) as dead_client,
+                ShardedClient("127.0.0.1", server.port, session_id=survivor) as live_client,
+            ):
+                dead_client.run(make_script())
+                live_client.run(make_script())
+
+                server.shards.workers[0].process.kill()
+                deadline = time.monotonic() + 10
+                while server.shards.workers[0].alive and time.monotonic() < deadline:
+                    time.sleep(0.05)
+                assert not server.shards.workers[0].alive
+
+                # the doomed session fails loudly with the typed error...
+                with pytest.raises(WorkerCrashedError):
+                    dead_client.execute(Slide(view="v", duration=0.5))
+                # ...while the surviving shard keeps serving gestures
+                outcome = live_client.execute(
+                    Slide(view="v", duration=0.5, start_fraction=0.3, end_fraction=0.6)
+                )
+                assert outcome.entries_returned >= 0
+                assert live_client.hello()["alive_workers"] == [1]
+                live_client.close_session()
+
+    def test_kill_mid_script_fails_pending_futures(self, snapshot_root):
+        with ShardedServer(server_config(snapshot_root)) as server:
+            sid = next(
+                f"mid-{i}" for i in range(100) if shard_for_session(f"mid-{i}", 2) == 0
+            )
+            with ShardedClient(
+                "127.0.0.1", server.port, session_id=sid, timeout_s=30
+            ) as client:
+                client.execute(ShowColumn(object_name="telemetry", view_name="v"))
+                client.execute(ChooseAction(view="v", action=summary_action(k=10)))
+                # long script (~1s of gestures); kill the worker while it runs
+                long_script = GestureScript(
+                    [
+                        Slide(view="v", duration=2.0, start_fraction=0.0, end_fraction=1.0)
+                        for _ in range(400)
+                    ]
+                )
+                import threading
+
+                def kill_soon():
+                    time.sleep(0.1)
+                    server.shards.workers[0].process.kill()
+
+                killer = threading.Thread(target=kill_soon)
+                killer.start()
+                with pytest.raises((WorkerCrashedError, ServiceError)):
+                    client.run(long_script)
+                killer.join()
+
+    def test_new_session_on_dead_shard_fails_fast(self, snapshot_root):
+        with ShardedServer(server_config(snapshot_root)) as server:
+            server.shards.workers[1].process.kill()
+            deadline = time.monotonic() + 10
+            while server.shards.workers[1].alive and time.monotonic() < deadline:
+                time.sleep(0.05)
+            sid = next(
+                f"late-{i}" for i in range(100) if shard_for_session(f"late-{i}", 2) == 1
+            )
+            with pytest.raises(WorkerCrashedError):
+                ShardedClient("127.0.0.1", server.port, session_id=sid)
+
+
+class TestDrainAndAdmission:
+    def test_drain_completes_inflight_then_refuses(self, snapshot_root):
+        with ShardedServer(server_config(snapshot_root)) as server:
+            with ShardedClient("127.0.0.1", server.port, session_id="drain-1") as client:
+                client.run(make_script())
+                assert client.drain(timeout=30) is True
+                # post-drain: admission is closed, shed as AdmissionError
+                with pytest.raises(AdmissionError):
+                    client.execute(Slide(view="v", duration=0.2))
+
+    def test_drain_waits_for_queued_gestures(self, snapshot_root):
+        """Counters prove every pre-drain gesture executed before drain won."""
+        with ShardedServer(server_config(snapshot_root)) as server:
+            sid = "drain-queue"
+            with ShardedClient("127.0.0.1", server.port, session_id=sid) as client:
+                client.run(make_script())
+                assert client.drain(timeout=30) is True
+                stats = server.shards.stats()
+                assert stats["sessions"][sid]["commands"] == 4
+
+    def test_front_door_sheds_when_full(self, snapshot_root):
+        config = server_config(snapshot_root, max_inflight=0)
+        with ShardedServer(config) as server:
+            with pytest.raises(AdmissionError, match="in-flight limit"):
+                ShardedClient("127.0.0.1", server.port, session_id="shed-1")
+
+
+class TestClientRobustness:
+    def test_client_rejects_wrong_protocol(self, snapshot_root):
+        # a raw TCP server speaking the wrong version
+        import json as _json
+        import threading
+
+        def fake_server(sock):
+            conn, _ = sock.accept()
+            data = conn.recv(4096)
+            frame = _json.loads(data.decode().splitlines()[0])
+            reply = {"id": frame["id"], "ok": True, "payload": {"protocol": 99}}
+            conn.sendall((_json.dumps(reply) + "\n").encode())
+            conn.close()
+
+        listener = socket.create_server(("127.0.0.1", 0))
+        port = listener.getsockname()[1]
+        thread = threading.Thread(target=fake_server, args=(listener,), daemon=True)
+        thread.start()
+        try:
+            with pytest.raises(ProtocolError, match="protocol"):
+                ShardedClient("127.0.0.1", port, session_id="v-1")
+        finally:
+            listener.close()
+
+    def test_closed_client_refuses_calls(self, server):
+        client = ShardedClient("127.0.0.1", server.port, session_id="closed-1")
+        client.close_session()
+        client.close()
+        with pytest.raises(ServiceError, match="closed"):
+            client.hello()
