@@ -9,9 +9,14 @@ both on the same workload:
   result change);
 * **Repeated range predicates get cheap** — after the gestures have
   cracked the hot column, repeated ``select_where`` range queries answer
-  from cracked pieces (in-memory) or zonemap-pruned chunks (out-of-core
-  paged columns) at least ``MIN_SPEEDUP``x faster than the full scans the
-  indexing-disabled reference runs, while returning bit-identical rowids.
+  from cracked pieces (in-memory) or per-chunk disk-resident crackers
+  (out-of-core paged columns) at least ``MIN_SPEEDUP``x faster than the
+  full scans the indexing-disabled reference runs, while returning
+  bit-identical rowids.
+
+A third benchmark locks down the coalescing contract: a 10,000-predicate
+session keeps the piece count bounded by the coalescing cap instead of
+growing one piece per distinct predicate.
 
 Headline numbers land in ``benchmark.extra_info`` and surface as
 ``BENCH_adaptive_indexing_*.json`` via ``scripts/bench_trajectory.py``.
@@ -128,6 +133,7 @@ def test_adaptive_indexing_speedup_in_memory(benchmark):
             session.show_column("hot")
         indexed_s, reference_s, results = compare_backends(indexed, reference, "hot-view")
         last = results[-1]
+        stats = indexed.kernel.index_manager.stats_snapshot()
         return {
             "indexed (cracked pieces)": {
                 "seconds": indexed_s,
@@ -137,19 +143,21 @@ def test_adaptive_indexing_speedup_in_memory(benchmark):
                 "seconds": reference_s,
                 "rows_scanned_last": float(MEMORY_ROWS),
             },
-        }, reference_s / indexed_s, last.strategy
+        }, reference_s / indexed_s, last.strategy, stats
 
-    comparison, speedup, strategy = benchmark.pedantic(run, rounds=1, iterations=1)
+    comparison, speedup, strategy, stats = benchmark.pedantic(run, rounds=1, iterations=1)
     print_comparison(comparison)
     benchmark.extra_info["speedup"] = speedup
     benchmark.extra_info["strategy"] = strategy
     benchmark.extra_info["queries_timed"] = REPEATS * len(HOT_RANGES)
+    benchmark.extra_info["piece_count"] = stats["piece_count"]
+    benchmark.extra_info["cracks_performed"] = stats["cracks_performed"]
     assert strategy == "cracker"
     assert speedup >= MIN_SPEEDUP
 
 
 def test_adaptive_indexing_speedup_paged(benchmark, tmp_path):
-    """Zonemap chunk pruning beats paged full scans >= 5x, bit-identically."""
+    """Disk-resident chunk crackers beat paged full scans >= 5x, bit-identically."""
     rng = np.random.default_rng(101)
     # clustered values (sorted base + bounded noise): chunk zonemaps are
     # selective, the realistic shape for time-ordered measurements
@@ -171,8 +179,9 @@ def test_adaptive_indexing_speedup_paged(benchmark, tmp_path):
             session.show_column("hot")
         indexed_s, reference_s, results = compare_backends(indexed, reference, "hot-view")
         last = results[-1]
+        stats = indexed.kernel.index_manager.stats_snapshot()
         return {
-            "indexed (zonemap chunks)": {
+            "indexed (disk-resident cracker)": {
                 "seconds": indexed_s,
                 "rows_scanned_last": float(last.rows_scanned),
             },
@@ -180,12 +189,55 @@ def test_adaptive_indexing_speedup_paged(benchmark, tmp_path):
                 "seconds": reference_s,
                 "rows_scanned_last": float(PAGED_ROWS),
             },
-        }, reference_s / indexed_s, last.strategy
+        }, reference_s / indexed_s, last.strategy, stats
 
-    comparison, speedup, strategy = benchmark.pedantic(run, rounds=1, iterations=1)
+    comparison, speedup, strategy, stats = benchmark.pedantic(run, rounds=1, iterations=1)
     print_comparison(comparison)
     benchmark.extra_info["speedup"] = speedup
     benchmark.extra_info["strategy"] = strategy
     benchmark.extra_info["chunk_rows"] = CHUNK_ROWS
-    assert strategy == "zonemap"
+    benchmark.extra_info["piece_count"] = stats["piece_count"]
+    benchmark.extra_info["resident_chunk_crackers"] = stats["resident_chunk_crackers"]
+    assert strategy == "paged-cracker"
     assert speedup >= MIN_SPEEDUP
+
+
+def test_piece_count_bounded_under_predicate_storm(benchmark):
+    """10,000 distinct range predicates: coalescing caps the piece count.
+
+    Without coalescing a cracker grows up to two pieces per distinct
+    predicate; the cap keeps a long adaptive session's structure (and its
+    per-query piece-vector walk) bounded, while every answer stays exact.
+    """
+    from repro.indexing.cracking import DEFAULT_MAX_PIECES
+    from repro.indexing.manager import IndexManager
+
+    rng = np.random.default_rng(113)
+    data = rng.integers(0, 1_000_000, size=500_000, dtype=np.int64)
+    column = Column("storm", data)
+    predicate_rng = np.random.default_rng(127)
+
+    def run():
+        manager = IndexManager()
+        checked = 0
+        for step in range(10_000):
+            low = float(predicate_rng.uniform(0, 990_000))
+            predicate = Predicate(
+                Comparison.BETWEEN, low, upper=low + float(predicate_rng.uniform(0, 10_000))
+            )
+            selection = manager.select_rowids("storm", None, column, predicate)
+            if step % 500 == 0:  # spot-check exactness along the way
+                assert np.array_equal(
+                    selection.rowids, np.nonzero(predicate.mask(data))[0]
+                )
+                checked += 1
+        assert checked == 20
+        return manager.stats_snapshot()
+
+    stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["piece_count"] = stats["piece_count"]
+    benchmark.extra_info["coalesces_performed"] = stats["coalesces_performed"]
+    benchmark.extra_info["cracks_performed"] = stats["cracks_performed"]
+    assert stats["cracks_performed"] > DEFAULT_MAX_PIECES
+    assert stats["piece_count"] <= DEFAULT_MAX_PIECES
+    assert stats["coalesces_performed"] > 0

@@ -143,7 +143,7 @@ from repro.touchio.device import (
     DeviceProfile,
 )
 
-__version__ = "0.5.0"
+__version__ = "0.6.0"
 
 __all__ = [
     "ActionKind",

@@ -105,6 +105,14 @@ class KernelConfig:
         storage by reference and should split one set of cracked indexes
         (see ``MultiSessionServer(shared_index=...)``).  Ignored when
         ``enable_indexing`` is off.
+    stochastic_cracking / crack_seed:
+        Passed to the kernel-private :class:`~repro.indexing.manager.
+        IndexManager`: when ``stochastic_cracking`` is on, each crack
+        mixes in one random pivot (MDD1R) drawn from a generator seeded
+        with ``crack_seed``, so skewed gesture sequences cannot leave
+        pathologically unbalanced pieces and equal seeds still yield
+        bit-identical piece structures.  Ignored when ``index_manager``
+        is supplied (the pre-built manager carries its own knobs).
     max_retained_results:
         Retention bound handed to every view's
         :class:`repro.core.result_stream.ResultStream`: the oldest
@@ -137,6 +145,8 @@ class KernelConfig:
     memory_budget: MemoryBudget | None = None
     enable_indexing: bool = True
     index_manager: IndexManager | None = None
+    stochastic_cracking: bool = False
+    crack_seed: int = 0
 
 
 @dataclass
@@ -257,7 +267,11 @@ class DbTouchKernel:
             self.index_manager = (
                 self.config.index_manager
                 if self.config.index_manager is not None
-                else IndexManager(budget=self.config.memory_budget)
+                else IndexManager(
+                    budget=self.config.memory_budget,
+                    stochastic=self.config.stochastic_cracking,
+                    crack_seed=self.config.crack_seed,
+                )
             )
         self._states: dict[str, _ObjectState] = {}
         self._joins: dict[frozenset[str], SymmetricHashJoin] = {}

@@ -4,9 +4,40 @@ Database cracking (which the paper cites as one of its inspirations)
 refines a column's physical organization as a side effect of the queries
 that run.  In dbTouch the "queries" are gestures: every slide that filters
 a value range is an opportunity to partition the index around that range.
-The cracker index below maintains a sorted set of cracked pieces over a
-*copy* of the column (the base data is never reordered) and narrows the
-region that must be scanned for subsequent predicates on the same column.
+The cracker index below maintains cracked pieces over a *copy* of the
+column (the base data is never reordered) and narrows the region that
+must be scanned for subsequent predicates on the same column.
+
+**Array-native piece storage.**  Pieces are not objects: the whole piece
+structure is two flat numpy vectors — ``_pivots`` (sorted float64 crack
+values) and ``_bounds`` (sorted int64 positions, one more than the piece
+count) — binary-searched with ``np.searchsorted``.  A range lookup
+resolves to at most two masked boundary scans plus one wholesale slice of
+the fully-covered middle run; no per-piece Python loop survives.
+
+**Dtype preservation.**  The cracker column keeps the base column's
+native dtype — an int64 column cracks as int64.  Exactness with
+``Predicate.mask`` is by construction: pivots and range bounds are
+float64, and comparing a native integer array against a Python float is
+*the same numpy promotion* ``Predicate.mask`` performs, so piece
+membership and mask agree bit-for-bit even beyond 2**53 where the old
+float64 copy had to refuse integer columns.
+
+**Coalescing.**  Long sessions accumulate tiny pieces.  Every crack that
+pushes the piece count past ``max_pieces`` triggers :meth:`coalesce`,
+which repeatedly deletes the pivot between the narrowest adjacent piece
+pair (pieces under ``min_piece_rows`` are the natural first victims)
+until the count is back at the cap.  Merging only removes a pivot/bound
+entry — no data moves — so lookups stay exact; a merged-away query pivot
+is simply re-cracked by the next lookup that needs it.
+
+**Stochastic crack mix.**  With ``stochastic=True`` each query-bound
+crack is preceded by one MDD1R-style crack at a value sampled (seeded,
+hence deterministic per session) from the piece the bound falls in.
+Skewed gesture patterns — e.g. monotonically advancing bounds that leave
+one giant tail piece — then still converge: the random pivot halves the
+big piece in expectation regardless of where queries land.  Stochastic
+cracks mutate only index organization, never lookup results.
 
 NaN values need special care: ``x < pivot`` is False for NaN, so a naive
 two-way crack would sweep NaNs into whatever bounded piece happens to sit
@@ -20,19 +51,57 @@ exactly the semantics of ``Predicate.mask`` on the base data.
 The full cracked state (the reordered copy, the rowid permutation and the
 piece structure) can be exported with :meth:`CrackerIndex.export_state`
 and restored with :meth:`CrackerIndex.from_state`; the snapshot tier uses
-this to make cracked organization survive restarts.
+this to make cracked organization survive restarts.  Each data-permuting
+mutation is also recorded in a bounded mutation log (generation, start,
+stop), which lets the snapshot tier write *incremental piece-level
+deltas* — only the regions permuted since the last persisted generation —
+instead of rewriting the full arrays.
 """
 
 from __future__ import annotations
 
-import bisect
 import math
-from dataclasses import dataclass
+import uuid
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.errors import StorageError
 from repro.storage.column import Column
+
+#: Default hard cap on the piece count; cracks beyond it coalesce.
+DEFAULT_MAX_PIECES = 512
+#: Pieces narrower than this are preferred merge victims and too small to
+#: be worth a stochastic split.
+DEFAULT_MIN_PIECE_ROWS = 32
+#: Mutation-log entries kept before the log collapses (a collapse forces
+#: the next incremental snapshot to fall back to a full rewrite).
+MUTATION_LOG_CAP = 2048
+
+
+def dirty_ranges_from_log(
+    mutation_log, log_floor: int, generation: int
+) -> list[tuple[int, int]] | None:
+    """Merged ``[start, stop)`` ranges logged after ``generation``.
+
+    Works on a live index's log or a :class:`CrackerState`'s exported
+    copy.  Returns ``None`` when the log has been collapsed past
+    ``generation`` — the caller must treat everything as dirty.
+    """
+    if generation < log_floor:
+        return None
+    ranges = sorted(
+        (start, stop)
+        for gen, start, stop in mutation_log
+        if gen > generation and stop > start
+    )
+    merged: list[tuple[int, int]] = []
+    for start, stop in ranges:
+        if merged and start <= merged[-1][1]:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], stop))
+        else:
+            merged.append((start, stop))
+    return merged
 
 
 @dataclass(frozen=True)
@@ -54,12 +123,19 @@ class CrackPiece:
 class CrackerState:
     """The exportable state of a :class:`CrackerIndex`.
 
-    ``values``/``rowids`` are the cracker column (a reordered float64 copy
-    of the base data) and its base-rowid permutation; ``pivots`` and
-    ``bounds`` describe the piece structure; ``num_valid`` is the number
-    of non-NaN rows (the prefix the pieces partition).  The snapshot tier
-    persists these fields and :meth:`CrackerIndex.from_state` revives them
-    against the live base column.
+    ``values``/``rowids`` are the cracker column (a reordered *native
+    dtype* copy of the base data) and its base-rowid permutation;
+    ``pivots`` and ``bounds`` describe the piece structure; ``num_valid``
+    is the number of non-NaN rows (the prefix the pieces partition).  The
+    snapshot tier persists these fields and :meth:`CrackerIndex.from_state`
+    revives them against the live base column.
+
+    ``epoch``/``generation``/``mutation_log``/``log_floor`` describe the
+    mutation history for incremental snapshots: ``epoch`` identifies one
+    live cracker's delta chain, ``generation`` counts its mutations, and
+    ``mutation_log`` holds ``(generation, start, stop)`` permuted ranges
+    back to ``log_floor`` (older history has been collapsed away — a
+    consumer needing it must rewrite in full).
     """
 
     values: np.ndarray
@@ -68,6 +144,10 @@ class CrackerState:
     bounds: tuple[int, ...]
     num_valid: int
     cracks_performed: int = 0
+    epoch: str = ""
+    generation: int = 0
+    log_floor: int = 0
+    mutation_log: tuple[tuple[int, int, int], ...] = field(default=())
 
 
 class CrackerIndex:
@@ -78,29 +158,67 @@ class CrackerIndex:
     :meth:`crack` partitions one or more pieces around the requested value
     bounds; subsequent range lookups only scan the pieces overlapping the
     requested range.
+
+    Parameters
+    ----------
+    max_pieces:
+        Piece-count cap; cracks beyond it coalesce the narrowest adjacent
+        pairs back under it.
+    min_piece_rows:
+        Row-width floor: pieces at least this wide are worth keeping (and
+        worth splitting stochastically).
+    stochastic:
+        Enable the MDD1R-style random crack mixed in before each
+        query-bound crack.
+    seed:
+        Seed for the stochastic pivot stream (deterministic per index).
     """
 
-    def __init__(self, column: Column):
+    def __init__(
+        self,
+        column: Column,
+        *,
+        max_pieces: int = DEFAULT_MAX_PIECES,
+        min_piece_rows: int = DEFAULT_MIN_PIECE_ROWS,
+        stochastic: bool = False,
+        seed: int = 0,
+    ):
         if not column.is_numeric:
             raise StorageError("cracking requires a numeric column")
+        if max_pieces < 2:
+            raise StorageError("max_pieces must be at least 2")
         self.column = column
-        self._values = column.values.astype(np.float64).copy()
+        self._values = np.array(column.values, copy=True)
         self._rowids = np.arange(len(column), dtype=np.int64)
         # NaNs are segregated behind the valid prefix once, so no crack or
         # wholesale piece-append can ever surface them (see module docstring)
-        nan_mask = np.isnan(self._values)
-        self._num_nan = int(nan_mask.sum())
-        if self._num_nan:
-            order = np.argsort(nan_mask, kind="stable")  # non-NaN first, stable
-            self._values = self._values[order]
-            self._rowids = self._rowids[order]
+        self._num_nan = 0
+        if np.issubdtype(self._values.dtype, np.floating):
+            nan_mask = np.isnan(self._values)
+            self._num_nan = int(nan_mask.sum())
+            if self._num_nan:
+                order = np.argsort(nan_mask, kind="stable")  # non-NaN first
+                self._values = self._values[order]
+                self._rowids = self._rowids[order]
         self._num_valid = len(column) - self._num_nan
-        # crack boundaries: sorted positions; piece i spans [bounds[i], bounds[i+1])
-        self._bounds: list[int] = [0, self._num_valid]
-        # the value pivots applied so far, kept sorted for piece bookkeeping
-        self._pivots: list[float] = []
+        # flat piece structure: piece i spans positions
+        # [_bounds[i], _bounds[i+1]) and values [pivot[i-1], pivot[i])
+        self._bounds = np.array([0, self._num_valid], dtype=np.int64)
+        self._pivots = np.empty(0, dtype=np.float64)
+        self.max_pieces = int(max_pieces)
+        self.min_piece_rows = int(min_piece_rows)
+        self.stochastic = bool(stochastic)
+        self._rng = np.random.default_rng(seed)
         self.cracks_performed = 0
+        self.stochastic_cracks = 0
+        self.coalesces_performed = 0
+        self.pieces_merged = 0
         self.values_scanned_total = 0
+        # incremental-snapshot bookkeeping (see CrackerState)
+        self.epoch = uuid.uuid4().hex[:16]
+        self.generation = 0
+        self._log_floor = 0
+        self._mutation_log: list[tuple[int, int, int]] = []
 
     # ------------------------------------------------------------------ #
     # state export / restore (snapshot warm starts)
@@ -114,18 +232,35 @@ class CrackerIndex:
         rowid permutation of the right length, sorted pivots and sorted
         bounds spanning exactly the valid prefix — plus a sampled
         value-consistency probe proving the state was built from this
-        column's data (not a same-shaped predecessor of a reload).  A
-        state that does not fit the live column raises
+        column's data (not a same-shaped predecessor of a reload).  State
+        whose values were stored in a different dtype (e.g. the float64
+        arrays of pre-dtype-preserving snapshots) is cast to the column's
+        native dtype and rejected if the cast is lossy.  A state that does
+        not fit the live column raises
         :class:`repro.errors.StorageError` — the caller (e.g. a snapshot
         warm start against reloaded data) should fall back to a fresh
         index.
         """
         if not column.is_numeric:
             raise StorageError("cracking requires a numeric column")
-        values = np.array(state.values, dtype=np.float64, copy=True)
+        source = np.asarray(state.values)
+        target_dtype = column.values.dtype
+        if source.dtype == target_dtype:
+            values = source.astype(target_dtype, copy=True)
+        else:
+            # legacy snapshots stored every cracker as float64; accept them
+            # only when the cast back to the native dtype is lossless
+            values = source.astype(target_dtype, copy=True)
+            floaty = np.issubdtype(source.dtype, np.floating)
+            roundtrip = values.astype(source.dtype, copy=False)
+            if not np.array_equal(roundtrip, source, equal_nan=floaty):
+                raise StorageError(
+                    f"cracker state dtype {source.dtype} does not losslessly "
+                    f"represent column {column.name!r} ({target_dtype})"
+                )
         rowids = np.array(state.rowids, dtype=np.int64, copy=True)
-        pivots = [float(p) for p in state.pivots]
-        bounds = [int(b) for b in state.bounds]
+        pivots = np.asarray([float(p) for p in state.pivots], dtype=np.float64)
+        bounds = np.asarray([int(b) for b in state.bounds], dtype=np.int64)
         num_valid = int(state.num_valid)
         n = len(column)
         if values.shape != (n,) or rowids.shape != (n,):
@@ -135,13 +270,17 @@ class CrackerIndex:
             )
         if not 0 <= num_valid <= n:
             raise StorageError(f"cracker state num_valid {num_valid} out of range")
-        if len(bounds) != len(pivots) + 2 or bounds[0] != 0 or bounds[-1] != num_valid:
+        if not np.issubdtype(values.dtype, np.floating) and num_valid != n:
+            raise StorageError(
+                "cracker state parks NaN rows but the column dtype has no NaN"
+            )
+        if bounds.size != pivots.size + 2 or bounds[0] != 0 or bounds[-1] != num_valid:
             raise StorageError("cracker state bounds do not span the valid prefix")
-        if any(b > c for b, c in zip(bounds, bounds[1:])):
+        if np.any(bounds[:-1] > bounds[1:]):
             raise StorageError("cracker state bounds are not sorted")
-        if any(p >= q for p, q in zip(pivots, pivots[1:])):
+        if np.any(pivots[:-1] >= pivots[1:]):
             raise StorageError("cracker state pivots are not strictly increasing")
-        if not all(map(math.isfinite, pivots)):
+        if pivots.size and not np.isfinite(pivots).all():
             raise StorageError("cracker state pivots must be finite")
         if rowids.size and not np.array_equal(
             np.sort(rowids), np.arange(n, dtype=np.int64)
@@ -157,9 +296,9 @@ class CrackerIndex:
             probes = np.unique(np.linspace(0, n - 1, num=min(n, 64), dtype=np.int64))
             for pos in probes.tolist():
                 expected = values[pos]
-                actual = float(np.float64(column.value_at(int(rowids[pos]))))
-                same = math.isnan(expected) if math.isnan(actual) else actual == expected
-                if not same:
+                actual = column.value_at(int(rowids[pos]))
+                both_nan = expected != expected and actual != actual
+                if not (both_nan or bool(expected == actual)):
                     raise StorageError(
                         f"cracker state does not match column {column.name!r}: "
                         f"position {pos} holds {expected!r} but the column's "
@@ -173,8 +312,21 @@ class CrackerIndex:
         index._num_valid = num_valid
         index._bounds = bounds
         index._pivots = pivots
+        index.max_pieces = max(DEFAULT_MAX_PIECES, pivots.size + 1)
+        index.min_piece_rows = DEFAULT_MIN_PIECE_ROWS
+        index.stochastic = False
+        index._rng = np.random.default_rng(0)
         index.cracks_performed = int(state.cracks_performed)
+        index.stochastic_cracks = 0
+        index.coalesces_performed = 0
+        index.pieces_merged = 0
         index.values_scanned_total = 0
+        # an adopted cracker starts a fresh delta chain: diffs against any
+        # previously persisted epoch are unknowable from here
+        index.epoch = uuid.uuid4().hex[:16]
+        index.generation = int(state.generation) or int(state.cracks_performed)
+        index._log_floor = index.generation
+        index._mutation_log = []
         return index
 
     def export_state(self) -> CrackerState:
@@ -182,10 +334,14 @@ class CrackerIndex:
         return CrackerState(
             values=self._values.copy(),
             rowids=self._rowids.copy(),
-            pivots=tuple(self._pivots),
-            bounds=tuple(self._bounds),
+            pivots=tuple(float(p) for p in self._pivots),
+            bounds=tuple(int(b) for b in self._bounds),
             num_valid=self._num_valid,
             cracks_performed=self.cracks_performed,
+            epoch=self.epoch,
+            generation=self.generation,
+            log_floor=self._log_floor,
+            mutation_log=tuple(self._mutation_log),
         )
 
     # ------------------------------------------------------------------ #
@@ -202,17 +358,60 @@ class CrackerIndex:
         return self._num_nan
 
     @property
+    def num_pieces(self) -> int:
+        """How many pieces the valid prefix is currently cracked into."""
+        return int(self._bounds.size - 1)
+
+    @property
     def size_bytes(self) -> int:
-        """Bytes held by the cracker column and its rowid permutation."""
-        return int(self._values.nbytes + self._rowids.nbytes)
+        """Bytes held by the cracker column, rowids and piece vectors."""
+        return int(
+            self._values.nbytes
+            + self._rowids.nbytes
+            + self._pivots.nbytes
+            + self._bounds.nbytes
+        )
+
+    @property
+    def pieces(self) -> list[CrackPiece]:
+        """The current cracked pieces, in value order."""
+        lows = np.concatenate([[-np.inf], self._pivots])
+        highs = np.concatenate([self._pivots, [np.inf]])
+        return [
+            CrackPiece(
+                start=int(self._bounds[i]),
+                stop=int(self._bounds[i + 1]),
+                low=float(lows[i]),
+                high=float(highs[i]),
+            )
+            for i in range(self.num_pieces)
+        ]
 
     # ------------------------------------------------------------------ #
     # cracking
     # ------------------------------------------------------------------ #
+    def _log_mutation(self, start: int, stop: int) -> None:
+        """Record one permuted range for incremental snapshots."""
+        self._mutation_log.append((self.generation, start, stop))
+        if len(self._mutation_log) > MUTATION_LOG_CAP:
+            # collapse: consumers older than the current generation must
+            # fall back to a full rewrite
+            self._mutation_log.clear()
+            self._log_floor = self.generation
+
+    def dirty_ranges_since(self, generation: int) -> list[tuple[int, int]] | None:
+        """Merged ``[start, stop)`` ranges permuted after ``generation``.
+
+        Returns ``None`` when the log no longer reaches back that far (the
+        caller must treat everything as dirty).  Coalesces bump the
+        generation without logging a range — they move no data.
+        """
+        return dirty_ranges_from_log(self._mutation_log, self._log_floor, generation)
+
     def _piece_containing_value(self, value: float) -> tuple[int, int]:
         """Return the (start, stop) positions of the piece a pivot falls in."""
-        idx = bisect.bisect_right(self._pivots, value)
-        return self._bounds[idx], self._bounds[idx + 1]
+        idx = int(np.searchsorted(self._pivots, value, side="right"))
+        return int(self._bounds[idx]), int(self._bounds[idx + 1])
 
     def crack(self, pivot: float) -> None:
         """Partition the cracker column around ``pivot`` (two-way crack)."""
@@ -222,54 +421,108 @@ class CrackerIndex:
                 f"crack pivots must be finite (got {pivot!r}); "
                 "infinite bounds need no crack"
             )
-        if pivot in self._pivots:
-            return
-        start, stop = self._piece_containing_value(pivot)
+        idx = int(np.searchsorted(self._pivots, pivot, side="right"))
+        if idx and self._pivots[idx - 1] == pivot:
+            return  # duplicate pivot: the boundary already exists
+        start, stop = int(self._bounds[idx]), int(self._bounds[idx + 1])
         segment = self._values[start:stop]
-        order = np.argsort(segment < pivot, kind="stable")[::-1]  # < pivot first
-        self._values[start:stop] = segment[order]
-        self._rowids[start:stop] = self._rowids[start:stop][order]
-        boundary = start + int((segment < pivot).sum())
-        insert_at = bisect.bisect_right(self._pivots, pivot)
-        self._pivots.insert(insert_at, pivot)
-        self._bounds.insert(insert_at + 1, boundary)
+        # native-dtype comparison against a float pivot: the same numpy
+        # promotion Predicate.mask performs, so membership agrees exactly
+        mask = segment < pivot
+        n_left = int(mask.sum())
+        self.generation += 1
+        if 0 < n_left < segment.size:
+            inv = ~mask
+            self._values[start:stop] = np.concatenate([segment[mask], segment[inv]])
+            row_segment = self._rowids[start:stop]
+            self._rowids[start:stop] = np.concatenate(
+                [row_segment[mask], row_segment[inv]]
+            )
+            self._log_mutation(start, stop)
+        self._pivots = np.insert(self._pivots, idx, pivot)
+        self._bounds = np.insert(self._bounds, idx + 1, start + n_left)
         self.cracks_performed += 1
+        if self.num_pieces > self.max_pieces:
+            self.coalesce()
+
+    def coalesce(self, max_pieces: int | None = None) -> int:
+        """Merge pieces until at most ``max_pieces`` remain; returns merges.
+
+        The pivot between the narrowest adjacent piece pair is deleted
+        first, so pieces under ``min_piece_rows`` — too small to bound a
+        scan meaningfully — are the natural victims.  Merging never moves
+        data: the surviving piece's bounds simply widen, and lookups that
+        relied on a removed pivot re-crack it on demand.
+        """
+        target = self.max_pieces if max_pieces is None else max(1, int(max_pieces))
+        merged = 0
+        while self.num_pieces > target and self._pivots.size:
+            widths = np.diff(self._bounds)
+            pair_widths = widths[:-1] + widths[1:]
+            victim = int(np.argmin(pair_widths))
+            self._pivots = np.delete(self._pivots, victim)
+            self._bounds = np.delete(self._bounds, victim + 1)
+            merged += 1
+        if merged:
+            self.pieces_merged += merged
+            self.coalesces_performed += 1
+            self.generation += 1
+        return merged
+
+    def _stochastic_crack(self, near: float) -> None:
+        """One MDD1R-style crack at a sampled value from ``near``'s piece."""
+        start, stop = self._piece_containing_value(near)
+        if stop - start < max(2, 2 * self.min_piece_rows):
+            return  # piece already small enough; a random split buys nothing
+        position = int(self._rng.integers(start, stop))
+        pivot = float(self._values[position])
+        if not math.isfinite(pivot):
+            return
+        before = self.cracks_performed
+        self.crack(pivot)
+        self.stochastic_cracks += self.cracks_performed - before
 
     def crack_range(self, low: float, high: float) -> None:
         """Crack on both bounds of ``[low, high)`` (as a range query would).
 
         Infinite bounds are skipped rather than cracked: a piece boundary
-        at ±inf can never shrink a scan.
+        at ±inf can never shrink a scan.  With ``stochastic`` enabled each
+        bound's piece is first split at a sampled value (seeded), so
+        convergence does not depend on where the query bounds land.
         """
         if high < low:
             raise StorageError("crack_range requires low <= high")
-        if math.isfinite(low):
-            self.crack(low)
-        if math.isfinite(high):
-            self.crack(high)
+        for bound in (low, high):
+            if math.isfinite(bound):
+                if self.stochastic:
+                    self._stochastic_crack(bound)
+                self.crack(bound)
 
     # ------------------------------------------------------------------ #
     # lookups
     # ------------------------------------------------------------------ #
-    def _pieces(self) -> list[CrackPiece]:
-        pieces = []
-        lows = [-np.inf] + self._pivots
-        highs = self._pivots + [np.inf]
-        for i in range(len(self._bounds) - 1):
-            pieces.append(
-                CrackPiece(
-                    start=self._bounds[i],
-                    stop=self._bounds[i + 1],
-                    low=lows[i],
-                    high=highs[i],
-                )
-            )
-        return pieces
+    def _overlap_run(self, low: float, high: float) -> tuple[int, int]:
+        """Indices ``(first, last)`` of the pieces overlapping ``[low, high)``.
 
-    @property
-    def pieces(self) -> list[CrackPiece]:
-        """The current cracked pieces, in value order."""
-        return self._pieces()
+        ``first > last`` means no piece overlaps.  Pieces strictly between
+        the two are always fully covered by the range.
+        """
+        first = int(np.searchsorted(self._pivots, low, side="right"))
+        last = int(np.searchsorted(self._pivots, high, side="left"))
+        return first, last
+
+    def _piece_covered(self, i: int, low: float, high: float) -> bool:
+        piece_low = -math.inf if i == 0 else float(self._pivots[i - 1])
+        piece_high = (
+            float(self._pivots[i]) if i < self._pivots.size else math.inf
+        )
+        return piece_low >= low and piece_high <= high
+
+    def _masked_piece(self, i: int, low: float, high: float) -> np.ndarray:
+        start, stop = int(self._bounds[i]), int(self._bounds[i + 1])
+        values = self._values[start:stop]
+        mask = (values >= low) & (values < high)
+        return self._rowids[start:stop][mask]
 
     def rowids_in_range(self, low: float, high: float, crack: bool = True) -> np.ndarray:
         """Base rowids whose values lie in ``[low, high)``.
@@ -285,31 +538,43 @@ class CrackerIndex:
             raise StorageError("range lookup requires low <= high")
         if crack:
             self.crack_range(low, high)
-        result_parts = []
-        scanned = 0
-        for piece in self._pieces():
-            if piece.high <= low or piece.low >= high:
-                continue  # piece cannot overlap the requested range
-            values = self._values[piece.start : piece.stop]
-            rowids = self._rowids[piece.start : piece.stop]
-            scanned += len(values)
-            if piece.low >= low and piece.high <= high:
-                result_parts.append(rowids)  # fully covered, no per-value test
-            else:
-                mask = (values >= low) & (values < high)
-                result_parts.append(rowids[mask])
-        self.values_scanned_total += scanned
-        if not result_parts:
+        first, last = self._overlap_run(low, high)
+        if first > last:
             return np.empty(0, dtype=np.int64)
-        return np.sort(np.concatenate(result_parts))
+        self.values_scanned_total += int(self._bounds[last + 1] - self._bounds[first])
+        first_covered = self._piece_covered(first, low, high)
+        last_covered = (
+            first_covered if last == first else self._piece_covered(last, low, high)
+        )
+        # the fully-covered middle run is appended wholesale — one slice,
+        # no per-value test; at most the two boundary pieces are masked
+        run_start = first if first_covered else first + 1
+        run_stop = last if last_covered else last - 1
+        parts: list[np.ndarray] = []
+        if run_start <= run_stop:
+            parts.append(
+                self._rowids[self._bounds[run_start] : self._bounds[run_stop + 1]]
+            )
+        if not first_covered:
+            parts.append(self._masked_piece(first, low, high))
+        if last != first and not last_covered:
+            parts.append(self._masked_piece(last, low, high))
+        if not parts:
+            return np.empty(0, dtype=np.int64)
+        return np.sort(np.concatenate(parts))
 
     def scan_cost_for_range(self, low: float, high: float) -> int:
-        """How many values a lookup of ``[low, high)`` would scan right now."""
+        """How many values a lookup of ``[low, high)`` would scan right now.
+
+        Fully covered pieces are returned wholesale, so only the (at most
+        two) boundary pieces whose envelopes straddle a bound count.
+        """
+        first, last = self._overlap_run(low, high)
+        if first > last:
+            return 0
         cost = 0
-        for piece in self._pieces():
-            if piece.high <= low or piece.low >= high:
-                continue
-            if piece.low >= low and piece.high <= high:
-                continue  # fully covered pieces are returned wholesale
-            cost += piece.num_rows
+        if not self._piece_covered(first, low, high):
+            cost += int(self._bounds[first + 1] - self._bounds[first])
+        if last != first and not self._piece_covered(last, low, high):
+            cost += int(self._bounds[last + 1] - self._bounds[last])
         return cost

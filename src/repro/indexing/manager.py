@@ -6,9 +6,11 @@ wires that bet into the kernel:
 
 * it owns per-``(object, column)`` index state — a
   :class:`repro.indexing.cracking.CrackerIndex` for in-memory numeric
-  columns, zonemap chunk pruning for out-of-core
-  :class:`repro.persist.paged_column.PagedColumn` objects (their per-chunk
-  min/max ships with the on-disk format, so no build cost is paid at all);
+  columns, a disk-resident :class:`repro.indexing.paged.PagedCrackerIndex`
+  for out-of-core :class:`repro.persist.paged_column.PagedColumn` objects
+  (per-chunk crackers under an LRU residency cap, spilled through an
+  optional ``spill_store``), with zonemap chunk pruning as the fallback
+  when paged cracking is disabled;
 * every qualifying gesture — a slide whose action carries a range-shaped
   predicate — *refines* the matching cracker via
   :meth:`observe_predicate`, outside the gesture's outcome accounting, so
@@ -40,9 +42,10 @@ on the orphaned (still self-consistent) index.
 ``Predicate.mask`` over the base data.  Three guards make that hold: NaN
 rows are segregated by the cracker and masked per-chunk by the zonemap
 path; inclusive/exclusive predicate bounds are mapped onto the cracker's
-half-open ranges with ``np.nextafter``; and integer columns whose extremes
-exceed 2**53 (where the cracker's float64 copy would round) refuse the
-cracker and fall back to a full scan.
+half-open ranges with ``np.nextafter``; and cracker arrays preserve the
+column's native dtype, so piece membership is decided by the *same* numpy
+promotion ``Predicate.mask`` performs — int64 columns crack exactly even
+beyond 2**53, where the old float64-copy design had to refuse them.
 """
 
 from __future__ import annotations
@@ -51,12 +54,18 @@ import math
 import threading
 import weakref
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 
 import numpy as np
 
 from repro.engine.filter import Comparison, Predicate
-from repro.indexing.cracking import CrackerIndex, CrackerState
+from repro.indexing.cracking import (
+    DEFAULT_MAX_PIECES,
+    DEFAULT_MIN_PIECE_ROWS,
+    CrackerIndex,
+    CrackerState,
+)
+from repro.indexing.paged import DEFAULT_MAX_RESIDENT_CHUNKS, PagedCrackerIndex
 from repro.indexing.zonemap import ZoneMap
 from repro.storage.column import Column
 
@@ -72,10 +81,22 @@ def _is_chunked(column: Column) -> bool:
     """
     return callable(getattr(column, "chunks_for_predicate", None))
 
-#: Largest integer magnitude exactly representable in float64.  Integer
-#: columns with values beyond this cannot be cracked (the cracker keeps a
-#: float64 copy) without risking boundary misclassification.
-EXACT_INT_LIMIT = 2**53
+
+#: Cracker counters mirrored into :class:`IndexManagerStats` by delta.
+#: Probed with ``getattr(..., 0)`` so both cracker kinds fit one surface
+#: (only the paged cracker has spill counters).
+_ACTIVITY_COUNTERS = (
+    "cracks_performed",
+    "stochastic_cracks",
+    "coalesces_performed",
+    "pieces_merged",
+    "spills",
+    "spill_loads",
+)
+
+
+def _activity_probe(cracker) -> tuple[int, ...]:
+    return tuple(int(getattr(cracker, name, 0)) for name in _ACTIVITY_COUNTERS)
 
 
 def predicate_range(predicate: Predicate) -> tuple[float, float] | None:
@@ -114,7 +135,8 @@ class RangeSelection:
     """The result of one bulk range selection (indexed or scanned).
 
     ``strategy`` records how the rowids were found: ``"cracker"`` (cracked
-    pieces), ``"zonemap"`` (chunk-pruned paged scan) or ``"scan"`` (full
+    pieces), ``"paged-cracker"`` (per-chunk disk-resident cracking),
+    ``"zonemap"`` (chunk-pruned paged scan) or ``"scan"`` (full
     scan of the base data).  ``rows_scanned`` is how many values were
     actually inspected — the adaptive win is this number shrinking while
     ``rowids`` stays exactly what a full scan returns.
@@ -145,23 +167,25 @@ class IndexManagerStats:
     indexed_consultations: int = 0
     refinements: int = 0
     cracks_performed: int = 0
+    stochastic_cracks: int = 0
+    coalesces_performed: int = 0
+    pieces_merged: int = 0
+    spills: int = 0
+    spill_loads: int = 0
     crackers_built: int = 0
+    paged_crackers_built: int = 0
     crackers_adopted: int = 0
     crackers_dropped: int = 0
     invalidations: int = 0
 
+    def apply_activity(self, deltas: tuple[int, ...]) -> None:
+        """Fold one :func:`_activity_probe` delta tuple into the counters."""
+        for name, delta in zip(_ACTIVITY_COUNTERS, deltas):
+            setattr(self, name, getattr(self, name) + delta)
+
     def snapshot(self) -> dict[str, int]:
         """A plain-dict copy of every counter."""
-        return {
-            "consultations": self.consultations,
-            "indexed_consultations": self.indexed_consultations,
-            "refinements": self.refinements,
-            "cracks_performed": self.cracks_performed,
-            "crackers_built": self.crackers_built,
-            "crackers_adopted": self.crackers_adopted,
-            "crackers_dropped": self.crackers_dropped,
-            "invalidations": self.invalidations,
-        }
+        return {f.name: getattr(self, f.name) for f in fields(self)}
 
 
 @dataclass
@@ -180,9 +204,9 @@ class _ColumnIndexState:
     key: tuple[str, str | None]
     column_ref: "weakref.ref[Column]"
     lock: threading.RLock = field(default_factory=threading.RLock)
-    cracker: CrackerIndex | None = None
+    cracker: CrackerIndex | PagedCrackerIndex | None = None
     cracker_bytes: int = 0
-    cracker_refused: bool = False  # e.g. int column beyond EXACT_INT_LIMIT
+    cracker_refused: bool = False  # e.g. non-numeric, empty, paged w/o paged cracking
     zonemap: ZoneMap | None = None
 
 
@@ -206,13 +230,50 @@ class IndexManager:
         next consult).  This bounds the manager's memory even without a
         shared budget — relevant for a long-lived shared manager serving
         many sessions with private columns.
+    max_pieces / min_piece_rows:
+        Coalescing knobs forwarded to every in-memory cracker: the piece
+        count stays under ``max_pieces`` no matter how many predicates a
+        session issues, with pieces under ``min_piece_rows`` the natural
+        merge victims.
+    stochastic / crack_seed:
+        Enable the MDD1R-style stochastic crack mix on every cracker built
+        by this manager; ``crack_seed`` makes the random pivot stream
+        deterministic per manager.
+    paged_cracking:
+        Crack paged (chunked) columns with a disk-resident
+        :class:`~repro.indexing.paged.PagedCrackerIndex`; when off they
+        fall back to zonemap chunk pruning only.
+    spill_store:
+        Optional :class:`repro.persist.diskstore.DiskColumnStore` that
+        evicted chunk crackers spill their cracked arrays through instead
+        of dropping them.
+    max_resident_chunks:
+        Per paged cracker, how many chunk crackers stay in memory.
     """
 
     def __init__(
-        self, budget=None, zone_block_rows: int = 4096, max_crackers: int = 64
+        self,
+        budget=None,
+        zone_block_rows: int = 4096,
+        max_crackers: int = 64,
+        *,
+        max_pieces: int = DEFAULT_MAX_PIECES,
+        min_piece_rows: int = DEFAULT_MIN_PIECE_ROWS,
+        stochastic: bool = False,
+        crack_seed: int = 0,
+        paged_cracking: bool = True,
+        spill_store=None,
+        max_resident_chunks: int = DEFAULT_MAX_RESIDENT_CHUNKS,
     ) -> None:
         self.zone_block_rows = zone_block_rows
         self.max_crackers = max_crackers
+        self.max_pieces = int(max_pieces)
+        self.min_piece_rows = int(min_piece_rows)
+        self.stochastic = bool(stochastic)
+        self.crack_seed = int(crack_seed)
+        self.paged_cracking = bool(paged_cracking)
+        self.max_resident_chunks = int(max_resident_chunks)
+        self._spill_store = spill_store
         self.stats = IndexManagerStats()
         self._lock = threading.RLock()
         #: keyed by (object, column, id(column)); insertion/consultation
@@ -244,6 +305,38 @@ class IndexManager:
         """Bytes currently held by cracker state across all columns."""
         with self._lock:
             return sum(state.cracker_bytes for state in self._states.values())
+
+    def stats_snapshot(self) -> dict[str, int]:
+        """Every activity counter plus point-in-time gauges.
+
+        Gauges (``crackers_live``, ``piece_count``, ``cracker_bytes``,
+        ``resident_chunk_crackers``, ``spilled_chunk_crackers``) are read
+        without column locks — piece counts are single-attribute reads of
+        atomically swapped arrays, so a concurrent crack can skew a gauge
+        by a piece but never tear it.  This is the observability surface
+        the session metrics and the fleet ``stats`` verb expose.
+        """
+        with self._lock:
+            data = self.stats.snapshot()
+            states = list(self._states.values())
+        live = pieces = nbytes = resident = spilled = 0
+        for state in states:
+            cracker = state.cracker
+            if cracker is None:
+                continue
+            live += 1
+            pieces += int(getattr(cracker, "num_pieces", 0))
+            nbytes += state.cracker_bytes
+            resident += int(getattr(cracker, "num_resident_chunks", 0))
+            spilled += int(getattr(cracker, "num_spilled_chunks", 0))
+        data.update(
+            crackers_live=live,
+            piece_count=pieces,
+            cracker_bytes=nbytes,
+            resident_chunk_crackers=resident,
+            spilled_chunk_crackers=spilled,
+        )
+        return data
 
     def has_cracker(self, object_name: str, column_name: str | None = None) -> bool:
         """Whether any live cracker exists for the pair."""
@@ -305,6 +398,7 @@ class IndexManager:
         Called with no locks held; bytes are released after unlinking.
         """
         released = 0
+        victims: list[CrackerIndex | PagedCrackerIndex] = []
         with self._lock:
             live = [
                 state
@@ -313,11 +407,15 @@ class IndexManager:
             ]
             excess = (len(live) + 1) - self.max_crackers
             for state in live[:max(0, excess)]:
+                victims.append(state.cracker)
                 state.cracker = None
                 released += state.cracker_bytes
                 state.cracker_bytes = 0
                 self.stats.crackers_dropped += 1
         self._release_bytes(released)
+        for cracker in victims:
+            if isinstance(cracker, PagedCrackerIndex):
+                cracker.discard_spills()
 
     # ------------------------------------------------------------------ #
     # shared-budget accounting
@@ -331,20 +429,46 @@ class IndexManager:
             self._budget.release(self._budget_key, nbytes)
 
     def _reclaim_bytes(self, nbytes: int) -> int:
-        """Budget hook: drop least-recently-consulted crackers.
+        """Budget hook: spill or drop least-recently-consulted crackers.
 
-        Crackers are unlinked without taking their column lock — a lookup
+        Paged crackers *spill* their LRU chunk crackers through the spill
+        store (cracked organization survives on disk) under their column
+        lock — safe because no thread ever calls the budget while holding
+        a column lock, so the lock is always released promptly.  In-memory
+        crackers are unlinked without taking their column lock — a lookup
         holding a reference to the orphaned index completes correctly on
         it; the next consultation rebuilds.  Only charged state
-        (``cracker_bytes > 0``) is dropped, so a cracker built but not yet
+        (``cracker_bytes > 0``) is touched, so a cracker built but not yet
         charged is never double-counted.
         """
-        freed = 0
         with self._lock:
-            for state in list(self._states.values()):
-                if freed >= nbytes:
-                    break
-                if state.cracker is None or state.cracker_bytes == 0:
+            states = list(self._states.values())
+        freed = 0
+        for state in states:
+            if freed >= nbytes:
+                break
+            cracker = state.cracker
+            if cracker is None or state.cracker_bytes == 0:
+                continue
+            if isinstance(cracker, PagedCrackerIndex):
+                with state.lock:
+                    if state.cracker is not cracker or state.cracker_bytes == 0:
+                        continue
+                    before = _activity_probe(cracker)
+                    got = min(
+                        cracker.release_bytes(nbytes - freed), state.cracker_bytes
+                    )
+                    deltas = tuple(
+                        now - then
+                        for then, now in zip(before, _activity_probe(cracker))
+                    )
+                    state.cracker_bytes -= got
+                freed += got
+                with self._lock:
+                    self.stats.apply_activity(deltas)
+                continue
+            with self._lock:
+                if state.cracker is not cracker or state.cracker_bytes == 0:
                     continue
                 state.cracker = None
                 freed += state.cracker_bytes
@@ -355,57 +479,98 @@ class IndexManager:
     # ------------------------------------------------------------------ #
     # building / adopting crackers
     # ------------------------------------------------------------------ #
-    @staticmethod
-    def _cracker_supported(column: Column) -> bool:
-        """Whether a cracker's float64 copy represents ``column`` exactly."""
-        if _is_chunked(column):
-            # materializing a full float64 copy would defeat out-of-core
-            # storage; paged columns use their chunk zonemaps instead
-            return False
+    def _cracker_supported(self, column: Column) -> bool:
+        """Whether any cracker kind applies to ``column``.
+
+        Cracker arrays are dtype-preserving, so every numeric dtype cracks
+        exactly — including int64 beyond 2**53, where piece membership is
+        decided by the same array-vs-float promotion ``Predicate.mask``
+        uses.  Chunked columns qualify only when paged cracking is on
+        (otherwise they answer from their zonemaps with no index state).
+        """
         if not column.is_numeric or not len(column):
             return False
-        if np.issubdtype(column.values.dtype, np.integer):
-            lo, hi = column.values.min(), column.values.max()
-            if abs(int(lo)) > EXACT_INT_LIMIT or abs(int(hi)) > EXACT_INT_LIMIT:
-                return False
+        if _is_chunked(column) and not self.paged_cracking:
+            return False
         return True
+
+    def _spill_prefix(self, state: _ColumnIndexState, column: Column) -> str:
+        # the column's identity keys the spill namespace, matching the
+        # state key: same-named private columns must never share spills
+        object_name, column_name = state.key
+        return f"{object_name}/{column_name or ''}#{id(column):x}"
 
     def _ensure_cracker(
         self, state: _ColumnIndexState, column: Column
-    ) -> CrackerIndex | None:
+    ) -> CrackerIndex | PagedCrackerIndex | None:
         """Build (or return) the state's cracker.  Caller holds state.lock.
 
-        Returns ``None`` when the column cannot be cracked (paged, empty,
-        non-representable).  Budget charging happens after the caller
-        releases the column lock, via the returned state's
-        ``cracker_bytes == 0`` marker — see :meth:`_settle_cracker`.
+        Returns ``None`` when the column cannot be cracked (non-numeric,
+        empty, paged with paged cracking off).  Budget charging happens
+        after the caller releases the column lock — see
+        :meth:`_settle_cracker`.
         """
         if state.cracker is not None or state.cracker_refused:
             return state.cracker
         if not self._cracker_supported(column):
             state.cracker_refused = True
             return None
-        state.cracker = CrackerIndex(column)
-        with self._lock:
-            self.stats.crackers_built += 1
+        if _is_chunked(column):
+            state.cracker = PagedCrackerIndex(
+                column,
+                spill_store=self._spill_store,
+                spill_prefix=self._spill_prefix(state, column),
+                max_resident_chunks=self.max_resident_chunks,
+                min_piece_rows=self.min_piece_rows,
+                stochastic=self.stochastic,
+                seed=self.crack_seed,
+            )
+            with self._lock:
+                self.stats.crackers_built += 1
+                self.stats.paged_crackers_built += 1
+        else:
+            state.cracker = CrackerIndex(
+                column,
+                max_pieces=self.max_pieces,
+                min_piece_rows=self.min_piece_rows,
+                stochastic=self.stochastic,
+                seed=self.crack_seed,
+            )
+            with self._lock:
+                self.stats.crackers_built += 1
         return state.cracker
 
     def _settle_cracker(self, state: _ColumnIndexState) -> None:
-        """Charge a freshly built cracker's bytes (no locks held)."""
+        """Reconcile a cracker's recorded bytes with its current size.
+
+        Called with no locks held.  Works by delta so it covers both a
+        freshly built cracker (recorded 0) and a paged cracker whose
+        resident set grew or spilled since the last settle.
+        """
         with state.lock:
             cracker = state.cracker
-            if cracker is None or state.cracker_bytes:
+            if cracker is None:
                 return
-            nbytes = cracker.size_bytes
-        self._charge_bytes(nbytes)
+            recorded = state.cracker_bytes
+            current = cracker.size_bytes
+            if current == recorded:
+                return
+        delta = current - recorded
+        if delta > 0:
+            self._charge_bytes(delta)
+        else:
+            self._release_bytes(-delta)
         with state.lock:
-            # record the charge only if the cracker survived AND no
-            # concurrent settle beat us to it — otherwise undo ours, or
-            # the budget carries phantom bytes forever
-            if state.cracker is cracker and state.cracker_bytes == 0:
-                state.cracker_bytes = nbytes
+            # record the adjustment only if the cracker survived AND no
+            # concurrent settle or reclaim beat us to it — otherwise undo
+            # ours, or the budget carries phantom bytes forever
+            if state.cracker is cracker and state.cracker_bytes == recorded:
+                state.cracker_bytes = current
                 return
-        self._release_bytes(nbytes)
+        if delta > 0:
+            self._release_bytes(delta)
+        else:
+            self._charge_bytes(-delta)
 
     def adopt_cracker(
         self,
@@ -479,15 +644,17 @@ class IndexManager:
             cracker = self._ensure_cracker(state, column)
             if cracker is None:
                 return False
-            before = cracker.cracks_performed
+            before = _activity_probe(cracker)
             cracker.crack_range(*bounds)
-            new_cracks = cracker.cracks_performed - before
+            deltas = tuple(
+                now - then for then, now in zip(before, _activity_probe(cracker))
+            )
         self._settle_cracker(state)
         self._enforce_cracker_cap(keep=state)
         with self._lock:
             self.stats.refinements += 1
-            self.stats.cracks_performed += new_cracks
-        return new_cracks > 0
+            self.stats.apply_activity(deltas)
+        return deltas[0] > 0  # cracks_performed delta
 
     # ------------------------------------------------------------------ #
     # consultation (the read side)
@@ -502,8 +669,8 @@ class IndexManager:
         """Rowids satisfying ``predicate``, scanning as little as possible.
 
         Returns ``None`` when the tier has no strategy for this predicate
-        or column (non-range predicate, non-numeric or non-representable
-        column) — the caller then runs the full scan itself.  The returned
+        or column (non-range predicate, non-numeric or empty column) —
+        the caller then runs the full scan itself.  The returned
         rowids are always sorted and bit-identical to
         ``np.nonzero(predicate.mask(column.values))[0]``.
         """
@@ -515,19 +682,24 @@ class IndexManager:
         low, high = bounds
         state = self._state_for(object_name, column_name, column)
         refined = False
-        new_cracks = 0
+        deltas: tuple[int, ...] = ()
         strategy = None
         with state.lock:
             cracker = self._ensure_cracker(state, column)
             if cracker is not None:
-                before = cracker.cracks_performed
+                before = _activity_probe(cracker)
                 scanned_before = cracker.values_scanned_total
-                cracker.crack_range(low, high)
-                rowids = cracker.rowids_in_range(low, high, crack=False)
+                rowids = cracker.rowids_in_range(low, high, crack=True)
                 rows_scanned = cracker.values_scanned_total - scanned_before
-                new_cracks = cracker.cracks_performed - before
-                refined = new_cracks > 0
-                strategy = "cracker"
+                deltas = tuple(
+                    now - then for then, now in zip(before, _activity_probe(cracker))
+                )
+                refined = deltas[0] > 0
+                strategy = (
+                    "paged-cracker"
+                    if isinstance(cracker, PagedCrackerIndex)
+                    else "cracker"
+                )
         if strategy is not None:
             self._settle_cracker(state)
             self._enforce_cracker_cap(keep=state)
@@ -541,7 +713,8 @@ class IndexManager:
             return None
         with self._lock:
             self.stats.indexed_consultations += 1
-            self.stats.cracks_performed += new_cracks
+            if deltas:
+                self.stats.apply_activity(deltas)
             if refined:
                 self.stats.refinements += 1
         return RangeSelection(
@@ -616,6 +789,7 @@ class IndexManager:
         """
         released = 0
         dropped = 0
+        victims: list[PagedCrackerIndex] = []
         with self._lock:
             doomed = [
                 key
@@ -627,25 +801,34 @@ class IndexManager:
                 released += state.cracker_bytes
                 if state.cracker is not None:
                     self.stats.crackers_dropped += 1
+                if isinstance(state.cracker, PagedCrackerIndex):
+                    victims.append(state.cracker)
                 state.cracker = None
                 state.cracker_bytes = 0
                 dropped += 1
             if dropped:
                 self.stats.invalidations += 1
         self._release_bytes(released)
+        for cracker in victims:
+            cracker.discard_spills()
         return dropped
 
     def clear(self) -> int:
         """Drop all index state (returns how many column states existed)."""
         released = 0
+        victims: list[PagedCrackerIndex] = []
         with self._lock:
             count = len(self._states)
             for state in self._states.values():
                 released += state.cracker_bytes
                 if state.cracker is not None:
                     self.stats.crackers_dropped += 1
+                if isinstance(state.cracker, PagedCrackerIndex):
+                    victims.append(state.cracker)
                 state.cracker = None
                 state.cracker_bytes = 0
             self._states.clear()
         self._release_bytes(released)
+        for cracker in victims:
+            cracker.discard_spills()
         return count

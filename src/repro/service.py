@@ -311,6 +311,20 @@ class LocalExplorationService:
         if self.kernel.config.enable_indexing:
             self.kernel.index_manager = manager
 
+    def index_stats(self) -> dict[str, int] | None:
+        """Counters and gauges of the adaptive indexing tier.
+
+        A point-in-time :meth:`~repro.indexing.manager.IndexManager.
+        stats_snapshot`: consultation/refinement counters, cracks
+        (deterministic and stochastic), coalesces, spills, plus live
+        gauges (crackers, pieces, cracker bytes, resident/spilled chunk
+        crackers).  ``None`` when indexing is disabled.  Load-dependent —
+        deliberately not part of :meth:`SessionMetrics.counters_snapshot`,
+        the serial-vs-concurrent parity surface.
+        """
+        manager = self.kernel.index_manager
+        return None if manager is None else manager.stats_snapshot()
+
     # ------------------------------------------------------------------ #
     # host-side data management (not part of the command vocabulary)
     # ------------------------------------------------------------------ #
@@ -931,6 +945,13 @@ class SessionMetrics:
     (latencies, throughput) describe host-side performance.  All mutation
     happens under a private lock, so the serving engine's workers and any
     monitoring thread can touch one session's metrics concurrently.
+
+    Adaptive-index activity (cracks, coalesces, spills, piece counts) is
+    deliberately NOT folded in here: with a shared index those counters
+    depend on cross-session interleaving, so they live on the separate
+    load-dependent surface (:meth:`LocalExplorationService.index_stats` /
+    :meth:`MultiSessionServer.index_stats`) and never contaminate the
+    parity contract of :meth:`counters_snapshot`.
     """
 
     commands: int = 0
@@ -1272,6 +1293,31 @@ class MultiSessionServer:
     def index_manager(self) -> IndexManager | None:
         """The shared adaptive-index manager (``None`` when not enabled)."""
         return self._shared_index
+
+    def index_stats(self) -> dict[str, int] | None:
+        """Adaptive-index counters and gauges for this server.
+
+        With a shared index, the shared manager's snapshot; otherwise the
+        key-wise sum over every open session's private manager (``None``
+        when no session has indexing enabled).  Like the per-service
+        snapshot this is load-dependent observability, kept separate from
+        the :meth:`counters_report` parity surface.
+        """
+        if self._shared_index is not None:
+            return self._shared_index.stats_snapshot()
+        with self._lock:
+            services = list(self._services.values())
+        totals: dict[str, int] = {}
+        seen = False
+        for service in services:
+            stats = getattr(service, "index_stats", None)
+            report = stats() if callable(stats) else None
+            if report is None:
+                continue
+            seen = True
+            for key, value in report.items():
+                totals[key] = totals.get(key, 0) + int(value)
+        return totals if seen else None
 
     def _attach_shared(self, service: ExplorationService) -> None:
         """Register shared objects into a fresh service's private catalog."""

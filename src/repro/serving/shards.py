@@ -283,6 +283,8 @@ class ShardManager:
         ]
         per_worker: dict[str, Any] = {}
         sessions: dict[str, dict[str, int]] = {}
+        index_totals: dict[str, int] = {}
+        any_index = False
         for worker_id, future in futures:
             try:
                 report = future.result(timeout=timeout)
@@ -293,10 +295,18 @@ class ShardManager:
             worker_sessions = report.get("sessions")
             if isinstance(worker_sessions, dict):
                 sessions.update(worker_sessions)
+            worker_index = report.get("index")
+            if isinstance(worker_index, dict):
+                any_index = True
+                for key, value in worker_index.items():
+                    index_totals[key] = index_totals.get(key, 0) + int(value)
         return {
             "num_workers": len(self.workers),
             "alive_workers": self.alive_workers,
             "sessions": {sid: sessions[sid] for sid in sorted(sessions)},
+            # key-wise sum of every shard's adaptive-index counters and
+            # gauges; None when no shard runs the indexing tier
+            "index": index_totals if any_index else None,
             "workers": per_worker,
         }
 

@@ -209,6 +209,7 @@ class _WorkerRuntime:
                 "aggregate": self.server.aggregate_metrics(),
                 "scheduler": self.server.scheduler_stats(),
                 "shared_objects": self.server.shared_object_names,
+                "index": self.server.index_stats(),
             },
         )
 

@@ -507,6 +507,59 @@ class TestBatchSlideParity:
         for a, b in zip(loop, batch):
             assert _deterministic_fields(a) == _deterministic_fields(b)
 
+    @pytest.mark.parametrize("indexing", [False, True])
+    def test_select_where_index_prefilter_parity(self, profile, indexing):
+        # without the touched-range cache, a range-filtered select-where
+        # slide is answered through the cracker index instead of reading
+        # one where-value per touch — tuples_examined and every other
+        # counter must still match the per-touch reference loop exactly
+        from repro.core.actions import select_where_action
+
+        rng = np.random.default_rng(11)
+        amounts = rng.integers(0, 100_000, size=120_000, dtype=np.int64)
+
+        def run(batch):
+            session = ExplorationSession(
+                profile=profile,
+                config=KernelConfig(
+                    batch_execution=batch,
+                    enable_cache=False,
+                    enable_prefetch=False,
+                    enable_samples=False,
+                    enable_indexing=indexing,
+                ),
+            )
+            session.load_table(
+                "t",
+                {
+                    "amount": amounts,
+                    "customer": np.arange(amounts.size, dtype=np.int64),
+                },
+            )
+            view = session.show_table("t", height_cm=10.0, width_cm=8.0)
+            session.choose_action(
+                view,
+                select_where_action(
+                    "amount",
+                    Predicate(Comparison.BETWEEN, 20_000, upper=60_000),
+                    ["customer"],
+                ),
+            )
+            outcomes = [
+                session.slide(view, duration=1.0),
+                session.slide(view, duration=0.8, start_fraction=1.0, end_fraction=0.2),
+            ]
+            engaged = (
+                session.kernel.index_manager is not None
+                and session.kernel.index_manager.has_cracker("t", "amount")
+            )
+            return [_deterministic_fields(o) for o in outcomes], engaged
+
+        loop, _ = run(False)
+        batch, engaged = run(True)
+        assert loop == batch
+        assert engaged is indexing
+
     def test_group_by_and_join_fall_back_to_reference_path(self, profile):
         # the batch executor must decline actions it does not implement
         session = ExplorationSession(

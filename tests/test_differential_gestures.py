@@ -191,9 +191,90 @@ def test_paged_column_scripts_bit_identical(tmp_path, seed):
     assert results[0] == results[1]
 
 
+@pytest.mark.parametrize("kind", ["int64", "float64-nan"])
+@pytest.mark.parametrize("seed", [13, 37])
+def test_stochastic_cracking_scripts_bit_identical(kind, seed):
+    """MDD1R stochastic cracking is still outcome-invisible: random pivot
+    mixing rearranges index internals only, so seeded scripts replay bit
+    for bit against the indexing-off reference."""
+    data = make_column_data(np.random.default_rng(seed), kind, 20_000)
+    on = ExplorationSession(
+        profile=FAST_PROFILE,
+        config=KernelConfig(
+            enable_indexing=True, stochastic_cracking=True, crack_seed=seed
+        ),
+    )
+    off = ExplorationSession(
+        profile=FAST_PROFILE, config=KernelConfig(enable_indexing=False)
+    )
+    results = []
+    for session in (on, off):
+        session.load_column("data", data.copy())
+        view = session.show_column("data")
+        results.append(drive_column_script(session, view, np.random.default_rng(seed + 1)))
+    assert results[0] == results[1]
+    # bulk selections stay exact with stochastic pivots in the structure
+    script_rng = np.random.default_rng(seed + 2)
+    for _ in range(8):
+        predicate = random_predicate(script_rng)
+        selection = on.select_where("data-view", predicate)
+        assert np.array_equal(selection.rowids, np.nonzero(predicate.mask(data))[0])
+    assert on.kernel.index_manager.stats.stochastic_cracks > 0
+
+
+@pytest.mark.parametrize("seed", [7, 31])
+def test_disk_resident_cracker_scripts_bit_identical(tmp_path, seed):
+    """The spill-through disk-resident cracker arm: a paged column served
+    by an IndexManager that spills chunk crackers through the same store
+    replays seeded scripts bit-identically to the indexing-off reference,
+    and bulk selections stay exact through spill/revive cycles."""
+    from repro.indexing.manager import IndexManager
+
+    rng = np.random.default_rng(seed)
+    data = np.sort(rng.integers(0, 1_000_000, size=30_000, dtype=np.int64))
+    store = DiskColumnStore(tmp_path / "store", cache_bytes=1 << 20)
+    catalog = StoreCatalog(store)
+    catalog.persist_column(Column("data", data), chunk_rows=2048)
+    manager = IndexManager(spill_store=store, max_resident_chunks=2)
+    on = ExplorationSession(
+        profile=FAST_PROFILE,
+        config=KernelConfig(enable_indexing=True, index_manager=manager),
+    )
+    off = ExplorationSession(
+        profile=FAST_PROFILE, config=KernelConfig(enable_indexing=False)
+    )
+    results = []
+    for session in (on, off):
+        session.service.catalog.register_column(catalog.load_column("data"))
+        view = session.show_column("data")
+        results.append(drive_column_script(session, view, np.random.default_rng(seed + 1)))
+    assert results[0] == results[1]
+    # narrow bulk selections walk the key space chunk by chunk, forcing
+    # chunk-cracker builds past the 2-chunk residency cap
+    script_rng = np.random.default_rng(seed + 2)
+    for _ in range(30):
+        low = float(script_rng.uniform(0, 990_000))
+        predicate = Predicate(Comparison.BETWEEN, low, upper=low + 5_000.0)
+        selection = on.select_where("data-view", predicate)
+        assert selection.strategy == "paged-cracker"
+        assert np.array_equal(selection.rowids, np.nonzero(predicate.mask(data))[0])
+    stats = on.kernel.index_manager.stats_snapshot()
+    assert stats["paged_crackers_built"] == 1
+    assert stats["spills"] > 0
+    assert stats["spill_loads"] > 0
+    assert stats["resident_chunk_crackers"] <= 2
+
+
 @pytest.mark.parametrize("seed", [5, 23])
-def test_select_where_table_scripts_bit_identical(seed):
-    """Seeded select-where slides over tables are unchanged by indexing."""
+@pytest.mark.parametrize("with_cache", [True, False])
+def test_select_where_table_scripts_bit_identical(seed, with_cache):
+    """Seeded select-where slides over tables are unchanged by indexing.
+
+    The ``with_cache=False`` arm drives the batch executor's index
+    prefilter (touch reads answered through cracker membership), which
+    must leave every counter — ``tuples_examined`` included — identical
+    to the indexing-off replay.
+    """
     rng = np.random.default_rng(seed)
     n = 5_000
     table_data = {
@@ -201,9 +282,16 @@ def test_select_where_table_scripts_bit_identical(seed):
         "customer": rng.integers(0, 40, size=n, dtype=np.int64),
         "score": rng.normal(0.0, 1.0, size=n),
     }
-    on, off = indexed_and_reference_sessions()
+    sessions = [
+        ExplorationSession(
+            profile=FAST_PROFILE,
+            config=KernelConfig(enable_indexing=enabled, enable_cache=with_cache),
+        )
+        for enabled in (True, False)
+    ]
+    on, off = sessions
     results = []
-    for session in (on, off):
+    for session in sessions:
         session.load_table("orders", Table.from_arrays("orders", dict(table_data)))
         view = session.show_table("orders")
         script_rng = np.random.default_rng(seed + 1)

@@ -23,7 +23,6 @@ from repro.core.session import ExplorationSession
 from repro.engine.filter import Comparison, Predicate
 from repro.errors import QueryError, StorageError
 from repro.indexing.manager import (
-    EXACT_INT_LIMIT,
     IndexManager,
     predicate_range,
 )
@@ -118,13 +117,37 @@ class TestManagerStrategies:
         )
         assert not manager.observe_predicate("s", None, column, Predicate(Comparison.EQ, 1))
 
-    def test_huge_integers_fall_back_to_scan(self, manager):
-        # 2**53 + 1 is not float64-representable; cracking would misplace rows
-        data = np.array([0, 2**53 + 1, 5, 2**53 - 1], dtype=np.int64)
+    @pytest.mark.parametrize(
+        "data",
+        [
+            # the 2**53 boundary, where float64 loses integer exactness:
+            # the dtype-preserving cracker must agree with Predicate.mask
+            # on both sides of it
+            np.array([0, 2**53 - 1, 2**53, 2**53 + 1, 2**53 + 2, 5], dtype=np.int64),
+            np.array([-(2**53) - 1, -(2**53), -(2**53) + 1, -7, 0], dtype=np.int64),
+            # int64 extremes
+            np.array(
+                [np.iinfo(np.int64).min, -1, 0, 1, np.iinfo(np.int64).max],
+                dtype=np.int64,
+            ),
+        ],
+    )
+    def test_huge_integers_crack_exactly(self, manager, data):
+        """Regression for the deleted >2**53 refusal: int64 cracks as int64."""
         column = Column("big", data)
-        predicate = Predicate(Comparison.GT, float(EXACT_INT_LIMIT))
-        assert manager.select_rowids("big", None, column, predicate) is None
-        assert not manager.has_cracker("big", None)
+        for operand in (
+            float(2**53),
+            float(2**53 - 1),
+            float(-(2**53)),
+            float(np.iinfo(np.int64).max),
+            0.0,
+        ):
+            for comparison in (Comparison.GT, Comparison.LE, Comparison.EQ):
+                predicate = Predicate(comparison, operand)
+                selection = manager.select_rowids("big", None, column, predicate)
+                assert selection is not None and selection.strategy == "cracker"
+                assert np.array_equal(selection.rowids, brute(data, predicate))
+        assert manager.has_cracker("big", None)
 
     def test_empty_column_has_no_strategy(self, manager):
         column = Column("e", np.empty(0, dtype=np.int64))
@@ -132,8 +155,29 @@ class TestManagerStrategies:
             manager.select_rowids("e", None, column, Predicate(Comparison.GT, 0)) is None
         )
 
-    def test_paged_column_uses_zonemap_chunks(self, manager, tmp_path):
+    def test_paged_column_uses_disk_resident_cracker(self, manager, tmp_path):
         data = np.arange(50_000, dtype=np.int64)  # clustered: zones prune
+        store = DiskColumnStore(tmp_path, cache_bytes=1 << 20)
+        catalog = StoreCatalog(store)
+        catalog.persist_column(Column("sorted", data), chunk_rows=1024)
+        paged = catalog.load_column("sorted")
+        predicate = Predicate(Comparison.BETWEEN, 10_000, upper=10_500)
+        selection = manager.select_rowids("sorted", None, paged, predicate)
+        assert selection.strategy == "paged-cracker"
+        assert np.array_equal(selection.rowids, brute(data, predicate))
+        # zonemap pruning still bounds the work: only overlapping chunks
+        assert selection.rows_scanned <= 2 * 1024
+        assert manager.has_cracker("sorted", None)
+        # the cracker holds per-chunk state, never a full column copy
+        assert manager.index_bytes < data.nbytes
+        # repeat consultations answer from cracked pieces and scan no more
+        again = manager.select_rowids("sorted", None, paged, predicate)
+        assert again.rows_scanned <= selection.rows_scanned
+        assert np.array_equal(again.rowids, brute(data, predicate))
+
+    def test_paged_cracking_off_falls_back_to_zonemap(self, tmp_path):
+        manager = IndexManager(paged_cracking=False)
+        data = np.arange(50_000, dtype=np.int64)
         store = DiskColumnStore(tmp_path, cache_bytes=1 << 20)
         catalog = StoreCatalog(store)
         catalog.persist_column(Column("sorted", data), chunk_rows=1024)
@@ -142,9 +186,8 @@ class TestManagerStrategies:
         selection = manager.select_rowids("sorted", None, paged, predicate)
         assert selection.strategy == "zonemap"
         assert np.array_equal(selection.rowids, brute(data, predicate))
-        # pruning really happened: only the overlapping chunks were scanned
         assert selection.rows_scanned <= 2 * 1024
-        assert not manager.has_cracker("sorted", None)  # no full copy was built
+        assert not manager.has_cracker("sorted", None)  # no cracker state at all
 
 
 class TestManagerLifecycle:
@@ -164,11 +207,11 @@ class TestManagerLifecycle:
 
     def test_dead_column_states_are_pruned(self, manager):
         # a refused (uncrackable) state holds only a weakref to its column
-        big = Column("big", np.array([0, 2**53 + 1], dtype=np.int64))
-        manager.select_rowids("big", None, big, Predicate(Comparison.GT, 0))
-        assert ("big", None) in manager.tracked_keys
-        del big
-        assert ("big", None) not in manager.tracked_keys
+        empty = Column("empty", np.empty(0, dtype=np.int64))
+        manager.select_rowids("empty", None, empty, Predicate(Comparison.GT, 0))
+        assert ("empty", None) in manager.tracked_keys
+        del empty
+        assert ("empty", None) not in manager.tracked_keys
 
     def test_cracker_cap_drops_least_recently_consulted(self):
         manager = IndexManager(max_crackers=2)
@@ -365,7 +408,7 @@ class TestPredicateEdgeCases:
         paged = catalog.load_column("d")
         chunked = manager.select_rowids("d-paged", None, paged, predicate)
         if chunked is not None:
-            assert chunked.strategy == "zonemap"
+            assert chunked.strategy == "paged-cracker"
             assert np.array_equal(chunked.rowids, expected)
         return expected
 
@@ -494,6 +537,120 @@ class TestSnapshotRoundTrip:
         reopened = StoreCatalog(DiskColumnStore(tmp_path, cache_bytes=1 << 20))
         assert reopened.index_keys() == []
         assert reopened.column_names == ["c"]
+
+    @staticmethod
+    def _index_record(catalog):
+        import json
+
+        return json.loads(catalog.manifest_path.read_text())["indexes"][0]
+
+    def _seeded_catalog(self, tmp_path):
+        """A persisted column plus a manager whose cracker has an
+        established piece structure and one full index snapshot on disk."""
+        rng = np.random.default_rng(3)
+        data = rng.integers(-(2**60), 2**60, size=40_000)
+        catalog = StoreCatalog(DiskColumnStore(tmp_path, cache_bytes=1 << 22))
+        catalog.persist_column(Column("hot", data))
+        manager = IndexManager()
+        column = Column("hot", data)
+        for fraction in (-0.75, -0.5, -0.25, 0.0, 0.25, 0.5, 0.75):
+            manager.select_rowids(
+                "hot", None, column, Predicate(Comparison.GE, fraction * 2**60)
+            )
+        assert catalog.persist_index(manager) == [("hot", None)]
+        return data, catalog, manager, column
+
+    def test_narrow_refinement_persists_as_delta(self, tmp_path):
+        data, catalog, manager, column = self._seeded_catalog(tmp_path)
+        full = self._index_record(catalog)
+        assert full["deltas"] == []
+
+        narrow = Predicate(Comparison.BETWEEN, 0.1 * 2**60, upper=0.12 * 2**60)
+        manager.select_rowids("hot", None, column, narrow)
+        assert catalog.persist_index(manager) == [("hot", None)]
+        record = self._index_record(catalog)
+        assert record["epoch"] == full["epoch"]
+        assert record["generation"] > full["generation"]
+        assert len(record["deltas"]) >= 1
+        assert sum(d["rows"] for d in record["deltas"]) < len(data) // 2
+
+        # persisting again with no new cracks leaves the record untouched
+        assert catalog.persist_index(manager) == [("hot", None)]
+        assert self._index_record(catalog) == record
+
+        # warm start splices the delta chain and answers exactly, in the
+        # column's native dtype
+        reopened = StoreCatalog(DiskColumnStore(tmp_path, cache_bytes=1 << 22))
+        runtime = Catalog()
+        reopened.attach(runtime)
+        warm = IndexManager()
+        assert reopened.attach_index(warm, runtime) == [("hot", None)]
+        paged = runtime.resolve_column("hot")
+        for predicate in (
+            narrow,
+            Predicate(Comparison.GE, 0.5 * 2**60),
+            Predicate(Comparison.LT, -(2**58)),
+        ):
+            selection = warm.select_rowids("hot", None, paged, predicate)
+            assert np.array_equal(selection.rowids, brute(data, predicate))
+        adopted = warm.cracker_for("hot", None)
+        assert adopted._values.dtype == np.int64
+        # the delta carried the refined piece boundaries across the restart
+        assert adopted.scan_cost_for_range(0.1 * 2**60, 0.12 * 2**60) < len(data) // 8
+
+    def test_wholesale_recracking_compacts_to_full_rewrite(self, tmp_path):
+        data, catalog, manager, column = self._seeded_catalog(tmp_path)
+        full = self._index_record(catalog)
+        # cracks that dirty most of the array must not be written as deltas:
+        # one new pivot inside every established piece touches ~every row
+        for step in range(16):
+            fraction = -0.85 + step * 0.11
+            manager.select_rowids(
+                "hot", None, column, Predicate(Comparison.LE, fraction * 2**60)
+            )
+        assert catalog.persist_index(manager) == [("hot", None)]
+        record = self._index_record(catalog)
+        assert record["epoch"] == full["epoch"]
+        assert record["deltas"] == []
+        assert record["generation"] > full["generation"]
+
+    def test_delta_chain_is_bounded_and_orphan_free(self, tmp_path):
+        from repro.persist.snapshot import MAX_INDEX_DELTAS
+
+        data, catalog, manager, column = self._seeded_catalog(tmp_path)
+        for step in range(12):
+            low = (0.1 + step * 0.01) * 2**60
+            manager.select_rowids(
+                "hot", None, column, Predicate(Comparison.BETWEEN, low, upper=low + 2**53)
+            )
+            assert catalog.persist_index(manager) == [("hot", None)]
+        record = self._index_record(catalog)
+        assert len(record["deltas"]) <= MAX_INDEX_DELTAS
+        live = [name for name in catalog.store.column_names if "#crk-d" in name]
+        assert len(live) == 2 * len(record["deltas"])
+
+    def test_legacy_full_array_records_still_attach(self, tmp_path):
+        import json
+
+        data, catalog, manager, column = self._seeded_catalog(tmp_path)
+        payload = json.loads(catalog.manifest_path.read_text())
+        for record in payload["indexes"]:
+            # pre-delta manifests carry none of the incremental fields
+            record.pop("epoch")
+            record.pop("generation")
+            record.pop("deltas")
+        catalog.manifest_path.write_text(json.dumps(payload))
+
+        reopened = StoreCatalog(DiskColumnStore(tmp_path, cache_bytes=1 << 22))
+        runtime = Catalog()
+        reopened.attach(runtime)
+        warm = IndexManager()
+        assert reopened.attach_index(warm, runtime) == [("hot", None)]
+        predicate = Predicate(Comparison.GE, 0.5 * 2**60)
+        selection = warm.select_rowids(
+            "hot", None, runtime.resolve_column("hot"), predicate
+        )
+        assert np.array_equal(selection.rowids, brute(data, predicate))
 
 
 class TestSharedIndexServing:

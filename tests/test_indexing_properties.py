@@ -150,6 +150,104 @@ def test_export_import_roundtrip_preserves_lookups(seed):
         )
 
 
+@pytest.mark.parametrize("seed", SEEDS)
+def test_coalescing_keeps_invariants_and_exact_lookups(seed):
+    """Piece merging under the cap never loses rows or breaks lookups."""
+    rng = np.random.default_rng(seed)
+    column = Column("c", rng.normal(0.0, 200.0, size=3000))
+    cap = int(rng.integers(4, 12))
+    index = CrackerIndex(column, max_pieces=cap, min_piece_rows=1)
+    for pivot in random_pivots(rng, 40):
+        index.crack(pivot)
+        assert index.num_pieces <= cap
+        assert_invariants(index, column)
+    assert index.coalesces_performed > 0  # the cap actually bit
+    assert index.pieces_merged >= index.coalesces_performed
+    for _ in range(15):
+        a, b = sorted(rng.normal(0.0, 300.0, size=2))
+        assert np.array_equal(
+            index.rowids_in_range(float(a), float(b), crack=False),
+            brute_force(column, a, b),
+        )
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_coalescing_bounds_pieces_under_lookup_driven_cracking(seed):
+    """A long adaptive session keeps its piece count capped, not linear
+    in the number of distinct predicates."""
+    rng = np.random.default_rng(seed)
+    column = Column("c", rng.integers(-10_000, 10_000, size=5000).astype(np.int64))
+    index = CrackerIndex(column, max_pieces=16, min_piece_rows=1)
+    for _ in range(200):
+        a, b = sorted(rng.uniform(-10_000, 10_000, size=2))
+        result = index.rowids_in_range(float(a), float(b))
+        assert np.array_equal(result, brute_force(column, a, b))
+        assert index.num_pieces <= 16
+    assert index.cracks_performed > 16
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_stochastic_cracking_is_seed_deterministic(seed):
+    """MDD1R mixing: equal seeds give bit-identical piece structures,
+    different seeds diverge, and lookups stay exact either way."""
+    rng = np.random.default_rng(seed)
+    values = rng.normal(0.0, 200.0, size=2500)
+    pivots = random_pivots(rng, 10)
+    ranges = [sorted(rng.normal(0.0, 300.0, size=2)) for _ in range(10)]
+
+    def build(crack_seed):
+        column = Column("c", values)
+        index = CrackerIndex(column, stochastic=True, seed=crack_seed)
+        for pivot in pivots:
+            index.crack(pivot)
+        for a, b in ranges:
+            assert np.array_equal(
+                index.rowids_in_range(float(a), float(b)),
+                brute_force(column, a, b),
+            )
+            assert_invariants(index, column)
+        return index
+
+    first, twin, other = build(7), build(7), build(8)
+    assert first.stochastic_cracks > 0
+    assert first.stochastic_cracks == twin.stochastic_cracks
+    assert np.array_equal(first._pivots, twin._pivots)
+    assert np.array_equal(first._bounds, twin._bounds)
+    assert np.array_equal(first._rowids, twin._rowids)
+    assert not np.array_equal(first._pivots, other._pivots)
+
+
+@pytest.mark.parametrize("seed", SEEDS[:2])
+def test_paged_cracker_stays_exact_through_spill_and_revive(seed, tmp_path):
+    """The disk-resident cracker answers exactly while chunk crackers are
+    built, spilled to the store under LRU pressure, and revived."""
+    from repro.indexing.paged import PagedCrackerIndex
+    from repro.persist.diskstore import DiskColumnStore
+
+    rng = np.random.default_rng(seed)
+    data = np.sort(rng.normal(0.0, 10_000.0, size=20_000))
+    store = DiskColumnStore(tmp_path, cache_bytes=1 << 22)
+    store.write_column(Column("c", data), chunk_rows=1024)
+    paged = store.open_column("c")
+    index = PagedCrackerIndex(
+        paged, spill_store=store, spill_prefix="c#t", max_resident_chunks=3
+    )
+    column = Column("c", data)
+    for _ in range(60):
+        a = float(rng.uniform(-30_000, 30_000))
+        b = a + float(rng.uniform(0.0, 2_000.0))
+        result = index.rowids_in_range(a, b)
+        assert np.array_equal(result, brute_force(column, a, b))
+        assert index.num_resident_chunks <= 3
+    assert index.chunk_crackers_built > 3
+    assert index.spills > 0
+    assert index.spill_loads > 0
+    # spilled structure is dropped cleanly on request
+    index.discard_spills()
+    assert index.num_spilled_chunks == 0
+    assert not [name for name in store.column_names if "#spill-" in name]
+
+
 def test_from_state_rejects_malformed_states():
     column = Column("c", np.arange(100, dtype=np.int64))
     index = CrackerIndex(column)

@@ -271,6 +271,49 @@ class TestMultiSessionServer:
         with pytest.raises(ServiceError):
             server.metrics("alpha")
 
+    def test_index_stats_surface(self):
+        from repro.core.actions import scan_action
+        from repro.engine.filter import Comparison, Predicate
+
+        server = MultiSessionServer(shared_index=True)
+        server.load_shared_column("m", np.arange(60_000, dtype=np.int64))
+        sid = server.open_session()
+        server.execute(sid, ShowColumn(object_name="m", view_name="v"))
+        server.execute(
+            sid,
+            ChooseAction(
+                view="v",
+                action=scan_action(Predicate(Comparison.BETWEEN, 1_000, upper=2_000)),
+            ),
+        )
+        server.execute(sid, Slide(view="v", duration=0.5))
+        stats = server.index_stats()
+        assert stats is not None
+        assert stats["cracks_performed"] > 0
+        assert stats["crackers_live"] == 1
+        assert stats["piece_count"] >= 2
+        assert stats == server.service(sid).index_stats()
+        # the parity surface stays index-free
+        assert set(server.metrics(sid).counters_snapshot()) == {
+            "commands",
+            "entries_returned",
+            "tuples_examined",
+            "cache_hits",
+            "prefetch_hits",
+        }
+
+    def test_index_stats_sums_private_managers(self):
+        server = MultiSessionServer()
+        first = server.open_session()
+        second = server.open_session()
+        for sid in (first, second):
+            server.load_column(sid, "m", np.arange(10_000, dtype=np.int64))
+            server.execute(sid, ShowColumn(object_name="m", view_name="v"))
+        stats = server.index_stats()
+        assert stats is not None
+        # two private managers, no cracks yet: counters sum to zero
+        assert stats["cracks_performed"] == 0
+
     def test_remote_factory(self):
         def factory():
             service = RemoteExplorationService(network_profile=LAN)

@@ -207,6 +207,13 @@ class TestWireServing:
                 assert stats["sessions"][sid]["commands"] == 4
             assert stats["alive_workers"] == [0, 1]
             assert set(stats["workers"]) == {"0", "1"}
+            # the adaptive-index surface rides along, key-summed per shard
+            assert isinstance(stats["index"], dict)
+            assert {"consultations", "cracks_performed", "piece_count"} <= set(
+                stats["index"]
+            )
+            for worker_report in stats["workers"].values():
+                assert "index" in worker_report
         finally:
             for client in clients:
                 client.close_session()
