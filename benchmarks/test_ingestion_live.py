@@ -1,0 +1,158 @@
+"""E-live-ingestion: append throughput and hot-tail query latency.
+
+The streaming-append tier must keep exploration interactive while data
+arrives: ``append_batch`` grows a column in place, the cracked index
+keeps serving its frozen prefix through a validity window, and only the
+appended hot tail is scanned until a background merge folds it in.  Two
+properties are measured:
+
+* **Append throughput** — a session absorbing batch after batch into an
+  already-cracked column sustains a bulk ingest rate, and not one append
+  tears the index down (``prefix_extensions`` grows, ``invalidations``
+  stays zero).
+* **Hot-tail query latency** — with a fresh unmerged tail, narrow range
+  selections still answer through cracked pieces plus a tail scan and
+  beat the full-scan reference; after ``merge_index_tails`` the window
+  closes and selections are pure cracker again.  Results stay
+  bit-identical to brute force throughout.
+
+Headline numbers land in ``benchmark.extra_info`` and surface as
+``BENCH_live_ingestion_*.json`` via ``scripts/bench_trajectory.py``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.kernel import KernelConfig
+from repro.core.session import ExplorationSession
+from repro.engine.filter import Comparison, Predicate
+from repro.metrics.reporting import format_comparison
+from repro.touchio.device import IPAD1_PROTOTYPE as IPAD1
+
+from conftest import print_comparison
+
+#: Rows preloaded (and cracked) before ingestion starts.
+BASE_ROWS = 2_000_000
+#: Batches appended and rows per batch for the throughput run.
+BATCHES = 32
+BATCH_ROWS = 10_000
+#: Narrow hot ranges for the latency run.
+HOT_RANGES = [(440_000.0, 450_000.0), (612_000.0, 622_000.0), (88_000.0, 98_000.0)]
+REPEATS = 5
+#: Conservative floors (CI-class single core).
+MIN_APPEND_ROWS_PER_S = 50_000.0
+MIN_WINDOW_SPEEDUP = 2.0
+
+
+def make_sessions(data: np.ndarray):
+    indexed = ExplorationSession(profile=IPAD1)
+    reference = ExplorationSession(profile=IPAD1, config=KernelConfig(enable_indexing=False))
+    for session in (indexed, reference):
+        session.load_column("stream", data.copy())
+        session.show_column("stream")
+    return indexed, reference
+
+
+def crack_hot_ranges(session: ExplorationSession) -> None:
+    for low, high in HOT_RANGES:
+        session.select_where("stream-view", Predicate(Comparison.BETWEEN, low, upper=high))
+
+
+def timed_selections(session: ExplorationSession):
+    started = time.perf_counter()
+    results = []
+    for _ in range(REPEATS):
+        for low, high in HOT_RANGES:
+            results.append(
+                session.select_where("stream-view", Predicate(Comparison.BETWEEN, low, upper=high))
+            )
+    return time.perf_counter() - started, results
+
+
+def test_append_throughput_never_invalidates(benchmark):
+    """Bulk ingest into a cracked column: fast, and the index survives."""
+    rng = np.random.default_rng(101)
+    data = rng.integers(0, 1_000_000, size=BASE_ROWS, dtype=np.int64)
+    batches = [
+        rng.integers(0, 1_000_000, size=BATCH_ROWS, dtype=np.int64) for _ in range(BATCHES)
+    ]
+
+    def run():
+        indexed, _ = make_sessions(data)
+        crack_hot_ranges(indexed)
+        started = time.perf_counter()
+        for batch in batches:
+            indexed.append("stream", values=batch.tolist())
+        append_s = time.perf_counter() - started
+        stats = indexed.kernel.index_manager.stats_snapshot()
+        merged = indexed.service.merge_index_tails()
+        return append_s, stats, merged
+
+    append_s, stats, merged = benchmark.pedantic(run, rounds=1, iterations=1)
+    total_rows = BATCHES * BATCH_ROWS
+    rows_per_s = total_rows / append_s
+    print_comparison(
+        format_comparison(
+            "E-live-ingestion: bulk append into a cracked column",
+            {
+                "ingest": {
+                    "rows_appended": float(total_rows),
+                    "seconds": append_s,
+                    "rows_per_s": rows_per_s,
+                }
+            },
+        )
+    )
+    benchmark.extra_info["rows_per_s"] = rows_per_s
+    benchmark.extra_info["rows_appended"] = total_rows
+    benchmark.extra_info["prefix_extensions"] = stats["prefix_extensions"]
+    benchmark.extra_info["invalidations"] = stats["invalidations"]
+    assert stats["prefix_extensions"] == BATCHES  # every append widened the window
+    assert stats["invalidations"] == 0  # and none tore the index down
+    assert merged == total_rows
+    assert rows_per_s >= MIN_APPEND_ROWS_PER_S
+
+
+def test_hot_tail_latency_window_vs_merged(benchmark):
+    """Unmerged tails still answer fast; merging restores pure-cracker service."""
+    rng = np.random.default_rng(103)
+    data = rng.integers(0, 1_000_000, size=BASE_ROWS, dtype=np.int64)
+    tail = rng.integers(0, 1_000_000, size=BATCH_ROWS * 4, dtype=np.int64)
+
+    def run():
+        indexed, reference = make_sessions(data)
+        crack_hot_ranges(indexed)
+        for session in (indexed, reference):
+            session.append("stream", values=tail.tolist())
+        window_s, window_results = timed_selections(indexed)
+        reference_s, reference_results = timed_selections(reference)
+        merged = indexed.service.merge_index_tails()
+        merged_s, merged_results = timed_selections(indexed)
+        for fast, slow in zip(window_results, reference_results):
+            assert slow.strategy == "scan"
+            assert np.array_equal(fast.rowids, slow.rowids)
+        for fast, slow in zip(merged_results, reference_results):
+            assert np.array_equal(fast.rowids, slow.rowids)
+        return window_s, merged_s, reference_s, merged
+
+    window_s, merged_s, reference_s, merged = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_comparison(
+        format_comparison(
+            "E-live-ingestion: hot-tail query latency",
+            {
+                "window (pieces + tail scan)": {"seconds": window_s},
+                "merged (pieces only)": {"seconds": merged_s},
+                "reference (full scan)": {"seconds": reference_s},
+            },
+        )
+    )
+    window_speedup = reference_s / window_s
+    benchmark.extra_info["window_speedup"] = window_speedup
+    benchmark.extra_info["merged_speedup"] = reference_s / merged_s
+    benchmark.extra_info["rows_merged"] = merged
+    benchmark.extra_info["queries_timed"] = REPEATS * len(HOT_RANGES)
+    assert merged == len(tail)
+    assert window_speedup >= MIN_WINDOW_SPEEDUP

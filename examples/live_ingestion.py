@@ -1,0 +1,115 @@
+"""Live ingestion: explore a column while new rows keep arriving.
+
+The dbTouch promise does not pause for the data to finish loading.  This
+example walks the whole streaming-append story on one session:
+
+1. **load and explore** — show a sensor column, crack it with a few
+   range selections (adaptive indexing as a gesture side effect);
+2. **append mid-session** — new readings land via
+   :meth:`repro.ExplorationSession.append` (a recorded, replayable
+   gesture command).  The cracked index is *not* thrown away: its pieces
+   keep answering for the frozen prefix through a validity window while
+   the appended hot tail is scanned;
+3. **merge the tail** — fold the tail into the cracked pieces (on a
+   server this runs on the background lane; here we call it directly)
+   and watch the window close;
+4. **compact and re-attach** — persist the column, append more rows,
+   fold the in-memory tail into the chunk files with
+   :meth:`repro.StoreCatalog.compact_appends`, and warm-restart from the
+   snapshot with every appended row present.
+
+Run it with::
+
+    python examples/live_ingestion.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro import Column, DiskColumnStore, ExplorationSession, StoreCatalog
+from repro.engine.filter import Comparison, Predicate
+
+BASE_ROWS = 500_000
+BATCH_ROWS = 20_000
+
+
+def fresh_readings(rng: np.random.Generator, n: int) -> np.ndarray:
+    return rng.normal(500.0, 150.0, size=n)
+
+
+def window_report(session: ExplorationSession, name: str) -> str:
+    cracker = session.kernel.index_manager.cracker_for(name)
+    if cracker is None:
+        return "no cracker yet"
+    return (
+        f"{cracker.num_pieces} pieces over rows [0, {cracker.covered_rows:,}), "
+        f"hot tail: {cracker.tail_rows:,} rows"
+    )
+
+
+def main() -> None:
+    rng = np.random.default_rng(11)
+
+    # ---------------------------------------------------------------- #
+    # 1. load and explore: selections crack the column
+    # ---------------------------------------------------------------- #
+    session = ExplorationSession()
+    session.load_column("sensor", fresh_readings(rng, BASE_ROWS))
+    view = session.show_column("sensor")
+    hot = Predicate(Comparison.BETWEEN, 440.0, upper=460.0)
+    for predicate in (hot, Predicate(Comparison.BETWEEN, 600.0, upper=630.0)):
+        selection = session.select_where(view.name, predicate)
+        print(
+            f"selected {len(selection.rowids):,} rows via {selection.strategy!r}, "
+            f"scanned {selection.rows_scanned:,}"
+        )
+    print(f"index after exploring : {window_report(session, 'sensor')}")
+
+    # ---------------------------------------------------------------- #
+    # 2. rows arrive mid-session: the index keeps its pieces
+    # ---------------------------------------------------------------- #
+    new_length = session.append("sensor", values=fresh_readings(rng, BATCH_ROWS).tolist())
+    print(f"\nappended {BATCH_ROWS:,} rows -> column holds {new_length:,}")
+    print(f"index after append    : {window_report(session, 'sensor')}")
+    selection = session.select_where(view.name, hot)
+    print(
+        f"hot range still exact : {len(selection.rowids):,} rows "
+        f"(pieces answer the prefix, the tail is scanned)"
+    )
+
+    # ---------------------------------------------------------------- #
+    # 3. fold the hot tail into the cracked pieces
+    # ---------------------------------------------------------------- #
+    merged = session.service.merge_index_tails()
+    print(f"\nmerged {merged:,} tail rows into the cracker")
+    print(f"index after merge     : {window_report(session, 'sensor')}")
+
+    # ---------------------------------------------------------------- #
+    # 4. persist, append onto the paged column, compact, re-attach warm
+    # ---------------------------------------------------------------- #
+    with tempfile.TemporaryDirectory(prefix="dbtouch-ingest-") as root:
+        catalog = StoreCatalog(DiskColumnStore(Path(root)))
+        catalog.persist_column(
+            Column("sensor", np.asarray(session.catalog.column("sensor").values))
+        )
+        paged = catalog.load_column("sensor")
+        paged.append_batch(fresh_readings(rng, BATCH_ROWS))
+        print(
+            f"\npaged column: {paged.base_rows:,} rows on disk "
+            f"+ {paged.tail_rows:,} in the in-memory tail"
+        )
+        compacted = catalog.compact_appends("sensor")
+        print(f"compact_appends -> {compacted:,} rows, all in chunk files")
+        reopened = StoreCatalog(DiskColumnStore(Path(root))).load_column("sensor")
+        print(
+            f"warm re-attach        : {len(reopened):,} rows, "
+            f"tail {reopened.tail_rows} (everything served from chunks)"
+        )
+
+
+if __name__ == "__main__":
+    main()

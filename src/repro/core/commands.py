@@ -12,8 +12,10 @@ round-trip.  Because a script is plain data, the same exploration can be
 * recorded from an interactive :class:`repro.ExplorationSession` and
   replayed later, byte-for-byte.
 
-Commands carry only names and geometry — never data values or live object
-references — which is what makes them transportable between backends.
+Commands carry only names and geometry — never live object references —
+which is what makes them transportable between backends.  The one command
+that also carries data values is :class:`AppendCommand`: ingestion *is*
+data movement, so the appended rows travel inside the command itself.
 """
 
 from __future__ import annotations
@@ -161,6 +163,8 @@ def _encode_value(value: Any) -> Any:
         }
     if isinstance(value, (tuple, list)):
         return [_encode_value(item) for item in value]
+    if isinstance(value, dict):
+        return {key: _encode_value(item) for key, item in value.items()}
     return value
 
 
@@ -176,6 +180,14 @@ def _decode_field(name: str, value: Any) -> Any:
             return tuple(SlideSegment(**segment) for segment in value)
         except TypeError as exc:
             raise CommandError(f"malformed slide segment: {exc}") from exc
+    if name == "columns" and value is not None:
+        if not isinstance(value, dict) or not all(
+            isinstance(rows, list) for rows in value.values()
+        ):
+            raise CommandError(
+                f"field 'columns' must map attribute names to lists, got {value!r}"
+            )
+        return {key: tuple(rows) for key, rows in value.items()}
     if isinstance(value, list):
         return tuple(value)
     return value
@@ -320,6 +332,24 @@ class UngroupTable(GestureCommand):
     kind: ClassVar[str] = "ungroup-table"
     table_view: str = ""
     height_cm: float = 10.0
+
+
+@dataclass(frozen=True)
+class AppendCommand(GestureCommand):
+    """Append new rows to an already-loaded object, mid-exploration.
+
+    The one command that ships data values (see the module docstring).
+    Standalone columns take ``values``; tables take ``columns`` mapping
+    *every* attribute name to an equal-length row batch — the storage
+    tier appends all-or-nothing, so a partial schema is refused before
+    any column grows.  Values travel as JSON numbers, which restricts
+    wire-borne appends to finite numerics.
+    """
+
+    kind: ClassVar[str] = "append"
+    object_name: str = ""
+    values: tuple[float, ...] | None = None
+    columns: dict[str, tuple[float, ...]] | None = None
 
 
 # --------------------------------------------------------------------- #

@@ -412,14 +412,35 @@ class DbTouchKernel:
         operators, and invalidates the touched-range cache so no stale
         value survives the reload.
         """
+        return self._rebind_object(object_name, grew=False)
+
+    def extend_object(self, object_name: str) -> int:
+        """Re-bind shown views after rows were *appended* to ``object_name``.
+
+        The growth twin of :meth:`refresh_object`: appends never mutate
+        existing rows, so cracked indexes keep their pieces as a valid
+        prefix window (:meth:`IndexManager.extend_valid_prefix`) instead
+        of being discarded.  Every other effect — touched-range cache,
+        hierarchies, joins, operators, view properties — is identical to
+        a reload, which is what keeps gesture outcomes bit-identical
+        between preloaded and incrementally appended data.
+        """
+        return self._rebind_object(object_name, grew=True)
+
+    def _rebind_object(self, object_name: str, grew: bool) -> int:
         dropped = self.invalidate_object(object_name)
         # the catalog caches hierarchies per (object, column); they sample
-        # the pre-reload arrays and must be rebuilt from the new data
+        # the pre-change arrays and must be rebuilt from the new data
         self.catalog.drop_hierarchies_for(object_name)
-        # cracked indexes partition the pre-reload values; serving rowids
-        # computed from vanished data would be silent corruption
+        # cracked indexes partition the pre-change values; serving rowids
+        # computed from vanished data would be silent corruption.  Growth
+        # is the one safe case: old rows kept their positions, so the
+        # cracker survives as a prefix window over the new length.
         if self.index_manager is not None:
-            self.index_manager.invalidate(object_name)
+            if grew:
+                self.index_manager.extend_valid_prefix(object_name)
+            else:
+                self.index_manager.invalidate(object_name)
         for view_name, state in self._states.items():
             if state.object_name != object_name:
                 continue

@@ -31,6 +31,7 @@ from repro.core.actions import (
     summary_action,
 )
 from repro.core.commands import (
+    AppendCommand,
     ChooseAction,
     DragColumnOut,
     GestureCommand,
@@ -287,6 +288,37 @@ class ExplorationSession:
         if replace:
             return self._replace_loader("load_table")(name, data, replace=True)
         return self._service.load_table(name, data)
+
+    def append(
+        self,
+        object_name: str,
+        values: Iterable | None = None,
+        columns: Mapping[str, Iterable] | None = None,
+    ) -> int:
+        """Append rows to an already-loaded object, mid-exploration.
+
+        Unlike :meth:`load_column`, appending *is* part of the command
+        vocabulary (:class:`repro.core.commands.AppendCommand`), so it is
+        recorded and replays at the same position in the script — which
+        is what lets a replay reproduce an exploration over live,
+        incrementally arriving data.  Shown views stay live: cracked
+        indexes keep their pieces and tail-scan the appended rows until
+        the backend merges them in.  Returns the object's new row count.
+        """
+        normalized_values = None if values is None else tuple(values)
+        normalized_columns = (
+            None
+            if columns is None
+            else {name: tuple(rows) for name, rows in columns.items()}
+        )
+        envelope = self._execute(
+            AppendCommand(
+                object_name=object_name,
+                values=normalized_values,
+                columns=normalized_columns,
+            )
+        )
+        return int(envelope.payload["num_rows"])
 
     def show_column(
         self,

@@ -36,6 +36,10 @@ class LoaderError(StorageError):
     """Input data could not be read or decoded by a loader."""
 
 
+class IngestError(StorageError):
+    """A live append was refused (dtype drift, schema mismatch, read-only data)."""
+
+
 class PersistError(StorageError):
     """Problems in the out-of-core persistent storage tier."""
 

@@ -48,14 +48,27 @@ all non-NaN values in ``[0, num_valid)`` and parks the NaN rows behind
 them, outside every piece, so range lookups can never return a NaN row —
 exactly the semantics of ``Predicate.mask`` on the base data.
 
+**Validity windows.**  A live append grows the base column without
+touching the cracker: the index keeps answering exactly for the prefix it
+was built over (``covered_rows``) while the appended tail is scanned by
+the caller (:class:`repro.indexing.manager.IndexManager` merges the two
+answer sets).  :meth:`merge_tail` — scheduled off the gesture path, on
+the background lane — folds the tail rows into their pieces in one pass
+and advances the window, so steady-state lookups regain full piece
+pruning without ever discarding cracked state.
+
 The full cracked state (the reordered copy, the rowid permutation and the
 piece structure) can be exported with :meth:`CrackerIndex.export_state`
 and restored with :meth:`CrackerIndex.from_state`; the snapshot tier uses
-this to make cracked organization survive restarts.  Each data-permuting
-mutation is also recorded in a bounded mutation log (generation, start,
-stop), which lets the snapshot tier write *incremental piece-level
-deltas* — only the regions permuted since the last persisted generation —
-instead of rewriting the full arrays.
+this to make cracked organization survive restarts.  Because appends
+never mutate existing rows, a snapshot taken *before* an append is still
+a valid prefix of the grown column — ``from_state`` therefore accepts
+state covering any prefix and revives it with a correspondingly narrowed
+validity window.  Each data-permuting mutation is also recorded in a
+bounded mutation log (generation, start, stop), which lets the snapshot
+tier write *incremental piece-level deltas* — only the regions permuted
+since the last persisted generation — instead of rewriting the full
+arrays.
 """
 
 from __future__ import annotations
@@ -214,6 +227,8 @@ class CrackerIndex:
         self.coalesces_performed = 0
         self.pieces_merged = 0
         self.values_scanned_total = 0
+        self.tail_merges = 0
+        self.rows_merged_total = 0
         # incremental-snapshot bookkeeping (see CrackerState)
         self.epoch = uuid.uuid4().hex[:16]
         self.generation = 0
@@ -228,18 +243,21 @@ class CrackerIndex:
         """Revive a cracker from exported state, bound to ``column``.
 
         The arrays are copied (a snapshot hands in read-only memmaps) and
-        the structural invariants are validated: matching row counts, a
-        rowid permutation of the right length, sorted pivots and sorted
-        bounds spanning exactly the valid prefix — plus a sampled
-        value-consistency probe proving the state was built from this
-        column's data (not a same-shaped predecessor of a reload).  State
-        whose values were stored in a different dtype (e.g. the float64
-        arrays of pre-dtype-preserving snapshots) is cast to the column's
-        native dtype and rejected if the cast is lossy.  A state that does
-        not fit the live column raises
-        :class:`repro.errors.StorageError` — the caller (e.g. a snapshot
-        warm start against reloaded data) should fall back to a fresh
-        index.
+        the structural invariants are validated: a row count covering a
+        *prefix* of the column, a rowid permutation of that prefix, sorted
+        pivots and sorted bounds spanning exactly the valid prefix — plus
+        a sampled value-consistency probe proving the state was built from
+        this column's data (not a same-shaped predecessor of a reload).
+        State shorter than the column is legal because appends never
+        mutate existing rows: the revived index simply covers the
+        snapshotted prefix (``covered_rows``) and the appended tail is
+        scanned until :meth:`merge_tail` folds it in.  State whose values
+        were stored in a different dtype (e.g. the float64 arrays of
+        pre-dtype-preserving snapshots) is cast to the column's native
+        dtype and rejected if the cast is lossy.  A state that does not
+        fit the live column raises :class:`repro.errors.StorageError` —
+        the caller (e.g. a snapshot warm start against reloaded data)
+        should fall back to a fresh index.
         """
         if not column.is_numeric:
             raise StorageError("cracking requires a numeric column")
@@ -263,14 +281,15 @@ class CrackerIndex:
         bounds = np.asarray([int(b) for b in state.bounds], dtype=np.int64)
         num_valid = int(state.num_valid)
         n = len(column)
-        if values.shape != (n,) or rowids.shape != (n,):
+        m = int(values.shape[0]) if values.ndim == 1 else -1
+        if values.ndim != 1 or rowids.shape != values.shape or m > n:
             raise StorageError(
                 f"cracker state of {values.shape[0] if values.ndim else 0} rows "
                 f"does not fit column {column.name!r} of length {n}"
             )
-        if not 0 <= num_valid <= n:
+        if not 0 <= num_valid <= m:
             raise StorageError(f"cracker state num_valid {num_valid} out of range")
-        if not np.issubdtype(values.dtype, np.floating) and num_valid != n:
+        if not np.issubdtype(values.dtype, np.floating) and num_valid != m:
             raise StorageError(
                 "cracker state parks NaN rows but the column dtype has no NaN"
             )
@@ -283,17 +302,17 @@ class CrackerIndex:
         if pivots.size and not np.isfinite(pivots).all():
             raise StorageError("cracker state pivots must be finite")
         if rowids.size and not np.array_equal(
-            np.sort(rowids), np.arange(n, dtype=np.int64)
+            np.sort(rowids), np.arange(m, dtype=np.int64)
         ):
             raise StorageError("cracker state rowids are not a permutation")
         # sampled data-consistency check: the state must actually derive
         # from ``column``.  A snapshot taken against since-reloaded data
-        # passes every structural check above (same length, still a
+        # passes every structural check above (still a prefix, still a
         # permutation) but would silently serve rowids for values the
         # column no longer holds; probing evenly spaced positions catches
         # any substantive data swap at the cost of a few reads.
-        if n:
-            probes = np.unique(np.linspace(0, n - 1, num=min(n, 64), dtype=np.int64))
+        if m:
+            probes = np.unique(np.linspace(0, m - 1, num=min(m, 64), dtype=np.int64))
             for pos in probes.tolist():
                 expected = values[pos]
                 actual = column.value_at(int(rowids[pos]))
@@ -308,7 +327,7 @@ class CrackerIndex:
         index.column = column
         index._values = values
         index._rowids = rowids
-        index._num_nan = n - num_valid
+        index._num_nan = m - num_valid
         index._num_valid = num_valid
         index._bounds = bounds
         index._pivots = pivots
@@ -321,6 +340,8 @@ class CrackerIndex:
         index.coalesces_performed = 0
         index.pieces_merged = 0
         index.values_scanned_total = 0
+        index.tail_merges = 0
+        index.rows_merged_total = 0
         # an adopted cracker starts a fresh delta chain: diffs against any
         # previously persisted epoch are unknowable from here
         index.epoch = uuid.uuid4().hex[:16]
@@ -351,6 +372,22 @@ class CrackerIndex:
     def num_valid(self) -> int:
         """Rows the piece structure covers (everything but the NaN rows)."""
         return self._num_valid
+
+    @property
+    def covered_rows(self) -> int:
+        """Base rows inside the validity window ``[0, covered_rows)``.
+
+        Rows at or beyond this offset were appended after the cracker was
+        built (or after its snapshot was taken) and are not yet folded
+        into any piece; lookups answer exactly for the window and the
+        caller scans the tail until :meth:`merge_tail` advances it.
+        """
+        return self._num_valid + self._num_nan
+
+    @property
+    def tail_rows(self) -> int:
+        """Appended base rows not yet folded into the piece structure."""
+        return len(self.column) - self.covered_rows
 
     @property
     def num_nan(self) -> int:
@@ -467,6 +504,83 @@ class CrackerIndex:
             self.pieces_merged += merged
             self.coalesces_performed += 1
             self.generation += 1
+        return merged
+
+    # ------------------------------------------------------------------ #
+    # validity-window maintenance (live appends)
+    # ------------------------------------------------------------------ #
+    def merge_tail(self) -> int:
+        """Fold appended base rows into the pieces; returns rows merged.
+
+        One pass over the tail: each appended row is routed to the piece
+        whose value envelope contains it (piece membership uses the same
+        ``< pivot`` comparison :meth:`crack` splits with, so exactness
+        against ``Predicate.mask`` is preserved even for int64 beyond
+        2**53), appended NaN rows are parked behind the valid prefix with
+        the rest, and the validity window advances to the column's new
+        length.  No existing piece boundary moves — the structure keeps
+        every crack it has earned.  Intended to run on the background
+        lane, off the gesture path; a no-op when the window is current.
+        """
+        n = len(self.column)
+        covered = self.covered_rows
+        if n <= covered:
+            return 0
+        tail = np.asarray(self.column.values[covered:])
+        tail_rowids = np.arange(covered, n, dtype=np.int64)
+        if np.issubdtype(tail.dtype, np.floating):
+            nan_mask = np.isnan(tail)
+        else:
+            nan_mask = np.zeros(tail.shape, dtype=bool)
+        valid = tail[~nan_mask]
+        valid_rowids = tail_rowids[~nan_mask]
+        # route each row to its piece: membership is #{pivot <= value},
+        # evaluated pivot-by-pivot with the exact promotion crack() uses
+        piece_idx = np.zeros(valid.shape[0], dtype=np.int64)
+        for pivot in self._pivots.tolist():
+            piece_idx += valid >= pivot
+        order = np.argsort(piece_idx, kind="stable")
+        valid = valid[order]
+        valid_rowids = valid_rowids[order]
+        counts = np.bincount(piece_idx, minlength=self.num_pieces)
+        shifts = np.concatenate([[0], np.cumsum(counts)]).astype(np.int64)
+        old_bounds = self._bounds
+        new_bounds = old_bounds + shifts
+        new_values = np.empty(n, dtype=self._values.dtype)
+        new_rowids = np.empty(n, dtype=np.int64)
+        for i in range(self.num_pieces):
+            old_start, old_stop = int(old_bounds[i]), int(old_bounds[i + 1])
+            new_start = int(new_bounds[i])
+            width = old_stop - old_start
+            new_values[new_start : new_start + width] = self._values[old_start:old_stop]
+            new_rowids[new_start : new_start + width] = self._rowids[old_start:old_stop]
+            t_start, t_stop = int(shifts[i]), int(shifts[i + 1])
+            new_values[new_start + width : int(new_bounds[i + 1])] = valid[t_start:t_stop]
+            new_rowids[new_start + width : int(new_bounds[i + 1])] = valid_rowids[
+                t_start:t_stop
+            ]
+        new_num_valid = self._num_valid + int(valid.shape[0])
+        new_values[new_num_valid : new_num_valid + self._num_nan] = self._values[
+            self._num_valid : self._num_valid + self._num_nan
+        ]
+        new_rowids[new_num_valid : new_num_valid + self._num_nan] = self._rowids[
+            self._num_valid : self._num_valid + self._num_nan
+        ]
+        new_values[new_num_valid + self._num_nan :] = tail[nan_mask]
+        new_rowids[new_num_valid + self._num_nan :] = tail_rowids[nan_mask]
+        self._values = new_values
+        self._rowids = new_rowids
+        self._bounds = new_bounds
+        self._num_valid = new_num_valid
+        self._num_nan = n - new_num_valid
+        self.generation += 1
+        # growing the arrays invalidates deltas against any shorter base:
+        # collapse the log so the next snapshot falls back to a full write
+        self._mutation_log.clear()
+        self._log_floor = self.generation
+        merged = int(tail.shape[0])
+        self.tail_merges += 1
+        self.rows_merged_total += merged
         return merged
 
     def _stochastic_crack(self, near: float) -> None:

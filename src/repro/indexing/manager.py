@@ -25,7 +25,12 @@ wires that bet into the kernel:
   first when peers need room;
 * :meth:`invalidate` drops every index derived from an object whose data
   was replace-reloaded, and :meth:`adopt_cracker` revives persisted state
-  from a :class:`repro.persist.snapshot.StoreCatalog` warm start.
+  from a :class:`repro.persist.snapshot.StoreCatalog` warm start;
+* live appends go through :meth:`extend_valid_prefix` instead of
+  invalidation: crackers keep answering for the prefix they cover (their
+  *validity window*) while :meth:`select_rowids` scans the appended tail,
+  and :meth:`merge_tails` — run on the background lane — folds tails into
+  the cracked structure without ever discarding earned cracks.
 
 **Concurrency.**  One manager may be shared by every session of a
 :class:`repro.service.MultiSessionServer` whose sessions attach the same
@@ -92,6 +97,8 @@ _ACTIVITY_COUNTERS = (
     "pieces_merged",
     "spills",
     "spill_loads",
+    "tail_merges",
+    "rows_merged_total",
 )
 
 
@@ -172,11 +179,14 @@ class IndexManagerStats:
     pieces_merged: int = 0
     spills: int = 0
     spill_loads: int = 0
+    tail_merges: int = 0
+    rows_merged_total: int = 0
     crackers_built: int = 0
     paged_crackers_built: int = 0
     crackers_adopted: int = 0
     crackers_dropped: int = 0
     invalidations: int = 0
+    prefix_extensions: int = 0
 
     def apply_activity(self, deltas: tuple[int, ...]) -> None:
         """Fold one :func:`_activity_probe` delta tuple into the counters."""
@@ -691,6 +701,25 @@ class IndexManager:
                 scanned_before = cracker.values_scanned_total
                 rowids = cracker.rowids_in_range(low, high, crack=True)
                 rows_scanned = cracker.values_scanned_total - scanned_before
+                covered = cracker.covered_rows
+                n = len(column)
+                if covered < n:
+                    # validity window: the cracker answers exactly for the
+                    # prefix it was built over; rows appended since then
+                    # are scanned with the predicate itself (exact by
+                    # definition) until merge_tails folds them in.  Tail
+                    # hits all land at rowids >= covered, so appending
+                    # them keeps the result sorted.  raw_slice (paged
+                    # columns) bypasses the budget-charging chunk cache —
+                    # never call the budget under a column lock.
+                    raw = getattr(column, "raw_slice", None)
+                    tail = np.asarray(
+                        raw(covered, n) if callable(raw) else column.slice(covered, n)
+                    )
+                    hits = np.nonzero(predicate.mask(tail))[0].astype(np.int64)
+                    if hits.size:
+                        rowids = np.concatenate([rowids, hits + covered])
+                    rows_scanned += int(tail.shape[0])
                 deltas = tuple(
                     now - then for then, now in zip(before, _activity_probe(cracker))
                 )
@@ -774,7 +803,93 @@ class IndexManager:
         with state.lock:
             if state.zonemap is None:
                 state.zonemap = ZoneMap(column, block_rows=self.zone_block_rows)
+            elif state.zonemap.covered_rows < len(column):
+                # the column grew under the map: extend incrementally,
+                # only the trailing (possibly partial) zone is rebuilt
+                state.zonemap.extend()
             return state.zonemap
+
+    # ------------------------------------------------------------------ #
+    # validity windows (live appends)
+    # ------------------------------------------------------------------ #
+    def extend_valid_prefix(
+        self,
+        object_name: str,
+        column_name: str | None = None,
+        new_length: int | None = None,
+    ) -> int:
+        """Signal that ``object_name``'s columns *grew* (append, not replace).
+
+        The narrow alternative to :meth:`invalidate` for live ingestion:
+        existing cracked state is kept — the crackers simply cover a
+        shorter prefix (their validity window) and :meth:`select_rowids`
+        scans the appended tail until :meth:`merge_tails` folds it in.
+        Zonemaps are extended incrementally and a previously *refused*
+        cracker (e.g. the column used to be empty) becomes eligible again.
+        If any tracked cracker turns out to cover *more* rows than the
+        column now holds, the data did not grow — it was replaced or
+        truncated — and the call degrades to a full :meth:`invalidate`.
+        Returns how many column states were touched (or dropped, on the
+        degraded path).
+        """
+        with self._lock:
+            states = [
+                state
+                for key, state in self._states.items()
+                if key[0] == object_name
+                and (column_name is None or key[1] == column_name)
+            ]
+        touched = 0
+        for state in states:
+            column = state.column_ref()
+            if column is None:
+                continue
+            target = len(column) if new_length is None else int(new_length)
+            with state.lock:
+                cracker = state.cracker
+                if cracker is not None and cracker.covered_rows > target:
+                    return self.invalidate(object_name)
+                state.cracker_refused = False
+                if state.zonemap is not None and state.zonemap.covered_rows < target:
+                    state.zonemap.extend()
+            touched += 1
+        if touched:
+            with self._lock:
+                self.stats.prefix_extensions += 1
+        return touched
+
+    def merge_tails(
+        self, object_name: str | None = None, column_name: str | None = None
+    ) -> int:
+        """Fold appended tails into every matching live cracker.
+
+        Returns total rows folded.  This is the background-lane entry
+        point: gestures keep answering through the validity window while
+        the merge runs; each cracker's merge is a single pass under its
+        own column lock, so lookups on *other* columns never wait.
+        """
+        with self._lock:
+            states = [
+                state
+                for key, state in self._states.items()
+                if (object_name is None or key[0] == object_name)
+                and (column_name is None or key[1] == column_name)
+            ]
+        merged = 0
+        for state in states:
+            with state.lock:
+                cracker = state.cracker
+                if cracker is None:
+                    continue
+                before = _activity_probe(cracker)
+                merged += cracker.merge_tail()
+                deltas = tuple(
+                    now - then for then, now in zip(before, _activity_probe(cracker))
+                )
+            self._settle_cracker(state)
+            with self._lock:
+                self.stats.apply_activity(deltas)
+        return merged
 
     # ------------------------------------------------------------------ #
     # invalidation

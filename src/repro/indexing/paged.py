@@ -133,6 +133,8 @@ class PagedCrackerIndex:
         self.chunk_crackers_built = 0
         self.spills = 0
         self.spill_loads = 0
+        self.tail_merges = 0
+        self.rows_merged_total = 0
 
     # ------------------------------------------------------------------ #
     # inspection
@@ -159,17 +161,36 @@ class PagedCrackerIndex:
         """Bytes held in memory (resident chunk crackers only)."""
         return sum(c.size_bytes for c in self._chunks.values())
 
+    @property
+    def covered_rows(self) -> int:
+        """Base rows inside the validity window ``[0, covered_rows)``.
+
+        Frozen when the index is built; rows appended to the column since
+        then are outside every chunk cracker and are scanned by the
+        manager until :meth:`merge_tail` advances the window.
+        """
+        return self._num_rows
+
+    @property
+    def tail_rows(self) -> int:
+        """Appended base rows not yet covered by the chunk crackers."""
+        return len(self.column) - self._num_rows
+
     # ------------------------------------------------------------------ #
     # chunk cracker lifecycle
     # ------------------------------------------------------------------ #
     def _chunk_span(self, index: int) -> tuple[int, int]:
         start = index * self._chunk_rows
-        return start, min(self._num_rows, start + self._chunk_rows)
+        return start, max(start, min(self._num_rows, start + self._chunk_rows))
 
     def _chunk_values(self, index: int) -> np.ndarray:
         # read straight off the memmap: no ChunkCache, no budget charge
-        # while the manager's column lock is held (see module docstring)
+        # while the manager's column lock is held (see module docstring).
+        # raw_slice assembles memmap + append-tail rows, equally cache-free
         start, stop = self._chunk_span(index)
+        raw = getattr(self.column, "raw_slice", None)
+        if callable(raw):
+            return np.array(raw(start, stop), copy=True)
         return np.array(self.column.values[start:stop], copy=True)
 
     def _counters_of(self, cracker: CrackerIndex) -> tuple[int, ...]:
@@ -308,13 +329,44 @@ class PagedCrackerIndex:
         self._spilled.clear()
 
     # ------------------------------------------------------------------ #
+    # validity-window maintenance (live appends)
+    # ------------------------------------------------------------------ #
+    def merge_tail(self) -> int:
+        """Advance the validity window over appended rows; returns them.
+
+        Cheap by construction: appended rows either start new chunks
+        (whose crackers build lazily on first consult) or top up the one
+        logical chunk the old window ended inside — only *that* chunk's
+        cracker is stale and gets dropped (resident or spilled); every
+        other chunk's cracked organization survives untouched.
+        """
+        n = len(self.column)
+        if n <= self._num_rows:
+            return 0
+        merged = n - self._num_rows
+        if self._num_rows % self._chunk_rows:
+            boundary = self._num_rows // self._chunk_rows
+            self._chunks.pop(boundary, None)
+            self._spilled.pop(boundary, None)
+        self._num_rows = n
+        self.tail_merges += 1
+        self.rows_merged_total += merged
+        return merged
+
+    # ------------------------------------------------------------------ #
     # cracking and lookups
     # ------------------------------------------------------------------ #
     def _candidates(self, low: float, high: float) -> list[int]:
         # chunks_for_predicate is closed-interval and NaN-conservative;
         # for our half-open [low, high) it can only over-include, and the
-        # per-chunk crackers restore exactness
-        return self.column.chunks_for_predicate(low, high)
+        # per-chunk crackers restore exactness.  Chunks lying entirely
+        # beyond the validity window hold only appended rows — those are
+        # the manager's tail scan, not ours.
+        return [
+            index
+            for index in self.column.chunks_for_predicate(low, high)
+            if index * self._chunk_rows < self._num_rows
+        ]
 
     def crack_range(self, low: float, high: float) -> None:
         """Refine candidate chunks around ``[low, high)``.

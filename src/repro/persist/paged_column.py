@@ -23,6 +23,18 @@ Because a ``PagedColumn`` *is* a ``Column``, everything downstream —
 catalogs, sample hierarchies, the batch slide executor, gesture services,
 the multi-session server — explores out-of-core data unchanged, with
 bit-identical gesture outcomes.
+
+**Live appends.**  The on-disk file is immutable, so
+:meth:`append_batch` lands rows in an in-memory *tail* buffer behind the
+memmap.  The whole read surface is tail-aware (``values`` concatenates,
+``slice``/``read_batch``/``value_at`` assemble across the boundary) and
+the chunk surface extends logically: the tail's rows belong to logical
+chunks past (or straddling) the disk chunks, with zone envelopes
+maintained incrementally on every append — the straddling chunk's
+envelope is the union of its persisted disk zone and its tail rows, so
+no data page is faulted to keep pruning exact.  The tail stays hot until
+:meth:`repro.persist.snapshot.StoreCatalog.compact_column` folds it into
+the chunked file and reopens the column tail-free.
 """
 
 from __future__ import annotations
@@ -69,6 +81,92 @@ class PagedColumn(Column):
         self._chunk_mins = chunk_mins
         self._chunk_maxs = chunk_maxs
         self._touched_chunks: set[int] = set()
+        # live-append tail: rows past the immutable memmap.  The zone
+        # arrays start as the persisted ones and are extended per append.
+        self._tail = np.empty(0, dtype=data.dtype)
+        self._zone_mins = chunk_mins
+        self._zone_maxs = chunk_maxs
+        self._values_cache: np.ndarray | None = None
+
+    # ------------------------------------------------------------------ #
+    # basic protocol, tail-aware
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return int(self._data.shape[0]) + int(self._tail.shape[0])
+
+    def __iter__(self):
+        return iter(self.values)
+
+    def __getitem__(self, item):
+        return self.values[item]
+
+    @property
+    def base_rows(self) -> int:
+        """Rows in the immutable on-disk region (the memmap)."""
+        return int(self._data.shape[0])
+
+    @property
+    def tail_rows(self) -> int:
+        """Rows appended since the column was opened (in-memory tail)."""
+        return int(self._tail.shape[0])
+
+    @property
+    def values(self) -> np.ndarray:
+        """The full logical column.
+
+        Without a tail this is the zero-copy read-only memmap.  With one,
+        the memmap and tail are concatenated (cached until the next
+        append) — a transient materialization that compaction removes.
+        """
+        if not self._tail.shape[0]:
+            return self._data
+        cached = self._values_cache
+        if cached is not None and cached.shape[0] == len(self):
+            return cached
+        joined = np.concatenate([np.asarray(self._data), self._tail])
+        self._values_cache = joined
+        return joined
+
+    def append_batch(self, values) -> int:
+        """Append values to the in-memory tail; returns the new length.
+
+        The on-disk file is untouched; the logical chunk surface and zone
+        envelopes extend incrementally (only chunks containing tail rows
+        are recomputed, and the straddling chunk's envelope unions its
+        persisted zone with the new rows — no disk reads).
+        """
+        tail = self._cast_append_values(values)
+        if tail.size == 0:
+            return len(self)
+        self._tail = (
+            np.concatenate([self._tail, tail]) if self._tail.shape[0] else tail
+        )
+        self._extend_zones()
+        return len(self)
+
+    def _extend_zones(self) -> None:
+        """Recompute zone envelopes for the logical chunks the tail spans."""
+        chunk_rows = self.chunk_rows
+        base = self.base_rows
+        n = len(self)
+        first = base // chunk_rows
+        total = -(-n // chunk_rows)
+        mins = list(self._chunk_mins[:first])
+        maxs = list(self._chunk_maxs[:first])
+        for index in range(first, total):
+            start = index * chunk_rows
+            stop = min(n, start + chunk_rows)
+            part = self._tail[max(0, start - base) : stop - base]
+            # NaN tails poison the envelope on purpose: an unknown zone is
+            # never pruned (np.minimum/maximum propagate NaN)
+            lo, hi = part.min(), part.max()
+            if start < base:
+                lo = np.minimum(lo, self._chunk_mins[index])
+                hi = np.maximum(hi, self._chunk_maxs[index])
+            mins.append(lo)
+            maxs.append(hi)
+        self._zone_mins = np.asarray(mins)
+        self._zone_maxs = np.asarray(maxs)
 
     # ------------------------------------------------------------------ #
     # chunk plumbing
@@ -80,8 +178,10 @@ class PagedColumn(Column):
 
     @property
     def num_chunks(self) -> int:
-        """How many chunks the column is divided into."""
-        return self._format.num_chunks
+        """How many logical chunks the column spans (tail included)."""
+        if not self._tail.shape[0]:
+            return self._format.num_chunks
+        return -(-len(self) // self.chunk_rows)
 
     @property
     def chunk_rows(self) -> int:
@@ -100,13 +200,17 @@ class PagedColumn(Column):
         return (len(self._touched_chunks) / total) if total else 1.0
 
     def chunk_range(self, index: int) -> tuple[object, object]:
-        """The persisted zonemap ``(min, max)`` of chunk ``index``."""
+        """The zonemap ``(min, max)`` of logical chunk ``index``.
+
+        Persisted zones for on-disk chunks; incrementally maintained ones
+        for chunks holding (or straddling into) appended tail rows.
+        """
         if not 0 <= index < self.num_chunks:
             raise StorageError(
                 f"chunk {index} out of range for column {self.name!r} "
                 f"with {self.num_chunks} chunks"
             )
-        return self._chunk_mins[index], self._chunk_maxs[index]
+        return self._zone_mins[index], self._zone_maxs[index]
 
     def chunks_for_predicate(self, low, high) -> list[int]:
         """Chunk indices whose ``[min, max]`` overlaps ``[low, high]``.
@@ -115,21 +219,36 @@ class PagedColumn(Column):
         need only fault in the chunks this returns.  Exclusion-form so it
         is conservative under NaN: a float chunk containing NaN has NaN
         zonemap bounds, every comparison on which is False — such a chunk
-        is therefore *included*, never wrongly pruned.
+        is therefore *included*, never wrongly pruned.  Appended tail rows
+        participate through their incrementally extended zones.
         """
-        excluded = (self._chunk_maxs < low) | (self._chunk_mins > high)
+        excluded = (self._zone_maxs < low) | (self._zone_mins > high)
         return np.nonzero(~excluded)[0].tolist()
 
     def _chunk(self, index: int) -> np.ndarray:
-        """Return chunk ``index``, faulting it into the chunk cache."""
-        cached = self._cache.get(self._cache_key, index)
-        if cached is not None:
-            return cached
-        start, stop = self._format.chunk_bounds(index)
-        chunk = np.array(self._data[start:stop])
-        self._cache.put(self._cache_key, index, chunk)
+        """Return logical chunk ``index``, faulting it into the chunk cache.
+
+        Chunks containing appended tail rows are assembled on the fly and
+        *not* cached — the tail grows under the cache's feet, and
+        compaction (which reopens the column tail-free) restores cached
+        service for them.
+        """
+        base = self.base_rows
+        start = index * self.chunk_rows
+        stop = min(len(self), start + self.chunk_rows)
+        if stop <= base:
+            cached = self._cache.get(self._cache_key, index)
+            if cached is not None:
+                return cached
+            chunk = np.array(self._data[start:stop])
+            self._cache.put(self._cache_key, index, chunk)
+            self._touched_chunks.add(index)
+            return chunk
+        tail_part = self._tail[max(0, start - base) : stop - base]
+        if start >= base:
+            return tail_part
         self._touched_chunks.add(index)
-        return chunk
+        return np.concatenate([np.asarray(self._data[start:base]), tail_part])
 
     # ------------------------------------------------------------------ #
     # the Column read surface, chunk-granular
@@ -140,7 +259,10 @@ class PagedColumn(Column):
             raise StorageError(
                 f"rowid {rowid} out of range for column {self.name!r} of length {len(self)}"
             )
-        index = self._format.chunk_of(rowid)
+        base = self.base_rows
+        if rowid >= base:
+            return self._tail[rowid - base]
+        index = rowid // self.chunk_rows
         chunk = self._chunk(index)
         return chunk[rowid - index * self.chunk_rows]
 
@@ -150,8 +272,8 @@ class PagedColumn(Column):
         stop = min(len(self), int(stop))
         if stop <= start:
             return self._data[:0]
-        first = self._format.chunk_of(start)
-        last = self._format.chunk_of(stop - 1)
+        first = start // self.chunk_rows
+        last = (stop - 1) // self.chunk_rows
         parts = []
         for index in range(first, last + 1):
             chunk_start = index * self.chunk_rows
@@ -162,6 +284,27 @@ class PagedColumn(Column):
         if len(parts) == 1:
             return parts[0]
         return np.concatenate(parts)
+
+    def raw_slice(self, start: int, stop: int) -> np.ndarray:
+        """Values in ``[start, stop)`` straight off the memmap and tail.
+
+        Bypasses the budget-charging chunk cache entirely, which makes it
+        safe to call while index-tier column locks are held (the budget
+        must never be charged under one — see the paged-cracker module
+        docstring).  Pure-tail ranges cost no I/O at all.
+        """
+        start = max(0, int(start))
+        stop = min(len(self), int(stop))
+        if stop <= start:
+            return self._data[:0]
+        base = self.base_rows
+        if start >= base:
+            return self._tail[start - base : stop - base]
+        if stop <= base:
+            return self._data[start:stop]
+        return np.concatenate(
+            [np.asarray(self._data[start:base]), self._tail[: stop - base]]
+        )
 
     def read_batch(self, rowids: Sequence[int] | np.ndarray) -> np.ndarray:
         """Gather rowids with one chunk fault per distinct touched chunk."""
@@ -193,13 +336,31 @@ class PagedColumn(Column):
     # statistics from the zonemap (no data pages faulted)
     # ------------------------------------------------------------------ #
     def min(self):
-        """Column minimum, answered from the persisted zonemap."""
+        """Column minimum, answered from the (tail-extended) zonemap."""
         if not len(self):
             return None
-        return chunk_min_max(self._chunk_mins)[0]
+        return chunk_min_max(self._zone_mins)[0]
 
     def max(self):
-        """Column maximum, answered from the persisted zonemap."""
+        """Column maximum, answered from the (tail-extended) zonemap."""
         if not len(self):
             return None
-        return chunk_min_max(self._chunk_maxs)[1]
+        return chunk_min_max(self._zone_maxs)[1]
+
+    def mean(self) -> float | None:
+        """Arithmetic mean over memmap and appended tail alike."""
+        if not len(self) or not self.is_numeric:
+            return None
+        return float(self.values.mean())
+
+    def std(self) -> float | None:
+        """Population standard deviation over memmap and appended tail."""
+        if not len(self) or not self.is_numeric:
+            return None
+        return float(self.values.std())
+
+    def take_every(self, step: int, name_suffix: str = "") -> Column:
+        """Strided sample over the full logical column (tail included)."""
+        if step <= 0:
+            raise StorageError("sampling step must be positive")
+        return Column(self.name + name_suffix, self.values[::step], dtype=self.dtype)

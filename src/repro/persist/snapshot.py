@@ -325,6 +325,81 @@ class StoreCatalog:
         }
 
     # ------------------------------------------------------------------ #
+    # append compaction (live ingestion)
+    # ------------------------------------------------------------------ #
+    def _compact_store_column(self, store_name: str) -> tuple[int, bool]:
+        """Fold one store column's append tail into its chunk file.
+
+        Streams the old chunks plus the in-memory tail through
+        ``write_chunks(replace=True)`` — the rewritten file appears
+        atomically, the generator reads off the pre-replace memmap, and
+        the store's generation bump retires the old mapping so the next
+        ``open_column`` serves the grown column tail-free.  Returns
+        ``(row_count, whether anything was rewritten)``.
+        """
+        paged = self.store.open_column(store_name)
+        n = len(paged)
+        if not int(getattr(paged, "tail_rows", 0)):
+            return n, False
+        chunk_rows = paged.format.chunk_rows
+
+        def chunks():
+            for start in range(0, n, chunk_rows):
+                yield np.asarray(paged.raw_slice(start, min(n, start + chunk_rows)))
+
+        self.store.write_chunks(
+            store_name, paged.dtype, n, chunks(), chunk_rows=chunk_rows, replace=True
+        )
+        return n, True
+
+    def compact_appends(self, object_name: str) -> int:
+        """Fold appended in-memory tails into ``object_name``'s chunk files.
+
+        The snapshot-side half of live ingestion: appended rows live in a
+        :class:`PagedColumn`'s RAM tail until this folds them into the
+        chunked on-disk format, so warm re-attaches keep their mmap-speed
+        cold start over the *grown* data.  Hierarchy snapshots for the
+        object are re-persisted over the new length; persisted cracker
+        state is deliberately left alone — appends never permute existing
+        rows, so it revives as a valid *prefix* warm start
+        (:meth:`repro.indexing.cracking.CrackerIndex.from_state`) whose
+        window the index tier advances on the background lane.  Returns
+        the object's row count after compaction (a no-op when no column
+        has a tail).
+        """
+        self._ensure_writable("compact_appends")
+        with self._lock:
+            if object_name in self._tables:
+                record = self._tables[object_name]
+                new_rows = int(record["num_rows"])
+                changed = False
+                for spec in record["columns"]:
+                    rows, rewritten = self._compact_store_column(spec["store_name"])
+                    new_rows = rows
+                    changed = changed or rewritten
+                record["num_rows"] = new_rows
+            elif object_name in self._columns:
+                record = self._columns[object_name]
+                new_rows, changed = self._compact_store_column(record["store_name"])
+                record["num_rows"] = new_rows
+            else:
+                raise SnapshotError(
+                    f"no persisted object {object_name!r} to compact; "
+                    f"known: {self.table_names + self.column_names}"
+                )
+            if changed:
+                for (obj, col), record in list(self._hierarchies.items()):
+                    if obj == object_name:
+                        self.persist_hierarchy(
+                            obj,
+                            col,
+                            factor=int(record["factor"]),
+                            min_rows=int(record["min_rows"]),
+                        )
+                self._write_manifest()
+            return new_rows
+
+    # ------------------------------------------------------------------ #
     # loading
     # ------------------------------------------------------------------ #
     def load_column(self, name: str) -> PagedColumn:

@@ -36,6 +36,7 @@ import numpy as np
 
 from repro.core.actions import ActionKind, QueryAction
 from repro.core.commands import (
+    AppendCommand,
     ChooseAction,
     DragColumnOut,
     GestureCommand,
@@ -64,7 +65,7 @@ from repro.core.schema_gestures import (
 from repro.core.touch_mapping import TouchMapper
 from repro.engine.aggregate import AggregateKind, make_aggregate
 from repro.engine.filter import Predicate
-from repro.errors import RemoteError, ServiceError
+from repro.errors import IngestError, RemoteError, ServiceError
 from repro.indexing.manager import IndexManager, RangeSelection
 from repro.persist.snapshot import StoreCatalog
 from repro.remote.client import RemoteExplorationClient, RemotePolicy
@@ -356,6 +357,60 @@ class LocalExplorationService:
         return table
 
     # ------------------------------------------------------------------ #
+    # live ingestion
+    # ------------------------------------------------------------------ #
+    def append_rows(
+        self,
+        object_name: str,
+        values: Iterable | None = None,
+        columns: Mapping[str, Iterable] | None = None,
+    ) -> int:
+        """Append rows to an already-loaded object without pausing exploration.
+
+        Standalone columns take ``values``; tables take ``columns`` covering
+        the schema exactly (the storage tier appends all-or-nothing).  After
+        the data grows, shown views are re-bound via
+        :meth:`repro.core.kernel.DbTouchKernel.extend_object`, so cracked
+        indexes keep their pieces as a valid prefix window — the hot tail is
+        scanned until :meth:`merge_index_tails` (or a background merge)
+        folds it in.  Returns the object's new row count.
+        """
+        if (values is None) == (columns is None):
+            raise IngestError(
+                "append_rows needs exactly one of values= (column) or columns= (table)"
+            )
+        if object_name not in self.catalog:
+            raise IngestError(
+                f"no loaded object {object_name!r} to append to; "
+                f"known: {self.catalog.table_names + self.catalog.column_names}"
+            )
+        is_table = object_name in self.catalog.table_names
+        if columns is not None:
+            if not is_table:
+                raise IngestError(
+                    f"{object_name!r} is a standalone column; append with values="
+                )
+            new_length = self.catalog.table(object_name).append_batch(columns)
+        else:
+            if is_table:
+                raise IngestError(f"{object_name!r} is a table; append with columns=")
+            new_length = self.catalog.column(object_name).append_batch(values)
+        self.kernel.extend_object(object_name)
+        return new_length
+
+    def merge_index_tails(self, object_name: str | None = None) -> int:
+        """Fold appended hot tails into the cracked indexes; returns rows merged.
+
+        A no-op (0) when indexing is disabled or nothing was appended.
+        Serving layers schedule this on the background lane; callers here
+        may also invoke it synchronously at a quiet moment.
+        """
+        manager = self.kernel.index_manager
+        if manager is None:
+            return 0
+        return manager.merge_tails(object_name)
+
+    # ------------------------------------------------------------------ #
     # the service protocol
     # ------------------------------------------------------------------ #
     def execute(self, command: GestureCommand) -> OutcomeEnvelope:
@@ -424,6 +479,17 @@ class LocalExplorationService:
                 self._target_view(command.table_view), height_cm=command.height_cm
             )
             return self._schema_envelope(command, split, view_name=command.table_view)
+        if isinstance(command, AppendCommand):
+            new_length = self.append_rows(
+                command.object_name, values=command.values, columns=command.columns
+            )
+            return OutcomeEnvelope(
+                command_kind=command.kind,
+                backend=self.backend,
+                view_name=None,
+                object_name=command.object_name,
+                payload={"num_rows": new_length},
+            )
         raise ServiceError(
             f"the local backend does not understand command kind {command.kind!r}"
         )
@@ -671,10 +737,55 @@ class RemoteExplorationService:
                 properties.size_bytes = column.size_bytes
 
     # ------------------------------------------------------------------ #
+    # live ingestion
+    # ------------------------------------------------------------------ #
+    def append_rows(
+        self,
+        object_name: str,
+        values: Iterable | None = None,
+        columns: Mapping[str, Iterable] | None = None,
+    ) -> int:
+        """Append rows to a hosted column (mirrors the local signature).
+
+        The hosted column grows in place; its server-side sample hierarchy
+        sampled the pre-append rows, so it is rebuilt, and every shown
+        device-side view gets a fresh exploration client and re-scaled
+        metadata — the same re-bind a ``replace`` reload performs.
+        """
+        if columns is not None:
+            raise RemoteError(
+                "the remote backend hosts standalone columns only; "
+                "table appends are a local-backend feature"
+            )
+        if values is None:
+            raise IngestError("append_rows needs values= for a hosted column")
+        if not self.server.hosts(object_name):
+            raise IngestError(
+                f"server does not host a column named {object_name!r}; "
+                "load_column() it before appending"
+            )
+        column = self.server.column(object_name)
+        new_length = column.append_batch(values)
+        self.server.host_column(column, replace=True)
+        self._refresh_remote_states(object_name, column)
+        return new_length
+
+    # ------------------------------------------------------------------ #
     # the service protocol
     # ------------------------------------------------------------------ #
     def execute(self, command: GestureCommand) -> OutcomeEnvelope:
         """Execute one gesture command through the remote machinery."""
+        if isinstance(command, AppendCommand):
+            new_length = self.append_rows(
+                command.object_name, values=command.values, columns=command.columns
+            )
+            return OutcomeEnvelope(
+                command_kind=command.kind,
+                backend=self.backend,
+                view_name=None,
+                object_name=command.object_name,
+                payload={"num_rows": new_length},
+            )
         if isinstance(command, ShowColumn):
             return self._show_column(command)
         if isinstance(command, ChooseAction):
@@ -1388,6 +1499,57 @@ class MultiSessionServer:
         if self._scheduler is not None:
             return self._scheduler.submit(session_id, load).result()
         return load()
+
+    def append_rows(
+        self,
+        session_id: str,
+        object_name: str,
+        values: Iterable | None = None,
+        columns: Mapping[str, Iterable] | None = None,
+        merge: bool = True,
+    ) -> int:
+        """Append rows to one session's loaded object; returns its new length.
+
+        Like :meth:`load_column`, the append routes through the session's
+        FIFO queue in concurrent mode, so it lands at a well-defined point
+        in the session's command order.  With ``merge`` (the default) the
+        cracked-index tail merge is scheduled on the scheduler's
+        background lane — gestures keep flowing and tail-scan until the
+        merge folds the appended rows into the pieces; in serial mode the
+        merge runs inline after the append.
+        """
+
+        def append() -> int:
+            service = self.service(session_id)
+            appender = getattr(service, "append_rows", None)
+            if appender is None:
+                raise ServiceError(
+                    f"the {getattr(service, 'backend', '?')!r} backend has no append_rows"
+                )
+            return appender(object_name, values=values, columns=columns)
+
+        if self._scheduler is not None:
+            new_length = self._scheduler.submit(session_id, append).result()
+            if merge:
+                self._scheduler.submit_background(
+                    lambda: self._merge_tails(session_id, object_name)
+                )
+            return new_length
+        new_length = append()
+        if merge:
+            self._merge_tails(session_id, object_name)
+        return new_length
+
+    def _merge_tails(self, session_id: str, object_name: str) -> int:
+        """Fold appended index tails in; tolerant of a just-closed session."""
+        if self._shared_index is not None:
+            return self._shared_index.merge_tails(object_name)
+        try:
+            service = self.service(session_id)
+        except ServiceError:
+            return 0  # session closed before the background merge ran
+        merger = getattr(service, "merge_index_tails", None)
+        return merger(object_name) if callable(merger) else 0
 
     def _execute_direct(self, session_id: str, command: GestureCommand) -> OutcomeEnvelope:
         """Execute one command inline, recording its latency."""

@@ -24,7 +24,7 @@ import socket
 import threading
 from typing import Any, Iterable
 
-from repro.core.commands import GestureCommand, GestureScript
+from repro.core.commands import AppendCommand, GestureCommand, GestureScript
 from repro.core.kernel import GestureOutcome
 from repro.errors import MalformedFrameError, ProtocolError, ServiceError
 from repro.touchio.recognizer import GestureType
@@ -156,6 +156,18 @@ class ShardedClient:
     # ------------------------------------------------------------------ #
     def execute(self, command: GestureCommand) -> OutcomeEnvelope:
         """Execute one gesture command on the session's shard."""
+        if isinstance(command, AppendCommand):
+            # appends ride the dedicated verb so the new row count comes
+            # back (envelope payloads never cross the wire)
+            rows = self.append_rows(
+                command.object_name, values=command.values, columns=command.columns
+            )
+            return OutcomeEnvelope(
+                command_kind=command.kind,
+                backend=self.backend,
+                object_name=command.object_name,
+                payload={"num_rows": rows},
+            )
         reply = self._session_call("execute", {"command": command.to_dict()})
         envelope = reply.get("envelope")
         if not isinstance(envelope, dict):
@@ -170,6 +182,54 @@ class ShardedClient:
             raise MalformedFrameError("run-script response carried no envelopes")
         return [_rehydrate_payload(OutcomeEnvelope.from_dict(entry)) for entry in envelopes]
 
+    def run_stream(self, script: GestureScript):
+        """Execute a script, yielding each gesture's envelope as it completes.
+
+        Sends ``run-script`` with ``stream=true``: the server answers with
+        one ``partial`` frame per completed gesture plus a terminal
+        ``done`` frame.  A server that predates streaming answers with a
+        single ``envelopes`` frame instead; the generator degrades to
+        yielding from it, so callers work against either peer.  Consume
+        the stream fully (or abandon it — leftover frames are skipped by
+        id) before issuing other requests on this client.
+        """
+        with self._lock:
+            if self._closed:
+                raise ServiceError("client is closed")
+            request_id = self._next_id
+            self._next_id += 1
+            request = Request(
+                id=request_id,
+                verb="run-script",
+                session=self.session_id,
+                payload={"script": script.to_dict(), "stream": True},
+            )
+            self._sock.sendall(
+                encode_frame(request.to_dict(), max_bytes=self.max_frame_bytes)
+            )
+        while True:
+            frames = self._decoder.feed(self._recv())
+            for frame in frames:
+                response = Response.from_dict(frame)
+                if response.id != request_id:
+                    continue  # stale response from an abandoned request
+                payload = response.raise_if_error()
+                if payload.get("done"):
+                    return
+                if payload.get("partial"):
+                    envelope = payload.get("envelope")
+                    if not isinstance(envelope, dict):
+                        raise MalformedFrameError("partial frame carried no envelope")
+                    yield _rehydrate_payload(OutcomeEnvelope.from_dict(envelope))
+                    continue
+                envelopes = payload.get("envelopes")
+                if isinstance(envelopes, list):
+                    # non-streaming peer: everything arrived in one frame
+                    for entry in envelopes:
+                        yield _rehydrate_payload(OutcomeEnvelope.from_dict(entry))
+                    return
+                raise MalformedFrameError("unrecognized run-script response shape")
+
     def load_column(self, name: str, values: Iterable, replace: bool = False):
         """Ship a session-private column by value (small columns only —
         big base data belongs in the published snapshot, not on the wire).
@@ -179,6 +239,29 @@ class ShardedClient:
             {"name": name, "values": [_wire_value(v) for v in values], "replace": replace},
         )
         return reply
+
+    def append_rows(
+        self,
+        object_name: str,
+        values: Iterable | None = None,
+        columns: Any = None,
+    ) -> int:
+        """Append rows to a loaded object on the session's shard.
+
+        Mirrors :meth:`repro.service.LocalExplorationService.append_rows`:
+        ``values`` grows a standalone column, ``columns`` a table (every
+        attribute, equal lengths).  Values must be finite numerics — the
+        JSON wire refuses NaN/inf.  Returns the object's new row count.
+        """
+        payload: dict[str, Any] = {"name": object_name}
+        if values is not None:
+            payload["values"] = [_wire_value(v) for v in values]
+        if columns is not None:
+            payload["columns"] = {
+                name: [_wire_value(v) for v in rows] for name, rows in columns.items()
+            }
+        reply = self._session_call("append", payload)
+        return int(reply.get("rows", 0))
 
     def reset(self) -> None:
         """Recreate the session server-side: close it, then reopen fresh."""

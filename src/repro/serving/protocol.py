@@ -35,6 +35,7 @@ from repro.errors import (
     CommandError,
     DbTouchError,
     FrameTooLargeError,
+    IngestError,
     MalformedFrameError,
     ProtocolError,
     ServiceError,
@@ -59,6 +60,7 @@ VERBS = frozenset(
         "execute",  # one GestureCommand -> one OutcomeEnvelope
         "run-script",  # a whole GestureScript -> envelopes, in order
         "load-column",  # host a small session-private column by value
+        "append",  # grow a loaded object in place (live ingestion)
         "stats",  # aggregate per-worker SessionMetrics + scheduler stats
         "drain",  # finish all in-flight gestures, then refuse new work
     }
@@ -76,6 +78,7 @@ _ERROR_KINDS: dict[str, type[DbTouchError]] = {
     "worker-crashed": WorkerCrashedError,
     "command": CommandError,
     "snapshot": SnapshotError,
+    "ingest": IngestError,
     "service": ServiceError,
     "error": DbTouchError,
 }

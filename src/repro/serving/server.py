@@ -84,6 +84,7 @@ _FORWARDED_OPS = {
     "execute": "execute",
     "run-script": "run",
     "load-column": "load-column",
+    "append": "append",
 }
 
 
@@ -325,6 +326,14 @@ class ShardedServer:
             op = _FORWARDED_OPS[request.verb]
             if request.session is None:
                 raise MalformedFrameError(f"verb {request.verb!r} needs a 'session'")
+            if request.verb == "run-script" and bool(request.payload.get("stream", False)):
+                self._admit()
+                try:
+                    self._stream_script(request, writer, write_lock, loop)
+                except BaseException:
+                    self._release()
+                    raise
+                return
             self._admit()
             future = self.shards.submit(op, request.session, request.payload)
             self._stream_back(future, request.id, writer, write_lock, loop)
@@ -363,6 +372,88 @@ class ShardedServer:
                 pass  # loop already closed mid-shutdown: nobody to answer
 
         future.add_done_callback(deliver)
+
+    def _stream_script(
+        self,
+        request: Request,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+        loop: asyncio.AbstractEventLoop,
+    ) -> None:
+        """Stream one partial frame per completed gesture of a ``run-script``.
+
+        The script is decomposed into per-command ``execute`` ops on the
+        session's shard — same session, same FIFO queue, so gesture order
+        (and outcome parity with a non-streamed run) is preserved.  Each
+        completed gesture streams back as a success frame tagged
+        ``partial`` with its sequence number, and the run closes with a
+        ``done`` frame; the first failing gesture instead closes the run
+        with that typed error, after which later results are dropped.
+        One front-door admission covers the whole streamed run.
+        """
+        script = request.payload.get("script")
+        commands = script.get("commands") if isinstance(script, dict) else None
+        if not isinstance(commands, list):
+            raise MalformedFrameError(
+                "run-script needs a 'script' object with a 'commands' list"
+            )
+        total = len(commands)
+        state = {"closed": False}
+        state_lock = threading.Lock()
+
+        def post(response: Response) -> None:
+            try:
+                asyncio.run_coroutine_threadsafe(
+                    self._send(writer, write_lock, response), loop
+                )
+            except RuntimeError:
+                pass  # loop already closed mid-shutdown: nobody to answer
+
+        def close(response: Response) -> None:
+            with state_lock:
+                if state["closed"]:
+                    return
+                state["closed"] = True
+            self._release()
+            post(response)
+
+        if total == 0:
+            close(Response.success(request.id, {"done": True, "total": 0}))
+            return
+
+        def deliver(seq: int):
+            def callback(done: Future) -> None:
+                try:
+                    payload = done.result()
+                except Exception as exc:  # noqa: BLE001 - typed onto the wire
+                    close(Response.failure(request.id, exc))
+                    return
+                with state_lock:
+                    if state["closed"]:
+                        return
+                post(
+                    Response.success(
+                        request.id,
+                        {
+                            "partial": True,
+                            "seq": seq,
+                            "envelope": payload.get("envelope"),
+                        },
+                    )
+                )
+                if seq == total - 1:
+                    close(Response.success(request.id, {"done": True, "total": total}))
+
+            return callback
+
+        try:
+            for seq, command in enumerate(commands):
+                future = self.shards.submit(
+                    "execute", request.session, {"command": command}
+                )
+                future.add_done_callback(deliver(seq))
+        except DbTouchError as exc:
+            close(Response.failure(request.id, exc))
 
     def _hello_payload(self) -> dict[str, Any]:
         return {

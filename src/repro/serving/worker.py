@@ -43,7 +43,18 @@ from repro.service import LocalExplorationService, MultiSessionServer
 
 #: Pipe operations a worker understands (the pipe-side protocol mirror).
 WORKER_OPS = frozenset(
-    {"open", "close", "execute", "run", "load-column", "stats", "drain", "ping", "stop"}
+    {
+        "open",
+        "close",
+        "execute",
+        "run",
+        "load-column",
+        "append",
+        "stats",
+        "drain",
+        "ping",
+        "stop",
+    }
 )
 
 
@@ -200,6 +211,26 @@ class _WorkerRuntime:
         )
         self._reply(request_id, {"name": name, "rows": len(column)})
 
+    def _op_append(self, request_id: int, session: str, payload: dict) -> None:
+        name = payload.get("name")
+        values = payload.get("values")
+        columns = payload.get("columns")
+        if not isinstance(name, str) or not name:
+            raise MalformedFrameError("append needs a non-empty 'name'")
+        if (values is None) == (columns is None):
+            raise MalformedFrameError(
+                "append needs exactly one of 'values' (column) or 'columns' (table)"
+            )
+        if values is not None and not isinstance(values, list):
+            raise MalformedFrameError("append 'values' must be a list")
+        if columns is not None and (
+            not isinstance(columns, dict)
+            or not all(isinstance(rows, list) for rows in columns.values())
+        ):
+            raise MalformedFrameError("append 'columns' must map names to lists")
+        rows = self.server.append_rows(session, name, values=values, columns=columns)
+        self._reply(request_id, {"name": name, "rows": rows})
+
     def _op_stats(self, request_id: int, session: str | None, payload: dict) -> None:
         self._reply(
             request_id,
@@ -224,7 +255,7 @@ class _WorkerRuntime:
     # ------------------------------------------------------------------ #
     # the loop
     # ------------------------------------------------------------------ #
-    _SESSION_OPS = frozenset({"open", "close", "execute", "run", "load-column"})
+    _SESSION_OPS = frozenset({"open", "close", "execute", "run", "load-column", "append"})
 
     def handle(self, message: Any) -> bool:
         """Dispatch one pipe message; ``False`` means exit the loop."""
@@ -254,6 +285,7 @@ class _WorkerRuntime:
                 "execute": self._op_execute,
                 "run": self._op_run,
                 "load-column": self._op_load_column,
+                "append": self._op_append,
                 "stats": self._op_stats,
                 "drain": self._op_drain,
                 "ping": self._op_ping,

@@ -12,7 +12,7 @@ from typing import Iterable, Iterator, Sequence
 
 import numpy as np
 
-from repro.errors import StorageError
+from repro.errors import IngestError, StorageError
 from repro.storage.dtypes import FixedWidthType, infer_type
 
 #: Number of values that share a cache line for the default 64-byte line
@@ -141,6 +141,49 @@ class Column:
     def head(self, n: int = 10) -> np.ndarray:
         """Return the first ``n`` values (for quick inspection)."""
         return self._data[: max(0, n)]
+
+    # ------------------------------------------------------------------ #
+    # live ingestion
+    # ------------------------------------------------------------------ #
+    def _cast_append_values(self, values: Iterable) -> np.ndarray:
+        """Validate and cast an append batch to this column's dtype.
+
+        Dtype drift is refused with :class:`repro.errors.IngestError`
+        rather than silently rounded through ``astype``: numeric appends
+        must be ``same_kind``-castable (ints may widen into floats, floats
+        may never truncate into ints) and string appends must fit the
+        declared fixed width.
+        """
+        arr = np.asarray(list(values) if not isinstance(values, np.ndarray) else values)
+        if arr.ndim != 1:
+            raise IngestError(
+                f"append to column {self.name!r} requires 1-D data, got shape {arr.shape}"
+            )
+        target = self.dtype.numpy_dtype
+        rule = "safe" if target.kind in ("U", "S") else "same_kind"
+        if arr.size and arr.dtype.kind in ("U", "S", "O") and target.kind in ("U", "S"):
+            arr = arr.astype(str)
+        if arr.size and not np.can_cast(arr.dtype, target, casting=rule):
+            raise IngestError(
+                f"append to column {self.name!r} would drift dtype "
+                f"{arr.dtype} -> {self.dtype.name}"
+            )
+        return arr.astype(target, copy=False)
+
+    def append_batch(self, values: Iterable) -> int:
+        """Append a batch of values in place; returns the new length.
+
+        The grown buffer is swapped under the *same* object, so every
+        holder of this column — catalog registrations, shown views,
+        identity-keyed index state — observes the new tail without
+        rebinding.  (Renamed clones made before the append keep the old
+        buffer; appends target the registered object.)
+        """
+        tail = self._cast_append_values(values)
+        if tail.size == 0:
+            return len(self)
+        self._data = np.concatenate([self._data, tail])
+        return len(self)
 
     # ------------------------------------------------------------------ #
     # derived columns

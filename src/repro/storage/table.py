@@ -13,7 +13,7 @@ from typing import Iterable, Iterator, Mapping, Sequence
 
 import numpy as np
 
-from repro.errors import SchemaError, StorageError
+from repro.errors import IngestError, SchemaError, StorageError
 from repro.storage.column import Column
 from repro.storage.dtypes import FixedWidthType
 
@@ -181,8 +181,36 @@ class Table:
         return {name: self.column(name).gather(rowids) for name in wanted}
 
     # ------------------------------------------------------------------ #
-    # schema-changing gestures (project out, group, ungroup)
+    # live ingestion
     # ------------------------------------------------------------------ #
+    def append_batch(self, data: Mapping[str, Iterable]) -> int:
+        """Append one batch of rows across every column; returns the new length.
+
+        All-or-nothing: the batch must name *exactly* the table's columns
+        with equally long value sequences, and every column's values must
+        cast without dtype drift — all of which is validated *before* any
+        column grows, so a refused append leaves the table untouched.
+        Raises :class:`repro.errors.IngestError` on any mismatch.
+        """
+        given = set(data)
+        expected = set(self.column_names)
+        if given != expected:
+            missing = sorted(expected - given)
+            extra = sorted(given - expected)
+            raise IngestError(
+                f"append to table {self.name!r} must cover its schema exactly; "
+                f"missing {missing}, unexpected {extra}"
+            )
+        casted = {name: self.column(name)._cast_append_values(data[name]) for name in data}
+        lengths = {arr.shape[0] for arr in casted.values()}
+        if len(lengths) > 1:
+            raise IngestError(
+                f"append to table {self.name!r} requires equally long batches, "
+                f"got lengths {sorted(lengths)}"
+            )
+        for column in self._columns:
+            column.append_batch(casted[column.name])
+        return len(self)
     def project(self, column_names: Sequence[str], new_name: str | None = None) -> "Table":
         """Return a new, smaller table containing only ``column_names``.
 

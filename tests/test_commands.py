@@ -14,6 +14,7 @@ from repro.core.actions import (
     summary_action,
 )
 from repro.core.commands import (
+    AppendCommand,
     ChooseAction,
     DragColumnOut,
     GestureCommand,
@@ -76,6 +77,8 @@ ALL_COMMANDS = [
     ),
     GroupColumns(column_object_names=("a", "b"), table_name="grouped", x=1.0, y=1.0),
     UngroupTable(table_view="tv", height_cm=7.0),
+    AppendCommand(object_name="m", values=(1.5, 2.5, 3.0)),
+    AppendCommand(object_name="t", columns={"a": (1, 2), "b": (0.5, 0.25)}),
 ]
 
 
@@ -93,7 +96,15 @@ class TestCommandRoundTrip:
 
     def test_kinds_are_unique(self):
         kinds = [command.to_dict()["kind"] for command in ALL_COMMANDS]
-        assert len(set(kinds)) == 13  # the full gesture vocabulary
+        assert len(set(kinds)) == 14  # the full gesture vocabulary
+
+    def test_append_malformed_columns_rejected(self):
+        with pytest.raises(CommandError):
+            GestureCommand.from_dict(
+                {"kind": "append", "object_name": "t", "columns": {"a": 5}}
+            )
+        with pytest.raises(CommandError):
+            GestureCommand.from_dict({"kind": "append", "columns": [1, 2]})
 
     def test_unknown_kind_rejected(self):
         with pytest.raises(CommandError):

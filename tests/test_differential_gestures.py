@@ -405,3 +405,100 @@ def test_serial_vs_concurrent_shared_index_counters(tmp_path):
         )
     )
     assert serial == concurrent
+
+@pytest.mark.parametrize("kind", ["int64", "float64", "float64-nan"])
+@pytest.mark.parametrize("paged", [False, True])
+def test_append_mid_script_bit_identical(tmp_path, kind, paged):
+    """Live appends mid-script leave the differential property intact.
+
+    Both arms replay the identical command history — gestures, bulk
+    selections, and two ``session.append`` batches landing between script
+    segments — and every observable outcome must match bit for bit.  The
+    indexed arm additionally proves the appends *extended* its crackers'
+    validity windows rather than invalidating them, and that a mid-run
+    background-style ``merge_index_tails`` is outcome-invisible too.
+    """
+    seed = 47
+    data_rng = np.random.default_rng(seed)
+    base = make_column_data(data_rng, kind, 8_000)
+    batches = [make_column_data(data_rng, kind, 500) for _ in range(2)]
+    on, off = indexed_and_reference_sessions()
+    results = []
+    for arm, session in enumerate((on, off)):
+        if paged:
+            store = DiskColumnStore(tmp_path / f"store-{arm}", cache_bytes=1 << 20)
+            catalog = StoreCatalog(store)
+            catalog.persist_column(Column("data", base.copy()), chunk_rows=1024)
+            session.service.catalog.register_column(catalog.load_column("data"))
+        else:
+            session.load_column("data", base.copy())
+        view = session.show_column("data")
+        script_rng = np.random.default_rng(seed + 1)
+        fingerprints = []
+        for batch in (None, batches[0], batches[1]):
+            if batch is not None:
+                new_length = session.append("data", values=batch.tolist())
+                fingerprints.append(("appended", new_length))
+            fingerprints.extend(drive_column_script(session, view, script_rng))
+            for _ in range(4):
+                predicate = random_predicate(script_rng)
+                selection = session.select_where(view.name, predicate)
+                fingerprints.append(
+                    ("select", normalize(selection.rowids), normalize(selection.values))
+                )
+            if batch is batches[0]:
+                # merging the hot tail mid-run must not change any outcome
+                session.service.merge_index_tails()
+        results.append(fingerprints)
+    assert results[0] == results[1]
+    stats = on.kernel.index_manager.stats_snapshot()
+    # the appends narrowed validity windows; they never tore the index down
+    assert stats["prefix_extensions"] >= 2
+    assert stats["invalidations"] == 0
+
+
+@pytest.mark.parametrize("kind", ["int64", "float64-nan"])
+def test_preload_vs_incremental_append_converge(kind):
+    """Preloading everything vs. arriving incrementally: same end state.
+
+    One indexed session loads base+tail up front; the other loads only the
+    base, then ingests the tail in two ``session.append`` batches (with a
+    tail merge between them).  Once both hold the same rows, identical
+    gesture scripts and bulk selections must produce bit-identical
+    outcomes — the index's very different crack histories notwithstanding.
+    Caching is disabled so outcomes are a pure function of data + command.
+    """
+    seed = 53
+    data_rng = np.random.default_rng(seed)
+    base = make_column_data(data_rng, kind, 6_000)
+    tail = make_column_data(data_rng, kind, 1_000)
+    full = np.concatenate([base, tail])
+
+    def fresh_session():
+        return ExplorationSession(
+            profile=FAST_PROFILE,
+            config=KernelConfig(enable_indexing=True, enable_cache=False),
+        )
+
+    results = []
+    for preloaded in (True, False):
+        session = fresh_session()
+        session.load_column("data", (full if preloaded else base).copy())
+        view = session.show_column("data")
+        warm_rng = np.random.default_rng(seed + 1)
+        for _ in range(6):  # crack each arm along its own history
+            session.select_where(view.name, random_predicate(warm_rng))
+        if not preloaded:
+            session.append("data", values=tail[:400].tolist())
+            session.service.merge_index_tails()
+            session.append("data", values=tail[400:].tolist())
+        script_rng = np.random.default_rng(seed + 2)
+        fingerprints = drive_column_script(session, view, script_rng)
+        for _ in range(8):
+            predicate = random_predicate(script_rng)
+            selection = session.select_where(view.name, predicate)
+            brute = np.nonzero(predicate.mask(full))[0]
+            assert np.array_equal(selection.rowids, brute)
+            fingerprints.append(("select", normalize(selection.values)))
+        results.append(fingerprints)
+    assert results[0] == results[1]

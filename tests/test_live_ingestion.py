@@ -1,0 +1,411 @@
+"""Live ingestion: append-capable columns, cracker validity windows, compaction.
+
+The streaming-append tier lets data arrive *while* exploration is running:
+``append_batch`` grows columns/tables in place, shown views re-bind via the
+kernel's ``extend_object`` hook, and cracked indexes keep their pieces as a
+valid prefix window — the appended hot tail is scanned until a background
+merge folds it into the cracker.  These tests pin the exactness contract at
+every layer: storage, cracker, manager, paged columns, snapshot compaction,
+service, and session.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine.filter import Comparison, Predicate
+from repro.errors import IngestError, ServiceError
+from repro.indexing.manager import IndexManager
+from repro.persist.diskstore import DiskColumnStore
+from repro.persist.snapshot import StoreCatalog
+from repro.storage.column import Column
+from repro.storage.table import Table
+
+
+# --------------------------------------------------------------------- #
+# storage tier
+# --------------------------------------------------------------------- #
+
+
+class TestColumnAppend:
+    def test_grows_in_place_same_object(self):
+        column = Column("c", np.arange(10, dtype=np.int64))
+        alias = column
+        assert column.append_batch([10, 11]) == 12
+        assert len(alias) == 12
+        assert alias.values[-1] == 11
+
+    def test_empty_batch_is_noop(self):
+        column = Column("c", np.arange(5, dtype=np.int64))
+        assert column.append_batch([]) == 5
+
+    def test_refuses_dtype_drift(self):
+        column = Column("c", np.arange(5, dtype=np.int64))
+        with pytest.raises(IngestError):
+            column.append_batch([1.5])
+        assert len(column) == 5
+
+    def test_float_column_accepts_ints_and_nan(self):
+        column = Column("c", np.array([1.0, 2.0]))
+        assert column.append_batch([3, np.nan]) == 4
+        assert np.isnan(column.values[-1])
+
+
+class TestTableAppend:
+    def test_all_or_nothing_schema(self):
+        table = Table.from_arrays(
+            "t", {"a": np.arange(4, dtype=np.int64), "b": np.zeros(4)}
+        )
+        with pytest.raises(IngestError):
+            table.append_batch({"a": [5]})
+        with pytest.raises(IngestError):
+            table.append_batch({"a": [5], "b": [1.0], "c": [2.0]})
+        with pytest.raises(IngestError):
+            table.append_batch({"a": [5, 6], "b": [1.0]})
+        assert len(table) == 4  # a refused append left every column alone
+
+    def test_appends_every_column(self):
+        table = Table.from_arrays(
+            "t", {"a": np.arange(4, dtype=np.int64), "b": np.zeros(4)}
+        )
+        assert table.append_batch({"a": [4, 5], "b": [1.0, 2.0]}) == 6
+        assert len(table.column("a")) == 6
+        assert len(table.column("b")) == 6
+
+
+# --------------------------------------------------------------------- #
+# cracker validity windows
+# --------------------------------------------------------------------- #
+
+
+def _mask_rowids(values: np.ndarray, low: float, high: float) -> np.ndarray:
+    predicate = Predicate(Comparison.BETWEEN, low, upper=high)
+    return np.nonzero(predicate.mask(values))[0]
+
+
+@pytest.mark.parametrize("kind", ["int64", "float64-nan"])
+def test_cracker_window_scan_and_merge_exact(kind):
+    rng = np.random.default_rng(5)
+    if kind == "int64":
+        base = rng.integers(0, 1_000, 4_000).astype(np.int64)
+        tail = rng.integers(0, 1_000, 600).astype(np.int64)
+    else:
+        base = rng.normal(500.0, 150.0, 4_000)
+        base[rng.random(4_000) < 0.05] = np.nan
+        tail = rng.normal(500.0, 150.0, 600)
+        tail[rng.random(600) < 0.05] = np.nan
+    column = Column("c", base.copy())
+    manager = IndexManager()
+    # crack a few ranges, then append
+    for low in (100.0, 400.0, 700.0):
+        manager.select_rowids(
+            "c", None, column, Predicate(Comparison.BETWEEN, low, upper=low + 150)
+        )
+    cracker = manager.cracker_for("c")
+    pieces_before = cracker.num_pieces
+    assert pieces_before > 1
+    column.append_batch(tail)
+    assert manager.extend_valid_prefix("c") == 1
+    assert cracker.covered_rows == len(base)
+    assert cracker.tail_rows == len(tail)
+    full = np.asarray(column.values)
+    # tail-scanning selections are exact while the window is open
+    for low in (50.0, 450.0, 820.0):
+        selection = manager.select_rowids(
+            "c", None, column, Predicate(Comparison.BETWEEN, low, upper=low + 200)
+        )
+        assert np.array_equal(selection.rowids, _mask_rowids(full, low, low + 200))
+    # merging the tail folds every appended row into the pieces, exactly
+    merged = manager.merge_tails("c")
+    assert merged == len(tail)
+    assert cracker.tail_rows == 0
+    assert cracker.tail_merges == 1
+    assert cracker.rows_merged_total == len(tail)
+    for low in (50.0, 450.0, 820.0):
+        selection = manager.select_rowids(
+            "c", None, column, Predicate(Comparison.BETWEEN, low, upper=low + 200)
+        )
+        assert np.array_equal(selection.rowids, _mask_rowids(full, low, low + 200))
+    stats = manager.stats_snapshot()
+    assert stats["prefix_extensions"] == 1
+    assert stats["tail_merges"] == 1
+    assert stats["rows_merged_total"] == len(tail)
+
+
+def test_extend_valid_prefix_keeps_pieces():
+    """Regression: an append must shrink the validity window, not the index."""
+    rng = np.random.default_rng(9)
+    column = Column("c", rng.integers(0, 1_000, 5_000).astype(np.int64))
+    manager = IndexManager()
+    for low in (200.0, 600.0):
+        manager.select_rowids(
+            "c", None, column, Predicate(Comparison.BETWEEN, low, upper=low + 100)
+        )
+    cracker = manager.cracker_for("c")
+    pieces = cracker.num_pieces
+    generation = cracker.generation
+    column.append_batch(rng.integers(0, 1_000, 800).astype(np.int64))
+    manager.extend_valid_prefix("c")
+    survivor = manager.cracker_for("c")
+    assert survivor is cracker  # same index object, not a rebuild
+    assert survivor.num_pieces == pieces
+    assert survivor.generation == generation  # no cracks were discarded
+    assert survivor.tail_rows == 800
+
+
+def test_int64_beyond_float_precision_stays_scan_identical():
+    """Window scan and tail merge agree with a full scan past 2**53."""
+    rng = np.random.default_rng(13)
+    base = (2**60 + rng.integers(0, 1_000, 3_000)).astype(np.int64)
+    tail = (2**60 + rng.integers(0, 1_000, 500)).astype(np.int64)
+    column = Column("c", base.copy())
+    manager = IndexManager()
+    predicates = [
+        Predicate(Comparison.BETWEEN, float(2**60 + 128), upper=float(2**60 + 640)),
+        Predicate(Comparison.GE, float(2**60 + 512)),
+    ]
+    manager.select_rowids("c", None, column, predicates[0])
+    column.append_batch(tail)
+    manager.extend_valid_prefix("c")
+    full = np.concatenate([base, tail])
+    for phase in ("window", "merged"):
+        for predicate in predicates:
+            selection = manager.select_rowids("c", None, column, predicate)
+            assert np.array_equal(
+                selection.rowids, np.nonzero(predicate.mask(full))[0]
+            ), f"{phase}: indexed selection drifted from the scan"
+        if phase == "window":
+            assert manager.merge_tails("c") == len(tail)
+
+
+def test_merge_tail_forces_full_snapshot_rewrite(tmp_path):
+    """A merged cracker must not replay stale deltas over a longer base."""
+    rng = np.random.default_rng(3)
+    data = rng.integers(0, 1_000, 3_000).astype(np.int64)
+    column = Column("c", data.copy())
+    manager = IndexManager()
+    manager.select_rowids("c", None, column, Predicate(Comparison.BETWEEN, 200.0, upper=500.0))
+    catalog = StoreCatalog(DiskColumnStore(tmp_path / "store"))
+    catalog.persist_column(Column("c", data.copy()), hierarchy=False)
+    catalog.persist_index(manager)
+    column.append_batch(rng.integers(0, 1_000, 400).astype(np.int64))
+    manager.extend_valid_prefix("c")
+    manager.merge_tails("c")
+    records = catalog.persist_index(manager)
+    assert records  # re-snapshot after merge succeeded (full rewrite path)
+
+
+# --------------------------------------------------------------------- #
+# paged columns
+# --------------------------------------------------------------------- #
+
+
+class TestPagedColumnTail:
+    @pytest.fixture()
+    def paged(self, tmp_path):
+        rng = np.random.default_rng(21)
+        self.base = rng.integers(0, 10_000, 5_000).astype(np.int64)
+        self.catalog = StoreCatalog(DiskColumnStore(tmp_path / "store", cache_bytes=1 << 20))
+        self.catalog.persist_column(Column("c", self.base), chunk_rows=512, hierarchy=False)
+        return self.catalog.load_column("c")
+
+    def test_append_extends_logical_surface(self, paged):
+        rng = np.random.default_rng(22)
+        tail = rng.integers(0, 10_000, 700).astype(np.int64)
+        assert paged.append_batch(tail) == 5_700
+        full = np.concatenate([self.base, tail])
+        assert len(paged) == 5_700
+        assert paged.tail_rows == 700
+        assert np.array_equal(np.asarray(paged.values), full)
+        # boundary-straddling point reads and slices
+        assert paged.value_at(4_999) == full[4_999]
+        assert paged.value_at(5_000) == full[5_000]
+        assert np.array_equal(np.asarray(paged.slice(4_900, 5_100)), full[4_900:5_100])
+        assert np.array_equal(np.asarray(paged.raw_slice(4_900, 5_100)), full[4_900:5_100])
+        assert int(paged.min()) == int(full.min())
+        assert int(paged.max()) == int(full.max())
+
+    def test_zonemap_pruning_stays_conservative(self, paged):
+        # tail values far outside the base range must be findable
+        paged.append_batch(np.array([50_000, 60_000], dtype=np.int64))
+        chunks = paged.chunks_for_predicate(50_000.0, float("inf"))
+        spans = [paged.chunk_range(i) for i in chunks]
+        assert any(stop > 5_000 for _, stop in spans)
+        full = np.asarray(paged.values)
+        hits = [
+            int(start) + int(i)
+            for start, stop in spans
+            for i in np.nonzero(full[int(start):int(stop)] >= 50_000)[0]
+        ]
+        assert sorted(hits) == [5_000, 5_001]
+
+    def test_compact_appends_rewrites_tail_free(self, paged):
+        rng = np.random.default_rng(23)
+        tail = rng.integers(0, 10_000, 300).astype(np.int64)
+        paged.append_batch(tail)
+        assert self.catalog.compact_appends("c") == 5_300
+        reopened = self.catalog.load_column("c")
+        assert len(reopened) == 5_300
+        assert reopened.tail_rows == 0
+        assert np.array_equal(
+            np.asarray(reopened.values), np.concatenate([self.base, tail])
+        )
+        # idempotent when there is nothing to fold
+        assert self.catalog.compact_appends("c") == 5_300
+
+
+def test_compact_appends_table_and_hierarchy(tmp_path):
+    rng = np.random.default_rng(31)
+    catalog = StoreCatalog(DiskColumnStore(tmp_path / "store"))
+    table = Table.from_arrays(
+        "t", {"a": np.arange(600, dtype=np.int64), "b": rng.standard_normal(600)}
+    )
+    catalog.persist_table(table, chunk_rows=128)
+    paged = catalog.load_table("t")
+    paged.column("a").append_batch(np.arange(600, 700, dtype=np.int64))
+    paged.column("b").append_batch(rng.standard_normal(100))
+    assert catalog.compact_appends("t") == 700
+    reopened = catalog.load_table("t")
+    assert len(reopened) == 700
+    assert np.array_equal(
+        np.asarray(reopened.column("a").values), np.arange(700, dtype=np.int64)
+    )
+    # hierarchies were re-persisted over the grown data
+    hierarchy = catalog.load_hierarchy("t", "a")
+    assert hierarchy is not None
+    assert len(hierarchy.base) == 700
+    # a fresh attach over the same root warm-starts with the appended rows
+    fresh = StoreCatalog(DiskColumnStore(tmp_path / "store"))
+    assert len(fresh.load_table("t")) == 700
+    with pytest.raises(Exception):
+        catalog.compact_appends("missing")
+
+
+def test_persisted_cracker_revives_as_prefix_window(tmp_path):
+    """Cracker state persisted before an append warm-starts as a window."""
+    rng = np.random.default_rng(41)
+    data = rng.integers(0, 1_000, 4_000).astype(np.int64)
+    catalog = StoreCatalog(DiskColumnStore(tmp_path / "store", cache_bytes=1 << 20))
+    catalog.persist_column(Column("c", data), chunk_rows=512, hierarchy=False)
+    manager = IndexManager()
+    column = Column("c", data.copy())
+    manager.select_rowids("c", None, column, Predicate(Comparison.BETWEEN, 300.0, upper=600.0))
+    catalog.persist_index(manager)
+    # rows arrive after the snapshot: the persisted arrays describe a prefix
+    paged = catalog.load_column("c")
+    tail = rng.integers(0, 1_000, 500).astype(np.int64)
+    paged.append_batch(tail)
+    from repro.storage.catalog import Catalog
+
+    live = Catalog()
+    live.register_column(paged)
+    revived = IndexManager()
+    adopted = catalog.attach_index(revived, live)
+    assert adopted
+    cracker = revived.cracker_for("c")
+    assert cracker.covered_rows == 4_000
+    assert cracker.tail_rows == 500
+    full = np.concatenate([data, tail])
+    selection = revived.select_rowids(
+        "c", None, paged, Predicate(Comparison.BETWEEN, 300.0, upper=600.0)
+    )
+    assert np.array_equal(selection.rowids, _mask_rowids(full, 300.0, 600.0))
+    assert revived.merge_tails("c") == 500
+    selection = revived.select_rowids(
+        "c", None, paged, Predicate(Comparison.BETWEEN, 100.0, upper=800.0)
+    )
+    assert np.array_equal(selection.rowids, _mask_rowids(full, 100.0, 800.0))
+
+
+# --------------------------------------------------------------------- #
+# service and session
+# --------------------------------------------------------------------- #
+
+
+def test_local_service_append_rows_and_merge():
+    from repro.service import LocalExplorationService
+
+    rng = np.random.default_rng(51)
+    service = LocalExplorationService()
+    service.load_column("c", rng.integers(0, 100, 1_000).astype(np.int64))
+    service.kernel.show_column("c", view_name="v")
+    # crack, append, verify the index survived with a window
+    service.select_where("v", Predicate(Comparison.BETWEEN, 20.0, upper=60.0))
+    fresh = rng.integers(0, 100, 200).astype(np.int64).tolist()
+    assert service.append_rows("c", values=fresh) == 1_200
+    manager = service.kernel.index_manager
+    assert manager.cracker_for("c") is not None
+    assert manager.cracker_for("c").tail_rows == 200
+    assert service.merge_index_tails("c") == 200
+    # typed refusals
+    with pytest.raises(IngestError):
+        service.append_rows("c")  # neither values nor columns
+    with pytest.raises(IngestError):
+        service.append_rows("c", values=[1], columns={"a": [1]})
+    with pytest.raises(IngestError):
+        service.append_rows("missing", values=[1])
+    with pytest.raises(IngestError):
+        service.append_rows("c", columns={"a": [1]})  # column needs values=
+    service.load_table("t", {"a": np.arange(10, dtype=np.int64)})
+    with pytest.raises(IngestError):
+        service.append_rows("t", values=[1])  # table needs columns=
+    assert service.append_rows("t", columns={"a": [10, 11]}) == 12
+
+
+def test_multi_session_server_concurrent_append_background_merge():
+    from repro.service import MultiSessionServer, SchedulerConfig
+
+    rng = np.random.default_rng(61)
+    data = rng.integers(0, 1_000, 20_000).astype(np.int64)
+    server = MultiSessionServer(
+        scheduler=SchedulerConfig(num_workers=2), shared_index=True
+    )
+    server.load_shared_column("data", data)
+    sid = server.open_session()
+    service = server.service(sid)
+    service.kernel.show_column("data", view_name="v")
+    service.select_where("v", Predicate(Comparison.BETWEEN, 200.0, upper=500.0))
+    tail = rng.integers(0, 1_000, 1_500).astype(np.int64)
+    assert server.append_rows(sid, "data", values=tail.tolist()) == 21_500
+    assert server.drain(timeout=30.0)  # background-lane merge has run
+    cracker = server.index_manager.cracker_for("data")
+    assert cracker is not None and cracker.tail_rows == 0
+    assert server.index_manager.stats_snapshot()["tail_merges"] >= 1
+    full = np.concatenate([data, tail])
+    selection = service.select_where("v", Predicate(Comparison.BETWEEN, 100.0, upper=700.0))
+    assert np.array_equal(selection.rowids, _mask_rowids(full, 100.0, 700.0))
+    with pytest.raises(ServiceError):
+        server.append_rows("no-such-session", "data", values=[1])
+    server.shutdown()
+
+
+def test_session_append_records_and_replays():
+    from repro.core.session import ExplorationSession
+
+    rng = np.random.default_rng(71)
+    base = rng.integers(0, 100, 500).astype(np.int64)
+    tail = rng.integers(0, 100, 80).astype(np.int64)
+
+    session = ExplorationSession()
+    session.load_column("c", base.copy())
+    view = session.show_column("c")
+    script = session.record("live")
+    session.choose_scan(view)
+    session.slide(view, duration=0.4)
+    assert session.append("c", values=tail.tolist()) == 580
+    session.slide(view, duration=0.4)
+    session.stop_recording()
+    assert [c.kind for c in script] == ["choose-action", "slide", "append", "slide"]
+
+    from repro.core.commands import GestureScript
+
+    replay = ExplorationSession()
+    replay.load_column("c", base.copy())
+    replay.show_column("c", view_name=view.name)
+    replay.run(GestureScript.from_json(script.to_json()))
+    assert len(replay.catalog.column("c")) == 580
+    assert np.array_equal(
+        np.asarray(replay.catalog.column("c").values),
+        np.asarray(session.catalog.column("c").values),
+    )

@@ -432,3 +432,167 @@ class TestClientRobustness:
         client.close()
         with pytest.raises(ServiceError, match="closed"):
             client.hello()
+
+
+class TestLiveIngestionOverTheWire:
+    """The append verb and per-gesture streaming, end to end."""
+
+    def test_append_verb_grows_session_column(self, server):
+        with ShardedClient("127.0.0.1", server.port, session_id="ing-1") as client:
+            client.load_column("mine", [float(i) for i in range(500)])
+            assert client.append_rows("mine", values=[500.0, 501.0, 502.0]) == 503
+            envelope = client.execute(ShowColumn(object_name="mine", view_name="m"))
+            assert envelope.object_name == "mine"
+            # the appended rows are served: slide across the full column
+            outcome = client.execute(
+                Slide(view="m", duration=0.5, start_fraction=0.9, end_fraction=1.0)
+            )
+            assert outcome.entries_returned > 0
+            client.close_session()
+
+    def test_execute_append_command_routes_through_verb(self, server):
+        from repro.core.commands import AppendCommand
+
+        with ShardedClient("127.0.0.1", server.port, session_id="ing-2") as client:
+            client.load_column("mine", [1.0, 2.0, 3.0])
+            envelope = client.execute(
+                AppendCommand(object_name="mine", values=(4.0, 5.0))
+            )
+            assert envelope.command_kind == "append"
+            assert envelope.payload == {"num_rows": 5}
+            client.close_session()
+
+    def test_session_facade_appends_over_the_wire(self, server):
+        with ShardedClient("127.0.0.1", server.port, session_id="ing-3") as client:
+            session = ExplorationSession(service=client)
+            session.load_column("mine", [float(i) for i in range(100)])
+            assert session.append("mine", values=[100.0, 101.0]) == 102
+            client.close_session()
+
+    def test_ingest_errors_cross_the_wire_typed(self, server):
+        from repro.errors import IngestError
+
+        with ShardedClient("127.0.0.1", server.port, session_id="ing-4") as client:
+            with pytest.raises(IngestError):
+                client.append_rows("no-such-object", values=[1.0])
+            client.load_column("mine", [1.0, 2.0])
+            with pytest.raises(IngestError):  # standalone column, not a table
+                client.append_rows("mine", columns={"a": [1.0]})
+            # the session survives the refusals
+            assert client.append_rows("mine", values=[3.0]) == 3
+            client.close_session()
+
+    def test_script_with_append_streams_per_gesture(self, server):
+        from repro.core.commands import AppendCommand
+
+        with ShardedClient("127.0.0.1", server.port, session_id="ing-5") as client:
+            client.load_column("mine", [float(i) for i in range(1_000)])
+            script = GestureScript(
+                [
+                    ShowColumn(object_name="mine", view_name="s", height_cm=10.0),
+                    ChooseAction(view="s", action=summary_action(k=10)),
+                    AppendCommand(
+                        object_name="mine", values=tuple(float(i) for i in range(50))
+                    ),
+                    Slide(view="s", duration=0.8, start_fraction=0.1, end_fraction=0.9),
+                ]
+            )
+            kinds = []
+            for envelope in client.run_stream(script):
+                kinds.append(envelope.command_kind)
+            assert kinds == ["show-column", "choose-action", "append", "slide"]
+            client.close_session()
+
+    def test_run_stream_matches_non_streaming_run(self, server):
+        script = make_script()
+        with ShardedClient("127.0.0.1", server.port, session_id="ing-6") as client:
+            streamed = list(client.run_stream(script))
+            client.reset()
+            batched = client.run(script)
+            client.close_session()
+        assert len(streamed) == len(batched) == 4
+        for a, b in zip(streamed, batched):
+            assert a.command_kind == b.command_kind
+            assert a.entries_returned == b.entries_returned
+            assert a.tuples_examined == b.tuples_examined
+
+    def test_run_stream_empty_script(self, server):
+        with ShardedClient("127.0.0.1", server.port, session_id="ing-7") as client:
+            assert list(client.run_stream(GestureScript([]))) == []
+            client.close_session()
+
+    def test_run_stream_surfaces_first_error(self, server):
+        script = GestureScript(
+            [
+                ShowColumn(object_name="telemetry", view_name="v", height_cm=10.0),
+                Slide(view="ghost", duration=0.5),  # no such view: fails
+                Slide(view="v", duration=0.5),
+            ]
+        )
+        with ShardedClient("127.0.0.1", server.port, session_id="ing-8") as client:
+            received = []
+            with pytest.raises(DbTouchError):
+                for envelope in client.run_stream(script):
+                    received.append(envelope.command_kind)
+            assert received == ["show-column"]
+            # the connection survives an aborted stream
+            assert client.hello()["alive_workers"] == [0, 1]
+            client.close_session()
+
+    def test_run_stream_degrades_against_non_streaming_peer(self):
+        """A peer answering with one ``envelopes`` frame still streams out."""
+        import json as _json
+        import threading
+
+        from repro.service import OutcomeEnvelope
+
+        envelope = OutcomeEnvelope(command_kind="slide", backend="local").to_dict()
+
+        def fake_server(sock):
+            conn, _ = sock.accept()
+            buffered = b""
+            for _ in range(2):  # hello, then run-script
+                while b"\n" not in buffered:
+                    buffered += conn.recv(4096)
+                line, _, buffered = buffered.partition(b"\n")
+                frame = _json.loads(line.decode())
+                if frame["verb"] == "hello":
+                    payload = {"protocol": 1}
+                else:
+                    assert frame["payload"]["stream"] is True
+                    payload = {"envelopes": [envelope, envelope]}
+                reply = {"id": frame["id"], "ok": True, "payload": payload}
+                conn.sendall((_json.dumps(reply) + "\n").encode())
+            conn.close()
+
+        listener = socket.create_server(("127.0.0.1", 0))
+        port = listener.getsockname()[1]
+        thread = threading.Thread(target=fake_server, args=(listener,), daemon=True)
+        thread.start()
+        try:
+            client = ShardedClient(
+                "127.0.0.1", port, session_id="old-peer", open_on_connect=False
+            )
+            kinds = [e.command_kind for e in client.run_stream(make_script())]
+            assert kinds == ["slide", "slide"]
+            client.close()
+        finally:
+            listener.close()
+
+    def test_malformed_append_frames_get_typed_replies(self, server):
+        fuzz = TestFrontDoorFuzz()
+        both = (
+            b'{"id": 21, "verb": "append", "session": "fz2",'
+            b' "payload": {"name": "x", "values": [1.0], "columns": {"a": [1.0]}}}\n'
+        )
+        reply = fuzz.raw(server, both)
+        assert b'"id":21' in reply and b'"kind":"malformed-frame"' in reply
+        neither = b'{"id": 22, "verb": "append", "session": "fz2", "payload": {"name": "x"}}\n'
+        reply = fuzz.raw(server, neither)
+        assert b'"id":22' in reply and b'"kind":"malformed-frame"' in reply
+        bad_stream = (
+            b'{"id": 23, "verb": "run-script", "session": "fz2",'
+            b' "payload": {"stream": true, "script": {"commands": 7}}}\n'
+        )
+        reply = fuzz.raw(server, bad_stream)
+        assert b'"id":23' in reply and b'"ok":false' in reply
