@@ -66,6 +66,12 @@ Subpackages
     Data-object shapes and text rendering of the screen.
 ``repro.metrics``
     Collectors and reporters used by the benchmark harness.
+``repro.obs``
+    The telemetry plane: per-gesture distributed tracing
+    (:class:`~repro.Tracer`), the central
+    :class:`~repro.TelemetryRegistry` of counters/gauges/histograms with
+    Prometheus text exposition, and the bounded
+    :class:`~repro.FlightRecorder` of recent and slow gesture traces.
 """
 
 from repro.core.actions import (
@@ -110,6 +116,16 @@ from repro.errors import (
     WorkerCrashedError,
 )
 from repro.indexing import IndexManager, RangeSelection
+from repro.obs import (
+    FlightRecorder,
+    TelemetryRegistry,
+    Trace,
+    TraceConfig,
+    TraceContext,
+    Tracer,
+    stitch_traces,
+    trace_span,
+)
 from repro.persist import (
     BackgroundMaterializer,
     ChunkCache,
@@ -143,7 +159,7 @@ from repro.touchio.device import (
     DeviceProfile,
 )
 
-__version__ = "0.6.0"
+__version__ = "0.8.0"
 
 __all__ = [
     "ActionKind",
@@ -160,6 +176,7 @@ __all__ = [
     "DragColumnOut",
     "ExplorationService",
     "ExplorationSession",
+    "FlightRecorder",
     "GestureCommand",
     "GestureOutcome",
     "GestureScheduler",
@@ -199,7 +216,12 @@ __all__ = [
     "StoreCatalog",
     "Table",
     "Tap",
+    "TelemetryRegistry",
     "TimedCommand",
+    "Trace",
+    "TraceConfig",
+    "TraceContext",
+    "Tracer",
     "UngroupTable",
     "WorkerConfig",
     "WorkerCrashedError",
@@ -211,6 +233,8 @@ __all__ = [
     "scan_action",
     "select_where_action",
     "shard_for_session",
+    "stitch_traces",
     "summary_action",
+    "trace_span",
     "__version__",
 ]

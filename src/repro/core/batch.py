@@ -77,6 +77,7 @@ from collections import defaultdict
 import numpy as np
 
 from repro.core.actions import ActionKind
+from repro.obs.trace import trace_span
 from repro.touchio.recognizer import GestureType
 
 _INT64_MAX = np.iinfo(np.int64).max
@@ -266,10 +267,14 @@ class BatchSlideExecutor:
 
         pass_rowids = None
         if config.enable_cache:
-            served = self._serve_with_cache(
-                state, namespace, rowids, strides, read_times,
-                prop_rows, prop_src, prop_times, outcome,
-            )
+            with trace_span("cache_lookup", touches=n) as span:
+                served = self._serve_with_cache(
+                    state, namespace, rowids, strides, read_times,
+                    prop_rows, prop_src, prop_times, outcome,
+                )
+                if span is not None and served is not None:
+                    span.tags["hits"] = outcome.cache_hits
+                    span.tags["misses"] = outcome.cache_misses
             if served is None:
                 return None
             values, levels, add_rows, add_times = served

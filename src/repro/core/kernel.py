@@ -49,6 +49,7 @@ from repro.engine.groupby import IncrementalGroupBy
 from repro.engine.join import SymmetricHashJoin
 from repro.errors import ExecutionError, QueryError
 from repro.indexing.manager import IndexManager, RangeSelection
+from repro.obs.trace import trace_event, trace_span
 from repro.storage.catalog import Catalog
 from repro.storage.column import Column
 from repro.storage.incremental import IncrementalRotation
@@ -592,8 +593,26 @@ class DbTouchKernel:
         return self.handle_gesture(gesture)
 
     def handle_gesture(self, gesture: RecognizedGesture) -> GestureOutcome:
-        """Execute an already recognized gesture."""
+        """Execute an already recognized gesture.
+
+        The whole dispatch runs under an ambient ``kernel_exec`` span (a
+        no-op unless a sampled trace is active on this thread), so the
+        deeper ``crack``/``chunk_fault``/``tail_scan``/``cache_lookup``
+        spans attach under one kernel step per gesture.  Tracing measures
+        wall time only — outcome counters are untouched.
+        """
         state = self.state_of(gesture.view_name)
+        with trace_span(
+            "kernel_exec",
+            gesture=gesture.gesture_type.value,
+            view=gesture.view_name,
+            object=state.object_name,
+        ):
+            return self._dispatch_gesture(state, gesture)
+
+    def _dispatch_gesture(
+        self, state: "_ObjectState", gesture: RecognizedGesture
+    ) -> GestureOutcome:
         if gesture.gesture_type is GestureType.TAP:
             return self._handle_tap(state, gesture)
         if gesture.gesture_type is GestureType.SLIDE:
@@ -671,6 +690,12 @@ class DbTouchKernel:
             outcome.final_aggregate = state.aggregate.current()
         if join is not None:
             outcome.join_matches = join.num_matches
+        if self.config.enable_cache:
+            # the reference loop probes the cache touch by touch; the trace
+            # gets one aggregate annotation instead of per-touch spans
+            trace_event(
+                "cache_lookup", hits=outcome.cache_hits, misses=outcome.cache_misses
+            )
         self._refine_index(state)
         return outcome
 
@@ -713,9 +738,10 @@ class DbTouchKernel:
         column, column_name = target
         if not column.is_numeric:
             return
-        self.index_manager.observe_predicate(
-            state.object_name, column_name, column, state.action.predicate
-        )
+        with trace_span("crack", object=state.object_name, column=column_name):
+            self.index_manager.observe_predicate(
+                state.object_name, column_name, column, state.action.predicate
+            )
 
     def select_where(
         self, view_name: str, predicate: Predicate | None = None

@@ -72,6 +72,7 @@ from repro.indexing.cracking import (
 )
 from repro.indexing.paged import DEFAULT_MAX_RESIDENT_CHUNKS, PagedCrackerIndex
 from repro.indexing.zonemap import ZoneMap
+from repro.obs.trace import trace_span
 from repro.storage.column import Column
 
 
@@ -713,13 +714,14 @@ class IndexManager:
                     # columns) bypasses the budget-charging chunk cache —
                     # never call the budget under a column lock.
                     raw = getattr(column, "raw_slice", None)
-                    tail = np.asarray(
-                        raw(covered, n) if callable(raw) else column.slice(covered, n)
-                    )
-                    hits = np.nonzero(predicate.mask(tail))[0].astype(np.int64)
-                    if hits.size:
-                        rowids = np.concatenate([rowids, hits + covered])
-                    rows_scanned += int(tail.shape[0])
+                    with trace_span("tail_scan", object=object_name, rows=n - covered):
+                        tail = np.asarray(
+                            raw(covered, n) if callable(raw) else column.slice(covered, n)
+                        )
+                        hits = np.nonzero(predicate.mask(tail))[0].astype(np.int64)
+                        if hits.size:
+                            rowids = np.concatenate([rowids, hits + covered])
+                        rows_scanned += int(tail.shape[0])
                 deltas = tuple(
                     now - then for then, now in zip(before, _activity_probe(cracker))
                 )

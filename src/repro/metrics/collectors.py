@@ -9,11 +9,11 @@ benchmarks stay readable.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 
 from repro.errors import MetricsError
 from repro.core.kernel import GestureOutcome
+from repro.obs.stats import nearest_rank
 
 
 @dataclass
@@ -29,26 +29,22 @@ class LatencyStats:
 
     @staticmethod
     def from_samples(samples: list[float]) -> "LatencyStats":
-        """Compute the summary from raw latency samples."""
+        """Compute the summary from raw latency samples.
+
+        Percentiles follow the codebase-wide nearest-rank rule
+        (:func:`repro.obs.stats.nearest_rank`) so per-touch summaries and
+        the service layer's per-command reports agree on what "p95"
+        means.
+        """
         if not samples:
             return LatencyStats(0, 0.0, 0.0, 0.0, 0.0, 0.0)
         ordered = sorted(samples)
-
-        def percentile(q: float) -> float:
-            if len(ordered) == 1:
-                return ordered[0]
-            pos = q * (len(ordered) - 1)
-            low = int(math.floor(pos))
-            high = int(math.ceil(pos))
-            frac = pos - low
-            return ordered[low] * (1 - frac) + ordered[high] * frac
-
         return LatencyStats(
             count=len(ordered),
             mean_s=sum(ordered) / len(ordered),
-            p50_s=percentile(0.50),
-            p95_s=percentile(0.95),
-            p99_s=percentile(0.99),
+            p50_s=nearest_rank(ordered, 0.50),
+            p95_s=nearest_rank(ordered, 0.95),
+            p99_s=nearest_rank(ordered, 0.99),
             max_s=ordered[-1],
         )
 

@@ -44,6 +44,7 @@ from typing import TYPE_CHECKING, Hashable, Sequence
 import numpy as np
 
 from repro.errors import StorageError
+from repro.obs.trace import trace_span
 from repro.persist.format import ColumnFormat, chunk_min_max
 from repro.storage.column import Column
 
@@ -240,8 +241,11 @@ class PagedColumn(Column):
             cached = self._cache.get(self._cache_key, index)
             if cached is not None:
                 return cached
-            chunk = np.array(self._data[start:stop])
-            self._cache.put(self._cache_key, index, chunk)
+            # a miss materializes the chunk from the mapped file: the one
+            # disk-shaped step of the read path, so it gets its own span
+            with trace_span("chunk_fault", column=self.name, chunk=index):
+                chunk = np.array(self._data[start:stop])
+                self._cache.put(self._cache_key, index, chunk)
             self._touched_chunks.add(index)
             return chunk
         tail_part = self._tail[max(0, start - base) : stop - base]

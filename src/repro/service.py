@@ -67,6 +67,10 @@ from repro.engine.aggregate import AggregateKind, make_aggregate
 from repro.engine.filter import Predicate
 from repro.errors import IngestError, RemoteError, ServiceError
 from repro.indexing.manager import IndexManager, RangeSelection
+from repro.obs.recorder import FlightRecorder
+from repro.obs.registry import TelemetryRegistry
+from repro.obs.stats import nearest_rank
+from repro.obs.trace import Trace, TraceConfig, TraceContext, Tracer
 from repro.persist.snapshot import StoreCatalog
 from repro.remote.client import RemoteExplorationClient, RemotePolicy
 from repro.remote.network import WAN, NetworkProfile, SimulatedLink
@@ -1160,15 +1164,24 @@ class SessionMetrics:
 def _nearest_rank(ordered: Sequence[float], q: float) -> float:
     """Nearest-rank quantile of an already-sorted sequence (0 < q <= 1).
 
-    The one quantile rule shared by per-session and aggregate metrics, so
-    the two reports can never silently diverge.
+    The one quantile rule shared by per-session, aggregate and per-touch
+    metrics — the implementation lives in
+    :func:`repro.obs.stats.nearest_rank` so the reports can never
+    silently diverge; this wrapper only maps the domain error onto
+    :class:`ServiceError` for the service layer's callers.
     """
-    if not 0.0 < q <= 1.0:
-        raise ServiceError("quantile must be within (0, 1]")
-    if not ordered:
-        return 0.0
-    rank = max(1, int(np.ceil(q * len(ordered))))
-    return ordered[rank - 1]
+    try:
+        return nearest_rank(ordered, q)
+    except ValueError as exc:
+        raise ServiceError(str(exc)) from exc
+
+
+def _as_trace_context(trace: TraceContext | Mapping[str, Any] | None) -> TraceContext | None:
+    """Normalize a caller-supplied trace handle (capsule, wire dict, or
+    nothing) — malformed wire dicts degrade to untraced, never error."""
+    if trace is None or isinstance(trace, TraceContext):
+        return trace
+    return TraceContext.from_dict(trace)
 
 
 class MultiSessionServer:
@@ -1210,6 +1223,7 @@ class MultiSessionServer:
         service_factory: Callable[[], ExplorationService] | None = None,
         scheduler: SchedulerConfig | int | None = None,
         shared_index: IndexManager | bool | None = None,
+        tracing: Tracer | TraceConfig | bool | None = None,
     ) -> None:
         self._factory = service_factory if service_factory is not None else LocalExplorationService
         if shared_index is True:
@@ -1228,12 +1242,37 @@ class MultiSessionServer:
         self._shared_columns: dict[str, Column] = {}
         self._shared_tables: dict[str, Table] = {}
         self._shared_hierarchies: dict[tuple[str, str | None], SampleHierarchy] = {}
+        self._shared_stores: list[StoreCatalog] = []
         if isinstance(scheduler, int):
             scheduler = SchedulerConfig(num_workers=scheduler)
         self._scheduler_config = scheduler
         self._scheduler: GestureScheduler | None = None
         if scheduler is not None:
             self._scheduler = GestureScheduler(config=scheduler)
+        #: the server's telemetry plane: always present (collectors are
+        #: scrape-time and free until polled), tracing opt-in via the
+        #: ``tracing`` knob — a TraceConfig/True enables per-gesture span
+        #: trees recorded into the tracer's flight recorder
+        self.telemetry = TelemetryRegistry()
+        if tracing is True:
+            tracing = TraceConfig()
+        if isinstance(tracing, Tracer):
+            self.tracer = tracing
+        elif isinstance(tracing, TraceConfig):
+            self.tracer = Tracer(tracing, registry=self.telemetry)
+        else:
+            # even a disabled tracer registers its (all-zero) counters, so
+            # an untraced deployment still scrapes a complete schema
+            self.tracer = Tracer(TraceConfig(enabled=False), registry=self.telemetry)
+        if self._scheduler is not None:
+            self.telemetry.register_collector("scheduler", self._scheduler.stats.snapshot)
+        self.telemetry.register_collector("index", self.index_stats)
+        self.telemetry.register_collector("storage", self.storage_stats)
+        self.telemetry.register_collector("server", self.aggregate_metrics)
+        if self.tracer.recorder is not None:
+            self.telemetry.register_collector(
+                "flight_recorder", self.tracer.recorder.stats_snapshot
+            )
 
     # ------------------------------------------------------------------ #
     # serving-mode introspection
@@ -1392,6 +1431,9 @@ class MultiSessionServer:
                 hierarchy = snapshot.load_hierarchy(*key)
                 if hierarchy is not None:
                     self._shared_hierarchies[key] = hierarchy
+            # keep the catalog itself: its chunk cache and memory budget
+            # are the storage tier's observability surface (storage_stats)
+            self._shared_stores.append(snapshot)
         return names
 
     @property
@@ -1429,6 +1471,73 @@ class MultiSessionServer:
             for key, value in report.items():
                 totals[key] = totals.get(key, 0) + int(value)
         return totals if seen else None
+
+    def storage_stats(self) -> dict[str, int] | None:
+        """Chunk-cache and memory-budget counters of the attached stores.
+
+        Key-wise sums over every shared :class:`StoreCatalog` this server
+        attached (``None`` when serving purely in-memory) — the storage
+        tier's observability surface, reachable here and through the
+        sharded ``stats``/``telemetry`` verbs instead of only by poking
+        the store object directly.  Load-dependent like
+        :meth:`index_stats`; never part of the parity surface.
+        """
+        with self._lock:
+            stores = list(self._shared_stores)
+        if not stores:
+            return None
+        totals = {
+            "chunk_hits": 0,
+            "chunk_misses": 0,
+            "chunk_insertions": 0,
+            "chunk_evictions": 0,
+            "bytes_cached": 0,
+            "cache_capacity_bytes": 0,
+        }
+        budgets: list[Any] = []
+        for catalog in stores:
+            cache = catalog.store.cache
+            stats = cache.stats
+            totals["chunk_hits"] += stats.hits
+            totals["chunk_misses"] += stats.misses
+            totals["chunk_insertions"] += stats.insertions
+            totals["chunk_evictions"] += stats.evictions
+            totals["bytes_cached"] += stats.bytes_cached
+            totals["cache_capacity_bytes"] += cache.capacity_bytes
+            budget = getattr(cache, "_budget", None)
+            if budget is not None and all(budget is not b for b in budgets):
+                budgets.append(budget)
+        if budgets:
+            totals["budget_capacity_bytes"] = sum(b.capacity_bytes for b in budgets)
+            totals["budget_used_bytes"] = sum(b.used_bytes for b in budgets)
+            totals["budget_participants"] = sum(len(b.participants) for b in budgets)
+        return totals
+
+    # ------------------------------------------------------------------ #
+    # telemetry: traces and the merged snapshot
+    # ------------------------------------------------------------------ #
+    @property
+    def flight_recorder(self) -> FlightRecorder | None:
+        """The tracer's flight recorder (``None`` with tracing off)."""
+        return self.tracer.recorder
+
+    def drain_traces(self) -> list[Trace]:
+        """Drain the flight recorder's completed traces (oldest first)."""
+        recorder = self.tracer.recorder
+        return recorder.drain() if recorder is not None else []
+
+    def drain_slow_traces(self) -> list[Trace]:
+        """Drain the slow-gesture log (oldest first)."""
+        recorder = self.tracer.recorder
+        return recorder.drain_slow() if recorder is not None else []
+
+    def telemetry_snapshot(self) -> dict[str, float]:
+        """One merged numeric snapshot of every registered island."""
+        return self.telemetry.snapshot()
+
+    def exposition(self) -> str:
+        """The merged snapshot in Prometheus text exposition format."""
+        return self.telemetry.exposition()
 
     def _attach_shared(self, service: ExplorationService) -> None:
         """Register shared objects into a fresh service's private catalog."""
@@ -1507,6 +1616,7 @@ class MultiSessionServer:
         values: Iterable | None = None,
         columns: Mapping[str, Iterable] | None = None,
         merge: bool = True,
+        trace: TraceContext | Mapping[str, Any] | None = None,
     ) -> int:
         """Append rows to one session's loaded object; returns its new length.
 
@@ -1516,28 +1626,47 @@ class MultiSessionServer:
         cracked-index tail merge is scheduled on the scheduler's
         background lane — gestures keep flowing and tail-scan until the
         merge folds the appended rows into the pieces; in serial mode the
-        merge runs inline after the append.
+        merge runs inline after the append.  A sampled append trace
+        continues onto the background lane: the merge records its span as
+        a second partial under the same trace id, stitched back under the
+        append span by :func:`repro.obs.trace.stitch_traces`.
         """
+        ctx = _as_trace_context(trace)
 
-        def append() -> int:
+        def append() -> tuple[int, TraceContext | None]:
             service = self.service(session_id)
             appender = getattr(service, "append_rows", None)
             if appender is None:
                 raise ServiceError(
                     f"the {getattr(service, 'backend', '?')!r} backend has no append_rows"
                 )
-            return appender(object_name, values=values, columns=columns)
+            with self.tracer.gesture(
+                "append", ctx=ctx, session=session_id, object=object_name
+            ) as root:
+                new_length = appender(object_name, values=values, columns=columns)
+                # captured before the root closes so the background merge
+                # attaches *under* the append span, not beside it
+                merge_ctx = root.context() if root is not None else None
+            return new_length, merge_ctx
+
+        def merge_in_background(merge_ctx: TraceContext | None) -> int:
+            if merge_ctx is None:  # the append wasn't sampled: merge untraced too
+                return self._merge_tails(session_id, object_name)
+            with self.tracer.gesture(
+                "merge_tails", ctx=merge_ctx, lane="background", object=object_name
+            ):
+                return self._merge_tails(session_id, object_name)
 
         if self._scheduler is not None:
-            new_length = self._scheduler.submit(session_id, append).result()
+            new_length, merge_ctx = self._scheduler.submit(session_id, append).result()
             if merge:
                 self._scheduler.submit_background(
-                    lambda: self._merge_tails(session_id, object_name)
+                    lambda: merge_in_background(merge_ctx)
                 )
             return new_length
-        new_length = append()
+        new_length, merge_ctx = append()
         if merge:
-            self._merge_tails(session_id, object_name)
+            merge_in_background(merge_ctx)
         return new_length
 
     def _merge_tails(self, session_id: str, object_name: str) -> int:
@@ -1551,45 +1680,92 @@ class MultiSessionServer:
         merger = getattr(service, "merge_index_tails", None)
         return merger(object_name) if callable(merger) else 0
 
-    def _execute_direct(self, session_id: str, command: GestureCommand) -> OutcomeEnvelope:
-        """Execute one command inline, recording its latency."""
+    def _execute_direct(
+        self,
+        session_id: str,
+        command: GestureCommand,
+        trace: TraceContext | None = None,
+        queued_monotonic: float | None = None,
+    ) -> OutcomeEnvelope:
+        """Execute one command inline, recording its latency (and, when
+        sampled, its span tree — the tracer activates the trace on *this*
+        thread, which in concurrent mode is the scheduler worker, so the
+        kernel's ambient child spans attach to the right gesture)."""
         service = self.service(session_id)
         metrics = self.metrics(session_id)
         started = time.perf_counter()
-        envelope = service.execute(command)
+        queue_wait_s = (started - queued_monotonic) if queued_monotonic is not None else None
+        with self.tracer.gesture(
+            command.kind, ctx=trace, queue_wait_s=queue_wait_s, session=session_id
+        ):
+            envelope = service.execute(command)
         metrics.observe(envelope, time.perf_counter() - started)
         return envelope
 
-    def execute(self, session_id: str, command: GestureCommand) -> OutcomeEnvelope:
+    def execute(
+        self,
+        session_id: str,
+        command: GestureCommand,
+        trace: TraceContext | Mapping[str, Any] | None = None,
+    ) -> OutcomeEnvelope:
         """Execute one command in one session and wait for its outcome.
 
         In concurrent mode this submits to the session's queue and blocks
         for the result, so it composes correctly with earlier ``submit``
-        calls (FIFO order is preserved).
+        calls (FIFO order is preserved).  ``trace`` optionally continues a
+        distributed trace (a :class:`repro.obs.trace.TraceContext` or its
+        wire dict).
         """
         if self._scheduler is not None:
-            return self.submit(session_id, command).result()
-        return self._execute_direct(session_id, command)
+            return self.submit(session_id, command, trace=trace).result()
+        return self._execute_direct(session_id, command, trace=_as_trace_context(trace))
 
-    def submit(self, session_id: str, command: GestureCommand, think_s: float = 0.0):
+    def submit(
+        self,
+        session_id: str,
+        command: GestureCommand,
+        think_s: float = 0.0,
+        trace: TraceContext | Mapping[str, Any] | None = None,
+    ):
         """Queue one command for asynchronous execution; returns its future.
 
         ``think_s`` is the user's pause before this command (enforced from
         the completion of the session's previous command).  Concurrent
-        mode only.
+        mode only.  The submit time is captured here so a sampled trace
+        records the scheduler ``queue_wait`` as its first child span.
         """
         if self._scheduler is None:
             raise ServiceError(
                 "submit() needs a concurrent server; construct "
                 "MultiSessionServer(scheduler=SchedulerConfig(...))"
             )
+        ctx = _as_trace_context(trace)
+        queued = time.perf_counter() if self.tracer.enabled else None
         return self._scheduler.submit(
-            session_id, lambda: self._execute_direct(session_id, command), think_s
+            session_id,
+            lambda: self._execute_direct(
+                session_id, command, trace=ctx, queued_monotonic=queued
+            ),
+            think_s,
         )
 
-    def submit_script(self, session_id: str, script: GestureScript, think_s: float = 0.0):
-        """Queue a whole script; returns one future per command."""
-        return [self.submit(session_id, command, think_s=think_s) for command in script]
+    def submit_script(
+        self,
+        session_id: str,
+        script: GestureScript,
+        think_s: float = 0.0,
+        trace: TraceContext | Mapping[str, Any] | None = None,
+    ):
+        """Queue a whole script; returns one future per command.
+
+        One ``trace`` context covers the whole script: each command's
+        gesture span joins the same distributed trace, which is how a
+        multi-command script shows up as one tree instead of N roots.
+        """
+        return [
+            self.submit(session_id, command, think_s=think_s, trace=trace)
+            for command in script
+        ]
 
     def run(self, session_id: str, script: GestureScript) -> list[OutcomeEnvelope]:
         """Execute a whole script in one session."""

@@ -27,6 +27,7 @@ from typing import Any, Iterable
 from repro.core.commands import AppendCommand, GestureCommand, GestureScript
 from repro.core.kernel import GestureOutcome
 from repro.errors import MalformedFrameError, ProtocolError, ServiceError
+from repro.obs.trace import current_trace_context
 from repro.touchio.recognizer import GestureType
 from repro.serving.protocol import (
     DEFAULT_MAX_FRAME_BYTES,
@@ -91,7 +92,14 @@ class ShardedClient:
     def _round_trip(
         self, verb: str, payload: dict | None = None, session: str | None = None
     ) -> dict[str, Any]:
-        """Send one request, wait for its matching response, return/raise."""
+        """Send one request, wait for its matching response, return/raise.
+
+        When the calling thread has an ambient active trace (see
+        :mod:`repro.obs.trace`), its context rides along as the request's
+        ``trace`` field, so server-side spans stitch under the caller's
+        trace.  Untraced callers pay one context-variable read.
+        """
+        ctx = current_trace_context()
         with self._lock:
             if self._closed:
                 raise ServiceError("client is closed")
@@ -102,6 +110,7 @@ class ShardedClient:
                 verb=verb,
                 session=session,
                 payload=payload if payload is not None else {},
+                trace=ctx.to_dict() if ctx is not None else None,
             )
             self._sock.sendall(encode_frame(request.to_dict(), max_bytes=self.max_frame_bytes))
             while True:
@@ -145,6 +154,17 @@ class ShardedClient:
     def stats(self) -> dict[str, Any]:
         """Fleet-wide stats aggregated across every live shard."""
         return self._round_trip("stats")
+
+    def telemetry(self) -> dict[str, Any]:
+        """Fleet-wide telemetry: merged metrics, exposition text, and the
+        drained traces/slow traces of every site (front door + workers).
+
+        Draining is destructive by design — each call returns the traces
+        completed since the last one.  Stitch the partial-trace dicts with
+        :func:`repro.obs.trace.stitch_traces` to reassemble one span tree
+        per gesture.
+        """
+        return self._round_trip("telemetry")
 
     def drain(self, timeout: float | None = None) -> bool:
         """Ask the server to finish all in-flight gestures fleet-wide."""
@@ -193,6 +213,7 @@ class ShardedClient:
         the stream fully (or abandon it — leftover frames are skipped by
         id) before issuing other requests on this client.
         """
+        ctx = current_trace_context()
         with self._lock:
             if self._closed:
                 raise ServiceError("client is closed")
@@ -203,6 +224,7 @@ class ShardedClient:
                 verb="run-script",
                 session=self.session_id,
                 payload={"script": script.to_dict(), "stream": True},
+                trace=ctx.to_dict() if ctx is not None else None,
             )
             self._sock.sendall(
                 encode_frame(request.to_dict(), max_bytes=self.max_frame_bytes)

@@ -62,6 +62,7 @@ VERBS = frozenset(
         "load-column",  # host a small session-private column by value
         "append",  # grow a loaded object in place (live ingestion)
         "stats",  # aggregate per-worker SessionMetrics + scheduler stats
+        "telemetry",  # merged metrics snapshot + drained gesture traces
         "drain",  # finish all in-flight gestures, then refuse new work
     }
 )
@@ -217,12 +218,21 @@ def _require_id(payload: dict) -> int:
 
 @dataclass(frozen=True)
 class Request:
-    """One client request: a verb plus its payload, tagged with an id."""
+    """One client request: a verb plus its payload, tagged with an id.
+
+    ``trace`` is the optional distributed-tracing capsule
+    (:meth:`repro.obs.trace.TraceContext.to_dict`): a caller that wants
+    this request's server-side spans stitched into its own trace sends
+    one.  The field is strictly additive — servers that predate it ignore
+    unknown envelope keys, and a malformed capsule degrades to untraced
+    rather than erroring, so tracing can never fail a request.
+    """
 
     id: int
     verb: str
     session: str | None = None
     payload: dict[str, Any] = field(default_factory=dict)
+    trace: dict[str, Any] | None = None
 
     def to_dict(self) -> dict[str, Any]:
         """The request's wire form."""
@@ -231,6 +241,8 @@ class Request:
             wire["session"] = self.session
         if self.payload:
             wire["payload"] = self.payload
+        if self.trace is not None:
+            wire["trace"] = self.trace
         return wire
 
     @classmethod
@@ -251,7 +263,10 @@ class Request:
         session = _require_str(payload, "session", optional=True)
         if verb not in VERBS:
             raise UnknownVerbError(f"unknown verb {verb!r} (request id {request_id})")
-        return cls(id=request_id, verb=verb, session=session, payload=body)
+        trace = payload.get("trace")
+        if not isinstance(trace, dict):
+            trace = None  # absent or mangled: untraced, never an error
+        return cls(id=request_id, verb=verb, session=session, payload=body, trace=trace)
 
 
 @dataclass(frozen=True)

@@ -25,7 +25,7 @@ from __future__ import annotations
 import asyncio
 import threading
 from concurrent.futures import Future
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Any
 
 from repro.errors import (
@@ -35,6 +35,8 @@ from repro.errors import (
     ProtocolError,
     ServiceError,
 )
+from repro.obs.registry import TelemetryRegistry, merge_numeric, render_exposition
+from repro.obs.trace import RootSpan, TraceConfig, TraceContext, Tracer
 from repro.serving.protocol import (
     DEFAULT_MAX_FRAME_BYTES,
     PROTOCOL_VERSION,
@@ -66,6 +68,14 @@ class ShardedServerConfig:
         Server-wide cap on requests admitted but not yet answered — the
         front-door shed layer.  ``None`` disables shedding here (the
         per-worker scheduler admission still applies).
+    tracing:
+        Front-door :class:`repro.obs.trace.TraceConfig` (``None`` serves
+        untraced).  When set, every forwarded ``execute``/``run-script``/
+        ``append`` opens a front-door root span and ships its context to
+        the shard on the pipe payload's ``trace`` key, so the ``telemetry``
+        verb can stitch one distributed trace per gesture.  The config's
+        ``site`` is overridden to ``"front-door"``; enable the *workers'*
+        tracers via :attr:`WorkerConfig.trace_sample_rate`.
     """
 
     host: str = "127.0.0.1"
@@ -75,6 +85,7 @@ class ShardedServerConfig:
     max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES
     max_inflight: int | None = 1024
     start_method: str | None = None
+    tracing: TraceConfig | None = None
 
 
 #: Verbs the front door forwards to a shard, keyed to the worker-side op.
@@ -86,6 +97,9 @@ _FORWARDED_OPS = {
     "load-column": "load-column",
     "append": "append",
 }
+
+#: Forwarded verbs that open a front-door root span when tracing is on.
+_TRACED_VERBS = frozenset({"execute", "run-script", "append"})
 
 
 class ShardedServer:
@@ -99,6 +113,14 @@ class ShardedServer:
             config=self.config.worker,
             start_method=self.config.start_method,
         )
+        self.telemetry = TelemetryRegistry()
+        if self.config.tracing is not None:
+            self.tracer = Tracer(
+                replace(self.config.tracing, site="front-door"), registry=self.telemetry
+            )
+        else:
+            self.tracer = Tracer(TraceConfig(enabled=False))
+        self.telemetry.register_collector("frontdoor", self._frontdoor_metrics)
         self._loop: asyncio.AbstractEventLoop | None = None
         self._thread: threading.Thread | None = None
         self._server: asyncio.Server | None = None
@@ -229,6 +251,14 @@ class ShardedServer:
         with self._lock:
             return self._inflight
 
+    def _frontdoor_metrics(self) -> dict[str, int]:
+        """The front door's own gauges (a telemetry collector)."""
+        return {
+            "inflight": self.inflight,
+            "num_workers": self.shards.num_workers,
+            "alive_workers": len(self.shards.alive_workers),
+        }
+
     # ------------------------------------------------------------------ #
     # per-connection protocol loop
     # ------------------------------------------------------------------ #
@@ -313,6 +343,14 @@ class ShardedServer:
                     self._release()
                 await self._send(writer, write_lock, Response.success(request.id, stats))
                 return
+            if request.verb == "telemetry":
+                self._admit()
+                try:
+                    report = await loop.run_in_executor(None, self._telemetry_report)
+                finally:
+                    self._release()
+                await self._send(writer, write_lock, Response.success(request.id, report))
+                return
             if request.verb == "drain":
                 timeout = request.payload.get("timeout")
                 drained = await loop.run_in_executor(
@@ -335,10 +373,73 @@ class ShardedServer:
                     raise
                 return
             self._admit()
-            future = self.shards.submit(op, request.session, request.payload)
-            self._stream_back(future, request.id, writer, write_lock, loop)
+            payload, root = self._traced_payload(request)
+            try:
+                future = self.shards.submit(op, request.session, payload)
+            except BaseException as exc:
+                if root is not None:
+                    root.finish(error=exc)
+                self._release()
+                raise
+            self._stream_back(future, request.id, writer, write_lock, loop, root=root)
         except DbTouchError as exc:
             await self._send(writer, write_lock, Response.failure(request.id, exc))
+
+    def _traced_payload(self, request: Request) -> tuple[dict, RootSpan | None]:
+        """The forwarded payload plus the front-door root span, if any.
+
+        A traced verb opens a root here (continuing the client's capsule
+        when one rode in on the request) and ships the root's own context
+        to the shard, so the worker's spans attach *under* the front-door
+        span.  Untraced (or non-gesture) verbs forward the client capsule
+        untouched — the front door never blocks someone else's trace.
+        """
+        root = None
+        capsule = request.trace
+        if request.verb in _TRACED_VERBS:
+            root = self.tracer.begin(
+                request.verb,
+                ctx=TraceContext.from_dict(request.trace),
+                activate=False,
+                session=request.session,
+            )
+            if root is not None:
+                capsule = root.context().to_dict()
+        if capsule is None:
+            return request.payload, root
+        payload = dict(request.payload)
+        payload["trace"] = capsule
+        return payload, root
+
+    def _telemetry_report(self) -> dict[str, Any]:
+        """Fleet-wide telemetry: merged metrics, drained traces, exposition.
+
+        ``metrics`` key-wise sums every worker's snapshot with the front
+        door's own (:func:`repro.obs.registry.merge_numeric`), ``traces``
+        concatenates every site's drained partials (stitch them client-side
+        with :func:`repro.obs.trace.stitch_traces`), and ``exposition`` is
+        the merged view in Prometheus text format.  Per-worker detail stays
+        under ``workers``.
+        """
+        fleet = self.shards.telemetry()
+        front_metrics = self.telemetry.snapshot()
+        recorder = self.tracer.recorder
+        front_traces = [t.to_dict() for t in recorder.drain()] if recorder else []
+        front_slow = [t.to_dict() for t in recorder.drain_slow()] if recorder else []
+        merged = merge_numeric([fleet["metrics"], front_metrics])
+        return {
+            "num_workers": fleet["num_workers"],
+            "alive_workers": fleet["alive_workers"],
+            "metrics": merged,
+            "exposition": render_exposition(merged),
+            "traces": fleet["traces"] + front_traces,
+            "slow_traces": fleet["slow_traces"] + front_slow,
+            "front_door": {
+                "metrics": front_metrics,
+                "exposition": self.telemetry.exposition(),
+            },
+            "workers": fleet["workers"],
+        }
 
     def _stream_back(
         self,
@@ -347,6 +448,7 @@ class ShardedServer:
         writer: asyncio.StreamWriter,
         write_lock: asyncio.Lock,
         loop: asyncio.AbstractEventLoop,
+        root: RootSpan | None = None,
     ) -> None:
         """Forward a shard future's outcome to the connection when it lands.
 
@@ -361,8 +463,12 @@ class ShardedServer:
             try:
                 payload = done.result()
             except Exception as exc:  # noqa: BLE001 - typed onto the wire
+                if root is not None:
+                    root.finish(error=exc)
                 response = Response.failure(request_id, exc)
             else:
+                if root is not None:
+                    root.finish()
                 response = Response.success(request_id, payload)
             try:
                 asyncio.run_coroutine_threadsafe(
@@ -400,6 +506,17 @@ class ShardedServer:
         total = len(commands)
         state = {"closed": False}
         state_lock = threading.Lock()
+        # one front-door root covers the whole streamed script: every
+        # per-command span on the shard attaches under it, so a script is
+        # one distributed trace, not N
+        root = self.tracer.begin(
+            "run-script",
+            ctx=TraceContext.from_dict(request.trace),
+            activate=False,
+            session=request.session,
+            commands=total,
+        )
+        capsule = root.context().to_dict() if root is not None else request.trace
 
         def post(response: Response) -> None:
             try:
@@ -409,11 +526,13 @@ class ShardedServer:
             except RuntimeError:
                 pass  # loop already closed mid-shutdown: nobody to answer
 
-        def close(response: Response) -> None:
+        def close(response: Response, error: BaseException | None = None) -> None:
             with state_lock:
                 if state["closed"]:
                     return
                 state["closed"] = True
+            if root is not None:
+                root.finish(error=error)
             self._release()
             post(response)
 
@@ -426,7 +545,7 @@ class ShardedServer:
                 try:
                     payload = done.result()
                 except Exception as exc:  # noqa: BLE001 - typed onto the wire
-                    close(Response.failure(request.id, exc))
+                    close(Response.failure(request.id, exc), error=exc)
                     return
                 with state_lock:
                     if state["closed"]:
@@ -448,12 +567,13 @@ class ShardedServer:
 
         try:
             for seq, command in enumerate(commands):
-                future = self.shards.submit(
-                    "execute", request.session, {"command": command}
-                )
+                payload: dict[str, Any] = {"command": command}
+                if capsule is not None:
+                    payload["trace"] = capsule
+                future = self.shards.submit("execute", request.session, payload)
                 future.add_done_callback(deliver(seq))
         except DbTouchError as exc:
-            close(Response.failure(request.id, exc))
+            close(Response.failure(request.id, exc), error=exc)
 
     def _hello_payload(self) -> dict[str, Any]:
         return {

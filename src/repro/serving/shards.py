@@ -28,6 +28,7 @@ from concurrent.futures import Future
 from typing import Any
 
 from repro.errors import ServiceError, WorkerCrashedError
+from repro.obs.registry import merge_numeric
 from repro.serving.protocol import exception_from_payload
 from repro.serving.worker import WorkerConfig, worker_main
 
@@ -284,7 +285,9 @@ class ShardManager:
         per_worker: dict[str, Any] = {}
         sessions: dict[str, dict[str, int]] = {}
         index_totals: dict[str, int] = {}
+        storage_totals: dict[str, int] = {}
         any_index = False
+        any_storage = False
         for worker_id, future in futures:
             try:
                 report = future.result(timeout=timeout)
@@ -300,6 +303,11 @@ class ShardManager:
                 any_index = True
                 for key, value in worker_index.items():
                     index_totals[key] = index_totals.get(key, 0) + int(value)
+            worker_storage = report.get("storage")
+            if isinstance(worker_storage, dict):
+                any_storage = True
+                for key, value in worker_storage.items():
+                    storage_totals[key] = storage_totals.get(key, 0) + int(value)
         return {
             "num_workers": len(self.workers),
             "alive_workers": self.alive_workers,
@@ -307,6 +315,50 @@ class ShardManager:
             # key-wise sum of every shard's adaptive-index counters and
             # gauges; None when no shard runs the indexing tier
             "index": index_totals if any_index else None,
+            # same treatment for the chunk-cache / memory-budget counters
+            # of each shard's attached store; None when serving in-memory
+            "storage": storage_totals if any_storage else None,
+            "workers": per_worker,
+        }
+
+    def telemetry(self, timeout: float | None = 30.0) -> dict[str, Any]:
+        """Drain and merge every live shard's telemetry plane.
+
+        Returns the fleet-wide merged metric snapshot (key-wise sums via
+        :func:`repro.obs.registry.merge_numeric`), every shard's drained
+        traces and slow traces as wire dicts, and the per-worker detail
+        (including each worker's own Prometheus exposition text).  Like
+        :meth:`stats`, a dead shard is reported as data, never raised.
+        """
+        futures = [
+            (handle.worker_id, handle.submit("telemetry"))
+            for handle in self.workers
+            if handle.alive
+        ]
+        per_worker: dict[str, Any] = {}
+        snapshots: list[dict[str, float]] = []
+        traces: list[dict[str, Any]] = []
+        slow_traces: list[dict[str, Any]] = []
+        for worker_id, future in futures:
+            try:
+                report = future.result(timeout=timeout)
+            except Exception as exc:  # noqa: BLE001 - reported as data
+                per_worker[str(worker_id)] = {"error": str(exc)}
+                continue
+            per_worker[str(worker_id)] = report
+            metrics = report.get("metrics")
+            if isinstance(metrics, dict):
+                snapshots.append(metrics)
+            for key, into in (("traces", traces), ("slow_traces", slow_traces)):
+                drained = report.get(key)
+                if isinstance(drained, list):
+                    into.extend(part for part in drained if isinstance(part, dict))
+        return {
+            "num_workers": len(self.workers),
+            "alive_workers": self.alive_workers,
+            "metrics": merge_numeric(snapshots),
+            "traces": traces,
+            "slow_traces": slow_traces,
             "workers": per_worker,
         }
 

@@ -37,6 +37,7 @@ from repro.core.commands import GestureCommand, GestureScript
 from repro.core.kernel import KernelConfig
 from repro.core.scheduler import SchedulerConfig
 from repro.errors import DbTouchError, MalformedFrameError, UnknownVerbError
+from repro.obs.trace import TraceConfig
 from repro.persist.snapshot import StoreCatalog
 from repro.serving.protocol import error_payload
 from repro.service import LocalExplorationService, MultiSessionServer
@@ -51,6 +52,7 @@ WORKER_OPS = frozenset(
         "load-column",
         "append",
         "stats",
+        "telemetry",
         "drain",
         "ping",
         "stop",
@@ -88,6 +90,15 @@ class WorkerConfig:
         :class:`repro.indexing.manager.IndexManager`.
     cache_bytes:
         Chunk-cache byte budget for the attached snapshot's store.
+    trace_sample_rate:
+        ``None`` (the default) serves with tracing disabled — the no-op
+        spans cost nothing measurable.  A float in ``(0, 1]`` enables the
+        worker's tracer at that deterministic sample rate; incoming
+        ``trace`` capsules from the front door are honored either way the
+        tracer is enabled.
+    slow_trace_threshold_s / flight_recorder_capacity:
+        The worker-local flight recorder's slow-log threshold and ring
+        size (drained by the ``telemetry`` op).
     """
 
     snapshot_path: str | None = None
@@ -98,9 +109,12 @@ class WorkerConfig:
     latency_budget_s: float | None = 1e6
     shared_index: bool = False
     cache_bytes: int = 64 << 20
+    trace_sample_rate: float | None = None
+    slow_trace_threshold_s: float | None = None
+    flight_recorder_capacity: int = 64
 
 
-def _build_server(config: WorkerConfig) -> MultiSessionServer:
+def _build_server(config: WorkerConfig, worker_id: int = 0) -> MultiSessionServer:
     """Construct the worker's serving stack from its config."""
 
     def factory() -> LocalExplorationService:
@@ -109,6 +123,14 @@ def _build_server(config: WorkerConfig) -> MultiSessionServer:
             kernel_config = KernelConfig(latency_budget_s=config.latency_budget_s)
         return LocalExplorationService(config=kernel_config)
 
+    tracing = None
+    if config.trace_sample_rate is not None:
+        tracing = TraceConfig(
+            sample_rate=config.trace_sample_rate,
+            slow_threshold_s=config.slow_trace_threshold_s,
+            flight_recorder_capacity=config.flight_recorder_capacity,
+            site=f"worker-{worker_id}",
+        )
     server = MultiSessionServer(
         service_factory=factory,
         scheduler=SchedulerConfig(
@@ -118,6 +140,7 @@ def _build_server(config: WorkerConfig) -> MultiSessionServer:
             result_retention=config.result_retention,
         ),
         shared_index=config.shared_index,
+        tracing=tracing,
     )
     if config.snapshot_path is not None:
         snapshot = StoreCatalog.open_read_only(
@@ -134,7 +157,7 @@ class _WorkerRuntime:
         self.conn = conn
         self.worker_id = worker_id
         self.config = config
-        self.server = _build_server(config)
+        self.server = _build_server(config, worker_id)
         self._send_lock = threading.Lock()
 
     # ------------------------------------------------------------------ #
@@ -168,7 +191,7 @@ class _WorkerRuntime:
 
     def _op_execute(self, request_id: int, session: str, payload: dict) -> None:
         command = GestureCommand.from_dict(_require_dict(payload, "command"))
-        future = self.server.submit(session, command)
+        future = self.server.submit(session, command, trace=_trace_of(payload))
 
         def deliver(done: Future) -> None:
             try:
@@ -185,7 +208,7 @@ class _WorkerRuntime:
         if not len(script):
             self._reply(request_id, {"envelopes": []})
             return
-        futures = self.server.submit_script(session, script)
+        futures = self.server.submit_script(session, script, trace=_trace_of(payload))
 
         def deliver(_: Future) -> None:
             # same session, FIFO queue: when the last future resolves,
@@ -228,7 +251,9 @@ class _WorkerRuntime:
             or not all(isinstance(rows, list) for rows in columns.values())
         ):
             raise MalformedFrameError("append 'columns' must map names to lists")
-        rows = self.server.append_rows(session, name, values=values, columns=columns)
+        rows = self.server.append_rows(
+            session, name, values=values, columns=columns, trace=_trace_of(payload)
+        )
         self._reply(request_id, {"name": name, "rows": rows})
 
     def _op_stats(self, request_id: int, session: str | None, payload: dict) -> None:
@@ -241,6 +266,21 @@ class _WorkerRuntime:
                 "scheduler": self.server.scheduler_stats(),
                 "shared_objects": self.server.shared_object_names,
                 "index": self.server.index_stats(),
+                "storage": self.server.storage_stats(),
+            },
+        )
+
+    def _op_telemetry(self, request_id: int, session: str | None, payload: dict) -> None:
+        self._reply(
+            request_id,
+            {
+                "worker": self.worker_id,
+                "metrics": self.server.telemetry_snapshot(),
+                "exposition": self.server.exposition(),
+                "traces": [trace.to_dict() for trace in self.server.drain_traces()],
+                "slow_traces": [
+                    trace.to_dict() for trace in self.server.drain_slow_traces()
+                ],
             },
         )
 
@@ -287,6 +327,7 @@ class _WorkerRuntime:
                 "load-column": self._op_load_column,
                 "append": self._op_append,
                 "stats": self._op_stats,
+                "telemetry": self._op_telemetry,
                 "drain": self._op_drain,
                 "ping": self._op_ping,
             }[op]
@@ -301,6 +342,12 @@ def _require_dict(payload: dict, key: str) -> dict:
     if not isinstance(value, dict):
         raise MalformedFrameError(f"payload field {key!r} must be an object")
     return value
+
+
+def _trace_of(payload: dict) -> dict | None:
+    """The optional trace capsule riding on a pipe payload (mangled: none)."""
+    trace = payload.get("trace")
+    return trace if isinstance(trace, dict) else None
 
 
 def worker_main(conn: Connection, worker_id: int, config: WorkerConfig) -> None:
