@@ -1,0 +1,184 @@
+"""F-trace-mining: mined gesture policies versus the persistence baseline.
+
+A fleet of synthetic sessions is generated from a planted second-order
+gesture process (zoom-out-after-two-slides habits, tap-then-reslide
+loops) that a *persistence* predictor — assume the last gesture kind
+repeats, exactly what the live prefetcher's extrapolation embodies —
+cannot capture.  The corpus is split into train/held-out halves, mined
+into an order-2 :class:`GestureTransitionModel`, and scored:
+
+* **held-out hit rate** — the mined model must beat the persistence
+  baseline on unseen traces by at least ``MIN_LIFT`` (the lift is the
+  value the fleet's recorded corpus added);
+* **live speculation** — replaying held-out-style sessions with the
+  mined policy adopted, the policy's online hit rate must show the same
+  advantage while its background warm-ups run error-free.
+
+Headline numbers land in ``benchmark.extra_info`` and surface as
+``BENCH_speculation_*.json`` via ``scripts/bench_trajectory.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.commands import (
+    GestureScript,
+    ShowColumn,
+    Slide,
+    Tap,
+    TimedCommand,
+    ZoomIn,
+)
+from repro.core.session import ExplorationSession
+from repro.mining import (
+    GestureTransitionModel,
+    SpeculativePolicy,
+    TraceCorpus,
+    heldout_hit_rate,
+    mine_corpus,
+    persistence_hit_rate,
+)
+from repro.touchio.device import DeviceProfile
+
+from conftest import print_comparison
+
+#: High-sampling profile so short synthesized zooms recognize cleanly.
+PROFILE = DeviceProfile(
+    name="mining-bench",
+    screen_width_cm=20.0,
+    screen_height_cm=15.0,
+    sampling_rate_hz=25.0,
+    finger_width_cm=0.08,
+)
+
+#: Synthetic fleet size and split.
+TRAIN_TRACES = 160
+HELDOUT_TRACES = 40
+GESTURES_PER_TRACE = 20
+#: Data objects the fleet explores (each trace picks one).
+OBJECTS = ["sensors", "trades", "logs"]
+#: Required hit-rate lift of the mined model over persistence, held out.
+MIN_LIFT = 0.10
+
+#: The planted second-order habit structure: context (prev2, prev1) →
+#: next-kind distribution.  Heavy on transitions persistence gets wrong
+#: (a repeated slide usually ends in a zoom, taps bounce back to slides).
+PLANTED = {
+    ("slide", "slide"): [("zoom-in", 0.7), ("slide", 0.2), ("tap", 0.1)],
+    ("slide", "zoom-in"): [("tap", 0.85), ("slide", 0.15)],
+    ("zoom-in", "tap"): [("slide", 0.85), ("tap", 0.15)],
+    ("tap", "slide"): [("slide", 0.7), ("tap", 0.3)],
+    ("tap", "tap"): [("slide", 0.9), ("zoom-in", 0.1)],
+}
+DEFAULT_NEXT = [("slide", 0.6), ("tap", 0.3), ("zoom-in", 0.1)]
+
+_GESTURES = {
+    "slide": lambda view, rng: Slide(
+        view=view,
+        duration=0.4,
+        start_fraction=float(rng.uniform(0.0, 0.4)),
+        end_fraction=float(rng.uniform(0.6, 1.0)),
+    ),
+    "tap": lambda view, rng: Tap(view=view, fraction=float(rng.random())),
+    "zoom-in": lambda view, rng: ZoomIn(view=view, duration=0.3),
+}
+
+
+def planted_kinds(rng: np.random.Generator, length: int) -> list[str]:
+    """Sample one gesture-kind sequence from the planted process."""
+    kinds = ["slide"]
+    while len(kinds) < length:
+        context = tuple(kinds[-2:]) if len(kinds) >= 2 else None
+        table = PLANTED.get(context, DEFAULT_NEXT)
+        outcomes, weights = zip(*table)
+        kinds.append(str(rng.choice(outcomes, p=np.asarray(weights))))
+    return kinds
+
+
+def synthesize_trace(rng: np.random.Generator) -> list:
+    """One synthetic session: show an object, then planted gestures."""
+    obj = OBJECTS[int(rng.integers(len(OBJECTS)))]
+    view = f"{obj}-view"
+    commands = [ShowColumn(object_name=obj, view_name=view)]
+    for kind in planted_kinds(rng, GESTURES_PER_TRACE):
+        commands.append(_GESTURES[kind](view, rng))
+    return commands
+
+
+def as_recorded(commands: list) -> list[TimedCommand]:
+    """What a recording session would hand the corpus: timed commands."""
+    return [TimedCommand(command=c, think_s=0.1) for c in commands]
+
+
+def test_speculation_heldout_hit_rate(benchmark, tmp_path):
+    """Mined order-2 predictions beat persistence on held-out traces."""
+    rng = np.random.default_rng(71)
+    corpus = TraceCorpus(tmp_path / "corpus")
+    for _ in range(TRAIN_TRACES):
+        corpus.append_trace(as_recorded(synthesize_trace(rng)))
+    heldout = [synthesize_trace(rng) for _ in range(HELDOUT_TRACES)]
+
+    def run():
+        report = mine_corpus(corpus, order=2, seed=7)
+        mined = heldout_hit_rate(report.model, heldout)
+        baseline = persistence_hit_rate(heldout)
+        return report, mined, baseline
+
+    report, mined, baseline = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert report.skipped == 0 and report.traces == TRAIN_TRACES
+    assert mined.total == baseline.total > 0
+    lift = mined.rate - baseline.rate
+    print_comparison(
+        {
+            "mined (order-2 corpus model)": {"hit_rate": mined.rate},
+            "baseline (persistence)": {"hit_rate": baseline.rate},
+        }
+    )
+    benchmark.extra_info["mined_hit_rate"] = mined.rate
+    benchmark.extra_info["baseline_hit_rate"] = baseline.rate
+    benchmark.extra_info["lift"] = lift
+    benchmark.extra_info["events_scored"] = mined.total
+    benchmark.extra_info["transitions_mined"] = report.model.transitions_observed
+    # checkpoint round-trip preserves the held-out score exactly
+    reloaded = GestureTransitionModel.load(report.model.save(tmp_path / "m.json"))
+    assert heldout_hit_rate(reloaded, heldout).rate == mined.rate
+    assert lift >= MIN_LIFT
+
+
+def test_speculation_live_session_lift(benchmark, tmp_path):
+    """The adopted policy's online hit rate keeps the mined advantage."""
+    rng = np.random.default_rng(73)
+    corpus = TraceCorpus(tmp_path / "corpus")
+    for _ in range(TRAIN_TRACES):
+        corpus.append_trace(as_recorded(synthesize_trace(rng)))
+    model = mine_corpus(corpus, order=2, seed=7).model
+    live_traces = [synthesize_trace(rng) for _ in range(8)]
+
+    def run():
+        policy = SpeculativePolicy(model)
+        session = ExplorationSession(profile=PROFILE)
+        session.adopt_speculation(policy)
+        data = np.random.default_rng(5).integers(0, 1_000, 50_000, dtype=np.int64)
+        for obj in OBJECTS:
+            session.load_column(obj, data)
+        for trace in live_traces:
+            session.run(GestureScript(trace))
+        return policy.stats_snapshot(), policy.hit_rate
+
+    stats, live_rate = benchmark.pedantic(run, rounds=1, iterations=1)
+    baseline = persistence_hit_rate(live_traces)
+    print_comparison(
+        {
+            "mined policy (live)": {"hit_rate": live_rate},
+            "baseline (persistence)": {"hit_rate": baseline.rate},
+        }
+    )
+    benchmark.extra_info["live_hit_rate"] = live_rate
+    benchmark.extra_info["baseline_hit_rate"] = baseline.rate
+    benchmark.extra_info["lift"] = live_rate - baseline.rate
+    benchmark.extra_info["speculations_completed"] = stats["speculations_completed"]
+    benchmark.extra_info["rows_warmed"] = stats["rows_warmed"]
+    assert stats["speculation_errors"] == 0
+    assert stats["speculations_completed"] == stats["speculations_scheduled"] > 0
+    assert live_rate - baseline.rate >= MIN_LIFT

@@ -66,6 +66,12 @@ Subpackages
     Data-object shapes and text rendering of the screen.
 ``repro.metrics``
     Collectors and reporters used by the benchmark harness.
+``repro.mining``
+    Trace mining: the append-only :class:`~repro.TraceCorpus` of recorded
+    gesture sessions, the offline order-k Markov
+    :class:`~repro.GestureTransitionModel` miner with JSON checkpoints,
+    and the :class:`~repro.SpeculativePolicy` that drives speculative
+    background warm-ups from mined predictions.
 ``repro.obs``
     The telemetry plane: per-gesture distributed tracing
     (:class:`~repro.Tracer`), the central
@@ -110,12 +116,26 @@ from repro.errors import (
     AdmissionError,
     DbTouchError,
     LoaderError,
+    MiningError,
+    ModelCheckpointError,
     PersistError,
     ProtocolError,
     SnapshotError,
+    TraceCorpusError,
     WorkerCrashedError,
 )
 from repro.indexing import IndexManager, RangeSelection
+from repro.mining import (
+    GestureTransitionModel,
+    HitRateReport,
+    MiningReport,
+    SpeculationPlan,
+    SpeculativePolicy,
+    TraceCorpus,
+    heldout_hit_rate,
+    mine_corpus,
+    persistence_hit_rate,
+)
 from repro.obs import (
     FlightRecorder,
     TelemetryRegistry,
@@ -159,7 +179,7 @@ from repro.touchio.device import (
     DeviceProfile,
 )
 
-__version__ = "0.8.0"
+__version__ = "0.9.0"
 
 __all__ = [
     "ActionKind",
@@ -181,7 +201,9 @@ __all__ = [
     "GestureOutcome",
     "GestureScheduler",
     "GestureScript",
+    "GestureTransitionModel",
     "GroupColumns",
+    "HitRateReport",
     "IPAD1",
     "IndexManager",
     "IPAD1_PROTOTYPE",
@@ -190,6 +212,9 @@ __all__ = [
     "LocalExplorationService",
     "MODERN_TABLET",
     "MemoryBudget",
+    "MiningError",
+    "MiningReport",
+    "ModelCheckpointError",
     "MultiSessionServer",
     "OutcomeEnvelope",
     "PHONE",
@@ -213,6 +238,8 @@ __all__ = [
     "Slide",
     "SlidePath",
     "SnapshotError",
+    "SpeculationPlan",
+    "SpeculativePolicy",
     "StoreCatalog",
     "Table",
     "Tap",
@@ -221,6 +248,8 @@ __all__ = [
     "Trace",
     "TraceConfig",
     "TraceContext",
+    "TraceCorpus",
+    "TraceCorpusError",
     "Tracer",
     "UngroupTable",
     "WorkerConfig",
@@ -229,7 +258,10 @@ __all__ = [
     "ZoomOut",
     "aggregate_action",
     "group_by_action",
+    "heldout_hit_rate",
     "join_action",
+    "mine_corpus",
+    "persistence_hit_rate",
     "scan_action",
     "select_where_action",
     "shard_for_session",

@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from typing import Any
 
 import numpy as np
 
@@ -114,6 +115,15 @@ class KernelConfig:
         pathologically unbalanced pieces and equal seeds still yield
         bit-identical piece structures.  Ignored when ``index_manager``
         is supplied (the pre-built manager carries its own knobs).
+    speculation:
+        Optional mined :class:`repro.mining.policy.SpeculativePolicy`.
+        Every shown object's prefetcher reports gesture progress to the
+        policy, which predicts the object's likely next gesture so the
+        service layer can warm for it in the background.  Strictly
+        observational on the gesture path — ``GestureOutcome`` counters
+        are bit-identical with speculation on or off (the differential
+        harness's contract); serving deployments usually adopt one shared
+        policy via ``MultiSessionServer(speculation=...)`` instead.
     max_retained_results:
         Retention bound handed to every view's
         :class:`repro.core.result_stream.ResultStream`: the oldest
@@ -148,6 +158,7 @@ class KernelConfig:
     index_manager: IndexManager | None = None
     stochastic_cracking: bool = False
     crack_seed: int = 0
+    speculation: Any | None = None
 
 
 @dataclass
@@ -274,6 +285,7 @@ class DbTouchKernel:
                     crack_seed=self.config.crack_seed,
                 )
             )
+        self.speculation = self.config.speculation
         self._states: dict[str, _ObjectState] = {}
         self._joins: dict[frozenset[str], SymmetricHashJoin] = {}
         # deferred import: repro.core.batch imports GestureOutcome from here
@@ -323,7 +335,7 @@ class DbTouchKernel:
             column_name=column_name,
             hierarchy=hierarchy,
             results=self._make_result_stream(),
-            prefetcher=GesturePrefetcher() if self.config.enable_prefetch else None,
+            prefetcher=self._make_prefetcher(object_name),
         )
         return view
 
@@ -359,9 +371,29 @@ class DbTouchKernel:
             column=None,
             table=table,
             results=self._make_result_stream(),
-            prefetcher=GesturePrefetcher() if self.config.enable_prefetch else None,
+            prefetcher=self._make_prefetcher(table_name),
         )
         return view
+
+    def _make_prefetcher(self, object_name: str) -> GesturePrefetcher | None:
+        """One prefetcher per shown object, policy-bound when speculating."""
+        if not self.config.enable_prefetch:
+            return None
+        prefetcher = GesturePrefetcher()
+        if self.speculation is not None:
+            prefetcher.bind_policy(self.speculation, object_name)
+        return prefetcher
+
+    def adopt_speculation(self, policy: Any) -> None:
+        """Install a mined speculation policy (the serving adoption hook).
+
+        Already-shown objects get their prefetchers bound too, so a
+        policy adopted mid-session starts observing immediately.
+        """
+        self.speculation = policy
+        for state in self._states.values():
+            if state.prefetcher is not None:
+                state.prefetcher.bind_policy(policy, state.object_name)
 
     def _make_result_stream(self) -> ResultStream:
         return ResultStream(

@@ -130,6 +130,7 @@ class AdaptiveOptimizer:
         self._current_k = base_summary_k
         self._recent_strides: list[int] = []
         self._recent_latencies: list[float] = []
+        self._speculated_kind: str | None = None
         self.budget_violations = 0
         self.k_adjustments = 0
 
@@ -191,6 +192,17 @@ class AdaptiveOptimizer:
             self._current_k = min(self.base_summary_k, self._current_k * 2)
             self.k_adjustments += 1
 
+    def speculation_hint(self, predicted_kind: str | None) -> None:
+        """Advise the optimizer what a mined policy predicts comes next.
+
+        Advisory only: the hint scales the prefetch horizon
+        :meth:`decide` reports (a predicted continued slide justifies a
+        deeper horizon; anything else falls back to the observed-velocity
+        rule) and never touches the summary window or sample stride, so
+        outcome counters are unaffected by hinting.
+        """
+        self._speculated_kind = predicted_kind
+
     # ------------------------------------------------------------------ #
     # decisions
     # ------------------------------------------------------------------ #
@@ -202,6 +214,8 @@ class AdaptiveOptimizer:
             stride = 1
         velocity_steady = self._velocity_is_steady()
         prefetch_horizon = 32 if velocity_steady else 8
+        if velocity_steady and self._speculated_kind in ("slide", "slide-path"):
+            prefetch_horizon = 64
         return OptimizerDecision(
             sample_stride=stride,
             prefetch_horizon_touches=prefetch_horizon,
@@ -226,6 +240,7 @@ class AdaptiveOptimizer:
         """Forget all observations (a new gesture session starts)."""
         self._recent_strides.clear()
         self._recent_latencies.clear()
+        self._speculated_kind = None
         self._current_k = self.base_summary_k
         self.budget_violations = 0
         self.k_adjustments = 0

@@ -1,0 +1,240 @@
+"""The trace corpus: durable JSONL storage for recorded gesture traces.
+
+A :class:`TraceCorpus` is a directory of append-only ``*.jsonl`` files.
+Each line is one serialized :class:`repro.core.commands.TimedCommand`
+wrapped in a small versioned record envelope::
+
+    {"version": 1, "trace": "t0", "seq": 3, "think_s": 0.12, "command": {...}}
+
+Traces recorded by :meth:`repro.core.session.ExplorationSession.record_trace`
+append directly; the offline miner (:mod:`repro.mining.model`) folds the
+whole corpus back into a gesture-transition model.  Fleet deployments
+append from many processes, so real corpora accumulate torn writes,
+foreign versions and plain garbage — every decode failure maps to the
+typed :class:`repro.errors.TraceCorpusError`, and the tolerant read mode
+skips bad records while accounting for them instead of dying
+(:class:`CorpusReadReport`), in the batch-analysis idiom of the
+FeedForward explorer pipeline.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator, Sequence
+
+from repro.core.commands import TimedCommand
+from repro.errors import CommandError, TraceCorpusError
+
+#: Version tag stamped into every corpus record; foreign versions are
+#: refused (strict mode) or skipped-and-counted (tolerant mode).
+RECORD_VERSION = 1
+
+#: Default file new traces append to when no filename is given.
+DEFAULT_FILE = "traces.jsonl"
+
+
+@dataclass(frozen=True)
+class CorpusRecord:
+    """One decoded corpus line: a timed command plus its trace coordinates."""
+
+    trace_id: str
+    seq: int
+    timed: TimedCommand
+
+
+@dataclass
+class CorpusReadReport:
+    """Partial-failure accounting for one corpus read.
+
+    ``skipped`` counts records dropped by the tolerant read mode;
+    ``errors`` keeps one short human-readable reason per skipped record
+    (bounded by ``max_errors`` so a rotten file cannot balloon the
+    report).
+    """
+
+    files: int = 0
+    records: int = 0
+    skipped: int = 0
+    max_errors: int = 32
+    errors: list[str] = field(default_factory=list)
+
+    def note_skip(self, reason: str) -> None:
+        """Count one skipped record, retaining a bounded error sample."""
+        self.skipped += 1
+        if len(self.errors) < self.max_errors:
+            self.errors.append(reason)
+
+
+def encode_record(trace_id: str, seq: int, timed: TimedCommand) -> str:
+    """Encode one timed command as a single corpus JSONL line."""
+    payload = timed.to_dict()
+    record = {
+        "version": RECORD_VERSION,
+        "trace": trace_id,
+        "seq": seq,
+        "think_s": payload["think_s"],
+        "command": payload["command"],
+    }
+    return json.dumps(record, separators=(",", ":"))
+
+
+def decode_record(line: bytes | str) -> CorpusRecord:
+    """Decode one corpus line, raising :class:`TraceCorpusError` on any defect."""
+    if isinstance(line, bytes):
+        try:
+            line = line.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise TraceCorpusError(f"corpus line is not valid UTF-8: {exc}") from exc
+    try:
+        record = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise TraceCorpusError(f"corpus line is not valid JSON: {exc}") from exc
+    if not isinstance(record, dict):
+        raise TraceCorpusError(
+            f"corpus record must be a JSON object, got {type(record).__name__}"
+        )
+    version = record.get("version")
+    if version != RECORD_VERSION:
+        raise TraceCorpusError(
+            f"corpus record version {version!r} is not the supported {RECORD_VERSION}"
+        )
+    trace_id = record.get("trace")
+    if not isinstance(trace_id, str) or not trace_id:
+        raise TraceCorpusError(f"corpus record has a bad trace id {trace_id!r}")
+    seq = record.get("seq")
+    if not isinstance(seq, int) or isinstance(seq, bool) or seq < 0:
+        raise TraceCorpusError(f"corpus record has a bad sequence number {seq!r}")
+    try:
+        timed = TimedCommand.from_dict(
+            {"command": record.get("command"), "think_s": record.get("think_s")}
+        )
+    except CommandError as exc:
+        raise TraceCorpusError(f"corpus record carries a bad command: {exc}") from exc
+    return CorpusRecord(trace_id=trace_id, seq=seq, timed=timed)
+
+
+class TraceCorpus:
+    """A directory of append-only JSONL gesture-trace files.
+
+    Parameters
+    ----------
+    root:
+        Corpus directory; created on first append.  Reads over a missing
+        directory raise :class:`TraceCorpusError` — an empty corpus is a
+        directory with no ``*.jsonl`` files, not a missing one.
+    """
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self._next_trace: int | None = None
+
+    # ------------------------------------------------------------------ #
+    # appending
+    # ------------------------------------------------------------------ #
+    def append_trace(
+        self,
+        commands: Sequence[TimedCommand],
+        trace_id: str | None = None,
+        filename: str = DEFAULT_FILE,
+    ) -> str:
+        """Append one recorded trace; returns the trace id used.
+
+        ``commands`` is what :meth:`ExplorationSession.stop_trace` hands
+        back.  Records are written with their in-trace sequence numbers,
+        so a torn tail write corrupts at most the last trace's suffix.
+        """
+        if trace_id is None:
+            trace_id = f"t{self._allocate_trace_number()}"
+        path = self.root / filename
+        path.parent.mkdir(parents=True, exist_ok=True)
+        lines = [
+            encode_record(trace_id, seq, timed) for seq, timed in enumerate(commands)
+        ]
+        with path.open("a", encoding="utf-8") as handle:
+            for line in lines:
+                handle.write(line + "\n")
+        return trace_id
+
+    def _allocate_trace_number(self) -> int:
+        """Monotonic default trace numbering, resumed by scanning once."""
+        if self._next_trace is None:
+            highest = -1
+            records = (
+                self.iter_records(strict=False)[0] if self.root.is_dir() else ()
+            )
+            for record in records:
+                tid = record.trace_id
+                if tid.startswith("t") and tid[1:].isdigit():
+                    highest = max(highest, int(tid[1:]))
+            self._next_trace = highest + 1
+        number = self._next_trace
+        self._next_trace += 1
+        return number
+
+    # ------------------------------------------------------------------ #
+    # reading
+    # ------------------------------------------------------------------ #
+    def files(self) -> list[Path]:
+        """The corpus's trace files, in stable sorted order."""
+        if not self.root.is_dir():
+            raise TraceCorpusError(f"no corpus directory at {self.root}")
+        return sorted(self.root.glob("*.jsonl"))
+
+    def iter_records(
+        self, strict: bool = True
+    ) -> tuple[Iterator[CorpusRecord], CorpusReadReport]:
+        """Iterate every record with its accounting report.
+
+        In strict mode any bad line raises :class:`TraceCorpusError`; in
+        tolerant mode bad lines are skipped and counted on the report
+        (which is filled in as the iterator is consumed).
+        """
+        report = CorpusReadReport()
+
+        def generate() -> Iterator[CorpusRecord]:
+            for path in self.files():
+                report.files += 1
+                with path.open("rb") as handle:
+                    for line_no, raw in enumerate(handle, start=1):
+                        raw = raw.strip()
+                        if not raw:
+                            continue
+                        try:
+                            record = decode_record(raw)
+                        except TraceCorpusError as exc:
+                            if strict:
+                                raise TraceCorpusError(
+                                    f"{path.name}:{line_no}: {exc}"
+                                ) from exc
+                            report.note_skip(f"{path.name}:{line_no}: {exc}")
+                            continue
+                        report.records += 1
+                        yield record
+
+        return generate(), report
+
+    def read_traces(
+        self, strict: bool = True
+    ) -> tuple[dict[str, list[TimedCommand]], CorpusReadReport]:
+        """Group the corpus back into per-trace command lists.
+
+        Records are ordered by their sequence numbers within each trace
+        (so interleaved appends from many writers still reassemble), and
+        trace ids keep their first-seen order.
+        """
+        records, report = self.iter_records(strict=strict)
+        grouped: dict[str, list[CorpusRecord]] = {}
+        for record in records:
+            grouped.setdefault(record.trace_id, []).append(record)
+        traces = {
+            trace_id: [rec.timed for rec in sorted(parts, key=lambda rec: rec.seq)]
+            for trace_id, parts in grouped.items()
+        }
+        return traces, report
+
+    def __len__(self) -> int:
+        """Number of distinct traces readable in tolerant mode."""
+        traces, _ = self.read_traces(strict=False)
+        return len(traces)

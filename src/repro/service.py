@@ -29,6 +29,7 @@ import inspect
 import itertools
 import threading
 import time
+from pathlib import Path
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Mapping, Protocol, Sequence, runtime_checkable
 
@@ -67,6 +68,8 @@ from repro.engine.aggregate import AggregateKind, make_aggregate
 from repro.engine.filter import Predicate
 from repro.errors import IngestError, RemoteError, ServiceError
 from repro.indexing.manager import IndexManager, RangeSelection
+from repro.mining.model import GestureTransitionModel
+from repro.mining.policy import SpeculationPlan, SpeculativePolicy
 from repro.obs.recorder import FlightRecorder
 from repro.obs.registry import TelemetryRegistry
 from repro.obs.stats import nearest_rank
@@ -287,6 +290,8 @@ class LocalExplorationService:
         self.jitter_cm = jitter_cm
         self.seed = seed
         self._shared_index: IndexManager | None = None
+        self._speculation: SpeculativePolicy | None = None
+        self._pending_speculation: SpeculationPlan | None = None
         self.reset()
 
     def reset(self) -> None:
@@ -300,6 +305,8 @@ class LocalExplorationService:
         self.schema_gestures = SchemaGestures(self.kernel)
         if self._shared_index is not None and self.kernel.config.enable_indexing:
             self.kernel.index_manager = self._shared_index
+        if self._speculation is not None:
+            self.kernel.adopt_speculation(self._speculation)
 
     def adopt_index_manager(self, manager: IndexManager) -> None:
         """Serve this session's adaptive indexing from a shared manager.
@@ -315,6 +322,127 @@ class LocalExplorationService:
         self._shared_index = manager
         if self.kernel.config.enable_indexing:
             self.kernel.index_manager = manager
+
+    def adopt_speculation(self, policy: "SpeculativePolicy") -> None:
+        """Drive this session's speculation from a mined policy.
+
+        The speculation twin of :meth:`adopt_index_manager`: serving
+        layers install one shared :class:`repro.mining.policy.
+        SpeculativePolicy` per server, and the adoption survives
+        :meth:`reset` (the rebuilt kernel re-adopts the same policy).
+        The policy only observes gestures and aims background warm-ups —
+        gesture results and their counters are unchanged by adopting it.
+        """
+        self._speculation = policy
+        self.kernel.adopt_speculation(policy)
+
+    def speculation_stats(self) -> dict[str, int] | None:
+        """Counters of the mined speculation policy, if one is active.
+
+        Mined prediction hits/misses, scheduled/completed warm-up jobs,
+        rows warmed and staged sample levels — load-dependent
+        observability like :meth:`index_stats`, never part of the
+        counter-parity surface.  ``None`` without a policy.
+        """
+        policy = self.kernel.speculation
+        snapshot = getattr(policy, "stats_snapshot", None)
+        return snapshot() if callable(snapshot) else None
+
+    # ------------------------------------------------------------------ #
+    # speculative execution (background warm-ups, post-outcome)
+    # ------------------------------------------------------------------ #
+    def _observe_speculation(
+        self, policy: "SpeculativePolicy", command: GestureCommand, envelope: OutcomeEnvelope
+    ) -> None:
+        """Feed one executed command to the policy and park its plan.
+
+        Runs strictly after the outcome is computed (the
+        ``_refine_index`` pattern), so observation can never perturb the
+        gesture's counters.
+        """
+        object_name = envelope.object_name
+        if not object_name:
+            return
+        policy.observe_command(object_name, command.kind)
+        self.kernel.optimizer.speculation_hint(policy.prediction(object_name))
+        plan = policy.speculation_plan(object_name)
+        if plan is not None:
+            self._pending_speculation = plan
+
+    def take_speculation(self) -> Callable[[], int] | None:
+        """Pop the pending speculative job as a zero-arg thunk.
+
+        Serving layers call this after each executed command and run the
+        thunk on the scheduler's background lane (inline in serial mode).
+        ``None`` when the last command produced no actionable prediction.
+        """
+        plan = self._pending_speculation
+        if plan is None:
+            return None
+        self._pending_speculation = None
+        policy = self.kernel.speculation
+        if policy is None:
+            return None
+        policy.note_scheduled()
+        return lambda: self.run_speculation(plan)
+
+    def run_speculation(self, plan: "SpeculationPlan") -> int:
+        """Execute one speculation plan; returns the rows warmed.
+
+        Pre-reads the rows the predicted gesture would touch — for paged
+        columns this faults the chunks into the store's chunk cache, the
+        real speculative win — and stages predicted-zoom sample levels in
+        the policy's private store.  Never touches kernel-visible state
+        (views, hierarchies, touch caches), so outcome counters stay
+        bit-identical; failures are counted on the policy, never raised
+        into the background lane.
+        """
+        policy = self.kernel.speculation
+        if policy is None:
+            return 0
+        try:
+            warmed = self._warm_for_plan(policy, plan)
+        except Exception:  # noqa: BLE001 - background lane must never throw
+            policy.note_error()
+            return 0
+        policy.note_completed(warmed)
+        return warmed
+
+    def _warm_for_plan(self, policy: "SpeculativePolicy", plan: "SpeculationPlan") -> int:
+        if plan.object_name not in self.catalog.column_names:
+            return 0  # tables: no single column to warm; plan is a no-op
+        column = self.catalog.column(plan.object_name)
+        num_tuples = len(column)
+        if num_tuples == 0:
+            return 0
+        window = policy.warm_window
+        stride = max(1, plan.stride)
+        kind = plan.predicted_kind
+        if kind in ("slide", "slide-path"):
+            # warm the forward window the extrapolated slide would touch
+            anchor = plan.rowid if 0 <= plan.rowid < num_tuples else 0
+            direction = plan.direction if plan.direction != 0 else 1
+            rowids = anchor + direction * stride * np.arange(1, window + 1)
+        elif kind == "tap":
+            anchor = plan.rowid if 0 <= plan.rowid < num_tuples else num_tuples // 2
+            rowids = anchor + np.arange(-(window // 2), window // 2 + 1)
+        elif kind in ("zoom-in", "zoom-out"):
+            factor = max(2, self.kernel.config.sample_factor)
+            if kind == "zoom-out":
+                next_stride = stride * factor
+            else:
+                next_stride = max(1, stride // factor)
+            rowids = np.arange(0, num_tuples, next_stride)[:window]
+            values = column.read_batch(rowids.astype(np.int64))
+            policy.stage_level(plan.object_name, next_stride, values)
+            return int(rowids.size)
+        else:
+            return 0
+        rowids = rowids[(rowids >= 0) & (rowids < num_tuples)].astype(np.int64)
+        if rowids.size == 0:
+            return 0
+        column.read_batch(rowids)
+        return int(rowids.size)
 
     def index_stats(self) -> dict[str, int] | None:
         """Counters and gauges of the adaptive indexing tier.
@@ -418,7 +546,21 @@ class LocalExplorationService:
     # the service protocol
     # ------------------------------------------------------------------ #
     def execute(self, command: GestureCommand) -> OutcomeEnvelope:
-        """Execute one gesture command against the in-process kernel."""
+        """Execute one gesture command against the in-process kernel.
+
+        With a speculation policy adopted, the executed command is also
+        reported to the policy *after* its outcome is computed, and the
+        policy's next warm-up plan is parked for :meth:`take_speculation`
+        — outcome counters are a pure function of the command sequence
+        either way.
+        """
+        envelope = self._execute_command(command)
+        policy = self.kernel.speculation
+        if policy is not None:
+            self._observe_speculation(policy, command, envelope)
+        return envelope
+
+    def _execute_command(self, command: GestureCommand) -> OutcomeEnvelope:
         if isinstance(command, ShowColumn):
             view = self.kernel.show_column(
                 command.object_name,
@@ -1184,6 +1326,26 @@ def _as_trace_context(trace: TraceContext | Mapping[str, Any] | None) -> TraceCo
     return TraceContext.from_dict(trace)
 
 
+def _as_speculation_policy(
+    speculation: "SpeculativePolicy | GestureTransitionModel | str | Path | bool | None",
+) -> SpeculativePolicy | None:
+    """Coerce the server's ``speculation`` knob into a policy (or None)."""
+    if speculation is None or speculation is False:
+        return None
+    if speculation is True:
+        return SpeculativePolicy(GestureTransitionModel())
+    if isinstance(speculation, SpeculativePolicy):
+        return speculation
+    if isinstance(speculation, GestureTransitionModel):
+        return SpeculativePolicy(speculation)
+    if isinstance(speculation, (str, Path)):
+        return SpeculativePolicy(GestureTransitionModel.load(speculation))
+    raise ServiceError(
+        "speculation= takes a SpeculativePolicy, a GestureTransitionModel, "
+        f"a checkpoint path, or a bool — not {type(speculation).__name__}"
+    )
+
+
 class MultiSessionServer:
     """Hosts N independent exploration sessions behind the service protocol.
 
@@ -1224,12 +1386,23 @@ class MultiSessionServer:
         scheduler: SchedulerConfig | int | None = None,
         shared_index: IndexManager | bool | None = None,
         tracing: Tracer | TraceConfig | bool | None = None,
+        speculation: SpeculativePolicy
+        | GestureTransitionModel
+        | str
+        | Path
+        | bool
+        | None = None,
     ) -> None:
         self._factory = service_factory if service_factory is not None else LocalExplorationService
         if shared_index is True:
             shared_index = IndexManager()
         elif shared_index is False:
             shared_index = None
+        #: one mined speculation policy adopted by every session: the
+        #: ``speculation`` knob takes a ready policy, a trained
+        #: transition model, a checkpoint path (the worker-config route),
+        #: or True for an untrained placeholder policy
+        self._speculation: SpeculativePolicy | None = _as_speculation_policy(speculation)
         #: one adaptive-index manager adopted by every session that
         #: attaches the shared base storage: cracks performed by one
         #: session's gestures shrink every session's selections (the
@@ -1269,6 +1442,7 @@ class MultiSessionServer:
         self.telemetry.register_collector("index", self.index_stats)
         self.telemetry.register_collector("storage", self.storage_stats)
         self.telemetry.register_collector("server", self.aggregate_metrics)
+        self.telemetry.register_collector("speculation", self.speculation_stats)
         if self.tracer.recorder is not None:
             self.telemetry.register_collector(
                 "flight_recorder", self.tracer.recorder.stats_snapshot
@@ -1472,6 +1646,36 @@ class MultiSessionServer:
                 totals[key] = totals.get(key, 0) + int(value)
         return totals if seen else None
 
+    @property
+    def speculation(self) -> SpeculativePolicy | None:
+        """The shared mined speculation policy (``None`` when not enabled)."""
+        return self._speculation
+
+    def speculation_stats(self) -> dict[str, int] | None:
+        """Mined-speculation counters for this server.
+
+        With a shared policy, its snapshot; otherwise the key-wise sum
+        over every open session's private policy (``None`` when no
+        session speculates).  Load-dependent observability like
+        :meth:`index_stats`, kept out of the :meth:`counters_report`
+        parity surface.
+        """
+        if self._speculation is not None:
+            return self._speculation.stats_snapshot()
+        with self._lock:
+            services = list(self._services.values())
+        totals: dict[str, int] = {}
+        seen = False
+        for service in services:
+            stats = getattr(service, "speculation_stats", None)
+            report = stats() if callable(stats) else None
+            if report is None:
+                continue
+            seen = True
+            for key, value in report.items():
+                totals[key] = totals.get(key, 0) + int(value)
+        return totals if seen else None
+
     def storage_stats(self) -> dict[str, int] | None:
         """Chunk-cache and memory-budget counters of the attached stores.
 
@@ -1555,6 +1759,10 @@ class MultiSessionServer:
             adopt = getattr(service, "adopt_index_manager", None)
             if adopt is not None:
                 adopt(self._shared_index)
+        if self._speculation is not None:
+            adopt_policy = getattr(service, "adopt_speculation", None)
+            if adopt_policy is not None:
+                adopt_policy(self._speculation)
 
     # ------------------------------------------------------------------ #
     # data loading and execution
@@ -1700,7 +1908,27 @@ class MultiSessionServer:
         ):
             envelope = service.execute(command)
         metrics.observe(envelope, time.perf_counter() - started)
+        self._schedule_speculation(service)
         return envelope
+
+    def _schedule_speculation(self, service: ExplorationService) -> None:
+        """Run the session's pending speculative warm-up, if any.
+
+        Concurrent mode ships the job to the scheduler's background lane
+        so gestures never wait on warming; serial mode runs it inline
+        (warm-ups only touch caches and the policy's staging store, so
+        either way the command stream's counters are unaffected).
+        """
+        take = getattr(service, "take_speculation", None)
+        if take is None:
+            return
+        job = take()
+        if job is None:
+            return
+        if self._scheduler is not None:
+            self._scheduler.submit_background(job)
+        else:
+            job()
 
     def execute(
         self,

@@ -286,8 +286,10 @@ class ShardManager:
         sessions: dict[str, dict[str, int]] = {}
         index_totals: dict[str, int] = {}
         storage_totals: dict[str, int] = {}
+        speculation_totals: dict[str, int] = {}
         any_index = False
         any_storage = False
+        any_speculation = False
         for worker_id, future in futures:
             try:
                 report = future.result(timeout=timeout)
@@ -308,6 +310,11 @@ class ShardManager:
                 any_storage = True
                 for key, value in worker_storage.items():
                     storage_totals[key] = storage_totals.get(key, 0) + int(value)
+            worker_speculation = report.get("speculation")
+            if isinstance(worker_speculation, dict):
+                any_speculation = True
+                for key, value in worker_speculation.items():
+                    speculation_totals[key] = speculation_totals.get(key, 0) + int(value)
         return {
             "num_workers": len(self.workers),
             "alive_workers": self.alive_workers,
@@ -318,6 +325,9 @@ class ShardManager:
             # same treatment for the chunk-cache / memory-budget counters
             # of each shard's attached store; None when serving in-memory
             "storage": storage_totals if any_storage else None,
+            # and for every shard's mined-speculation counters; None when
+            # no shard serves with a speculation checkpoint
+            "speculation": speculation_totals if any_speculation else None,
             "workers": per_worker,
         }
 

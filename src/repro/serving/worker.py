@@ -99,6 +99,13 @@ class WorkerConfig:
     slow_trace_threshold_s / flight_recorder_capacity:
         The worker-local flight recorder's slow-log threshold and ring
         size (drained by the ``telemetry`` op).
+    speculation_checkpoint:
+        Optional path to a mined
+        :class:`repro.mining.model.GestureTransitionModel` checkpoint.
+        The worker loads it at build time and serves with one shared
+        :class:`repro.mining.policy.SpeculativePolicy`, so every shard of
+        a fleet speculates from the same offline mining pass; its hit/miss
+        counters ride the ``stats`` and ``telemetry`` verbs.
     """
 
     snapshot_path: str | None = None
@@ -112,6 +119,7 @@ class WorkerConfig:
     trace_sample_rate: float | None = None
     slow_trace_threshold_s: float | None = None
     flight_recorder_capacity: int = 64
+    speculation_checkpoint: str | None = None
 
 
 def _build_server(config: WorkerConfig, worker_id: int = 0) -> MultiSessionServer:
@@ -141,6 +149,7 @@ def _build_server(config: WorkerConfig, worker_id: int = 0) -> MultiSessionServe
         ),
         shared_index=config.shared_index,
         tracing=tracing,
+        speculation=config.speculation_checkpoint,
     )
     if config.snapshot_path is not None:
         snapshot = StoreCatalog.open_read_only(
@@ -267,6 +276,7 @@ class _WorkerRuntime:
                 "shared_objects": self.server.shared_object_names,
                 "index": self.server.index_stats(),
                 "storage": self.server.storage_stats(),
+                "speculation": self.server.speculation_stats(),
             },
         )
 
